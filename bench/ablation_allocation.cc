@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Ablation (DESIGN.md section 5): what the SoC memory model's two
+ * mechanisms buy.
+ *
+ *  1. Fair water-filling vs proportional sharing: switching the
+ *     allocator to proportional sharing reproduces Gables-like
+ *     behavior — no slowdown until the nominal peak, no flat tail.
+ *  2. Effective-bandwidth degradation: without it (mixPenalty = 0,
+ *     localityPenalty = 0, baseEfficiency = 1), no contention occurs
+ *     before nominal saturation, contradicting the paper's Figure 2.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "calib/calibrator.hh"
+#include "common/table.hh"
+
+using namespace pccs;
+
+namespace {
+
+void
+sweepRow(Table &t, const std::string &label, const soc::SocConfig &cfg,
+         GBps target)
+{
+    const soc::SocSimulator sim(cfg);
+    const std::size_t gpu = static_cast<std::size_t>(
+        cfg.puIndex(soc::PuKind::Gpu));
+    const soc::KernelProfile k =
+        calib::makeCalibrator(sim.model(), cfg.pus[gpu], target);
+    std::vector<double> row;
+    for (GBps y = 0.0; y <= 100.0; y += 10.0)
+        row.push_back(sim.relativeSpeedUnderPressure(gpu, k, y));
+    t.addRow(label, row, 1);
+}
+
+Table
+makeTable()
+{
+    std::vector<std::string> headers{"memory model"};
+    for (GBps y = 0.0; y <= 100.0; y += 10.0)
+        headers.push_back("y=" + fmtDouble(y, 0));
+    return Table(std::move(headers));
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Memory-model ablations: fairness allocation and "
+                  "effective-bandwidth degradation",
+                  "DESIGN.md ablations (supports Figs. 2, 3, 5)");
+
+    const soc::SocConfig base = soc::xavierLike();
+
+    soc::SocConfig proportional = base;
+    proportional.memory.policy = soc::AllocationPolicy::Proportional;
+
+    soc::SocConfig no_degradation = base;
+    no_degradation.memory.mixPenalty = 0.0;
+    no_degradation.memory.localityPenalty = 0.0;
+    no_degradation.memory.baseEfficiency = 1.0;
+    no_degradation.memory.minEfficiency = 1.0;
+
+    soc::SocConfig no_latency = base;
+    for (auto &pu : no_latency.pus)
+        pu.latencySensitivity = 0.0;
+
+    for (GBps target : {60.0, 110.0}) {
+        std::printf("--- GPU kernel with ~%.0f GB/s standalone demand "
+                    "---\n",
+                    target);
+        Table t = makeTable();
+        sweepRow(t, "full model (fair water-fill)", base, target);
+        sweepRow(t, "proportional sharing (Gables-like)", proportional,
+                 target);
+        sweepRow(t, "no effective-BW degradation", no_degradation,
+                 target);
+        sweepRow(t, "no latency sensitivity", no_latency, target);
+        std::printf("%s\n", t.str().c_str());
+    }
+
+    std::printf(
+        "Reading the ablation:\n"
+        " * proportional sharing shows no slowdown until x + y "
+        "reaches the peak and no flat tail - exactly the Gables\n"
+        "   assumptions the paper refutes;\n"
+        " * removing effective-BW degradation delays the drop onset "
+        "to the nominal peak (contradicts Fig. 2);\n"
+        " * removing latency sensitivity erases the minor-region "
+        "slope (low-demand kernels would never slow down).\n");
+    return 0;
+}

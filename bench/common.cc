@@ -1,0 +1,107 @@
+#include "common.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/statistics.hh"
+
+namespace pccs::bench {
+
+void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("\n==============================================="
+                "=====================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s\n", paper_ref.c_str());
+    std::printf("================================================"
+                "====================\n\n");
+}
+
+std::vector<GBps>
+externalLadder(GBps max_external, unsigned steps)
+{
+    std::vector<GBps> ladder;
+    for (unsigned j = 1; j <= steps; ++j)
+        ladder.push_back(max_external * j / steps);
+    return ladder;
+}
+
+double
+SweepResult::pccsError() const
+{
+    return meanAbsPctPointError({pccs.data(), pccs.size()},
+                                {actual.data(), actual.size()});
+}
+
+double
+SweepResult::gablesError() const
+{
+    return meanAbsPctPointError({gables.data(), gables.size()},
+                                {actual.data(), actual.size()});
+}
+
+SweepResult
+sweepKernel(const soc::SocSimulator &sim, std::size_t pu,
+            const soc::KernelProfile &kernel,
+            const model::SlowdownPredictor &pccs,
+            const model::SlowdownPredictor &gables,
+            const std::vector<GBps> &ladder)
+{
+    SweepResult r;
+    r.name = kernel.name;
+    r.demand = sim.profile(pu, kernel).bandwidthDemand;
+    for (GBps y : ladder) {
+        r.actual.push_back(
+            sim.relativeSpeedUnderPressure(pu, kernel, y));
+        r.pccs.push_back(pccs.relativeSpeed(r.demand, y));
+        r.gables.push_back(gables.relativeSpeed(r.demand, y));
+    }
+    return r;
+}
+
+void
+printSweepReport(const std::vector<SweepResult> &results,
+                 const std::vector<GBps> &ladder)
+{
+    for (const auto &r : results) {
+        std::printf("%s (standalone demand %.1f GB/s)\n",
+                    r.name.c_str(), r.demand);
+        std::vector<std::string> headers{"series"};
+        for (GBps y : ladder)
+            headers.push_back("y=" + fmtDouble(y, 0));
+        Table t(std::move(headers));
+        t.addRow("actual RS (%)", r.actual, 1);
+        t.addRow("PCCS RS (%)", r.pccs, 1);
+        t.addRow("Gables RS (%)", r.gables, 1);
+        std::printf("%s\n", t.str().c_str());
+    }
+}
+
+void
+printErrorSummary(const std::vector<SweepResult> &results,
+                  double paper_pccs, double paper_gables)
+{
+    Table t({"kernel", "demand (GB/s)", "PCCS err (%)",
+             "Gables err (%)"});
+    double pccs_sum = 0.0, gables_sum = 0.0;
+    for (const auto &r : results) {
+        t.addRow({r.name, fmtDouble(r.demand, 1),
+                  fmtDouble(r.pccsError(), 1),
+                  fmtDouble(r.gablesError(), 1)});
+        pccs_sum += r.pccsError();
+        gables_sum += r.gablesError();
+    }
+    const double n = static_cast<double>(results.size());
+    t.addRow({"AVERAGE", "-", fmtDouble(pccs_sum / n, 1),
+              fmtDouble(gables_sum / n, 1)});
+    std::printf("%s\n", t.str().c_str());
+    std::printf("paper reports (on real hardware): PCCS %.1f%%, "
+                "Gables %.1f%%\n",
+                paper_pccs, paper_gables);
+    std::printf("measured on simulated substrate:  PCCS %.1f%%, "
+                "Gables %.1f%%\n\n",
+                pccs_sum / n, gables_sum / n);
+}
+
+} // namespace pccs::bench

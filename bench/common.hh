@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness: standard sweeps, error
+ * accounting, and report formatting. Each bench binary regenerates one
+ * table or figure of the paper and prints the corresponding series.
+ */
+
+#ifndef PCCS_BENCH_COMMON_HH
+#define PCCS_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "pccs/predictor.hh"
+#include "soc/simulator.hh"
+
+namespace pccs::bench {
+
+/** Print a banner naming the experiment being regenerated. */
+void banner(const std::string &title, const std::string &paper_ref);
+
+/** The external-pressure ladder the paper sweeps (10%..100% of max). */
+std::vector<GBps> externalLadder(GBps max_external, unsigned steps = 10);
+
+/** One predicted-vs-actual sweep result for a single kernel. */
+struct SweepResult
+{
+    std::string name;
+    GBps demand = 0.0;
+    std::vector<double> actual;
+    std::vector<double> pccs;
+    std::vector<double> gables;
+
+    /** Mean |pccs - actual| in percentage points. */
+    double pccsError() const;
+    /** Mean |gables - actual| in percentage points. */
+    double gablesError() const;
+};
+
+/**
+ * Sweep one kernel on one PU across the external ladder, collecting
+ * actual (simulated) and predicted (PCCS + Gables) relative speeds.
+ */
+SweepResult sweepKernel(const soc::SocSimulator &sim, std::size_t pu,
+                        const soc::KernelProfile &kernel,
+                        const model::SlowdownPredictor &pccs,
+                        const model::SlowdownPredictor &gables,
+                        const std::vector<GBps> &ladder);
+
+/** Render a set of sweep results as per-kernel curve tables. */
+void printSweepReport(const std::vector<SweepResult> &results,
+                      const std::vector<GBps> &ladder);
+
+/**
+ * Print the closing summary: measured average errors side by side
+ * with the numbers the paper reports for the same experiment.
+ */
+void printErrorSummary(const std::vector<SweepResult> &results,
+                       double paper_pccs, double paper_gables);
+
+} // namespace pccs::bench
+
+#endif // PCCS_BENCH_COMMON_HH

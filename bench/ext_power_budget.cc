@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Extension study (paper Section 5, "Power budget"): co-run
+ * performance attainable at each total SoC power budget, with per-PU
+ * clocks chosen by PCCS-predicted slowdowns vs by Gables. The paper's
+ * use-case claim: accurate slowdown models let designers cut power
+ * substantially (up to 52.1% of the budget) without losing actual
+ * co-run performance.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "calib/calibrator.hh"
+#include "common/table.hh"
+#include "gables/gables.hh"
+#include "pccs/builder.hh"
+#include "pccs/power.hh"
+
+using namespace pccs;
+
+int
+main()
+{
+    bench::banner("Co-run performance vs SoC power budget",
+                  "Section 5 extension (power budget)");
+
+    model::PowerBudgetProblem problem;
+    problem.soc = soc::xavierLike();
+    const soc::SocSimulator sim(problem.soc);
+
+    std::vector<model::PccsModel> pccs_models;
+    pccs_models.reserve(problem.soc.pus.size());
+    for (std::size_t i = 0; i < problem.soc.pus.size(); ++i)
+        pccs_models.push_back(model::buildModel(sim, i));
+
+    for (std::size_t i = 0; i < problem.soc.pus.size(); ++i) {
+        problem.models.push_back(&pccs_models[i]);
+        problem.kernels.push_back(calib::makeCalibrator(
+            sim.model(), problem.soc.pus[i],
+            0.8 * problem.soc.pus[i].drawBandwidth()));
+        std::vector<MHz> grid;
+        const MHz fmax = problem.soc.pus[i].maxFrequency;
+        for (double r = 0.4; r <= 1.001; r += 0.1)
+            grid.push_back(r * fmax);
+        problem.grids.push_back(grid);
+    }
+    problem.power = {{12.0, 2.0, 3.0},  // CPU
+                     {20.0, 3.0, 3.0},  // GPU
+                     {6.0, 1.0, 3.0}};  // DLA
+
+    const gables::GablesModel gables(problem.soc.memory.peakBandwidth);
+    model::PowerBudgetProblem optimistic = problem;
+    optimistic.models = {&gables, &gables, &gables};
+
+    // Validate a selection on the "board": simulate the co-run at the
+    // chosen clocks and report the true worst relative performance.
+    auto validate = [&](const std::vector<MHz> &freqs) {
+        if (freqs.empty())
+            return 0.0;
+        soc::SocConfig cfg = problem.soc;
+        for (std::size_t i = 0; i < freqs.size(); ++i)
+            cfg.pus[i].frequency = freqs[i];
+        const soc::SocSimulator at(cfg);
+        std::vector<soc::PuParams> pus = cfg.pus;
+        const soc::CorunRates rates =
+            at.model().corun(pus, problem.kernels);
+        double worst = 1e300;
+        for (std::size_t i = 0; i < pus.size(); ++i) {
+            const double ref =
+                sim.profile(i, problem.kernels[i]).rate;
+            worst = std::min(worst,
+                             100.0 * rates.rates[i] / ref);
+        }
+        return worst;
+    };
+
+    Table t({"budget (W)", "PCCS clocks (MHz)", "PCCS actual (%)",
+             "Gables clocks (MHz)", "Gables actual (%)"});
+    auto fmt_clocks = [](const std::vector<MHz> &f) {
+        if (f.empty())
+            return std::string("infeasible");
+        std::string s;
+        for (std::size_t i = 0; i < f.size(); ++i) {
+            if (i)
+                s += "/";
+            s += fmtDouble(f[i], 0);
+        }
+        return s;
+    };
+
+    for (double budget : {12.0, 16.0, 20.0, 28.0, 36.0, 44.0}) {
+        problem.budgetWatts = budget;
+        optimistic.budgetWatts = budget;
+        const auto via_pccs = model::explorePowerBudget(problem);
+        const auto via_gables = model::explorePowerBudget(optimistic);
+        t.addRow({fmtDouble(budget, 0),
+                  fmt_clocks(via_pccs.frequencies),
+                  fmtDouble(validate(via_pccs.frequencies), 1),
+                  fmt_clocks(via_gables.frequencies),
+                  fmtDouble(validate(via_gables.frequencies), 1)});
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf(
+        "Columns report the *actual* (simulated) worst per-PU co-run "
+        "performance of each model's clock choice,\nrelative to "
+        "full-clock standalone. Under contention the curves flatten "
+        "early: most of the power budget\nabove the knee buys nothing "
+        "-- the paper's 'up to 52.1%% power saving' use case.\n");
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 8: predicted (PCCS, Gables) and actual slowdowns of the ten
+ * Rodinia benchmarks on the Xavier-class GPU under external memory
+ * contention swept from 10% to 100% of the peak-bandwidth-scaled
+ * ladder. Paper: PCCS averages 6.3% error, Gables 39%.
+ */
+
+#include "bench/common.hh"
+#include "gables/gables.hh"
+#include "pccs/builder.hh"
+#include "workloads/rodinia.hh"
+
+using namespace pccs;
+
+int
+main()
+{
+    bench::banner("Rodinia on the Xavier GPU: predicted vs actual "
+                  "slowdown",
+                  "Figure 8");
+
+    const soc::SocSimulator sim(soc::xavierLike());
+    const std::size_t gpu = static_cast<std::size_t>(
+        sim.config().puIndex(soc::PuKind::Gpu));
+    const model::PccsModel pccs = model::buildModel(sim, gpu);
+    const gables::GablesModel gables(
+        sim.config().memory.peakBandwidth);
+    const auto ladder = bench::externalLadder(
+        0.73 * sim.config().memory.peakBandwidth);
+
+    std::vector<bench::SweepResult> results;
+    for (const auto &name : workloads::gpuBenchmarks()) {
+        results.push_back(bench::sweepKernel(
+            sim, gpu, workloads::rodiniaKernel(name, soc::PuKind::Gpu),
+            pccs, gables, ladder));
+    }
+    bench::printSweepReport(results, ladder);
+    bench::printErrorSummary(results, 6.3, 39.0);
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 9: predicted (PCCS, Gables) and actual slowdowns of five
+ * Rodinia benchmarks on the Xavier-class CPU. Paper: PCCS averages
+ * 2.6% error, Gables 10.3%.
+ */
+
+#include "bench/common.hh"
+#include "gables/gables.hh"
+#include "pccs/builder.hh"
+#include "workloads/rodinia.hh"
+
+using namespace pccs;
+
+int
+main()
+{
+    bench::banner("Rodinia on the Xavier CPU: predicted vs actual "
+                  "slowdown",
+                  "Figure 9");
+
+    const soc::SocSimulator sim(soc::xavierLike());
+    const std::size_t cpu = static_cast<std::size_t>(
+        sim.config().puIndex(soc::PuKind::Cpu));
+    const model::PccsModel pccs = model::buildModel(sim, cpu);
+    const gables::GablesModel gables(
+        sim.config().memory.peakBandwidth);
+    const auto ladder = bench::externalLadder(
+        0.73 * sim.config().memory.peakBandwidth);
+
+    std::vector<bench::SweepResult> results;
+    for (const auto &name : workloads::cpuBenchmarks()) {
+        results.push_back(bench::sweepKernel(
+            sim, cpu, workloads::rodiniaKernel(name, soc::PuKind::Cpu),
+            pccs, gables, ladder));
+    }
+    bench::printSweepReport(results, ladder);
+    bench::printErrorSummary(results, 2.6, 10.3);
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 10: predicted (PCCS, Gables) and actual slowdowns of the ten
+ * Rodinia benchmarks on the Snapdragon-855-class GPU. Paper: PCCS
+ * averages 5.9% error, Gables 37.6%.
+ */
+
+#include "bench/common.hh"
+#include "gables/gables.hh"
+#include "pccs/builder.hh"
+#include "workloads/rodinia.hh"
+
+using namespace pccs;
+
+int
+main()
+{
+    bench::banner("Rodinia on the Snapdragon 855 GPU: predicted vs "
+                  "actual slowdown",
+                  "Figure 10");
+
+    const soc::SocSimulator sim(soc::snapdragonLike());
+    const std::size_t gpu = static_cast<std::size_t>(
+        sim.config().puIndex(soc::PuKind::Gpu));
+    const model::PccsModel pccs = model::buildModel(sim, gpu);
+    const gables::GablesModel gables(
+        sim.config().memory.peakBandwidth);
+    const auto ladder = bench::externalLadder(
+        0.73 * sim.config().memory.peakBandwidth);
+
+    std::vector<bench::SweepResult> results;
+    for (const auto &name : workloads::gpuBenchmarks()) {
+        results.push_back(bench::sweepKernel(
+            sim, gpu, workloads::rodiniaKernel(name, soc::PuKind::Gpu),
+            pccs, gables, ladder));
+    }
+    bench::printSweepReport(results, ladder);
+    bench::printErrorSummary(results, 5.9, 37.6);
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 11: predicted (PCCS, Gables) and actual slowdowns of five
+ * Rodinia benchmarks on the Snapdragon-855-class CPU. Paper: PCCS
+ * averages 3.1% error, Gables 8.1%. Note hotspot: on the slower Kryo
+ * cores its standalone demand falls into the minor contention region
+ * (the paper's portability observation).
+ */
+
+#include "bench/common.hh"
+#include "gables/gables.hh"
+#include "pccs/builder.hh"
+#include "workloads/rodinia.hh"
+
+using namespace pccs;
+
+int
+main()
+{
+    bench::banner("Rodinia on the Snapdragon 855 CPU: predicted vs "
+                  "actual slowdown",
+                  "Figure 11");
+
+    const soc::SocSimulator sim(soc::snapdragonLike());
+    const std::size_t cpu = static_cast<std::size_t>(
+        sim.config().puIndex(soc::PuKind::Cpu));
+    const model::PccsModel pccs = model::buildModel(sim, cpu);
+    const gables::GablesModel gables(
+        sim.config().memory.peakBandwidth);
+    const auto ladder = bench::externalLadder(
+        0.73 * sim.config().memory.peakBandwidth);
+
+    std::vector<bench::SweepResult> results;
+    for (const auto &name : workloads::cpuBenchmarks()) {
+        results.push_back(bench::sweepKernel(
+            sim, cpu, workloads::rodiniaKernel(name, soc::PuKind::Cpu),
+            pccs, gables, ladder));
+    }
+    bench::printSweepReport(results, ladder);
+    bench::printErrorSummary(results, 3.1, 8.1);
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 12: predicted and actual slowdowns of VGG19 and ResNet-50
+ * (plus AlexNet from Table 8) inference on the Xavier-class DLA.
+ * Paper: PCCS averages 5.3% error, Gables 26.7%. The DLA only draws
+ * 20-30 GB/s standalone, yet keeps slowing until ~70 GB/s of external
+ * pressure with only a small flat region at the high end.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "common/table.hh"
+#include "gables/gables.hh"
+#include "pccs/builder.hh"
+#include "pccs/phases.hh"
+#include "workloads/nn.hh"
+
+using namespace pccs;
+
+int
+main()
+{
+    bench::banner("Neural-network inference on the Xavier DLA: "
+                  "predicted vs actual slowdown",
+                  "Figure 12");
+
+    const soc::SocSimulator sim(soc::xavierLike());
+    const std::size_t dla = static_cast<std::size_t>(
+        sim.config().puIndex(soc::PuKind::Dla));
+    const model::PccsModel pccs = model::buildModel(sim, dla);
+    const gables::GablesModel gables(
+        sim.config().memory.peakBandwidth);
+    const auto ladder = bench::externalLadder(100.0);
+
+    double pccs_sum = 0.0, gables_sum = 0.0;
+    int n_models = 0;
+    Table summary({"model", "PCCS err (%)", "Gables err (%)"});
+
+    for (const auto &w : {workloads::vgg19Dla(),
+                          workloads::resnet50Dla(),
+                          workloads::alexnetDla()}) {
+        // Phase decomposition: standalone time shares + demands.
+        double solo_total = 0.0;
+        for (const auto &ph : w.phases)
+            solo_total += sim.profile(dla, ph).seconds;
+        std::vector<model::PhaseDemand> phases;
+        for (const auto &ph : w.phases) {
+            const auto prof = sim.profile(dla, ph);
+            phases.push_back(
+                {prof.bandwidthDemand, prof.seconds / solo_total});
+        }
+
+        std::vector<std::string> headers{"series"};
+        for (GBps y : ladder)
+            headers.push_back("y=" + fmtDouble(y, 0));
+        Table t(std::move(headers));
+        std::vector<double> act, prd, gab;
+        for (GBps y : ladder) {
+            double corun_time = 0.0;
+            for (const auto &ph : w.phases) {
+                const auto prof = sim.profile(dla, ph);
+                const double rs =
+                    sim.relativeSpeedUnderPressure(dla, ph, y);
+                corun_time += prof.seconds / (rs / 100.0);
+            }
+            act.push_back(100.0 * solo_total / corun_time);
+            prd.push_back(model::predictPiecewise(pccs, phases, y));
+            gab.push_back(model::predictPiecewise(gables, phases, y));
+        }
+        t.addRow("actual RS (%)", act, 1);
+        t.addRow("PCCS RS (%)", prd, 1);
+        t.addRow("Gables RS (%)", gab, 1);
+        std::printf("%s\n%s\n", w.name.c_str(), t.str().c_str());
+
+        double pe = 0.0, ge = 0.0;
+        for (std::size_t j = 0; j < ladder.size(); ++j) {
+            pe += std::fabs(prd[j] - act[j]);
+            ge += std::fabs(gab[j] - act[j]);
+        }
+        pe /= ladder.size();
+        ge /= ladder.size();
+        summary.addRow(
+            {w.name, fmtDouble(pe, 1), fmtDouble(ge, 1)});
+        pccs_sum += pe;
+        gables_sum += ge;
+        ++n_models;
+    }
+    summary.addRow({"AVERAGE", fmtDouble(pccs_sum / n_models, 1),
+                    fmtDouble(gables_sum / n_models, 1)});
+    std::printf("%s\n", summary.str().c_str());
+    std::printf("paper reports (on real hardware): PCCS 5.3%%, Gables "
+                "26.7%%\n");
+    return 0;
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Table 8 + Figure 14: eleven real three-PU co-run workloads (a
+ * Rodinia benchmark on the CPU, one on the GPU, and a neural network
+ * on the DLA). Each workload runs until the first program finishes;
+ * the measured achieved relative speed of every PU is compared with
+ * the PCCS and Gables predictions. Paper: average errors PCCS
+ * 3.7/8.7/5.6% vs Gables 13.4/30.3/20.6% on CPU/GPU/DLA.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "common/table.hh"
+#include "gables/gables.hh"
+#include "pccs/builder.hh"
+#include "pccs/corun.hh"
+#include "pccs/phases.hh"
+#include "workloads/nn.hh"
+#include "workloads/rodinia.hh"
+#include "workloads/table8.hh"
+
+using namespace pccs;
+
+namespace {
+
+/** Phase demands + time-weighted mean demand of a workload on a PU. */
+struct Characterization
+{
+    std::vector<model::PhaseDemand> phases;
+    double meanDemand = 0.0;
+};
+
+Characterization
+characterize(const soc::SocSimulator &sim, std::size_t pu,
+             const soc::PhasedWorkload &w)
+{
+    Characterization c;
+    double solo_total = 0.0;
+    for (const auto &ph : w.phases)
+        solo_total += sim.profile(pu, ph).seconds;
+    for (const auto &ph : w.phases) {
+        const auto prof = sim.profile(pu, ph);
+        const double share = prof.seconds / solo_total;
+        c.phases.push_back({prof.bandwidthDemand, share});
+        c.meanDemand += share * prof.bandwidthDemand;
+    }
+    return c;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Eleven 3-PU co-run workloads: predicted vs actual "
+                  "achieved relative speed",
+                  "Table 8 + Figure 14 (a)(b)(c)");
+
+    const soc::SocSimulator sim(soc::xavierLike());
+    const auto &cfg = sim.config();
+    const std::size_t cpu = static_cast<std::size_t>(
+        cfg.puIndex(soc::PuKind::Cpu));
+    const std::size_t gpu = static_cast<std::size_t>(
+        cfg.puIndex(soc::PuKind::Gpu));
+    const std::size_t dla = static_cast<std::size_t>(
+        cfg.puIndex(soc::PuKind::Dla));
+
+    const model::PccsModel pccs_cpu = model::buildModel(sim, cpu);
+    const model::PccsModel pccs_gpu = model::buildModel(sim, gpu);
+    const model::PccsModel pccs_dla = model::buildModel(sim, dla);
+    const gables::GablesModel gables(cfg.memory.peakBandwidth);
+
+    const std::size_t pu_index[3] = {cpu, gpu, dla};
+    const model::PccsModel *pccs_model[3] = {&pccs_cpu, &pccs_gpu,
+                                             &pccs_dla};
+    const char *pu_label[3] = {"CPU", "GPU", "DLA"};
+
+    Table tables[3] = {
+        Table({"workload", "actual RS (%)", "PCCS RS (%)",
+               "PCCS err", "Gables RS (%)", "Gables err"}),
+        Table({"workload", "actual RS (%)", "PCCS RS (%)",
+               "PCCS err", "Gables RS (%)", "Gables err"}),
+        Table({"workload", "actual RS (%)", "PCCS RS (%)",
+               "PCCS err", "Gables RS (%)", "Gables err"})};
+    double pccs_err[3] = {0, 0, 0};
+    double gables_err[3] = {0, 0, 0};
+
+    const auto &rows = workloads::table8Workloads();
+    for (const auto &wl : rows) {
+        // Assemble the three placements.
+        soc::PhasedWorkload on[3];
+        on[0] = soc::PhasedWorkload::single(
+            workloads::rodiniaKernel(wl.cpuBench, soc::PuKind::Cpu));
+        on[1] = soc::PhasedWorkload::single(
+            workloads::rodiniaKernel(wl.gpuBench, soc::PuKind::Gpu));
+        on[2] = workloads::dlaWorkload(wl.dlaModel);
+
+        Characterization ch[3];
+        for (int i = 0; i < 3; ++i)
+            ch[i] = characterize(sim, pu_index[i], on[i]);
+
+        // Actual: co-run until the first program finishes.
+        const soc::CorunOutcome out =
+            sim.run({soc::Placement{cpu, on[0]},
+                     soc::Placement{gpu, on[1]},
+                     soc::Placement{dla, on[2]}},
+                    soc::StopPolicy::FirstFinish);
+
+        // Predicted via the co-run API (the paper's one-shot
+        // protocol: external inputs are standalone demands).
+        std::vector<model::CorunInput> in_pccs(3), in_gables(3);
+        for (int i = 0; i < 3; ++i) {
+            in_pccs[i] = {pccs_model[i], ch[i].phases};
+            in_gables[i] = {&gables, ch[i].phases};
+        }
+        const auto prd_all = model::predictCorun(in_pccs);
+        const auto gab_all = model::predictCorun(in_gables);
+
+        for (int i = 0; i < 3; ++i) {
+            const double actual = out.placements[i].relativeSpeed;
+            const double prd = prd_all[i];
+            const double gab = gab_all[i];
+            tables[i].addRow(
+                {wl.id + " (" +
+                     (i == 0 ? wl.cpuBench
+                             : (i == 1 ? wl.gpuBench : wl.dlaModel)) +
+                     ")",
+                 fmtDouble(actual, 1), fmtDouble(prd, 1),
+                 fmtDouble(std::fabs(prd - actual), 1),
+                 fmtDouble(gab, 1),
+                 fmtDouble(std::fabs(gab - actual), 1)});
+            pccs_err[i] += std::fabs(prd - actual);
+            gables_err[i] += std::fabs(gab - actual);
+        }
+    }
+
+    const double paper_pccs[3] = {3.7, 8.7, 5.6};
+    const double paper_gables[3] = {13.4, 30.3, 20.6};
+    const double n = static_cast<double>(rows.size());
+    for (int i = 0; i < 3; ++i) {
+        std::printf("--- Figure 14 (%c): %s ---\n", 'a' + i,
+                    pu_label[i]);
+        std::printf("%s", tables[i].str().c_str());
+        std::printf("average error: PCCS %.1f%%, Gables %.1f%%  "
+                    "(paper: PCCS %.1f%%, Gables %.1f%%)\n\n",
+                    pccs_err[i] / n, gables_err[i] / n, paper_pccs[i],
+                    paper_gables[i]);
+    }
+    return 0;
+}

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's hot paths: model
+ * evaluation, model construction, bandwidth allocation, the DRAM
+ * simulator's cycle loop, and the SoC co-run solver. These quantify
+ * the cost of using PCCS inside a design-space-exploration loop.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "calib/calibrator.hh"
+#include "dram/system.hh"
+#include "gables/gables.hh"
+#include "pccs/builder.hh"
+#include "soc/simulator.hh"
+
+using namespace pccs;
+
+namespace {
+
+const soc::SocConfig &
+xavier()
+{
+    static const soc::SocConfig cfg = soc::xavierLike();
+    return cfg;
+}
+
+const model::PccsModel &
+gpuModel()
+{
+    static const model::PccsModel m = [] {
+        const soc::SocSimulator sim(xavier());
+        return model::buildModel(
+            sim, xavier().puIndex(soc::PuKind::Gpu));
+    }();
+    return m;
+}
+
+void
+BM_PccsPredict(benchmark::State &state)
+{
+    const model::PccsModel &m = gpuModel();
+    double x = 10.0, y = 5.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(m.relativeSpeed(x, y));
+        x = x < 120.0 ? x + 1.0 : 10.0;
+        y = y < 100.0 ? y + 1.0 : 5.0;
+    }
+}
+BENCHMARK(BM_PccsPredict);
+
+void
+BM_GablesPredict(benchmark::State &state)
+{
+    const gables::GablesModel g(137.0);
+    double x = 10.0, y = 5.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(g.relativeSpeed(x, y));
+        x = x < 120.0 ? x + 1.0 : 10.0;
+        y = y < 100.0 ? y + 1.0 : 5.0;
+    }
+}
+BENCHMARK(BM_GablesPredict);
+
+void
+BM_WaterFillAllocation(benchmark::State &state)
+{
+    const soc::SharedMemorySystem mem(xavier().memory);
+    const std::vector<soc::BandwidthDemand> demands{
+        {80.0, 0.95, 1.0}, {60.0, 0.9, 1.1}, {25.0, 0.94, 0.8}};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mem.allocate(demands));
+}
+BENCHMARK(BM_WaterFillAllocation);
+
+void
+BM_StandaloneProfile(benchmark::State &state)
+{
+    const soc::SocSimulator sim(xavier());
+    const soc::KernelProfile k = calib::makeCalibrator(
+        sim.model(), xavier().pu(soc::PuKind::Gpu), 70.0);
+    const std::size_t gpu = static_cast<std::size_t>(
+        xavier().puIndex(soc::PuKind::Gpu));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.profile(gpu, k));
+}
+BENCHMARK(BM_StandaloneProfile);
+
+void
+BM_CorunSolve(benchmark::State &state)
+{
+    const soc::SocSimulator sim(xavier());
+    const std::size_t gpu = static_cast<std::size_t>(
+        xavier().puIndex(soc::PuKind::Gpu));
+    const soc::KernelProfile k = calib::makeCalibrator(
+        sim.model(), xavier().pus[gpu], 70.0);
+    double y = 10.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sim.relativeSpeedUnderPressure(gpu, k, y));
+        y = y < 100.0 ? y + 1.0 : 10.0;
+    }
+}
+BENCHMARK(BM_CorunSolve);
+
+void
+BM_ModelConstruction(benchmark::State &state)
+{
+    const soc::SocSimulator sim(xavier());
+    const std::size_t gpu = static_cast<std::size_t>(
+        xavier().puIndex(soc::PuKind::Gpu));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model::buildModel(sim, gpu));
+}
+BENCHMARK(BM_ModelConstruction)->Unit(benchmark::kMillisecond);
+
+void
+BM_DramCyclesUnderLoad(benchmark::State &state)
+{
+    // Cost of one simulated bus cycle with 16 active cores.
+    dram::DramSystem sys(dram::table1Config(),
+                         dram::SchedulerKind::FrFcfs);
+    for (unsigned c = 0; c < 16; ++c) {
+        dram::TrafficParams p;
+        p.source = c;
+        p.demand = 6.0;
+        p.seed = 10 + c;
+        sys.addGenerator(p);
+    }
+    sys.run(10000); // warm the queues
+    for (auto _ : state)
+        sys.run(static_cast<Cycles>(state.range(0)));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DramCyclesUnderLoad)->Arg(1000)->Unit(
+    benchmark::kMicrosecond);
+
+void
+BM_SchedulerPick(benchmark::State &state)
+{
+    // Raw policy-decision cost on a synthetic 32-entry queue.
+    const auto kind =
+        static_cast<dram::SchedulerKind>(state.range(0));
+    auto sched = dram::makeScheduler(kind);
+    std::vector<dram::Request> reqs(32);
+    std::vector<dram::QueueEntryView> entries(32);
+    for (unsigned i = 0; i < 32; ++i) {
+        reqs[i].id = i;
+        reqs[i].source = i % 16;
+        reqs[i].arrival = i;
+        reqs[i].loc.row = i / 4;
+        entries[i] = {&reqs[i], (i % 3) != 0, (i % 2) == 0};
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sched->pick(0, entries, 1000));
+}
+BENCHMARK(BM_SchedulerPick)
+    ->DenseRange(0, 4)
+    ->ArgNames({"policy"});
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Table 5: linear parameter scaling of the PCCS model (Section 3.3).
+ * Construct the model at the full memory clock (2133 MHz), scale the
+ * five bandwidth parameters linearly to 1600/1333/1066 MHz, and
+ * compare against models constructed from scratch at each clock.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "common/table.hh"
+#include "pccs/builder.hh"
+#include "pccs/scaling.hh"
+
+using namespace pccs;
+
+int
+main()
+{
+    bench::banner("Linear parameter scaling across memory clocks",
+                  "Table 5");
+
+    const soc::SocConfig full = soc::xavierLike();
+    const soc::SocSimulator sim_full(full);
+    const std::size_t gpu = static_cast<std::size_t>(
+        full.puIndex(soc::PuKind::Gpu));
+    const model::PccsParams built_full =
+        model::buildModel(sim_full, gpu).params();
+
+    const double clocks[] = {1600.0, 1333.0, 1066.0};
+    model::ScalingError sum;
+
+    Table t({"target clock (MHz)", "normalBW err (%)",
+             "intensiveBW err (%)", "MRMC err (%)", "CBP err (%)",
+             "TBWDC err (%)", "rateN err (%)", "avg err (%)"});
+
+    int n = 0;
+    for (double clock : clocks) {
+        const double ratio = clock / 2133.0;
+        const soc::SocSimulator sim_scaled(
+            full.withMemoryScaled(ratio));
+        const model::PccsParams scaled =
+            model::scaleParams(built_full, ratio);
+        const model::PccsParams constructed =
+            model::buildModel(sim_scaled, gpu).params();
+        const model::ScalingError e =
+            model::compareParams(scaled, constructed);
+        t.addRow({fmtDouble(clock, 0), fmtDouble(e.normalBw, 1),
+                  fmtDouble(e.intensiveBw, 1), fmtDouble(e.mrmc, 1),
+                  fmtDouble(e.cbp, 1), fmtDouble(e.tbwdc, 1),
+                  fmtDouble(e.rateN, 1), fmtDouble(e.average(), 1)});
+        sum.normalBw += e.normalBw;
+        sum.intensiveBw += e.intensiveBw;
+        sum.mrmc += e.mrmc;
+        sum.cbp += e.cbp;
+        sum.tbwdc += e.tbwdc;
+        sum.rateN += e.rateN;
+        ++n;
+    }
+    t.addRow({"AVERAGE", fmtDouble(sum.normalBw / n, 1),
+              fmtDouble(sum.intensiveBw / n, 1),
+              fmtDouble(sum.mrmc / n, 1), fmtDouble(sum.cbp / n, 1),
+              fmtDouble(sum.tbwdc / n, 1), fmtDouble(sum.rateN / n, 1),
+              fmtDouble(sum.average() / n, 1)});
+    std::printf("%s\n", t.str().c_str());
+
+    std::printf("Paper (Table 5) reports 1.5-2.2%% average error per "
+                "parameter on real hardware, where all bandwidth-\n"
+                "related quantities scale with the memory clock "
+                "together. On the simulated substrate the PU-side\n"
+                "draw caps do not scale, so the divergence is larger "
+                "but linear scaling remains a good approximation.\n");
+    return 0;
+}

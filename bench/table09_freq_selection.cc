@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Table 9 + Figure 15: the SoC-design use case. Architects pick the
+ * lowest GPU clock whose co-run performance of streamcluster stays
+ * within 5% (or 20%) of the full-clock co-run performance, under
+ * 20/40/60 GB/s of external demand. Selections guided by PCCS and
+ * Gables are validated against the simulated ground truth. Paper:
+ * PCCS selections land 1.3-3.6% off; Gables 3.8-49.1% off, because it
+ * predicts no contention while total demand is below the peak.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "common/table.hh"
+#include "gables/gables.hh"
+#include "pccs/builder.hh"
+#include "pccs/design.hh"
+#include "workloads/rodinia.hh"
+
+using namespace pccs;
+
+int
+main()
+{
+    bench::banner("GPU frequency selection for streamcluster under "
+                  "co-run slowdown caps",
+                  "Table 9 + Figure 15");
+
+    const soc::SocConfig soc = soc::xavierLike();
+    const soc::SocSimulator sim(soc);
+    const std::size_t gpu = static_cast<std::size_t>(
+        soc.puIndex(soc::PuKind::Gpu));
+    const soc::KernelProfile sc =
+        workloads::rodiniaKernel("streamcluster", soc::PuKind::Gpu);
+
+    const model::PccsModel pccs = model::buildModel(sim, gpu);
+    const gables::GablesModel gables(soc.memory.peakBandwidth);
+    const model::DesignExplorer explorer(soc);
+
+    std::vector<double> grid;
+    for (double f = 420.0; f <= 1370.0; f += 10.0)
+        grid.push_back(f);
+    grid.push_back(1377.0);
+
+    // --- Table 9 analogue -------------------------------------------
+    for (double allowed : {5.0, 20.0}) {
+        std::printf("--- maximum allowed co-run slowdown: %.0f%% ---\n",
+                    allowed);
+        Table t({"external BW (GB/s)", "ground truth (MHz)",
+                 "PCCS (MHz)", "PCCS err (%)", "Gables (MHz)",
+                 "Gables err (%)"});
+        double pe_sum = 0.0, ge_sum = 0.0;
+        for (double y : {20.0, 40.0, 60.0}) {
+            const auto truth = explorer.selectFrequencyActual(
+                gpu, sc, y, allowed, grid);
+            const auto p = explorer.selectFrequency(gpu, sc, y,
+                                                    allowed, pccs,
+                                                    grid);
+            const auto g = explorer.selectFrequency(gpu, sc, y,
+                                                    allowed, gables,
+                                                    grid);
+            const double pe =
+                100.0 * std::fabs(p.value - truth.value) / truth.value;
+            const double ge =
+                100.0 * std::fabs(g.value - truth.value) / truth.value;
+            pe_sum += pe;
+            ge_sum += ge;
+            t.addRow({fmtDouble(y, 0), fmtDouble(truth.value, 0),
+                      fmtDouble(p.value, 0), fmtDouble(pe, 1),
+                      fmtDouble(g.value, 0), fmtDouble(ge, 1)});
+        }
+        t.addRow({"AVERAGE", "-", "-", fmtDouble(pe_sum / 3.0, 1),
+                  "-", fmtDouble(ge_sum / 3.0, 1)});
+        std::printf("%s\n", t.str().c_str());
+    }
+    std::printf("paper (Table 9): PCCS picks within 1.3-3.6%% of the "
+                "ground truth; Gables is 3.8-49.1%% off (it keeps the "
+                "clock high because it predicts no contention below "
+                "the peak).\n\n");
+
+    // --- Figure 15 analogue: co-run performance curves --------------
+    for (double freq : {900.0, 670.0}) {
+        std::printf("--- co-run relative performance at %.0f MHz "
+                    "(vs full-clock co-run) ---\n",
+                    freq);
+        std::vector<std::string> headers{"series"};
+        std::vector<double> ys;
+        for (double y = 0.0; y <= 80.0; y += 10.0)
+            ys.push_back(y);
+        for (double y : ys)
+            headers.push_back("y=" + fmtDouble(y, 0));
+        Table t(std::move(headers));
+
+        std::vector<double> actual, via_pccs, via_gables;
+        for (double y : ys) {
+            const double ref =
+                explorer.corunPerformanceActual(gpu, sc, 1377.0, y);
+            actual.push_back(100.0 *
+                             explorer.corunPerformanceActual(
+                                 gpu, sc, freq, y) /
+                             ref);
+            const double ref_p =
+                explorer.corunPerformance(gpu, sc, 1377.0, y, pccs);
+            via_pccs.push_back(
+                100.0 *
+                explorer.corunPerformance(gpu, sc, freq, y, pccs) /
+                ref_p);
+            const double ref_g =
+                explorer.corunPerformance(gpu, sc, 1377.0, y, gables);
+            via_gables.push_back(
+                100.0 *
+                explorer.corunPerformance(gpu, sc, freq, y, gables) /
+                ref_g);
+        }
+        t.addRow("ground truth (%)", actual, 1);
+        t.addRow("PCCS (%)", via_pccs, 1);
+        t.addRow("Gables (%)", via_gables, 1);
+        std::printf("%s\n", t.str().c_str());
+    }
+    std::printf("Expected (Fig. 15): under contention the down-clocked "
+                "GPU loses little co-run performance (its demand no\n"
+                "longer exceeds its shrunken grant); PCCS tracks this, "
+                "Gables does not.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: the complete PCCS workflow in ~60 lines.
+ *
+ *  1. Pick (or define) an SoC.
+ *  2. Build the per-PU slowdown models from calibrators only -- no
+ *     application co-run measurements needed (the processor-centric
+ *     methodology of Section 3.2).
+ *  3. Profile your kernels standalone (bandwidth demand).
+ *  4. Predict co-run slowdowns for any placement.
+ */
+
+#include <cstdio>
+
+#include "calib/calibrator.hh"
+#include "pccs/builder.hh"
+#include "soc/simulator.hh"
+
+using namespace pccs;
+
+int
+main()
+{
+    // 1. An SoC modeled after the NVIDIA Jetson AGX Xavier: CPU, GPU
+    //    and DLA sharing 137 GB/s of LPDDR4x.
+    const soc::SocConfig soc = soc::xavierLike();
+    const soc::SocSimulator board(soc);
+    std::printf("SoC: %s, peak memory bandwidth %.1f GB/s\n",
+                soc.name.c_str(), soc.memory.peakBandwidth);
+
+    // 2. Build the GPU's three-region slowdown model. The only inputs
+    //    are synthetic calibrator sweeps on this SoC.
+    const std::size_t gpu = static_cast<std::size_t>(
+        soc.puIndex(soc::PuKind::Gpu));
+    const model::PccsModel gpu_model = model::buildModel(board, gpu);
+    const model::PccsParams &p = gpu_model.params();
+    std::printf("GPU model: normalBW=%.1f intensiveBW=%.1f "
+                "CBP=%.1f TBWDC=%.1f rateN=%.2f %%/GBps\n\n",
+                p.normalBw, p.intensiveBw, p.cbp, p.tbwdc, p.rateN);
+
+    // 3. Profile a kernel standalone. Here: a streaming kernel with
+    //    an operational intensity tuned to demand ~70 GB/s.
+    const soc::KernelProfile kernel = calib::makeCalibrator(
+        board.model(), soc.pus[gpu], 70.0);
+    const soc::StandaloneProfile prof = board.profile(gpu, kernel);
+    std::printf("kernel '%s': standalone demand %.1f GB/s "
+                "(region: %s)\n\n",
+                kernel.name.c_str(), prof.bandwidthDemand,
+                model::regionName(
+                    gpu_model.classify(prof.bandwidthDemand)));
+
+    // 4. Predict the co-run slowdown under external memory pressure
+    //    from the other PUs, and compare with the simulated truth.
+    std::printf("external demand -> predicted RS | simulated RS\n");
+    for (GBps y = 0.0; y <= 100.0; y += 20.0) {
+        const double predicted =
+            gpu_model.relativeSpeed(prof.bandwidthDemand, y);
+        const double actual =
+            board.relativeSpeedUnderPressure(gpu, kernel, y);
+        std::printf("  %5.1f GB/s   ->   %5.1f %%     |   %5.1f %%\n",
+                    y, predicted, actual);
+    }
+    std::printf("\nDone. See examples/autonomous_vehicle.cpp and "
+                "examples/design_explorer.cpp for real scenarios.\n");
+    return 0;
+}

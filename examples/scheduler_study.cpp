@@ -1,0 +1,91 @@
+/**
+ * @file
+ * A memory-controller scheduling study on the cycle-level DRAM
+ * simulator (the Section 2.3 methodology as a reusable tool): how do
+ * the five policies of Table 2 trade bandwidth against fairness for a
+ * latency-sensitive core co-located with streaming traffic?
+ */
+
+#include <cstdio>
+
+#include "dram/system.hh"
+
+using namespace pccs;
+using namespace pccs::dram;
+
+namespace {
+
+struct Outcome
+{
+    double victimSpeed;   //!< % of the victim core's solo speed
+    double totalBandwidth; //!< GB/s served in the window
+    double hitRate;       //!< row-buffer hit rate, %
+};
+
+Outcome
+study(SchedulerKind policy)
+{
+    constexpr Cycles warmup = 15000;
+    constexpr Cycles window = 60000;
+
+    auto run_victim = [&](bool with_aggressors) {
+        DramSystem sys(table1Config(), policy);
+        TrafficParams victim;
+        victim.source = 0;
+        victim.demand = 8.0; // latency-sensitive, low demand
+        victim.seed = 1;
+        sys.addGenerator(victim);
+        if (with_aggressors) {
+            for (unsigned i = 1; i <= 6; ++i) {
+                TrafficParams p;
+                p.source = i;
+                p.demand = 20.0; // six streaming aggressors
+                p.seed = 100 + i;
+                sys.addGenerator(p);
+            }
+        }
+        sys.run(warmup);
+        sys.resetMeasurement();
+        sys.run(window);
+        Outcome o;
+        o.victimSpeed =
+            static_cast<double>(sys.generator(0).completedLines());
+        o.totalBandwidth =
+            sys.effectiveBandwidthFraction() *
+            sys.controller().config().peakBandwidth();
+        o.hitRate =
+            100.0 * sys.controller().stats().rowBufferHitRate();
+        return o;
+    };
+
+    const Outcome solo = run_victim(false);
+    Outcome corun = run_victim(true);
+    corun.victimSpeed = 100.0 * corun.victimSpeed / solo.victimSpeed;
+    return corun;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("One latency-sensitive core (8 GB/s) against six "
+                "streaming aggressors (20 GB/s each)\non the Table 1 "
+                "DDR4-3200 system (102.4 GB/s peak):\n\n");
+    std::printf("%-10s %18s %18s %14s\n", "policy", "victim speed (%)",
+                "total BW (GB/s)", "row hits (%)");
+    for (auto policy : {SchedulerKind::Fcfs, SchedulerKind::FrFcfs,
+                        SchedulerKind::Atlas, SchedulerKind::Tcm,
+                        SchedulerKind::Sms}) {
+        const Outcome o = study(policy);
+        std::printf("%-10s %18.1f %18.1f %14.1f\n",
+                    schedulerName(policy), o.victimSpeed,
+                    o.totalBandwidth, o.hitRate);
+    }
+    std::printf("\nReading: FR-FCFS maximizes bandwidth and row hits "
+                "but can starve the victim; the fairness-aware\n"
+                "policies (ATLAS/TCM/SMS) protect it at a modest "
+                "bandwidth cost -- the trade-off that motivates the\n"
+                "paper's three-region slowdown shapes.\n");
+    return 0;
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The full Figure 1 design question: *which processing units should go
+ * on the SoC*? Three candidate designs with comparable silicon budgets
+ * are compared for a camera-heavy autonomous workload (one clustering
+ * task plus two concurrent CNN inference streams), entirely
+ * pre-silicon: each candidate is described with the SocBuilder, its
+ * per-PU PCCS models are built from calibrators, and the placement
+ * optimizer picks the best task mapping per design.
+ *
+ *   design A: CPU + two general-purpose GPUs
+ *   design B: CPU + GPU + DLA            (the Xavier recipe)
+ *   design C: CPU + two DLAs
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "calib/calibrator.hh"
+#include "common/table.hh"
+#include "pccs/builder.hh"
+#include "pccs/placement.hh"
+#include "soc/builder.hh"
+#include "workloads/nn.hh"
+#include "workloads/rodinia.hh"
+
+using namespace pccs;
+
+namespace {
+
+/** Rough silicon-cost proxy: aggregate TFlop/s of compute (area-ish). */
+double
+costProxy(const soc::SocConfig &soc)
+{
+    double cost = 0.0;
+    for (const auto &pu : soc.pus)
+        cost += pu.flopsPerCycle * pu.frequency / 1e6;
+    return cost;
+}
+
+/** A CNN inference task: native on DLA-class PUs, portable to GPUs. */
+model::PlacementTask
+inferenceTask(const std::string &name, const soc::SocConfig &soc,
+              const soc::ExecutionModel &exec)
+{
+    model::PlacementTask t;
+    t.name = name;
+    for (const auto &pu : soc.pus) {
+        switch (pu.kind) {
+          case soc::PuKind::Dla:
+            t.options.push_back(workloads::resnet50Dla());
+            break;
+          case soc::PuKind::Gpu: {
+            // The GPU implementation of the same network draws more
+            // bandwidth (no weight-stationary buffering).
+            soc::KernelProfile k =
+                calib::makeCalibrator(exec, pu, 45.0, 0.94);
+            k.name = name + "-on-gpu";
+            k.workBytes = 2.4e9;
+            t.options.push_back(soc::PhasedWorkload::single(k));
+            break;
+          }
+          case soc::PuKind::Cpu:
+            t.options.push_back({}); // too slow to be worth modeling
+            break;
+        }
+    }
+    return t;
+}
+
+model::PlacementTask
+clusteringTask(const soc::SocConfig &soc)
+{
+    model::PlacementTask t;
+    t.name = "clustering";
+    for (const auto &pu : soc.pus) {
+        if (pu.kind == soc::PuKind::Dla)
+            t.options.push_back({});
+        else
+            t.options.push_back(soc::PhasedWorkload::single(
+                workloads::rodiniaKernel("streamcluster", pu.kind)));
+    }
+    return t;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Candidate designs, near-equal memory systems and CPU clusters.
+    std::vector<soc::SocConfig> designs;
+    designs.push_back(
+        soc::SocBuilder("A: CPU + 2x GPU")
+            .memory(137.0)
+            .addCpu("cpu", 2265.0, 64.0, 93.0)
+            .addGpu("gpu0", 1377.0, 1024.0, 127.0)
+            .addGpu("gpu1", 1377.0, 1024.0, 127.0)
+            .build());
+    designs.push_back(
+        soc::SocBuilder("B: CPU + GPU + DLA")
+            .memory(137.0)
+            .addCpu("cpu", 2265.0, 64.0, 93.0)
+            .addGpu("gpu", 1377.0, 1024.0, 127.0)
+            .addDla("dla", 1395.0, 512.0, 30.0)
+            .build());
+    designs.push_back(
+        soc::SocBuilder("C: CPU + 2x DLA")
+            .memory(137.0)
+            .addCpu("cpu", 2265.0, 64.0, 93.0)
+            .addDla("dla0", 1395.0, 512.0, 30.0)
+            .addDla("dla1", 1395.0, 512.0, 30.0)
+            .build());
+
+    std::printf("Workload: clustering + two concurrent CNN inference "
+                "streams.\nScoring: best task placement per design "
+                "(PCCS-predicted worst per-task relative speed),\n"
+                "with a silicon-cost proxy for what that performance "
+                "costs.\n\n");
+
+    Table t({"design", "best placement", "worst task RS (%)",
+             "cost proxy", "RS per cost"});
+    for (const auto &design : designs) {
+        const soc::SocSimulator sim(design);
+
+        std::vector<std::unique_ptr<model::PccsModel>> owned;
+        std::vector<const model::SlowdownPredictor *> models;
+        for (std::size_t p = 0; p < design.pus.size(); ++p) {
+            owned.push_back(std::make_unique<model::PccsModel>(
+                model::buildModel(sim, p)));
+            models.push_back(owned.back().get());
+        }
+
+        const std::vector<model::PlacementTask> tasks{
+            clusteringTask(design),
+            inferenceTask("infer-cam0", design, sim.model()),
+            inferenceTask("infer-cam1", design, sim.model())};
+        const auto choices =
+            model::enumeratePlacements(sim, models, tasks);
+        if (choices.empty()) {
+            t.addRow({design.name, "infeasible", "-",
+                      fmtDouble(costProxy(design), 2), "-"});
+            continue;
+        }
+        const auto &best = choices.front();
+        std::string placement;
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            if (i)
+                placement += ", ";
+            placement += tasks[i].name + "->" +
+                         design.pus[best.puAssignment[i]].name;
+        }
+        const double cost = costProxy(design);
+        t.addRow({design.name, placement, fmtDouble(best.score, 1),
+                  fmtDouble(cost, 2),
+                  fmtDouble(best.score / cost, 1)});
+    }
+    std::printf("%s\n", t.str().c_str());
+
+    std::printf(
+        "Reading: for an inference-heavy workload, specialized DLAs "
+        "deliver comparable or better worst-task\nperformance at a "
+        "fraction of the silicon cost of a second GPU (and their low "
+        "bandwidth draw leaves\nheadroom for the clustering task) -- "
+        "the reason SoCs like Xavier pair one GPU with DLAs.\n"
+        "All of this was computed pre-silicon from calibrator sweeps "
+        "alone, the paper's intended workflow.\n");
+    return 0;
+}

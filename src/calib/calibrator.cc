@@ -1,0 +1,103 @@
+#include "calibrator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace pccs::calib {
+
+soc::KernelProfile
+makeCalibrator(const soc::ExecutionModel &model, const soc::PuParams &pu,
+               GBps target_bw, double locality)
+{
+    PCCS_ASSERT(target_bw > 0.0, "calibrator target must be positive");
+
+    soc::KernelProfile kernel;
+    char name[64];
+    std::snprintf(name, sizeof(name), "calib-%.1fGBps", target_bw);
+    kernel.name = name;
+    kernel.locality = locality;
+    kernel.workBytes = 1e9;
+
+    // Standalone demand is monotonically non-increasing in operational
+    // intensity: more flops per byte -> more compute-bound -> less
+    // bandwidth. Bisect intensity to hit the target.
+    double lo = 1e-4;  // essentially pure streaming
+    double hi = 1e5;   // essentially pure compute
+    kernel.intensity = lo;
+    const GBps max_demand =
+        model.standalone(pu, kernel).bandwidthDemand;
+    if (target_bw >= max_demand) {
+        // Target beyond what the PU can draw: return the most
+        // memory-bound calibrator.
+        return kernel;
+    }
+
+    for (int iter = 0; iter < 80; ++iter) {
+        kernel.intensity = std::sqrt(lo * hi); // geometric bisection
+        const GBps demand =
+            model.standalone(pu, kernel).bandwidthDemand;
+        if (demand > target_bw)
+            lo = kernel.intensity;
+        else
+            hi = kernel.intensity;
+    }
+    kernel.intensity = std::sqrt(lo * hi);
+    return kernel;
+}
+
+CalibrationMatrix
+calibrate(const soc::SocSimulator &sim, std::size_t pu_index,
+          const SweepSpec &spec)
+{
+    PCCS_ASSERT(pu_index < sim.config().pus.size(),
+                "bad PU index %zu", pu_index);
+    PCCS_ASSERT(spec.numKernels >= 2 && spec.numExternal >= 2,
+                "sweep needs at least 2x2 points");
+
+    const soc::PuParams &pu = sim.config().pus[pu_index];
+    const GBps draw = pu.drawBandwidth();
+    const GBps peak = sim.config().memory.peakBandwidth;
+
+    CalibrationMatrix m;
+
+    // Calibrator ladder: evenly spaced targets over the PU's range.
+    std::vector<soc::KernelProfile> kernels;
+    for (unsigned i = 0; i < spec.numKernels; ++i) {
+        const double frac =
+            spec.minDemandFraction +
+            (spec.maxDemandFraction - spec.minDemandFraction) *
+                static_cast<double>(i) /
+                static_cast<double>(spec.numKernels - 1);
+        const GBps target = frac * draw;
+        soc::KernelProfile k =
+            makeCalibrator(sim.model(), pu, target);
+        const GBps achieved =
+            sim.model().standalone(pu, k).bandwidthDemand;
+        kernels.push_back(std::move(k));
+        m.standaloneBw.push_back(achieved);
+    }
+
+    // External ladder: the paper steps external pressure in equal
+    // strides starting at the first stride (not zero; rela at zero is
+    // 100% by definition).
+    for (unsigned j = 1; j <= spec.numExternal; ++j) {
+        m.externalBw.push_back(spec.maxExternalFraction * peak *
+                               static_cast<double>(j) /
+                               static_cast<double>(spec.numExternal));
+    }
+
+    m.rela.assign(m.numKernels(),
+                  std::vector<double>(m.numExternal(), 0.0));
+    for (std::size_t i = 0; i < m.numKernels(); ++i) {
+        for (std::size_t j = 0; j < m.numExternal(); ++j) {
+            m.rela[i][j] = sim.relativeSpeedUnderPressure(
+                pu_index, kernels[i], m.externalBw[j]);
+        }
+    }
+    return m;
+}
+
+} // namespace pccs::calib

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Calibrator kernels and the processor-centric calibration sweep
+ * (Section 3.2 of the paper).
+ *
+ * Calibrators are synthetic roofline-style kernels ("load each word of
+ * an array and perform some operations on it") whose operational
+ * intensity is tuned so that their standalone bandwidth demand on a
+ * given PU hits a requested target. A calibration sweep co-runs each
+ * calibrator against a ladder of external bandwidth demands and
+ * records the achieved relative speeds into the rela[n][m] matrix the
+ * model-construction algorithm consumes.
+ */
+
+#ifndef PCCS_CALIB_CALIBRATOR_HH
+#define PCCS_CALIB_CALIBRATOR_HH
+
+#include <vector>
+
+#include "soc/simulator.hh"
+
+namespace pccs::calib {
+
+/** Row locality of the synthetic streaming calibrators. */
+inline constexpr double calibratorLocality = 0.97;
+
+/**
+ * Build a calibrator kernel whose standalone bandwidth demand on `pu`
+ * is as close as possible to `target_bw` (GB/s). The operational
+ * intensity is solved by bisection (demand is monotone in intensity).
+ * Targets beyond the PU's achievable draw are clipped to it.
+ */
+soc::KernelProfile makeCalibrator(const soc::ExecutionModel &model,
+                                  const soc::PuParams &pu, GBps target_bw,
+                                  double locality = calibratorLocality);
+
+/**
+ * The rela[n][m] matrix of Section 3.2 plus its axes.
+ *
+ * rela[i][j] is the achieved relative speed (%) of the i-th smallest
+ * calibrator kernel on the target PU under the j-th smallest external
+ * bandwidth demand.
+ */
+struct CalibrationMatrix
+{
+    /** Standalone BW demands of the calibrators, ascending (GB/s). */
+    std::vector<GBps> standaloneBw;
+    /** External BW demands, ascending (GB/s); first entry > 0. */
+    std::vector<GBps> externalBw;
+    /** rela[i][j], percent. */
+    std::vector<std::vector<double>> rela;
+
+    std::size_t numKernels() const { return standaloneBw.size(); }
+    std::size_t numExternal() const { return externalBw.size(); }
+};
+
+/** Parameters of a calibration sweep. */
+struct SweepSpec
+{
+    /**
+     * Number of calibrator kernels (rows). The region boundaries are
+     * localized to half a row step, so more rows sharpen the
+     * minor/normal/intensive classification.
+     */
+    unsigned numKernels = 10;
+    /** Smallest calibrator target as a fraction of the PU's max draw. */
+    double minDemandFraction = 0.1;
+    /** Largest calibrator target as a fraction of the PU's max draw. */
+    double maxDemandFraction = 1.0;
+    /** Number of external-demand steps (columns). */
+    unsigned numExternal = 10;
+    /**
+     * Largest external demand as a fraction of SoC peak bandwidth.
+     * The paper sweeps external pressure to 100 GB/s on the 137 GB/s
+     * Xavier, i.e., ~0.73 of peak.
+     */
+    double maxExternalFraction = 0.73;
+};
+
+/**
+ * Run the processor-centric calibration of one PU: no application
+ * co-run measurements, only calibrators against calibrators.
+ */
+CalibrationMatrix calibrate(const soc::SocSimulator &sim,
+                            std::size_t pu_index,
+                            const SweepSpec &spec = {});
+
+} // namespace pccs::calib
+
+#endif // PCCS_CALIB_CALIBRATOR_HH

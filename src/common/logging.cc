@@ -1,0 +1,96 @@
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pccs {
+
+namespace {
+LogLevel g_level = LogLevel::Inform;
+
+void
+vprint(const char *tag, const char *fmt, va_list args)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+}
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Inform)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vprint("info", fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Warn)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vprint("warn", fmt, args);
+    va_end(args);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Debug)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vprint("debug", fmt, args);
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vprint("fatal", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vprint("panic", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+namespace detail {
+
+void
+assertFailBanner(const char *cond, const char *file, int line)
+{
+    std::fprintf(stderr, "panic: assertion `%s' failed at %s:%d\n",
+                 cond, file, line);
+}
+
+} // namespace detail
+
+} // namespace pccs

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers, modeled on gem5's
+ * base/logging.hh conventions.
+ *
+ * Severity levels:
+ *  - inform(): normal operating messages, no connotation of error.
+ *  - warn():   something may be off; keep running.
+ *  - fatal():  the simulation cannot continue due to a user error
+ *              (bad configuration, invalid arguments); exits with code 1.
+ *  - panic():  an internal invariant was violated (a bug in this library);
+ *              aborts so a debugger/core dump can capture state.
+ */
+
+#ifndef PCCS_COMMON_LOGGING_HH
+#define PCCS_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace pccs {
+
+/** Verbosity knob: messages below this level are suppressed. */
+enum class LogLevel { Silent = 0, Warn = 1, Inform = 2, Debug = 3 };
+
+/** Set the global log verbosity. Thread-hostile; call once at startup. */
+void setLogLevel(LogLevel level);
+
+/** @return the current global log verbosity. */
+LogLevel logLevel();
+
+/** Print an informational message (printf-style) to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning message (printf-style) to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a debug message (printf-style); only shown at Debug level. */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user-caused error and exit(1).
+ * Use for bad configurations or invalid arguments, not internal bugs.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a violated internal invariant and abort().
+ * Use only for conditions that indicate a bug in this library.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+namespace detail {
+/** Print the location banner for a failed PCCS_ASSERT, then return. */
+void assertFailBanner(const char *cond, const char *file, int line);
+} // namespace detail
+
+/**
+ * Assert-like helper: panics with a printf-style message when cond is
+ * false. Active in all build types (unlike assert()).
+ */
+#define PCCS_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::pccs::detail::assertFailBanner(#cond, __FILE__, __LINE__);    \
+            ::pccs::panic(__VA_ARGS__);                                     \
+        }                                                                   \
+    } while (0)
+
+} // namespace pccs
+
+#endif // PCCS_COMMON_LOGGING_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulators.
+ *
+ * All stochastic components of the library draw from an explicitly
+ * seeded Rng so that every experiment is exactly reproducible.
+ */
+
+#ifndef PCCS_COMMON_RNG_HH
+#define PCCS_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace pccs {
+
+/**
+ * A small, fast, deterministic RNG (xoshiro256** core).
+ *
+ * Not cryptographic; intended for address-stream and scheduling jitter
+ * generation inside the simulators.
+ */
+class Rng
+{
+  public:
+    /** Construct with a seed; equal seeds yield identical streams. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** @return next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return uniform double in [0, 1). */
+    double uniform();
+
+    /** @return uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** @return uniform integer in [0, bound) (bound > 0). */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** @return true with probability p (clamped into [0, 1]). */
+    bool chance(double p);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace pccs
+
+#endif // PCCS_COMMON_RNG_HH

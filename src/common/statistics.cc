@@ -1,0 +1,115 @@
+#include "statistics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace pccs {
+
+void
+RunningStats::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+mean(std::span<const double> values)
+{
+    if (values.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : values)
+        s += v;
+    return s / static_cast<double>(values.size());
+}
+
+double
+stddev(std::span<const double> values)
+{
+    RunningStats rs;
+    for (double v : values)
+        rs.add(v);
+    return rs.stddev();
+}
+
+LineFit
+fitLine(std::span<const double> xs, std::span<const double> ys)
+{
+    PCCS_ASSERT(xs.size() == ys.size(),
+                "fitLine: size mismatch %zu vs %zu", xs.size(), ys.size());
+    LineFit fit;
+    const std::size_t n = xs.size();
+    if (n == 0) {
+        return fit;
+    }
+
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+
+    if (sxx <= 0.0) {
+        fit.intercept = my;
+        return fit;
+    }
+
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    fit.r2 = (syy > 0.0) ? (sxy * sxy) / (sxx * syy) : 1.0;
+    return fit;
+}
+
+double
+meanAbsoluteError(std::span<const double> predicted,
+                  std::span<const double> actual)
+{
+    PCCS_ASSERT(predicted.size() == actual.size() && !predicted.empty(),
+                "meanAbsoluteError: bad sizes %zu vs %zu",
+                predicted.size(), actual.size());
+    double s = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i)
+        s += std::fabs(predicted[i] - actual[i]);
+    return s / static_cast<double>(predicted.size());
+}
+
+double
+meanAbsPctPointError(std::span<const double> predicted,
+                     std::span<const double> actual)
+{
+    return meanAbsoluteError(predicted, actual);
+}
+
+double
+clamp(double x, double lo, double hi)
+{
+    return std::min(std::max(x, lo), hi);
+}
+
+} // namespace pccs

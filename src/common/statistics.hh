@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Small statistics toolkit: running summaries, vector reductions, simple
+ * least-squares line fitting, and error metrics used to compare model
+ * predictions against measurements.
+ */
+
+#ifndef PCCS_COMMON_STATISTICS_HH
+#define PCCS_COMMON_STATISTICS_HH
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace pccs {
+
+/**
+ * Incrementally maintained summary of a stream of samples.
+ * Uses Welford's algorithm for numerically stable variance.
+ */
+class RunningStats
+{
+  public:
+    /** Fold one sample into the summary. */
+    void add(double x);
+
+    /** @return number of samples folded in so far. */
+    std::size_t count() const { return n_; }
+
+    /** @return arithmetic mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** @return population variance (0 when fewer than 2 samples). */
+    double variance() const;
+
+    /** @return population standard deviation. */
+    double stddev() const;
+
+    /** @return smallest sample seen (+inf when empty). */
+    double min() const { return min_; }
+
+    /** @return largest sample seen (-inf when empty). */
+    double max() const { return max_; }
+
+    /** @return sum of all samples. */
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** @return arithmetic mean of values (0 when empty). */
+double mean(std::span<const double> values);
+
+/** @return population standard deviation of values. */
+double stddev(std::span<const double> values);
+
+/**
+ * Result of an ordinary least-squares fit y = slope * x + intercept.
+ */
+struct LineFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination in [0, 1]. */
+    double r2 = 0.0;
+};
+
+/**
+ * Fit a line through (xs[i], ys[i]) by ordinary least squares.
+ * Requires xs.size() == ys.size() and at least two distinct x values;
+ * degenerate inputs yield slope 0 and intercept = mean(ys).
+ */
+LineFit fitLine(std::span<const double> xs, std::span<const double> ys);
+
+/**
+ * Mean absolute error between prediction and truth, in the same unit as
+ * the inputs. Requires equal, nonzero sizes.
+ */
+double meanAbsoluteError(std::span<const double> predicted,
+                         std::span<const double> actual);
+
+/**
+ * Mean absolute *percentage-point* error between two series expressed in
+ * percent (e.g., achieved relative speeds). This is the error metric the
+ * PCCS paper reports: |predictedRS - actualRS| averaged, in % points.
+ */
+double meanAbsPctPointError(std::span<const double> predicted,
+                            std::span<const double> actual);
+
+/** Clamp x into [lo, hi]. */
+double clamp(double x, double lo, double hi);
+
+} // namespace pccs
+
+#endif // PCCS_COMMON_STATISTICS_HH

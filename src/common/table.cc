@@ -1,0 +1,99 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace pccs {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    PCCS_ASSERT(!headers_.empty(), "Table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    PCCS_ASSERT(cells.size() == headers_.size(),
+                "Table row has %zu cells, expected %zu",
+                cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addRow(const std::string &label, const std::vector<double> &values,
+              int precision)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(fmtDouble(v, precision));
+    addRow(std::move(cells));
+}
+
+std::string
+Table::str() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << "| " << row[c]
+               << std::string(widths[c] - row[c].size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+
+    emit_row(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << "|" << std::string(widths[c] + 2, '-');
+    os << "|\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+std::string
+Table::csv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            os << row[c];
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::ostream &
+operator<<(std::ostream &os, const Table &t)
+{
+    return os << t.str();
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+} // namespace pccs

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Lightweight tabular output: aligned ASCII tables for terminal reports
+ * (the bench harness prints paper tables/figure series with these) and
+ * CSV export for plotting.
+ */
+
+#ifndef PCCS_COMMON_TABLE_HH
+#define PCCS_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pccs {
+
+/**
+ * A simple column-aligned table. Build it row by row, then stream it.
+ *
+ * Usage:
+ * @code
+ *   Table t({"bench", "PCCS err (%)", "Gables err (%)"});
+ *   t.addRow({"bfs", "8.1", "31.0"});
+ *   std::cout << t;
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: append a row of doubles formatted with precision. */
+    void addRow(const std::string &label, const std::vector<double> &values,
+                int precision = 1);
+
+    /** @return number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render the aligned table into a string. */
+    std::string str() const;
+
+    /** Render as CSV (comma-separated, headers first). */
+    std::string csv() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream &operator<<(std::ostream &os, const Table &t);
+
+/** Format a double with fixed precision into a string. */
+std::string fmtDouble(double v, int precision = 1);
+
+} // namespace pccs
+
+#endif // PCCS_COMMON_TABLE_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Unit helpers and strong-ish typedefs used throughout the library.
+ *
+ * Bandwidth is expressed in GB/s (decimal gigabytes, matching the paper),
+ * time in seconds or controller cycles, frequencies in MHz.
+ */
+
+#ifndef PCCS_COMMON_UNITS_HH
+#define PCCS_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace pccs {
+
+/** Memory bandwidth in GB/s (1e9 bytes per second). */
+using GBps = double;
+
+/** Clock frequency in MHz. */
+using MHz = double;
+
+/** Simulated controller clock cycle count. */
+using Cycles = std::uint64_t;
+
+/** Physical byte address in the simulated DRAM address space. */
+using Addr = std::uint64_t;
+
+/** Bytes per decimal gigabyte. */
+inline constexpr double bytesPerGB = 1e9;
+
+/** Convert bytes moved over a duration (seconds) into GB/s. */
+constexpr GBps
+toGBps(double bytes, double seconds)
+{
+    return seconds > 0.0 ? bytes / bytesPerGB / seconds : 0.0;
+}
+
+/** Convert a frequency in MHz to Hz. */
+constexpr double
+mhzToHz(MHz f)
+{
+    return f * 1e6;
+}
+
+/**
+ * Theoretical peak DRAM bandwidth.
+ *
+ * @param data_rate_mhz effective transfer rate in MT/s (e.g., 3200 for
+ *        DDR4-3200, 4266 for LPDDR4x-2133 double data rate)
+ * @param channels number of channels
+ * @param channel_bits channel width in bits
+ * @return peak bandwidth in GB/s
+ */
+constexpr GBps
+peakBandwidth(double data_rate_mhz, unsigned channels, unsigned channel_bits)
+{
+    return data_rate_mhz * 1e6 * channels * (channel_bits / 8.0) / bytesPerGB;
+}
+
+} // namespace pccs
+
+#endif // PCCS_COMMON_UNITS_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Physical-address to channel/bank/row/column decoding.
+ *
+ * Layout (low to high bits):
+ *   [line offset | channel | column | bank | row]
+ * Channel bits sit directly above the line offset so that consecutive
+ * cache lines interleave across channels (the channel-interleaving
+ * scheme Section 2.1 and Section 5 of the paper describe). The bank
+ * index is optionally XOR-hashed with the low row bits (Table 1's
+ * "XOR-based address-to-bank mapping") to spread row conflicts.
+ */
+
+#ifndef PCCS_DRAM_ADDRESS_MAP_HH
+#define PCCS_DRAM_ADDRESS_MAP_HH
+
+#include "dram/config.hh"
+#include "dram/request.hh"
+
+namespace pccs::dram {
+
+/** Decodes physical addresses according to a DramConfig geometry. */
+class AddressMapper
+{
+  public:
+    /** Build a mapper for the given geometry (validates power-of-two). */
+    explicit AddressMapper(const DramConfig &cfg);
+
+    /** Decode a physical address into channel/bank/row/column. */
+    DecodedAddr decode(Addr addr) const;
+
+    /**
+     * Inverse of decode: reconstruct the line-aligned physical address
+     * for a location. decode(encode(l)) == l for in-range locations.
+     */
+    Addr encode(const DecodedAddr &loc) const;
+
+    /** @return bytes spanned before the row index wraps. */
+    Addr addressSpan() const;
+
+  private:
+    unsigned lineShift_;
+    unsigned channelBits_;
+    unsigned columnBits_;
+    unsigned bankBits_;
+    unsigned rowBits_;
+    bool xorHash_;
+};
+
+} // namespace pccs::dram
+
+#endif // PCCS_DRAM_ADDRESS_MAP_HH

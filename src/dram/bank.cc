@@ -1,0 +1,86 @@
+#include "bank.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pccs::dram {
+
+void
+Bank::activate(Cycles now, std::uint32_t row, const DramTimingParams &t)
+{
+    PCCS_ASSERT(canActivate(now), "illegal ACT at cycle %llu",
+                static_cast<unsigned long long>(now));
+    openRow_ = static_cast<std::int64_t>(row);
+    nextCas_ = now + t.tRCD;
+    nextPre_ = now + t.tRAS;
+}
+
+void
+Bank::precharge(Cycles now, const DramTimingParams &t)
+{
+    PCCS_ASSERT(canPrecharge(now), "illegal PRE at cycle %llu",
+                static_cast<unsigned long long>(now));
+    openRow_ = noRow;
+    nextAct_ = now + t.tRP;
+}
+
+Cycles
+Bank::access(Cycles now, bool is_write, const DramTimingParams &t)
+{
+    PCCS_ASSERT(openRow_ != noRow && now >= nextCas_,
+                "illegal CAS at cycle %llu",
+                static_cast<unsigned long long>(now));
+    nextCas_ = now + t.tCCD;
+    const Cycles done = now + t.tCL + t.tBURST;
+    // A read must respect tRTP before precharge; a write must respect
+    // write recovery from the end of the data burst.
+    const Cycles pre_after = is_write ? done + t.tWR : now + t.tRTP;
+    nextPre_ = std::max(nextPre_, pre_after);
+    return done;
+}
+
+ChannelTiming::ChannelTiming(unsigned banks, const DramTimingParams &timing)
+    : timing_(timing), banks_(banks)
+{
+    PCCS_ASSERT(banks > 0, "channel needs at least one bank");
+}
+
+bool
+ChannelTiming::canActivateRank(Cycles now) const
+{
+    if (now < nextActRank_)
+        return false;
+    if (actWindow_.size() >= 4 && now < actWindow_.front() + timing_.tFAW)
+        return false;
+    return true;
+}
+
+void
+ChannelTiming::recordActivate(Cycles now)
+{
+    nextActRank_ = now + timing_.tRRD;
+    actWindow_.push_back(now);
+    while (actWindow_.size() > 4)
+        actWindow_.pop_front();
+}
+
+bool
+ChannelTiming::busAvailable(Cycles now, bool is_write) const
+{
+    if (busFreeAt_ > now + timing_.tCL)
+        return false;
+    if (!is_write && now < readAllowedAt_)
+        return false;
+    return true;
+}
+
+void
+ChannelTiming::reserveBus(Cycles now, bool is_write)
+{
+    busFreeAt_ = now + timing_.tCL + timing_.tBURST;
+    if (is_write)
+        readAllowedAt_ = busFreeAt_ + timing_.tWTR;
+}
+
+} // namespace pccs::dram

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Per-bank and per-channel DRAM timing state machines.
+ *
+ * Each bank tracks its open row and the earliest cycles at which the
+ * next ACT / READ / WRITE / PRE command may legally issue. The channel
+ * additionally tracks data-bus occupancy, the one-command-per-cycle
+ * command slot, the rank-level four-activate window (tFAW) and the
+ * ACT-to-ACT spacing (tRRD).
+ */
+
+#ifndef PCCS_DRAM_BANK_HH
+#define PCCS_DRAM_BANK_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "dram/timing.hh"
+
+namespace pccs::dram {
+
+/** Row-buffer state machine of a single DRAM bank. */
+class Bank
+{
+  public:
+    static constexpr std::int64_t noRow = -1;
+
+    /** @return the open row index, or noRow when precharged. */
+    std::int64_t openRow() const { return openRow_; }
+
+    /** @return true when an ACT may issue at cycle now. */
+    bool canActivate(Cycles now) const
+    {
+        return openRow_ == noRow && now >= nextAct_;
+    }
+
+    /** @return true when a PRE may issue at cycle now. */
+    bool canPrecharge(Cycles now) const
+    {
+        return openRow_ != noRow && now >= nextPre_;
+    }
+
+    /** @return true when a CAS to `row` may issue at cycle now. */
+    bool canAccess(Cycles now, std::uint32_t row) const
+    {
+        return openRow_ == static_cast<std::int64_t>(row) &&
+               now >= nextCas_;
+    }
+
+    /** Issue ACT(row) at cycle now; caller checked legality. */
+    void activate(Cycles now, std::uint32_t row, const DramTimingParams &t);
+
+    /** Issue PRE at cycle now; caller checked legality. */
+    void precharge(Cycles now, const DramTimingParams &t);
+
+    /**
+     * Issue a CAS at cycle now; caller checked legality.
+     * @param is_write write CAS (affects the precharge constraint)
+     * @return the cycle at which the data burst completes
+     */
+    Cycles access(Cycles now, bool is_write, const DramTimingParams &t);
+
+  private:
+    std::int64_t openRow_ = noRow;
+    Cycles nextAct_ = 0;
+    Cycles nextCas_ = 0;
+    Cycles nextPre_ = 0;
+};
+
+/** Shared timing state of one channel (banks + bus + rank windows). */
+class ChannelTiming
+{
+  public:
+    ChannelTiming(unsigned banks, const DramTimingParams &timing);
+
+    Bank &bank(unsigned i) { return banks_[i]; }
+    const Bank &bank(unsigned i) const { return banks_[i]; }
+    unsigned numBanks() const { return static_cast<unsigned>(banks_.size()); }
+
+    /** @return true when the rank-level ACT constraints allow an ACT. */
+    bool canActivateRank(Cycles now) const;
+
+    /** Record an ACT at cycle now (updates tFAW window and tRRD). */
+    void recordActivate(Cycles now);
+
+    /**
+     * @return true if a CAS issued at `now` can use the data bus
+     * (burst starts at now + tCL and the bus is free by then); reads
+     * additionally respect the write-to-read turnaround (tWTR) after
+     * the last write burst.
+     */
+    bool busAvailable(Cycles now, bool is_write = false) const;
+
+    /** Reserve the data bus for a CAS issued at cycle now. */
+    void reserveBus(Cycles now, bool is_write = false);
+
+    /** @return cycle after which the data bus is free. */
+    Cycles busFreeAt() const { return busFreeAt_; }
+
+    /** @return true if the command slot is free at cycle now. */
+    bool commandSlotFree(Cycles now) const { return lastCmd_ != now + 1; }
+
+    /** Consume the command slot for cycle now. */
+    void useCommandSlot(Cycles now) { lastCmd_ = now + 1; }
+
+  private:
+    const DramTimingParams &timing_;
+    std::vector<Bank> banks_;
+    std::deque<Cycles> actWindow_;
+    Cycles nextActRank_ = 0;
+    Cycles busFreeAt_ = 0;
+    Cycles readAllowedAt_ = 0; // tWTR after the last write burst
+    Cycles lastCmd_ = 0; // stores now+1 of the cycle the slot was used
+};
+
+} // namespace pccs::dram
+
+#endif // PCCS_DRAM_BANK_HH

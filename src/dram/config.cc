@@ -1,0 +1,11 @@
+#include "config.hh"
+
+namespace pccs::dram {
+
+DramConfig
+table1Config()
+{
+    return DramConfig{};
+}
+
+} // namespace pccs::dram

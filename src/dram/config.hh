@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Structural configuration of the simulated DRAM subsystem.
+ */
+
+#ifndef PCCS_DRAM_CONFIG_HH
+#define PCCS_DRAM_CONFIG_HH
+
+#include <cstdint>
+
+#include "dram/timing.hh"
+
+namespace pccs::dram {
+
+/**
+ * Geometry and capacity parameters of the memory subsystem.
+ *
+ * The default matches Table 1 of the paper: 4 channels of 64-bit
+ * DDR4-3200, 8 banks per channel, 4 KB row buffer per bank, 256-entry
+ * request buffer, 102.4 GB/s theoretical peak.
+ */
+struct DramConfig
+{
+    DramTimingParams timing = ddr4_3200();
+
+    /** Number of independent channels. */
+    unsigned channels = 4;
+    /** Data width of each channel in bits. */
+    unsigned channelBits = 64;
+    /** Banks per channel (single rank). */
+    unsigned banksPerChannel = 8;
+    /** Row buffer (page) size per bank, bytes. */
+    unsigned rowBufferBytes = 4096;
+    /** Total request-buffer entries across channels. */
+    unsigned requestBufferEntries = 256;
+    /** Transfer granularity of one request (a cache line), bytes. */
+    unsigned lineBytes = 64;
+    /** Rows per bank (bounds the row index; power of two). */
+    unsigned rowsPerBank = 1u << 15;
+
+    /** Enable XOR-based address-to-bank hashing (Table 1). */
+    bool xorBankHash = true;
+
+    /** @return request-buffer entries available to each channel. */
+    unsigned queuePerChannel() const
+    {
+        return requestBufferEntries / channels;
+    }
+
+    /** @return bytes moved per channel per bus cycle (DDR: 2 beats). */
+    double bytesPerCyclePerChannel() const
+    {
+        return 2.0 * (channelBits / 8.0);
+    }
+
+    /**
+     * @return theoretical peak bandwidth of the whole subsystem, GB/s
+     * (e.g., 102.4 for the Table 1 configuration).
+     */
+    GBps peakBandwidth() const
+    {
+        return channels * bytesPerCyclePerChannel() *
+               mhzToHz(timing.busClockMhz) / bytesPerGB;
+    }
+
+    /** @return number of 64-byte lines in one row buffer. */
+    unsigned linesPerRow() const { return rowBufferBytes / lineBytes; }
+};
+
+/** The Table 1 configuration (default-constructed DramConfig). */
+DramConfig table1Config();
+
+} // namespace pccs::dram
+
+#endif // PCCS_DRAM_CONFIG_HH

@@ -1,0 +1,244 @@
+#include "controller.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace pccs::dram {
+
+MemoryController::MemoryController(const DramConfig &cfg,
+                                   std::unique_ptr<Scheduler> scheduler)
+    : cfg_(cfg), mapper_(cfg), scheduler_(std::move(scheduler))
+{
+    PCCS_ASSERT(scheduler_ != nullptr, "controller needs a scheduler");
+    PCCS_ASSERT(cfg_.banksPerChannel <= 32,
+                "row-hit preservation bitmask supports <= 32 banks");
+    channels_.reserve(cfg_.channels);
+    for (unsigned c = 0; c < cfg_.channels; ++c)
+        channels_.emplace_back(cfg_.banksPerChannel, cfg_.timing);
+    queues_.resize(cfg_.channels);
+    for (auto &q : queues_)
+        q.reserve(cfg_.queuePerChannel());
+    nextRefresh_.assign(cfg_.channels, cfg_.timing.tREFI);
+    refreshUntil_.assign(cfg_.channels, 0);
+}
+
+bool
+MemoryController::canAccept(Addr addr) const
+{
+    const unsigned ch = mapper_.decode(addr).channel;
+    return queues_[ch].size() < cfg_.queuePerChannel();
+}
+
+bool
+MemoryController::enqueue(unsigned source, Addr addr, bool is_write,
+                          Cycles now)
+{
+    PCCS_ASSERT(source < Scheduler::maxSources,
+                "source id %u exceeds the %u-source limit", source,
+                Scheduler::maxSources);
+    Request req;
+    req.id = nextId_++;
+    req.source = source;
+    req.isWrite = is_write;
+    req.addr = addr;
+    req.loc = mapper_.decode(addr);
+    req.arrival = now;
+
+    auto &queue = queues_[req.loc.channel];
+    if (queue.size() >= cfg_.queuePerChannel())
+        return false;
+    queue.push_back(req);
+    scheduler_->onEnqueue(queue.back());
+    return true;
+}
+
+void
+MemoryController::tick(Cycles now)
+{
+    scheduler_->tick(now);
+    drainCompletions(now);
+    for (unsigned ch = 0; ch < cfg_.channels; ++ch) {
+        if (!queues_[ch].empty())
+            scheduleChannel(ch, now);
+    }
+}
+
+void
+MemoryController::drainCompletions(Cycles now)
+{
+    while (!inflight_.empty() && inflight_.top().completion <= now) {
+        const Request req = inflight_.top().req;
+        inflight_.pop();
+        stats_.totalLatency += req.completion - req.arrival;
+        ++stats_.completed;
+        ++stats_.completedPerSource[req.source];
+        if (onComplete_)
+            onComplete_(req);
+    }
+}
+
+bool
+MemoryController::handleRefresh(unsigned ch, Cycles now)
+{
+    ChannelTiming &timing = channels_[ch];
+    if (now < refreshUntil_[ch])
+        return true; // refresh in progress: channel blocked
+    if (now < nextRefresh_[ch])
+        return false;
+
+    // Refresh due: close every open row, then hold the channel for
+    // tRFC. Precharges obey their bank timing (one per command slot).
+    for (unsigned b = 0; b < timing.numBanks(); ++b) {
+        Bank &bank = timing.bank(b);
+        if (bank.openRow() == Bank::noRow)
+            continue;
+        if (bank.canPrecharge(now))
+            bank.precharge(now, cfg_.timing);
+        return true; // either issued a PRE or must wait for one
+    }
+    refreshUntil_[ch] = now + cfg_.timing.tRFC;
+    // No catch-up storms after idle stretches: refresh debt from
+    // periods without traffic is irrelevant to bandwidth accounting.
+    nextRefresh_[ch] =
+        std::max(nextRefresh_[ch] + cfg_.timing.tREFI, now + 1);
+    ++stats_.refreshes;
+    return true;
+}
+
+void
+MemoryController::scheduleChannel(unsigned ch, Cycles now)
+{
+    if (handleRefresh(ch, now))
+        return;
+
+    ChannelTiming &timing = channels_[ch];
+    auto &queue = queues_[ch];
+
+    // Row-hit preservation: a bank whose open row still has pending
+    // requests must not be precharged for a conflicting request --
+    // otherwise a PRE slips into the cycles between data bursts and
+    // destroys every row chain (all policies would degenerate to
+    // conflict-per-access behavior).
+    std::uint32_t pending_hits = 0; // bitmask over banks
+    if (scheduler_->preservesRowHits()) {
+        for (const Request &r : queue) {
+            const Bank &bank = timing.bank(r.loc.bank);
+            if (bank.openRow() == static_cast<std::int64_t>(r.loc.row))
+                pending_hits |= 1u << r.loc.bank;
+        }
+    }
+
+    // Build the scheduler's view: for each request, whether its *next
+    // needed command* (CAS for an open matching row, otherwise PRE or
+    // ACT) can issue this cycle.
+    scratchEntries_.clear();
+    scratchEntries_.reserve(queue.size());
+    for (const Request &r : queue) {
+        const Bank &bank = timing.bank(r.loc.bank);
+        QueueEntryView e;
+        e.req = &r;
+        e.rowHit =
+            bank.openRow() == static_cast<std::int64_t>(r.loc.row);
+        if (e.rowHit) {
+            e.issuable = bank.canAccess(now, r.loc.row) &&
+                         timing.busAvailable(now, r.isWrite);
+        } else if (bank.openRow() != Bank::noRow) {
+            e.issuable = bank.canPrecharge(now) &&
+                         !(pending_hits & (1u << r.loc.bank));
+        } else {
+            e.issuable =
+                bank.canActivate(now) && timing.canActivateRank(now);
+        }
+        scratchEntries_.push_back(e);
+    }
+
+    const int idx = scheduler_->pick(ch, scratchEntries_, now);
+    if (idx < 0)
+        return;
+    PCCS_ASSERT(static_cast<std::size_t>(idx) < scratchEntries_.size() &&
+                    scratchEntries_[idx].issuable,
+                "scheduler picked a non-issuable entry %d", idx);
+
+    Request &req = queue[idx];
+    Bank &bank = timing.bank(req.loc.bank);
+
+    if (scratchEntries_[idx].rowHit) {
+        // CAS: the request completes after CL + burst.
+        const Cycles done = bank.access(now, req.isWrite, cfg_.timing);
+        timing.reserveBus(now, req.isWrite);
+        req.casIssued = now;
+        req.completion = done;
+        if (req.neededActivate)
+            ++stats_.rowMisses;
+        else
+            ++stats_.rowHits;
+        if (req.isWrite)
+            ++stats_.writes;
+        else
+            ++stats_.reads;
+        stats_.bytesTransferred += cfg_.lineBytes;
+        stats_.bytesPerSource[req.source] += cfg_.lineBytes;
+        scheduler_->onService(req, now, cfg_.lineBytes);
+        inflight_.push(Inflight{done, req});
+        queue.erase(queue.begin() + idx);
+    } else if (bank.openRow() != Bank::noRow) {
+        // Row conflict: close the current row first.
+        bank.precharge(now, cfg_.timing);
+    } else {
+        // Row closed: open the request's row. Every request served
+        // after this ACT without another ACT counts as a row hit;
+        // this one is charged as a miss via neededActivate.
+        bank.activate(now, req.loc.row, cfg_.timing);
+        timing.recordActivate(now);
+        req.neededActivate = true;
+    }
+}
+
+void
+ControllerStats::print(std::ostream &os, const std::string &prefix) const
+{
+    auto stat = [&](const char *name, double value, const char *desc) {
+        os << prefix << "." << name << " " << value << " # " << desc
+           << "\n";
+    };
+    stat("reads", static_cast<double>(reads), "read CAS commands");
+    stat("writes", static_cast<double>(writes), "write CAS commands");
+    stat("rowHits", static_cast<double>(rowHits),
+         "CAS served from an open row");
+    stat("rowMisses", static_cast<double>(rowMisses),
+         "CAS that required an ACT");
+    stat("rowBufferHitRate", rowBufferHitRate(),
+         "row-buffer hit rate [0,1]");
+    stat("refreshes", static_cast<double>(refreshes),
+         "all-bank refresh operations");
+    stat("bytesTransferred", static_cast<double>(bytesTransferred),
+         "total data moved, bytes");
+    stat("completed", static_cast<double>(completed),
+         "completed requests");
+    stat("avgLatency", averageLatency(),
+         "mean request latency, cycles");
+}
+
+std::size_t
+MemoryController::pendingRequests() const
+{
+    std::size_t n = inflight_.size();
+    for (const auto &q : queues_)
+        n += q.size();
+    return n;
+}
+
+double
+MemoryController::effectiveBandwidthFraction(Cycles cycles) const
+{
+    if (cycles == 0)
+        return 0.0;
+    const double peak_bytes =
+        static_cast<double>(cycles) * cfg_.channels *
+        cfg_.bytesPerCyclePerChannel();
+    return static_cast<double>(stats_.bytesTransferred) / peak_bytes;
+}
+
+} // namespace pccs::dram

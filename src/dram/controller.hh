@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The DRAM memory controller: per-channel request queues, bank state
+ * machines, command issue (ACT/PRE/CAS) under DDR timing constraints,
+ * and a pluggable scheduling policy.
+ */
+
+#ifndef PCCS_DRAM_CONTROLLER_HH
+#define PCCS_DRAM_CONTROLLER_HH
+
+#include <array>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "dram/address_map.hh"
+#include "dram/bank.hh"
+#include "dram/config.hh"
+#include "dram/port.hh"
+#include "dram/request.hh"
+#include "dram/scheduler.hh"
+
+namespace pccs::dram {
+
+/** Aggregate controller statistics (reset-able between windows). */
+struct ControllerStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    /** CAS commands served from an already-open row. */
+    std::uint64_t rowHits = 0;
+    /** CAS commands that required an ACT (and possibly a PRE) first. */
+    std::uint64_t rowMisses = 0;
+    /** Total data moved, bytes. */
+    std::uint64_t bytesTransferred = 0;
+    /** Sum over completed requests of (completion - arrival), cycles. */
+    std::uint64_t totalLatency = 0;
+    /** All-bank refresh operations performed. */
+    std::uint64_t refreshes = 0;
+    /** Completed requests, total and per source. */
+    std::uint64_t completed = 0;
+    std::array<std::uint64_t, Scheduler::maxSources> bytesPerSource{};
+    std::array<std::uint64_t, Scheduler::maxSources> completedPerSource{};
+
+    /** @return row-buffer hit rate in [0, 1]. */
+    double rowBufferHitRate() const
+    {
+        const std::uint64_t total = rowHits + rowMisses;
+        return total ? static_cast<double>(rowHits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    /** @return average request latency in cycles. */
+    double averageLatency() const
+    {
+        return completed ? static_cast<double>(totalLatency) /
+                               static_cast<double>(completed)
+                         : 0.0;
+    }
+
+    /**
+     * Dump the statistics in gem5's stat-file style: one
+     * `name value # description` line per statistic.
+     */
+    void print(std::ostream &os, const std::string &prefix = "mc") const;
+};
+
+/**
+ * A multi-channel DRAM memory controller.
+ *
+ * Usage: enqueue() line-sized requests; call tick() once per bus cycle;
+ * completed requests are reported through the completion callback.
+ */
+class MemoryController : public MemoryPort
+{
+  public:
+    using CompletionCallback = std::function<void(const Request &)>;
+
+    MemoryController(const DramConfig &cfg,
+                     std::unique_ptr<Scheduler> scheduler);
+
+    /** @return true if channel owning `addr` has queue space. */
+    bool canAccept(Addr addr) const;
+
+    /**
+     * Enqueue a request.
+     * @return false when the target channel's queue is full (the caller
+     *         must retry later; this is the request-buffer backpressure)
+     */
+    bool enqueue(unsigned source, Addr addr, bool is_write,
+                 Cycles now) override;
+
+    unsigned lineBytes() const override { return cfg_.lineBytes; }
+    double cycleSeconds() const override
+    {
+        return cfg_.timing.cycleSeconds();
+    }
+    Addr addressSpan() const override
+    {
+        return mapper_.addressSpan();
+    }
+
+    /** Advance the controller by one bus cycle. */
+    void tick(Cycles now);
+
+    /** @return number of requests in queues plus in flight. */
+    std::size_t pendingRequests() const;
+
+    /** @return a copy of one channel's queued requests (debug/tests). */
+    std::vector<Request> queueSnapshot(unsigned channel) const
+    {
+        return queues_[channel];
+    }
+
+    /** Install the completion callback (may be empty). */
+    void setCompletionCallback(CompletionCallback cb)
+    {
+        onComplete_ = std::move(cb);
+    }
+
+    const ControllerStats &stats() const { return stats_; }
+    void resetStats() { stats_ = ControllerStats{}; }
+
+    const DramConfig &config() const { return cfg_; }
+    const AddressMapper &mapper() const { return mapper_; }
+    Scheduler &scheduler() { return *scheduler_; }
+
+    /**
+     * Effective bandwidth over an interval: bytes transferred during
+     * `cycles` bus cycles as a fraction of theoretical peak, in [0, 1].
+     */
+    double effectiveBandwidthFraction(Cycles cycles) const;
+
+  private:
+    struct Inflight
+    {
+        Cycles completion;
+        Request req;
+        bool operator>(const Inflight &o) const
+        {
+            return completion > o.completion;
+        }
+    };
+
+    void scheduleChannel(unsigned ch, Cycles now);
+    void drainCompletions(Cycles now);
+    /** @return true when the channel is consumed by refresh work. */
+    bool handleRefresh(unsigned ch, Cycles now);
+
+    DramConfig cfg_;
+    AddressMapper mapper_;
+    std::unique_ptr<Scheduler> scheduler_;
+    std::vector<ChannelTiming> channels_;
+    std::vector<std::vector<Request>> queues_;
+    std::priority_queue<Inflight, std::vector<Inflight>,
+                        std::greater<Inflight>>
+        inflight_;
+    ControllerStats stats_;
+    CompletionCallback onComplete_;
+    std::uint64_t nextId_ = 1;
+    std::vector<QueueEntryView> scratchEntries_;
+    /** Per-channel next refresh deadline (tREFI cadence). */
+    std::vector<Cycles> nextRefresh_;
+    /** Per-channel cycle until which a refresh blocks the channel. */
+    std::vector<Cycles> refreshUntil_;
+};
+
+} // namespace pccs::dram
+
+#endif // PCCS_DRAM_CONTROLLER_HH

@@ -1,0 +1,170 @@
+#include "multi_mc.hh"
+
+#include "common/logging.hh"
+
+namespace pccs::dram {
+
+const char *
+mcMappingName(McMapping mapping)
+{
+    switch (mapping) {
+      case McMapping::LineInterleaved:
+        return "line-interleaved";
+      case McMapping::RangePartitioned:
+        return "range-partitioned";
+    }
+    panic("unknown McMapping %d", static_cast<int>(mapping));
+}
+
+MultiMcSystem::MultiMcSystem(const DramConfig &per_mc_cfg,
+                             unsigned num_mcs, SchedulerKind policy,
+                             McMapping mapping,
+                             const SchedulerParams &sched_params)
+    : perMcCfg_(per_mc_cfg),
+      mapping_(mapping),
+      bySource_(Scheduler::maxSources, nullptr)
+{
+    PCCS_ASSERT(num_mcs >= 1, "need at least one controller");
+    for (unsigned m = 0; m < num_mcs; ++m) {
+        mcs_.push_back(std::make_unique<MemoryController>(
+            perMcCfg_, makeScheduler(policy, sched_params)));
+        mcs_.back()->setCompletionCallback([this](const Request &req) {
+            CoreTrafficGenerator *gen = bySource_[req.source];
+            PCCS_ASSERT(gen != nullptr,
+                        "completion for unknown source %u", req.source);
+            gen->onComplete(req);
+        });
+    }
+    perMcSpan_ = mcs_[0]->addressSpan();
+}
+
+unsigned
+MultiMcSystem::route(Addr addr) const
+{
+    const unsigned n = numControllers();
+    switch (mapping_) {
+      case McMapping::LineInterleaved:
+        return static_cast<unsigned>((addr / perMcCfg_.lineBytes) % n);
+      case McMapping::RangePartitioned:
+        return static_cast<unsigned>(
+            std::min<Addr>(addr / perMcSpan_, n - 1));
+    }
+    panic("unknown McMapping %d", static_cast<int>(mapping_));
+}
+
+Addr
+MultiMcSystem::localAddress(Addr addr) const
+{
+    const unsigned n = numControllers();
+    switch (mapping_) {
+      case McMapping::LineInterleaved: {
+        const Addr line = addr / perMcCfg_.lineBytes;
+        const Addr offset = addr % perMcCfg_.lineBytes;
+        return (line / n) * perMcCfg_.lineBytes + offset;
+      }
+      case McMapping::RangePartitioned:
+        return addr % perMcSpan_;
+    }
+    panic("unknown McMapping %d", static_cast<int>(mapping_));
+}
+
+bool
+MultiMcSystem::enqueue(unsigned source, Addr addr, bool is_write,
+                       Cycles now)
+{
+    return mcs_[route(addr)]->enqueue(source, localAddress(addr),
+                                      is_write, now);
+}
+
+unsigned
+MultiMcSystem::lineBytes() const
+{
+    return perMcCfg_.lineBytes;
+}
+
+double
+MultiMcSystem::cycleSeconds() const
+{
+    return perMcCfg_.timing.cycleSeconds();
+}
+
+Addr
+MultiMcSystem::addressSpan() const
+{
+    return perMcSpan_ * numControllers();
+}
+
+std::size_t
+MultiMcSystem::addGenerator(const TrafficParams &params)
+{
+    PCCS_ASSERT(params.source < Scheduler::maxSources,
+                "source id %u out of range", params.source);
+    PCCS_ASSERT(bySource_[params.source] == nullptr,
+                "duplicate generator for source %u", params.source);
+    generators_.push_back(
+        std::make_unique<CoreTrafficGenerator>(params, *this));
+    bySource_[params.source] = generators_.back().get();
+    return generators_.size() - 1;
+}
+
+void
+MultiMcSystem::run(Cycles cycles)
+{
+    const Cycles end = now_ + cycles;
+    const std::size_t n = generators_.size();
+    while (now_ < end) {
+        for (auto &mc : mcs_)
+            mc->tick(now_);
+        const std::size_t start = n ? now_ % n : 0;
+        for (std::size_t i = 0; i < n; ++i)
+            generators_[(start + i) % n]->tick(now_);
+        ++now_;
+    }
+}
+
+void
+MultiMcSystem::resetMeasurement()
+{
+    for (auto &mc : mcs_)
+        mc->resetStats();
+    for (auto &gen : generators_)
+        gen->resetMeasurement();
+    windowStart_ = now_;
+}
+
+GBps
+MultiMcSystem::achievedBandwidth(std::size_t i) const
+{
+    return generators_[i]->achievedBandwidth(windowCycles());
+}
+
+double
+MultiMcSystem::effectiveBandwidthFraction() const
+{
+    double sum = 0.0;
+    for (const auto &mc : mcs_)
+        sum += mc->effectiveBandwidthFraction(windowCycles());
+    return sum / static_cast<double>(mcs_.size());
+}
+
+double
+MultiMcSystem::rowBufferHitRate() const
+{
+    std::uint64_t hits = 0, misses = 0;
+    for (const auto &mc : mcs_) {
+        hits += mc->stats().rowHits;
+        misses += mc->stats().rowMisses;
+    }
+    const std::uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+std::uint64_t
+MultiMcSystem::bytesServed(unsigned mc) const
+{
+    return mcs_[mc]->stats().bytesTransferred;
+}
+
+} // namespace pccs::dram

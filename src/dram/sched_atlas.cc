@@ -1,0 +1,75 @@
+#include "sched_atlas.hh"
+
+#include "common/logging.hh"
+
+namespace pccs::dram {
+
+AtlasScheduler::AtlasScheduler(const SchedulerParams &params)
+    : params_(params), nextQuantum_(params.quantum)
+{
+}
+
+void
+AtlasScheduler::tick(Cycles now)
+{
+    if (now < nextQuantum_)
+        return;
+    // Quantum boundary: fold the service attained during the quantum
+    // into the smoothed total (higher alpha = longer memory).
+    for (unsigned s = 0; s < maxSources; ++s) {
+        totalService_[s] = params_.atlasAlpha * totalService_[s] +
+                           (1.0 - params_.atlasAlpha) * quantumService_[s];
+        quantumService_[s] = 0.0;
+    }
+    nextQuantum_ = now + params_.quantum;
+}
+
+void
+AtlasScheduler::onService(const Request &req, Cycles now, unsigned bytes)
+{
+    (void)now;
+    (void)bytes;
+    PCCS_ASSERT(req.source < maxSources, "source id %u out of range",
+                req.source);
+    // Attained service is measured in data-bus occupancy; every request
+    // is one line, so one burst's worth of service per request.
+    quantumService_[req.source] += 1.0;
+}
+
+int
+AtlasScheduler::pick(unsigned channel,
+                     std::span<const QueueEntryView> entries, Cycles now)
+{
+    (void)channel;
+    int best = -1;
+    // Rank key, in decreasing priority: starved, least attained
+    // service, row hit, age.
+    auto better = [&](const QueueEntryView &a,
+                      const QueueEntryView &b) -> bool {
+        const bool a_starved =
+            now - a.req->arrival > params_.starvationThreshold;
+        const bool b_starved =
+            now - b.req->arrival > params_.starvationThreshold;
+        if (a_starved != b_starved)
+            return a_starved;
+        const double a_svc = totalService_[a.req->source] +
+                             quantumService_[a.req->source];
+        const double b_svc = totalService_[b.req->source] +
+                             quantumService_[b.req->source];
+        if (a_svc != b_svc)
+            return a_svc < b_svc;
+        if (a.rowHit != b.rowHit)
+            return a.rowHit;
+        return a.req->arrival < b.req->arrival;
+    };
+
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (!entries[i].issuable)
+            continue;
+        if (best < 0 || better(entries[i], entries[best]))
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+} // namespace pccs::dram

@@ -1,0 +1,71 @@
+#include "sched_fcfs.hh"
+
+#include <array>
+#include <utility>
+
+namespace pccs::dram {
+
+int
+FcfsScheduler::pick(unsigned channel, std::span<const QueueEntryView> entries,
+                    Cycles now)
+{
+    (void)channel;
+    (void)now;
+    // Chronological service with no locality awareness: only the few
+    // oldest requests are eligible (an in-order front end with a
+    // small issue window), and row hits are never preferred over
+    // older misses. Both properties are what destroy FCFS's
+    // row-buffer hit rate and effective bandwidth under co-location
+    // (Table 3).
+    std::array<int, window> oldest;
+    oldest.fill(-1);
+    auto arrival = [&](int idx) { return entries[idx].req->arrival; };
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        int cand = static_cast<int>(i);
+        for (int &slot : oldest) {
+            if (slot < 0) {
+                slot = cand;
+                break;
+            }
+            if (arrival(cand) < arrival(slot))
+                std::swap(slot, cand);
+        }
+    }
+    int best = -1;
+    for (int idx : oldest) {
+        if (idx < 0)
+            continue;
+        if (entries[idx].issuable &&
+            (best < 0 || arrival(idx) < arrival(best))) {
+            best = idx;
+        }
+    }
+    return best;
+}
+
+int
+FrFcfsScheduler::pick(unsigned channel,
+                      std::span<const QueueEntryView> entries, Cycles now)
+{
+    (void)channel;
+    (void)now;
+    int best = -1;
+    bool best_hit = false;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const auto &e = entries[i];
+        if (!e.issuable)
+            continue;
+        const bool better =
+            best < 0 ||
+            (e.rowHit && !best_hit) ||
+            (e.rowHit == best_hit &&
+             e.req->arrival < entries[best].req->arrival);
+        if (better) {
+            best = static_cast<int>(i);
+            best_hit = e.rowHit;
+        }
+    }
+    return best;
+}
+
+} // namespace pccs::dram

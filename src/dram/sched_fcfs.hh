@@ -1,0 +1,47 @@
+/**
+ * @file
+ * FCFS and FR-FCFS scheduling policies (Table 2, rows 1-2).
+ */
+
+#ifndef PCCS_DRAM_SCHED_FCFS_HH
+#define PCCS_DRAM_SCHED_FCFS_HH
+
+#include "dram/scheduler.hh"
+
+namespace pccs::dram {
+
+/**
+ * First-come-first-serve: schedules memory requests chronologically,
+ * with no locality awareness — a row hit is never preferred over an
+ * older miss, which is what collapses the row-buffer hit rate under
+ * co-location (Table 3: 47.7% RBH vs FR-FCFS's 91.6%).
+ */
+class FcfsScheduler : public Scheduler
+{
+  public:
+    /** In-order issue window: only this many oldest requests compete. */
+    static constexpr int window = 16;
+
+    const char *name() const override { return "FCFS"; }
+    bool preservesRowHits() const override { return false; }
+    int pick(unsigned channel, std::span<const QueueEntryView> entries,
+             Cycles now) override;
+};
+
+/**
+ * First-ready FCFS (Rixner et al.): prioritizes CAS-ready row-hit
+ * requests over others; ties broken by age. Maximizes row-buffer hit
+ * rate and bandwidth but has no fairness control, so memory-intensive
+ * sources can starve others.
+ */
+class FrFcfsScheduler : public Scheduler
+{
+  public:
+    const char *name() const override { return "FR-FCFS"; }
+    int pick(unsigned channel, std::span<const QueueEntryView> entries,
+             Cycles now) override;
+};
+
+} // namespace pccs::dram
+
+#endif // PCCS_DRAM_SCHED_FCFS_HH

@@ -1,0 +1,146 @@
+#include "sched_sms.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pccs::dram {
+
+SmsScheduler::SmsScheduler(const SchedulerParams &params)
+    : params_(params), rng_(params.seed)
+{
+}
+
+SmsScheduler::ChannelState &
+SmsScheduler::channelState(unsigned channel)
+{
+    if (channel >= channels_.size())
+        channels_.resize(channel + 1);
+    return channels_[channel];
+}
+
+int
+SmsScheduler::pick(unsigned channel,
+                   std::span<const QueueEntryView> entries, Cycles now)
+{
+    (void)now;
+    ChannelState &st = channelState(channel);
+
+    // Recompute, per source, the head batch visible in this snapshot:
+    // the oldest request of the source plus younger requests to the
+    // same row, capped at smsBatchCap.
+    struct SourceBatch
+    {
+        int oldestIdx = -1;
+        Cycles oldestArrival = 0;
+        std::uint32_t row = 0;
+        unsigned size = 0;
+    };
+    std::array<SourceBatch, maxSources> batches;
+
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const Request &r = *entries[i].req;
+        PCCS_ASSERT(r.source < maxSources, "source id %u out of range",
+                    r.source);
+        SourceBatch &b = batches[r.source];
+        if (b.oldestIdx < 0 || r.arrival < b.oldestArrival) {
+            b.oldestIdx = static_cast<int>(i);
+            b.oldestArrival = r.arrival;
+            b.row = r.loc.row;
+        }
+    }
+    for (const auto &e : entries) {
+        SourceBatch &b = batches[e.req->source];
+        if (e.req->loc.row == b.row && b.size < params_.smsBatchCap)
+            ++b.size;
+    }
+
+    auto serve_source = [&](unsigned src, std::uint32_t row) -> int {
+        // Oldest issuable request of `src` to `row` in this channel.
+        int best = -1;
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            const auto &e = entries[i];
+            if (e.req->source != src || e.req->loc.row != row ||
+                !e.issuable) {
+                continue;
+            }
+            if (best < 0 || e.req->arrival < entries[best].req->arrival)
+                best = static_cast<int>(i);
+        }
+        return best;
+    };
+
+    // Work-conserving fallback: the oldest issuable request overall.
+    auto oldest_issuable = [&]() -> int {
+        int best = -1;
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            if (!entries[i].issuable)
+                continue;
+            if (best < 0 ||
+                entries[i].req->arrival < entries[best].req->arrival)
+                best = static_cast<int>(i);
+        }
+        return best;
+    };
+
+    // Continue the in-flight batch when it still has visible requests.
+    if (st.currentSource >= 0 && st.remaining > 0) {
+        const SourceBatch &b = batches[st.currentSource];
+        if (b.oldestIdx >= 0 && b.row == st.batchRow) {
+            int idx = serve_source(static_cast<unsigned>(st.currentSource),
+                                   st.batchRow);
+            if (idx >= 0) {
+                --st.remaining;
+                return idx;
+            }
+            // The batch head cannot issue this cycle (its bank is
+            // activating/precharging). The batch keeps ownership of
+            // the CAS order, but the command slot stays busy with
+            // whatever else is ready (work conservation).
+            return oldest_issuable();
+        }
+    }
+    st.currentSource = -1;
+    st.remaining = 0;
+
+    // Select a new batch among sources with pending requests.
+    std::vector<unsigned> candidates;
+    for (unsigned s = 0; s < maxSources; ++s)
+        if (batches[s].oldestIdx >= 0)
+            candidates.push_back(s);
+    if (candidates.empty())
+        return -1;
+
+    unsigned chosen;
+    if (rng_.chance(params_.smsShortestFirstProb)) {
+        chosen = *std::min_element(
+            candidates.begin(), candidates.end(),
+            [&](unsigned a, unsigned b) {
+                if (batches[a].size != batches[b].size)
+                    return batches[a].size < batches[b].size;
+                return batches[a].oldestArrival < batches[b].oldestArrival;
+            });
+    } else {
+        // Round-robin across sources, starting after the last pick.
+        chosen = candidates.front();
+        for (unsigned off = 0; off < maxSources; ++off) {
+            unsigned s = (st.rrNext + off) % maxSources;
+            if (batches[s].oldestIdx >= 0) {
+                chosen = s;
+                break;
+            }
+        }
+        st.rrNext = chosen + 1;
+    }
+
+    st.currentSource = static_cast<int>(chosen);
+    st.batchRow = batches[chosen].row;
+    st.remaining = batches[chosen].size;
+
+    int idx = serve_source(chosen, st.batchRow);
+    if (idx >= 0)
+        --st.remaining;
+    return idx;
+}
+
+} // namespace pccs::dram

@@ -1,0 +1,126 @@
+#include "sched_tcm.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace pccs::dram {
+
+TcmScheduler::TcmScheduler(const SchedulerParams &params)
+    : params_(params),
+      nextQuantum_(params.quantum),
+      nextShuffle_(params.tcmShuffleInterval)
+{
+    // Until the first quantum completes, treat everyone as
+    // latency-sensitive (no information yet).
+    latencyCluster_.fill(true);
+    for (unsigned s = 0; s < maxSources; ++s)
+        rank_[s] = s;
+}
+
+void
+TcmScheduler::tick(Cycles now)
+{
+    if (now >= nextShuffle_) {
+        shuffle();
+        nextShuffle_ = now + params_.tcmShuffleInterval;
+    }
+    if (now >= nextQuantum_) {
+        for (unsigned s = 0; s < maxSources; ++s) {
+            intensity_[s] = 0.5 * intensity_[s] + 0.5 * quantumService_[s];
+            quantumService_[s] = 0.0;
+        }
+        recluster();
+        nextQuantum_ = now + params_.quantum;
+    }
+}
+
+void
+TcmScheduler::recluster()
+{
+    // Sort sources by ascending intensity; admit sources into the
+    // latency-sensitive cluster until the cluster's cumulative
+    // bandwidth usage exceeds the configured fraction of the total.
+    std::vector<unsigned> order(maxSources);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+        return intensity_[a] < intensity_[b];
+    });
+
+    double total = 0.0;
+    for (unsigned s = 0; s < maxSources; ++s)
+        total += intensity_[s];
+    const double budget = params_.tcmClusterFraction * total;
+
+    latencyCluster_.fill(false);
+    double used = 0.0;
+    for (unsigned s : order) {
+        if (intensity_[s] <= 0.0) {
+            latencyCluster_[s] = true; // idle sources are harmless
+            continue;
+        }
+        if (used + intensity_[s] <= budget) {
+            latencyCluster_[s] = true;
+            used += intensity_[s];
+        } else {
+            break; // order is ascending; nothing further fits
+        }
+    }
+}
+
+void
+TcmScheduler::shuffle()
+{
+    // Rotate ranks of the bandwidth cluster ("rank shuffle" in the
+    // paper's summary) so heavy sources take turns at high priority.
+    ++shuffleOffset_;
+    for (unsigned s = 0; s < maxSources; ++s)
+        rank_[s] = (s + shuffleOffset_) % maxSources;
+}
+
+void
+TcmScheduler::onService(const Request &req, Cycles now, unsigned bytes)
+{
+    (void)now;
+    (void)bytes;
+    PCCS_ASSERT(req.source < maxSources, "source id %u out of range",
+                req.source);
+    quantumService_[req.source] += 1.0;
+}
+
+int
+TcmScheduler::pick(unsigned channel,
+                   std::span<const QueueEntryView> entries, Cycles now)
+{
+    (void)channel;
+    (void)now;
+    auto better = [&](const QueueEntryView &a,
+                      const QueueEntryView &b) -> bool {
+        const bool a_lat = latencyCluster_[a.req->source];
+        const bool b_lat = latencyCluster_[b.req->source];
+        if (a_lat != b_lat)
+            return a_lat;
+        if (!a_lat) { // both bandwidth-sensitive: shuffled rank decides
+            const unsigned ra = rank_[a.req->source];
+            const unsigned rb = rank_[b.req->source];
+            if (ra != rb)
+                return ra < rb;
+        }
+        if (a.rowHit != b.rowHit)
+            return a.rowHit;
+        return a.req->arrival < b.req->arrival;
+    };
+
+    int best = -1;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (!entries[i].issuable)
+            continue;
+        if (best < 0 || better(entries[i], entries[best]))
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+} // namespace pccs::dram

@@ -1,0 +1,68 @@
+#include "scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "dram/sched_atlas.hh"
+#include "dram/sched_fcfs.hh"
+#include "dram/sched_sms.hh"
+#include "dram/sched_tcm.hh"
+
+namespace pccs::dram {
+
+const char *
+schedulerName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Fcfs:
+        return "FCFS";
+      case SchedulerKind::FrFcfs:
+        return "FR-FCFS";
+      case SchedulerKind::Atlas:
+        return "ATLAS";
+      case SchedulerKind::Tcm:
+        return "TCM";
+      case SchedulerKind::Sms:
+        return "SMS";
+    }
+    panic("unknown SchedulerKind %d", static_cast<int>(kind));
+}
+
+SchedulerKind
+schedulerFromName(const std::string &name)
+{
+    std::string n = name;
+    std::transform(n.begin(), n.end(), n.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (n == "fcfs")
+        return SchedulerKind::Fcfs;
+    if (n == "fr-fcfs" || n == "frfcfs")
+        return SchedulerKind::FrFcfs;
+    if (n == "atlas")
+        return SchedulerKind::Atlas;
+    if (n == "tcm")
+        return SchedulerKind::Tcm;
+    if (n == "sms")
+        return SchedulerKind::Sms;
+    fatal("unknown scheduler name '%s'", name.c_str());
+}
+
+std::unique_ptr<Scheduler>
+makeScheduler(SchedulerKind kind, const SchedulerParams &params)
+{
+    switch (kind) {
+      case SchedulerKind::Fcfs:
+        return std::make_unique<FcfsScheduler>();
+      case SchedulerKind::FrFcfs:
+        return std::make_unique<FrFcfsScheduler>();
+      case SchedulerKind::Atlas:
+        return std::make_unique<AtlasScheduler>(params);
+      case SchedulerKind::Tcm:
+        return std::make_unique<TcmScheduler>(params);
+      case SchedulerKind::Sms:
+        return std::make_unique<SmsScheduler>(params);
+    }
+    panic("unknown SchedulerKind %d", static_cast<int>(kind));
+}
+
+} // namespace pccs::dram

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Memory-controller scheduling policy interface and factory.
+ *
+ * The controller presents the scheduler with the per-channel request
+ * queue each time a command slot is free; the scheduler returns the
+ * index of the request to advance. The five concrete policies are the
+ * ones the paper evaluates in Section 2.3 (Table 2): FCFS, FR-FCFS,
+ * ATLAS, TCM, and SMS.
+ */
+
+#ifndef PCCS_DRAM_SCHEDULER_HH
+#define PCCS_DRAM_SCHEDULER_HH
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "dram/request.hh"
+
+namespace pccs::dram {
+
+/** The scheduling policies of Table 2. */
+enum class SchedulerKind
+{
+    Fcfs,    //!< first-come-first-serve
+    FrFcfs,  //!< first-ready FCFS (row hits prioritized)
+    Atlas,   //!< adaptive per-thread least-attained-service
+    Tcm,     //!< thread cluster memory scheduling
+    Sms,     //!< staged memory scheduling
+};
+
+/** @return the canonical display name of a policy. */
+const char *schedulerName(SchedulerKind kind);
+
+/** Parse a policy name ("fcfs", "fr-fcfs", "atlas", "tcm", "sms"). */
+SchedulerKind schedulerFromName(const std::string &name);
+
+/** One schedulable request as the policy sees it. */
+struct QueueEntryView
+{
+    const Request *req = nullptr;
+    /** True if the next command this request needs can issue now. */
+    bool issuable = false;
+    /** True if the request's row is currently open in its bank. */
+    bool rowHit = false;
+};
+
+/**
+ * Abstract scheduling policy.
+ *
+ * One scheduler instance serves all channels; policy state that is
+ * logically per-source (attained service, clusters, batches) is global,
+ * which mirrors how ATLAS coordinates across memory controllers.
+ */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /** @return the policy's display name. */
+    virtual const char *name() const = 0;
+
+    /**
+     * Locality-aware policies keep a bank's row open while requests to
+     * it are pending (the controller then refuses conflicting PREs).
+     * FCFS is defined by *not* doing this: it schedules chronologically
+     * with no locality awareness, which is what collapses its
+     * row-buffer hit rate (Table 3).
+     */
+    virtual bool preservesRowHits() const { return true; }
+
+    /**
+     * Called once per simulation cycle before any pick; policies use it
+     * to run quantum updates (ATLAS/TCM) or shuffles.
+     */
+    virtual void tick(Cycles now) { (void)now; }
+
+    /** Notify that a request entered the request buffer. */
+    virtual void onEnqueue(const Request &req) { (void)req; }
+
+    /**
+     * Notify that a request's CAS issued (it leaves the queue) and its
+     * source received `bytes` of service at cycle `now`.
+     */
+    virtual void onService(const Request &req, Cycles now, unsigned bytes)
+    {
+        (void)req; (void)now; (void)bytes;
+    }
+
+    /**
+     * Choose the next request to advance on a channel.
+     *
+     * @param channel index of the channel being scheduled
+     * @param entries snapshot of the channel's queued requests
+     * @param now current cycle
+     * @return index of the chosen entry, or -1 to idle. The returned
+     *         entry must have issuable == true.
+     */
+    virtual int pick(unsigned channel,
+                     std::span<const QueueEntryView> entries,
+                     Cycles now) = 0;
+
+    /** Maximum number of sources a policy tracks. */
+    static constexpr unsigned maxSources = 64;
+};
+
+/** Tunable knobs of the fairness-aware policies. */
+struct SchedulerParams
+{
+    /** ATLAS/TCM ranking quantum in cycles. */
+    Cycles quantum = 50000;
+    /** ATLAS starvation threshold: waiting longer forces priority. */
+    Cycles starvationThreshold = 20000;
+    /** ATLAS exponential-smoothing weight for attained service. */
+    double atlasAlpha = 0.875;
+    /** TCM: fraction of total bandwidth granted to the latency cluster. */
+    double tcmClusterFraction = 0.15;
+    /** TCM: shuffle interval for the bandwidth cluster ranking. */
+    Cycles tcmShuffleInterval = 5000;
+    /** SMS: maximum requests per formed batch. */
+    unsigned smsBatchCap = 16;
+    /** SMS: probability of shortest-job-first batch selection. */
+    double smsShortestFirstProb = 0.9;
+    /** Seed for any stochastic choices (SMS). */
+    std::uint64_t seed = 0xC0FFEEull;
+};
+
+/** Create a scheduler of the given kind. */
+std::unique_ptr<Scheduler> makeScheduler(SchedulerKind kind,
+                                         const SchedulerParams &params = {});
+
+} // namespace pccs::dram
+
+#endif // PCCS_DRAM_SCHEDULER_HH

@@ -1,0 +1,55 @@
+#include "timing.hh"
+
+#include "common/logging.hh"
+
+namespace pccs::dram {
+
+DramTimingParams
+ddr4_3200()
+{
+    DramTimingParams t;
+    t.busClockMhz = 1600.0;
+    t.tRCD = 22;
+    t.tRP = 22;
+    t.tCL = 22;
+    t.tRAS = 52;
+    t.tBURST = 4;
+    t.tCCD = 4;
+    t.tRRD = 8;
+    t.tFAW = 34;
+    t.tWR = 24;
+    t.tRTP = 12;
+    t.tWTR = 12;
+    t.tREFI = 12480; // 7.8 us at 1600 MHz
+    t.tRFC = 560;    // 350 ns (8 Gb density)
+    return t;
+}
+
+DramTimingParams
+lpddr4x(MHz io_clock_mhz)
+{
+    PCCS_ASSERT(io_clock_mhz > 0.0, "LPDDR4x clock must be positive");
+    DramTimingParams t;
+    t.busClockMhz = io_clock_mhz;
+    // LPDDR4x nanosecond-class constraints converted to cycles at the
+    // requested clock; values follow JEDEC LPDDR4x-typical datasheets.
+    auto cyc = [io_clock_mhz](double ns) {
+        return static_cast<Cycles>(ns * io_clock_mhz * 1e-3 + 0.999);
+    };
+    t.tRCD = cyc(18.0);
+    t.tRP = cyc(18.0);
+    t.tCL = cyc(15.0);
+    t.tRAS = cyc(42.0);
+    t.tBURST = 8; // BL16 at DDR
+    t.tCCD = 8;
+    t.tRRD = cyc(10.0);
+    t.tFAW = cyc(40.0);
+    t.tWR = cyc(18.0);
+    t.tRTP = cyc(7.5);
+    t.tWTR = cyc(10.0);
+    t.tREFI = cyc(3904.0); // 3.9 us
+    t.tRFC = cyc(280.0);
+    return t;
+}
+
+} // namespace pccs::dram

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * DRAM device timing parameters.
+ *
+ * All values are expressed in memory-bus clock cycles (one cycle per
+ * DRAM command slot; the data bus moves two transfers per cycle, DDR).
+ * The presets follow standard datasheet values for the devices the
+ * paper's experiments use: DDR4-3200 for the memory-controller study
+ * (Table 1) and LPDDR4x-2133/4266 for the Xavier-like SoC.
+ */
+
+#ifndef PCCS_DRAM_TIMING_HH
+#define PCCS_DRAM_TIMING_HH
+
+#include "common/units.hh"
+
+namespace pccs::dram {
+
+/**
+ * Timing constraints of one DRAM device generation, in bus cycles.
+ *
+ * Only the constraints that matter for bandwidth/contention studies are
+ * modeled; per-bank-group and refresh-management subtleties are folded
+ * into the first-order parameters below.
+ */
+struct DramTimingParams
+{
+    /** Bus clock frequency in MHz (transfers happen at 2x, DDR). */
+    MHz busClockMhz = 1600.0;
+
+    /** RAS-to-CAS delay: ACT to first READ/WRITE on the bank. */
+    Cycles tRCD = 22;
+    /** Row precharge time: PRE to next ACT on the bank. */
+    Cycles tRP = 22;
+    /** CAS latency: READ command to first data beat. */
+    Cycles tCL = 22;
+    /** Minimum row-open time: ACT to PRE on the bank. */
+    Cycles tRAS = 52;
+    /** Data burst length in bus cycles (8 beats / 2 per cycle = 4). */
+    Cycles tBURST = 4;
+    /** CAS-to-CAS minimum spacing on a channel. */
+    Cycles tCCD = 4;
+    /** ACT-to-ACT minimum spacing across banks of a rank. */
+    Cycles tRRD = 8;
+    /** Four-activate window per rank. */
+    Cycles tFAW = 34;
+    /** Write recovery: last write data to PRE on the bank. */
+    Cycles tWR = 24;
+    /** Read-to-precharge delay on the bank. */
+    Cycles tRTP = 12;
+    /** Write-to-read turnaround on the channel. */
+    Cycles tWTR = 12;
+    /** Average refresh interval per channel. */
+    Cycles tREFI = 12480;
+    /** All-bank refresh duration (channel blocked). */
+    Cycles tRFC = 560;
+
+    /** @return bus cycle duration in seconds. */
+    double cycleSeconds() const { return 1.0 / mhzToHz(busClockMhz); }
+
+    /** @return seconds represented by n bus cycles. */
+    double secondsOf(Cycles n) const
+    {
+        return static_cast<double>(n) * cycleSeconds();
+    }
+};
+
+/** DDR4-3200 preset matching Table 1 of the paper (per channel). */
+DramTimingParams ddr4_3200();
+
+/**
+ * LPDDR4x at a selectable I/O clock. Xavier runs its 256-bit LPDDR4x
+ * interface at 2133 MHz; Section 3.3 underclocks it to 1600/1333/1066.
+ */
+DramTimingParams lpddr4x(MHz io_clock_mhz);
+
+} // namespace pccs::dram
+
+#endif // PCCS_DRAM_TIMING_HH

@@ -1,0 +1,97 @@
+#include "traffic.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pccs::dram {
+
+CoreTrafficGenerator::CoreTrafficGenerator(const TrafficParams &params,
+                                           MemoryPort &port)
+    : params_(params), port_(port), rng_(params.seed)
+{
+    PCCS_ASSERT(params_.demand > 0.0, "traffic demand must be positive");
+    PCCS_ASSERT(params_.mlp > 0, "traffic mlp must be positive");
+    tokensPerCycle_ =
+        params_.demand * bytesPerGB * port_.cycleSeconds();
+    tokenCap_ = 8.0 * port_.lineBytes();
+
+    // Give each source a private slice of the address space so sources
+    // never share rows: slice the row index range.
+    const Addr span = port_.addressSpan();
+    regionLines_ = span / port_.lineBytes() / Scheduler::maxSources;
+    PCCS_ASSERT(regionLines_ > 0, "address space too small for %u sources",
+                Scheduler::maxSources);
+    regionBase_ = params_.source * regionLines_ * port_.lineBytes();
+    cursor_ = rng_.below(regionLines_);
+}
+
+Addr
+CoreTrafficGenerator::nextAddress()
+{
+    if (!rng_.chance(params_.rowLocality)) {
+        // Random jump within the private region (a new row almost
+        // surely, modeling poor-locality strides).
+        cursor_ = rng_.below(regionLines_);
+    }
+    const Addr addr =
+        regionBase_ + (cursor_ % regionLines_) * port_.lineBytes();
+    ++cursor_;
+    return addr;
+}
+
+void
+CoreTrafficGenerator::tick(Cycles now)
+{
+    tokens_ = std::min(tokens_ + tokensPerCycle_, tokenCap_);
+    const double line = port_.lineBytes();
+    while (tokens_ >= line && outstanding_ < params_.mlp) {
+        if (!hasPending_) {
+            pendingAddr_ = nextAddress();
+            pendingWrite_ = rng_.chance(params_.writeFraction);
+            hasPending_ = true;
+        }
+        if (!port_.enqueue(params_.source, pendingAddr_, pendingWrite_,
+                           now)) {
+            // Request buffer full: hold the tokens *and the address*
+            // and retry next cycle. Advancing the stream on failed
+            // attempts would shred its row locality under
+            // backpressure.
+            break;
+        }
+        hasPending_ = false;
+        tokens_ -= line;
+        ++outstanding_;
+        ++issuedLines_;
+    }
+}
+
+void
+CoreTrafficGenerator::onComplete(const Request &req)
+{
+    PCCS_ASSERT(req.source == params_.source,
+                "completion for source %u routed to source %u",
+                req.source, params_.source);
+    PCCS_ASSERT(outstanding_ > 0, "completion with no outstanding request");
+    --outstanding_;
+    ++completedLines_;
+}
+
+void
+CoreTrafficGenerator::resetMeasurement()
+{
+    completedLines_ = 0;
+    issuedLines_ = 0;
+}
+
+GBps
+CoreTrafficGenerator::achievedBandwidth(Cycles window_cycles) const
+{
+    const double seconds =
+        static_cast<double>(window_cycles) * port_.cycleSeconds();
+    return toGBps(static_cast<double>(completedLines_) *
+                      port_.lineBytes(),
+                  seconds);
+}
+
+} // namespace pccs::dram

@@ -1,0 +1,42 @@
+#include "gables.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pccs::gables {
+
+GablesModel::GablesModel(GBps peak_bw) : peak_(peak_bw)
+{
+    PCCS_ASSERT(peak_ > 0.0, "peak bandwidth must be positive");
+}
+
+GBps
+GablesModel::effectiveBandwidth(GBps x, GBps y) const
+{
+    PCCS_ASSERT(x >= 0.0 && y >= 0.0, "negative bandwidth demand");
+    const GBps total = x + y;
+    if (total <= peak_ || total <= 0.0)
+        return x;
+    return x * peak_ / total;
+}
+
+double
+GablesModel::relativeSpeed(GBps x, GBps y) const
+{
+    if (x <= 0.0)
+        return 100.0;
+    return 100.0 * effectiveBandwidth(x, y) / x;
+}
+
+double
+rooflinePerformance(double compute_roof_gflops, double intensity,
+                    GBps bandwidth)
+{
+    PCCS_ASSERT(compute_roof_gflops >= 0.0 && intensity >= 0.0 &&
+                    bandwidth >= 0.0,
+                "roofline inputs must be non-negative");
+    return std::min(compute_roof_gflops, intensity * bandwidth);
+}
+
+} // namespace pccs::gables

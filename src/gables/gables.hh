@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The Gables baseline model (Hill & Reddi, HPCA 2019), as the paper
+ * characterizes it in Section 4.1:
+ *
+ *   "The memory contention model proposed by Gables assumes that the
+ *    effective bandwidth of a processor under contention is not
+ *    reduced as long as the total BW requested is smaller than the
+ *    SoC peak BW. Otherwise, the effective BW is calculated by
+ *    pro-rating the requested BW to the available BW."
+ *
+ * A roofline helper is included for the standalone side of the Gables
+ * methodology (perf = min(compute roof, intensity x bandwidth)).
+ */
+
+#ifndef PCCS_GABLES_GABLES_HH
+#define PCCS_GABLES_GABLES_HH
+
+#include "pccs/predictor.hh"
+
+namespace pccs::gables {
+
+/**
+ * Gables' proportional-sharing slowdown model.
+ */
+class GablesModel final : public model::SlowdownPredictor
+{
+  public:
+    /** @param peak_bw the SoC's theoretical peak bandwidth, GB/s. */
+    explicit GablesModel(GBps peak_bw);
+
+    const char *name() const override { return "Gables"; }
+
+    /**
+     * Predicted relative speed: 100% while x + y <= peak; otherwise
+     * the pro-rated share 100 * peak / (x + y).
+     */
+    double relativeSpeed(GBps x, GBps y) const override;
+
+    /** Effective bandwidth granted to the processor, GB/s. */
+    GBps effectiveBandwidth(GBps x, GBps y) const;
+
+    GBps peakBandwidth() const { return peak_; }
+
+  private:
+    GBps peak_;
+};
+
+/**
+ * Roofline attainable performance: min(compute roof, I * BW).
+ *
+ * @param compute_roof_gflops peak compute throughput, GFlop/s
+ * @param intensity operational intensity, flops per byte
+ * @param bandwidth available bandwidth, GB/s
+ * @return attainable performance, GFlop/s
+ */
+double rooflinePerformance(double compute_roof_gflops, double intensity,
+                           GBps bandwidth);
+
+} // namespace pccs::gables
+
+#endif // PCCS_GABLES_GABLES_HH

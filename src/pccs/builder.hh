@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The PCCS model-construction algorithm (Section 3.2).
+ *
+ * Takes the rela[n][m] calibration matrix (achieved relative speeds of
+ * n calibrator kernels under m external bandwidth demands) and extracts
+ * the model parameters in five steps:
+ *
+ *  [1] normalBW and MRMC from the last column (largest external
+ *      pressure): the first row whose reduction doubles the smallest
+ *      kernel's reduction marks the minor/normal boundary; the row
+ *      above it defines MRMC.
+ *  [2] TBWDC from the boundary row: the first column with a notable
+ *      (2 x MRMC) reduction, plus that row's standalone demand.
+ *  [3] intensiveBW from the first column (smallest external pressure):
+ *      the first row with a notable (2 x MRMC) reduction.
+ *  [4] CBP: the average external demand at which the normal-region
+ *      rows' curves turn flat.
+ *  [5] rateN: the average reduction rate of the normal-region rows
+ *      between the drop onset and the contention balance point.
+ */
+
+#ifndef PCCS_MODEL_BUILDER_HH
+#define PCCS_MODEL_BUILDER_HH
+
+#include "calib/calibrator.hh"
+#include "pccs/model.hh"
+
+namespace pccs::model {
+
+/** Tunable thresholds of the construction algorithm. */
+struct BuilderOptions
+{
+    /**
+     * Reduction (percent) of the smallest kernel at the largest
+     * pressure beyond which the PU is deemed to have no minor region
+     * at all (the paper's DLA case: normalBW = 0, MRMC = NA).
+     */
+    double noMinorRegionThreshold = 12.0;
+    /**
+     * Fallback "notable reduction" threshold (percent) used in steps
+     * [2] and [3] when MRMC is NA; otherwise 2 x MRMC is used.
+     */
+    double notableReductionFallback = 8.0;
+    /**
+     * A curve counts as flat (step [4]) when consecutive points differ
+     * by less than this many percentage points.
+     */
+    double flatEpsilon = 1.0;
+};
+
+/**
+ * Run the five-step analysis on a calibration matrix.
+ *
+ * @param matrix the rela[n][m] matrix with its axes
+ * @param peak_bw the SoC's peak bandwidth (PBW), GB/s
+ * @param opts threshold knobs
+ * @return the extracted PCCS parameters
+ */
+PccsParams buildModelParams(const calib::CalibrationMatrix &matrix,
+                            GBps peak_bw,
+                            const BuilderOptions &opts = {});
+
+/**
+ * Convenience: calibrate a PU on a simulated SoC and build its model.
+ */
+PccsModel buildModel(const soc::SocSimulator &sim, std::size_t pu_index,
+                     const calib::SweepSpec &sweep = {},
+                     const BuilderOptions &opts = {});
+
+} // namespace pccs::model
+
+#endif // PCCS_MODEL_BUILDER_HH

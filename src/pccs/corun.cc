@@ -1,0 +1,62 @@
+#include "corun.hh"
+
+#include "common/logging.hh"
+
+namespace pccs::model {
+
+GBps
+CorunInput::meanDemand() const
+{
+    double total_share = 0.0;
+    double demand = 0.0;
+    for (const auto &p : phases) {
+        demand += p.timeShare * p.demand;
+        total_share += p.timeShare;
+    }
+    PCCS_ASSERT(total_share > 0.0, "co-run input has no time share");
+    return demand / total_share;
+}
+
+std::vector<double>
+predictCorun(const std::vector<CorunInput> &inputs,
+             const CorunPredictOptions &opts)
+{
+    PCCS_ASSERT(!inputs.empty(), "co-run prediction needs inputs");
+    PCCS_ASSERT(opts.damping > 0.0 && opts.damping <= 1.0,
+                "damping must be in (0, 1]");
+    const std::size_t n = inputs.size();
+    for (const auto &in : inputs) {
+        PCCS_ASSERT(in.model != nullptr, "co-run input lacks a model");
+        PCCS_ASSERT(!in.phases.empty(), "co-run input lacks phases");
+    }
+
+    // Effective external pressure each program exerts: starts at the
+    // standalone demand (the paper's protocol) and, with refinement,
+    // shrinks toward demand x predicted relative speed.
+    std::vector<double> pressure(n);
+    for (std::size_t i = 0; i < n; ++i)
+        pressure[i] = inputs[i].meanDemand();
+
+    std::vector<double> rs(n, 100.0);
+    const unsigned rounds = 1 + opts.refinementIterations;
+    for (unsigned round = 0; round < rounds; ++round) {
+        for (std::size_t i = 0; i < n; ++i) {
+            double y = 0.0;
+            for (std::size_t j = 0; j < n; ++j)
+                if (j != i)
+                    y += pressure[j];
+            rs[i] = predictPiecewise(*inputs[i].model,
+                                     inputs[i].phases, y);
+        }
+        if (round + 1 < rounds) {
+            for (std::size_t i = 0; i < n; ++i) {
+                const double target =
+                    inputs[i].meanDemand() * rs[i] / 100.0;
+                pressure[i] += opts.damping * (target - pressure[i]);
+            }
+        }
+    }
+    return rs;
+}
+
+} // namespace pccs::model

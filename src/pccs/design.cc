@@ -1,0 +1,136 @@
+#include "design.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pccs::model {
+
+DesignExplorer::DesignExplorer(const soc::SocConfig &config)
+    : config_(config)
+{
+    PCCS_ASSERT(!config_.pus.empty(), "explorer needs a populated SoC");
+}
+
+soc::SocConfig
+DesignExplorer::configured(std::size_t pu_index, MHz frequency,
+                           double core_scale) const
+{
+    PCCS_ASSERT(pu_index < config_.pus.size(), "bad PU index %zu",
+                pu_index);
+    soc::SocConfig cfg = config_;
+    soc::PuParams &pu = cfg.pus[pu_index];
+    if (frequency > 0.0)
+        pu.frequency = frequency;
+    if (core_scale > 0.0) {
+        // Removing cores reduces both the compute throughput and the
+        // load-issue capability; the shared interface width stays.
+        pu.flopsPerCycle *= core_scale;
+        pu.issueBandwidth *= core_scale;
+    }
+    return cfg;
+}
+
+double
+DesignExplorer::performance(const soc::SocConfig &cfg,
+                            std::size_t pu_index,
+                            const soc::KernelProfile &kernel,
+                            GBps external,
+                            const SlowdownPredictor *predictor) const
+{
+    const soc::SocSimulator sim(cfg);
+    const soc::StandaloneProfile solo = sim.profile(pu_index, kernel);
+    double rs;
+    if (predictor) {
+        rs = predictor->relativeSpeed(solo.bandwidthDemand, external);
+    } else {
+        rs = sim.relativeSpeedUnderPressure(pu_index, kernel, external);
+    }
+    return solo.rate * rs / 100.0;
+}
+
+double
+DesignExplorer::corunPerformance(std::size_t pu_index,
+                                 const soc::KernelProfile &kernel,
+                                 MHz frequency, GBps external,
+                                 const SlowdownPredictor &predictor) const
+{
+    return performance(configured(pu_index, frequency, 0.0), pu_index,
+                       kernel, external, &predictor);
+}
+
+double
+DesignExplorer::corunPerformanceActual(std::size_t pu_index,
+                                       const soc::KernelProfile &kernel,
+                                       MHz frequency,
+                                       GBps external) const
+{
+    return performance(configured(pu_index, frequency, 0.0), pu_index,
+                       kernel, external, nullptr);
+}
+
+DesignSelection
+DesignExplorer::selectLowest(
+    const std::vector<double> &grid, double allowed_pct,
+    const std::function<double(double)> &perf_at) const
+{
+    PCCS_ASSERT(!grid.empty(), "selection grid is empty");
+    std::vector<double> sorted = grid;
+    std::sort(sorted.begin(), sorted.end());
+
+    DesignSelection sel;
+    sel.referencePerformance = perf_at(sorted.back());
+    const double floor =
+        sel.referencePerformance * (1.0 - allowed_pct / 100.0);
+
+    sel.value = sorted.back();
+    sel.predictedPerformance = sel.referencePerformance;
+    for (double v : sorted) {
+        const double perf = perf_at(v);
+        if (perf >= floor) {
+            sel.value = v;
+            sel.predictedPerformance = perf;
+            break;
+        }
+    }
+    return sel;
+}
+
+DesignSelection
+DesignExplorer::selectFrequency(std::size_t pu_index,
+                                const soc::KernelProfile &kernel,
+                                GBps external, double allowed_slowdown_pct,
+                                const SlowdownPredictor &predictor,
+                                const std::vector<MHz> &grid) const
+{
+    return selectLowest(grid, allowed_slowdown_pct, [&](double f) {
+        return corunPerformance(pu_index, kernel, f, external, predictor);
+    });
+}
+
+DesignSelection
+DesignExplorer::selectFrequencyActual(std::size_t pu_index,
+                                      const soc::KernelProfile &kernel,
+                                      GBps external,
+                                      double allowed_slowdown_pct,
+                                      const std::vector<MHz> &grid) const
+{
+    return selectLowest(grid, allowed_slowdown_pct, [&](double f) {
+        return corunPerformanceActual(pu_index, kernel, f, external);
+    });
+}
+
+DesignSelection
+DesignExplorer::selectCoreScale(std::size_t pu_index,
+                                const soc::KernelProfile &kernel,
+                                GBps external, double allowed_slowdown_pct,
+                                const SlowdownPredictor &predictor,
+                                const std::vector<double> &grid) const
+{
+    return selectLowest(grid, allowed_slowdown_pct, [&](double s) {
+        return performance(configured(pu_index, 0.0, s), pu_index,
+                           kernel, external, &predictor);
+    });
+}
+
+} // namespace pccs::model

@@ -1,0 +1,127 @@
+#include "model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/statistics.hh"
+
+namespace pccs::model {
+
+const char *
+regionName(Region r)
+{
+    switch (r) {
+      case Region::Minor:
+        return "minor";
+      case Region::Normal:
+        return "normal";
+      case Region::Intensive:
+        return "intensive";
+    }
+    panic("unknown Region %d", static_cast<int>(r));
+}
+
+bool
+PccsParams::valid() const
+{
+    return peakBw > 0.0 && normalBw >= 0.0 &&
+           intensiveBw >= normalBw && cbp > 0.0 && tbwdc >= 0.0 &&
+           rateN >= 0.0 && (noMinorRegion() || mrmc >= 0.0);
+}
+
+bool
+PccsParams::noMinorRegion() const
+{
+    return std::isnan(mrmc);
+}
+
+PccsModel::PccsModel(const PccsParams &params, std::string display_name)
+    : params_(params), displayName_(std::move(display_name))
+{
+    PCCS_ASSERT(params_.valid(), "invalid PccsParams");
+}
+
+Region
+PccsModel::classify(GBps x) const
+{
+    if (x <= params_.normalBw)
+        return Region::Minor;
+    if (x <= params_.intensiveBw)
+        return Region::Normal;
+    return Region::Intensive;
+}
+
+double
+PccsModel::minorSpeed(GBps y) const
+{
+    // Equation 2 (external-demand form; see the file comment): the
+    // minor-region curve declines linearly to (100 - MRMC) at y = PBW.
+    const double mrmc = params_.noMinorRegion() ? 0.0 : params_.mrmc;
+    return 100.0 - mrmc * std::min(y, params_.peakBw) / params_.peakBw;
+}
+
+double
+PccsModel::normalSpeed(GBps x, GBps y) const
+{
+    // Equation 3. The three pieces: pre-contention (minor-region
+    // behavior), linear drop past TBWDC, flat past CBP. Taking the
+    // minimum with the minor-region line keeps the curve continuous
+    // and monotone at the TBWDC boundary.
+    const double minor = minorSpeed(y);
+    if (x + y <= params_.tbwdc && y <= params_.cbp)
+        return minor;
+    double reduced;
+    if (y <= params_.cbp)
+        reduced = 100.0 - (x + y - params_.tbwdc) * params_.rateN;
+    else
+        reduced =
+            100.0 - (x + params_.cbp - params_.tbwdc) * params_.rateN;
+    return std::min(minor, reduced);
+}
+
+double
+PccsModel::rateI(GBps x) const
+{
+    // Equation 4: extend the normal-region reduction reached at the
+    // contention balance point back to y = 0.
+    return params_.rateN *
+           std::max(0.0, x + params_.cbp - params_.tbwdc) / params_.cbp;
+}
+
+double
+PccsModel::intensiveSpeed(GBps x, GBps y) const
+{
+    // Equation 5. Per Eq. 4's construction, the intensive curve is the
+    // straight line from (y=0, 100%) to the normal-region reduction
+    // reached at the contention balance point, then flat: reduction
+    // starts with minimal external pressure (Fig. 3c) but the relative
+    // speed at zero external demand is 100% by definition.
+    const double rate = rateI(x);
+    const double reduced = 100.0 - std::min(y, params_.cbp) * rate;
+    return std::min(minorSpeed(y), reduced);
+}
+
+double
+PccsModel::relativeSpeed(GBps x, GBps y) const
+{
+    PCCS_ASSERT(x >= 0.0 && y >= 0.0,
+                "negative bandwidth demand (x=%f, y=%f)", x, y);
+    double rs;
+    switch (classify(x)) {
+      case Region::Minor:
+        rs = minorSpeed(y);
+        break;
+      case Region::Normal:
+        rs = normalSpeed(x, y);
+        break;
+      case Region::Intensive:
+        rs = intensiveSpeed(x, y);
+        break;
+      default:
+        rs = 100.0;
+    }
+    return clamp(rs, 0.0, 100.0);
+}
+
+} // namespace pccs::model

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The PCCS three-region interference-conscious slowdown model
+ * (Section 3.1, Equations 1-5).
+ *
+ * A kernel is classified by its standalone bandwidth demand x into the
+ * minor, normal, or intensive contention region (Eq. 1); each region
+ * has a piecewise-linear achieved-relative-speed curve in the total
+ * external demand y (Eqs. 2, 3, 5), with the intensive-region
+ * reduction rate derived from the normal-region rate (Eq. 4).
+ *
+ * Note on Eq. 2: the paper's text defines MRMC as "the maximum
+ * slowdown in the minor contention region at the largest external
+ * memory pressure" and describes the speed as dropping while the
+ * *external* demand increases, so the linear term of Eq. 2 is taken
+ * over the external demand y (the equation in the paper prints x,
+ * which would make the minor-region curve independent of the external
+ * pressure, contradicting Fig. 3a and Fig. 6).
+ */
+
+#ifndef PCCS_MODEL_MODEL_HH
+#define PCCS_MODEL_MODEL_HH
+
+#include <string>
+
+#include "pccs/predictor.hh"
+
+namespace pccs::model {
+
+/** Contention regions of Equation 1. */
+enum class Region { Minor, Normal, Intensive };
+
+/** @return display name of a region. */
+const char *regionName(Region r);
+
+/**
+ * The parameters of one PU's PCCS model (Table 4 of the paper).
+ * All bandwidths in GB/s; MRMC in percent; rateN in percent per GB/s.
+ */
+struct PccsParams
+{
+    /** Boundary between minor and normal contention regions. */
+    GBps normalBw = 0.0;
+    /** Boundary between normal and intensive contention regions. */
+    GBps intensiveBw = 0.0;
+    /**
+     * Maximum reduction of minor contention (percent) at the largest
+     * external pressure. NaN means the PU has no minor region (the
+     * paper's DLA case, Table 7); 0 external slope is then used for
+     * the (empty) minor region.
+     */
+    double mrmc = 0.0;
+    /** Contention balance point: external demand where curves go flat. */
+    GBps cbp = 0.0;
+    /** Total bandwidth demand with contention: drop-phase entry point. */
+    GBps tbwdc = 0.0;
+    /** Reduction rate in the normal region, percent per GB/s. */
+    double rateN = 0.0;
+    /** Peak bandwidth of the SoC, GB/s. */
+    GBps peakBw = 0.0;
+
+    /** @return true when all parameters are structurally sane. */
+    bool valid() const;
+
+    /** @return true if this PU has no minor region (mrmc is NaN). */
+    bool noMinorRegion() const;
+};
+
+/**
+ * The three-region PCCS slowdown model of one PU on one SoC.
+ */
+class PccsModel final : public SlowdownPredictor
+{
+  public:
+    explicit PccsModel(const PccsParams &params,
+                       std::string display_name = "PCCS");
+
+    const char *name() const override { return displayName_.c_str(); }
+
+    /** Equation 1: classify a bandwidth demand into a region. */
+    Region classify(GBps x) const;
+
+    /** Equation 4: intensive-region reduction rate for demand x. */
+    double rateI(GBps x) const;
+
+    /**
+     * Equations 2/3/5: predicted achieved relative speed (%) of a
+     * kernel with standalone demand x under external demand y.
+     */
+    double relativeSpeed(GBps x, GBps y) const override;
+
+    const PccsParams &params() const { return params_; }
+
+  private:
+    double minorSpeed(GBps y) const;
+    double normalSpeed(GBps x, GBps y) const;
+    double intensiveSpeed(GBps x, GBps y) const;
+
+    PccsParams params_;
+    std::string displayName_;
+};
+
+} // namespace pccs::model
+
+#endif // PCCS_MODEL_MODEL_HH

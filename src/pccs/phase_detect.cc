@@ -1,0 +1,163 @@
+#include "phase_detect.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/statistics.hh"
+
+namespace pccs::model {
+
+namespace {
+
+double
+windowMean(std::span<const GBps> trace, std::size_t begin,
+           std::size_t end)
+{
+    double s = 0.0;
+    for (std::size_t i = begin; i < end; ++i)
+        s += trace[i];
+    return end > begin ? s / static_cast<double>(end - begin) : 0.0;
+}
+
+bool
+sameLevel(double a, double b, double relative_shift)
+{
+    const double scale = std::max(std::fabs(a), std::fabs(b));
+    if (scale < 1e-12)
+        return true;
+    return std::fabs(a - b) <= relative_shift * scale;
+}
+
+} // namespace
+
+std::vector<DetectedPhase>
+detectPhases(std::span<const GBps> trace,
+             const PhaseDetectorOptions &opts)
+{
+    PCCS_ASSERT(!trace.empty(), "phase detection needs a trace");
+    PCCS_ASSERT(opts.window >= 1, "window must be >= 1");
+
+    // The sliding-window detector cannot resolve phases shorter than
+    // its window; anything below that is jitter by construction.
+    const std::size_t min_len =
+        std::max(opts.minPhaseLength, opts.window);
+
+    // Stage 1: change points. Where the trailing-window and
+    // leading-window means diverge beyond the relative threshold, a
+    // transition is in progress; each contiguous run of divergence
+    // yields exactly one cut, placed at its point of maximum mean
+    // shift (the true boundary).
+    std::vector<std::size_t> cuts{0};
+    const std::size_t w = std::min(opts.window, trace.size());
+    std::size_t run_best = 0;
+    double run_best_shift = 0.0;
+    bool in_run = false;
+    for (std::size_t i = w; i + w <= trace.size(); ++i) {
+        const double before = windowMean(trace, i - w, i);
+        const double after = windowMean(trace, i, i + w);
+        const bool diverged =
+            !sameLevel(before, after, opts.relativeShift);
+        const double shift = std::fabs(after - before);
+        if (diverged) {
+            if (!in_run || shift > run_best_shift) {
+                run_best = i;
+                run_best_shift = shift;
+            }
+            in_run = true;
+        } else if (in_run) {
+            if (run_best - cuts.back() >= min_len)
+                cuts.push_back(run_best);
+            in_run = false;
+            run_best_shift = 0.0;
+        }
+    }
+    if (in_run && run_best - cuts.back() >= min_len)
+        cuts.push_back(run_best);
+    cuts.push_back(trace.size());
+
+    // Stage 2: build segments, then merge adjacent segments whose
+    // means are within the threshold (jitter absorption) and segments
+    // below the minimum length.
+    std::vector<DetectedPhase> phases;
+    for (std::size_t c = 0; c + 1 < cuts.size(); ++c) {
+        DetectedPhase p;
+        p.begin = cuts[c];
+        p.end = cuts[c + 1];
+        p.meanDemand = windowMean(trace, p.begin, p.end);
+        phases.push_back(p);
+    }
+
+    auto merge_into = [&trace](DetectedPhase &dst,
+                               const DetectedPhase &src) {
+        dst.begin = std::min(dst.begin, src.begin);
+        dst.end = std::max(dst.end, src.end);
+        dst.meanDemand = windowMean(trace, dst.begin, dst.end);
+    };
+
+    bool merged = true;
+    while (merged && phases.size() > 1) {
+        merged = false;
+        for (std::size_t i = 0; i + 1 < phases.size(); ++i) {
+            const bool too_short =
+                phases[i].length() < min_len ||
+                phases[i + 1].length() < min_len;
+            if (too_short || sameLevel(phases[i].meanDemand,
+                                       phases[i + 1].meanDemand,
+                                       opts.relativeShift)) {
+                merge_into(phases[i], phases[i + 1]);
+                phases.erase(phases.begin() + i + 1);
+                merged = true;
+                break;
+            }
+        }
+        if (merged || phases.size() < 3)
+            continue;
+        // Sandwich rule: a brief excursion between two same-level
+        // phases is a blip, not a phase — its own mean is diluted by
+        // the window and may evade the pairwise merge above.
+        for (std::size_t i = 0; i + 2 < phases.size(); ++i) {
+            if (phases[i + 1].length() < 2 * w &&
+                sameLevel(phases[i].meanDemand,
+                          phases[i + 2].meanDemand,
+                          opts.relativeShift)) {
+                merge_into(phases[i], phases[i + 1]);
+                merge_into(phases[i], phases[i + 2]);
+                phases.erase(phases.begin() + i + 1,
+                             phases.begin() + i + 3);
+                merged = true;
+                break;
+            }
+        }
+    }
+    return phases;
+}
+
+std::vector<PhaseDemand>
+toPhaseDemands(const std::vector<DetectedPhase> &phases)
+{
+    PCCS_ASSERT(!phases.empty(), "no phases to convert");
+    std::size_t total = 0;
+    for (const auto &p : phases)
+        total += p.length();
+    std::vector<PhaseDemand> out;
+    out.reserve(phases.size());
+    for (const auto &p : phases) {
+        out.push_back({p.meanDemand,
+                       static_cast<double>(p.length()) /
+                           static_cast<double>(total)});
+    }
+    return out;
+}
+
+double
+predictFromTrace(const SlowdownPredictor &predictor,
+                 std::span<const GBps> trace, GBps y,
+                 const PhaseDetectorOptions &opts)
+{
+    return predictPiecewise(predictor,
+                            toPhaseDemands(detectPhases(trace, opts)),
+                            y);
+}
+
+} // namespace pccs::model

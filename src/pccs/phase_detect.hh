@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Bandwidth-trace phase detection.
+ *
+ * Section 3.2 of the paper handles multi-phase programs by dividing
+ * them into phases and predicting each phase separately; Section 4.1
+ * notes that phase detection itself "is a well-studied topic and is
+ * orthogonal to this work". This module supplies the missing piece for
+ * a usable end-to-end pipeline: given a standalone bandwidth trace
+ * (GB/s sampled at a fixed period, as produced by any profiler or by
+ * soc::traceWorkload), segment it into phases and emit the
+ * PhaseDemand list the multi-phase predictor consumes.
+ *
+ * The detector is a two-stage classic: (1) change-point detection by
+ * comparing adjacent sliding-window means against a relative
+ * threshold, (2) merging of adjacent segments whose mean demands are
+ * within the threshold (absorbing detection jitter).
+ */
+
+#ifndef PCCS_MODEL_PHASE_DETECT_HH
+#define PCCS_MODEL_PHASE_DETECT_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "pccs/phases.hh"
+
+namespace pccs::model {
+
+/** Knobs of the phase detector. */
+struct PhaseDetectorOptions
+{
+    /** Sliding-window length in samples for the local mean. */
+    std::size_t window = 8;
+    /**
+     * Relative mean-shift that starts a new phase: adjacent windows
+     * whose means differ by more than this fraction of the larger
+     * mean are considered different phases.
+     */
+    double relativeShift = 0.15;
+    /** Segments shorter than this many samples merge into neighbors. */
+    std::size_t minPhaseLength = 4;
+};
+
+/** One detected phase of a bandwidth trace. */
+struct DetectedPhase
+{
+    /** First sample index of the phase. */
+    std::size_t begin = 0;
+    /** One past the last sample index. */
+    std::size_t end = 0;
+    /** Mean bandwidth demand over the phase, GB/s. */
+    GBps meanDemand = 0.0;
+
+    std::size_t length() const { return end - begin; }
+};
+
+/**
+ * Segment a standalone bandwidth trace into phases.
+ *
+ * @param trace bandwidth samples in GB/s at a fixed sampling period
+ * @param opts detector knobs
+ * @return non-empty, contiguous, ordered phase list covering the trace
+ */
+std::vector<DetectedPhase> detectPhases(
+    std::span<const GBps> trace, const PhaseDetectorOptions &opts = {});
+
+/**
+ * Convert detected phases into the multi-phase predictor's input:
+ * time shares are the phases' sample-count fractions (the trace is
+ * sampled uniformly in time).
+ */
+std::vector<PhaseDemand> toPhaseDemands(
+    const std::vector<DetectedPhase> &phases);
+
+/**
+ * Convenience: detect phases in a trace and predict the program-level
+ * relative speed under external demand y using the piecewise method.
+ */
+double predictFromTrace(const SlowdownPredictor &predictor,
+                        std::span<const GBps> trace, GBps y,
+                        const PhaseDetectorOptions &opts = {});
+
+} // namespace pccs::model
+
+#endif // PCCS_MODEL_PHASE_DETECT_HH

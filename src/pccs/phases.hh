@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Multi-phase program prediction (Section 3.2, "Handling multi-phase
+ * programs", demonstrated on CFD in Section 4.1).
+ *
+ * A program with phase shifts is predicted per phase — each phase has
+ * its own standalone bandwidth demand — and the per-phase predictions
+ * are aggregated by each phase's share of the standalone execution
+ * time. Aggregation is time-correct: the co-run time of a phase with
+ * standalone share w and relative speed RS is w / RS, so the
+ * program-level relative speed is the weighted harmonic mean.
+ *
+ * The average-bandwidth alternative (feed the time-weighted mean
+ * demand to the model) is provided for the Figure 13(a) ablation.
+ */
+
+#ifndef PCCS_MODEL_PHASES_HH
+#define PCCS_MODEL_PHASES_HH
+
+#include <vector>
+
+#include "pccs/predictor.hh"
+
+namespace pccs::model {
+
+/** One phase as the predictor sees it. */
+struct PhaseDemand
+{
+    /** Standalone bandwidth demand of the phase, GB/s. */
+    GBps demand = 0.0;
+    /** Fraction of standalone execution time spent in the phase. */
+    double timeShare = 0.0;
+};
+
+/**
+ * Piecewise (per-phase) prediction: predict each phase and aggregate
+ * by standalone time share (the Figure 13(b) method).
+ *
+ * @return program-level achieved relative speed, percent
+ */
+double predictPiecewise(const SlowdownPredictor &predictor,
+                        const std::vector<PhaseDemand> &phases, GBps y);
+
+/**
+ * Average-bandwidth prediction: feed the time-weighted mean demand to
+ * the model (the Figure 13(a) method, shown by the paper to
+ * underestimate slowdown).
+ */
+double predictAverageBw(const SlowdownPredictor &predictor,
+                        const std::vector<PhaseDemand> &phases, GBps y);
+
+} // namespace pccs::model
+
+#endif // PCCS_MODEL_PHASES_HH

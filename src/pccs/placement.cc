@@ -1,0 +1,135 @@
+#include "placement.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pccs::model {
+
+namespace {
+
+/** Characterize one workload on one PU: phase demands + solo time. */
+struct TaskOnPu
+{
+    std::vector<PhaseDemand> phases;
+    double soloSeconds = 0.0;
+    bool feasible = false;
+};
+
+TaskOnPu
+characterize(const soc::SocSimulator &sim, std::size_t pu,
+             const soc::PhasedWorkload &w)
+{
+    TaskOnPu t;
+    if (w.phases.empty())
+        return t;
+    double total = 0.0;
+    for (const auto &ph : w.phases)
+        total += sim.profile(pu, ph).seconds;
+    for (const auto &ph : w.phases) {
+        const auto prof = sim.profile(pu, ph);
+        t.phases.push_back(
+            {prof.bandwidthDemand, prof.seconds / total});
+    }
+    t.soloSeconds = total;
+    t.feasible = true;
+    return t;
+}
+
+} // namespace
+
+std::vector<PlacementChoice>
+enumeratePlacements(const soc::SocSimulator &sim,
+                    const std::vector<const SlowdownPredictor *> &models,
+                    const std::vector<PlacementTask> &tasks,
+                    PlacementObjective objective)
+{
+    const std::size_t num_pus = sim.config().pus.size();
+    PCCS_ASSERT(models.size() == num_pus,
+                "need one model per PU (%zu given, %zu PUs)",
+                models.size(), num_pus);
+    PCCS_ASSERT(!tasks.empty() && tasks.size() <= num_pus,
+                "placeable task count must be in [1, #PUs]");
+    for (const auto &t : tasks) {
+        PCCS_ASSERT(t.options.size() == num_pus,
+                    "task '%s' needs one option slot per PU",
+                    t.name.c_str());
+    }
+
+    // Pre-characterize every feasible (task, pu) pair.
+    std::vector<std::vector<TaskOnPu>> on(tasks.size());
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+        on[t].resize(num_pus);
+        for (std::size_t p = 0; p < num_pus; ++p)
+            on[t][p] = characterize(sim, p, tasks[t].options[p]);
+    }
+
+    // Enumerate injective assignments task -> PU via permutations of
+    // PU indices (the unused tail is ignored).
+    std::vector<std::size_t> perm(num_pus);
+    for (std::size_t p = 0; p < num_pus; ++p)
+        perm[p] = p;
+    std::sort(perm.begin(), perm.end());
+
+    std::vector<PlacementChoice> choices;
+    std::vector<std::vector<std::size_t>> seen;
+    do {
+        std::vector<std::size_t> assign(perm.begin(),
+                                        perm.begin() + tasks.size());
+        // Permutations of the unused tail repeat the same head.
+        if (std::find(seen.begin(), seen.end(), assign) != seen.end())
+            continue;
+        seen.push_back(assign);
+
+        bool feasible = true;
+        for (std::size_t t = 0; t < tasks.size() && feasible; ++t)
+            feasible = on[t][assign[t]].feasible;
+        if (!feasible)
+            continue;
+
+        std::vector<CorunInput> inputs(tasks.size());
+        for (std::size_t t = 0; t < tasks.size(); ++t) {
+            inputs[t].model = models[assign[t]];
+            inputs[t].phases = on[t][assign[t]].phases;
+        }
+        const std::vector<double> rs = predictCorun(inputs);
+
+        PlacementChoice c;
+        c.puAssignment = assign;
+        c.relativeSpeed = rs;
+        double worst_rs = 1e300;
+        double makespan = 0.0;
+        for (std::size_t t = 0; t < tasks.size(); ++t) {
+            const double corun_s =
+                on[t][assign[t]].soloSeconds / (rs[t] / 100.0);
+            c.corunSeconds.push_back(corun_s);
+            worst_rs = std::min(worst_rs, rs[t]);
+            makespan = std::max(makespan, corun_s);
+        }
+        c.score = objective == PlacementObjective::MaxMinRelativeSpeed
+                      ? worst_rs
+                      : -makespan;
+        choices.push_back(std::move(c));
+    } while (std::next_permutation(perm.begin(), perm.end()));
+
+    std::sort(choices.begin(), choices.end(),
+              [](const PlacementChoice &a, const PlacementChoice &b) {
+                  return a.score > b.score;
+              });
+    return choices;
+}
+
+PlacementChoice
+bestPlacement(const soc::SocSimulator &sim,
+              const std::vector<const SlowdownPredictor *> &models,
+              const std::vector<PlacementTask> &tasks,
+              PlacementObjective objective)
+{
+    const auto choices =
+        enumeratePlacements(sim, models, tasks, objective);
+    if (choices.empty())
+        fatal("no feasible task-to-PU placement exists");
+    return choices.front();
+}
+
+} // namespace pccs::model

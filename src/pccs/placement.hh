@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Kernel-to-PU placement optimization (the Figure 7 workflow of the
+ * paper: "a task placement scheme for an application indicates a
+ * mapping of kernels K1 and K2 to PUs in a system"; PCCS supplies the
+ * co-run slowdowns that let designers compare placements without
+ * running them).
+ *
+ * Given a set of tasks (each with per-PU-kind implementations), a set
+ * of per-PU slowdown models, and the standalone profiles of every
+ * task-on-PU option, the optimizer enumerates the injective
+ * assignments of tasks to PUs and scores each with the co-run
+ * predictor. Two objectives are provided: maximize the worst per-task
+ * relative speed (pipelines) or minimize the predicted makespan
+ * (batch jobs).
+ */
+
+#ifndef PCCS_MODEL_PLACEMENT_HH
+#define PCCS_MODEL_PLACEMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "pccs/corun.hh"
+#include "soc/simulator.hh"
+
+namespace pccs::model {
+
+/** One schedulable task with its per-PU implementation options. */
+struct PlacementTask
+{
+    std::string name;
+    /**
+     * One entry per PU of the SoC (parallel to SocConfig::pus); an
+     * empty phase list marks the PU as unable to run this task
+     * (e.g., Rodinia kernels have no DLA implementation).
+     */
+    std::vector<soc::PhasedWorkload> options;
+};
+
+/** Objective of the placement search. */
+enum class PlacementObjective
+{
+    /** Maximize the minimum per-task relative speed (pipelines). */
+    MaxMinRelativeSpeed,
+    /** Minimize the predicted completion time of the slowest task. */
+    MinMakespan,
+};
+
+/** One scored assignment. */
+struct PlacementChoice
+{
+    /** puAssignment[t] = PU index running task t. */
+    std::vector<std::size_t> puAssignment;
+    /** Predicted relative speed per task, %. */
+    std::vector<double> relativeSpeed;
+    /** Predicted co-run completion time per task, seconds. */
+    std::vector<double> corunSeconds;
+    /** The objective value (higher is better for both objectives). */
+    double score = 0.0;
+};
+
+/**
+ * Enumerate and score all feasible injective task-to-PU assignments.
+ *
+ * @param sim the SoC (used for standalone profiling)
+ * @param models one slowdown model per PU (parallel to the PU list)
+ * @param tasks the tasks to place (at most as many as there are PUs)
+ * @param objective the ranking criterion
+ * @return all feasible choices, best first; empty if none feasible
+ */
+std::vector<PlacementChoice> enumeratePlacements(
+    const soc::SocSimulator &sim,
+    const std::vector<const SlowdownPredictor *> &models,
+    const std::vector<PlacementTask> &tasks,
+    PlacementObjective objective = PlacementObjective::MaxMinRelativeSpeed);
+
+/** Convenience: the best placement only; fatal when none feasible. */
+PlacementChoice bestPlacement(
+    const soc::SocSimulator &sim,
+    const std::vector<const SlowdownPredictor *> &models,
+    const std::vector<PlacementTask> &tasks,
+    PlacementObjective objective = PlacementObjective::MaxMinRelativeSpeed);
+
+} // namespace pccs::model
+
+#endif // PCCS_MODEL_PLACEMENT_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Power modeling and power-budgeted design exploration.
+ *
+ * Section 5 of the paper: "In SoC design, our current model could
+ * potentially work with power budgeting by predicting the co-run
+ * performance under each given power budget." This module implements
+ * that workflow: a standard frequency-cubed dynamic power model per
+ * PU, and an explorer that searches per-PU clock assignments
+ * maximizing the worst co-run performance subject to a total power
+ * budget, with the slowdown predicted by PCCS (or any
+ * SlowdownPredictor).
+ */
+
+#ifndef PCCS_MODEL_POWER_HH
+#define PCCS_MODEL_POWER_HH
+
+#include <vector>
+
+#include "pccs/predictor.hh"
+#include "soc/simulator.hh"
+
+namespace pccs::model {
+
+/** Power characteristics of one PU. */
+struct PowerParams
+{
+    /** Dynamic power at the maximum clock with all cores, watts. */
+    double dynamicWatts = 10.0;
+    /** Leakage / always-on power, watts. */
+    double staticWatts = 1.0;
+    /**
+     * Exponent of the dynamic-power frequency dependence. With
+     * voltage scaled alongside frequency (DVFS), P_dyn ~ C V^2 f ~
+     * f^3; fixed-voltage scaling would use 1.
+     */
+    double frequencyExponent = 3.0;
+};
+
+/**
+ * @return PU power in watts at clock `frequency` (its nominal clock
+ * is `max_frequency`), with `core_scale` of its cores powered.
+ */
+double puPower(const PowerParams &power, MHz frequency,
+               MHz max_frequency, double core_scale = 1.0);
+
+/** A power-budgeted frequency-assignment problem. */
+struct PowerBudgetProblem
+{
+    soc::SocConfig soc;
+    /** One kernel per PU (parallel to soc.pus). */
+    std::vector<soc::KernelProfile> kernels;
+    /** One slowdown model per PU (parallel to soc.pus; not owned). */
+    std::vector<const SlowdownPredictor *> models;
+    /** Candidate clock grid per PU, MHz (parallel to soc.pus). */
+    std::vector<std::vector<MHz>> grids;
+    /** Power characteristics per PU (parallel to soc.pus). */
+    std::vector<PowerParams> power;
+    /** Total SoC power budget, watts. */
+    double budgetWatts = 0.0;
+};
+
+/** Result of a power-budgeted exploration. */
+struct PowerBudgetResult
+{
+    /** Selected clock per PU, MHz; empty when nothing fits. */
+    std::vector<MHz> frequencies;
+    /** Total power of the selection, watts. */
+    double totalWatts = 0.0;
+    /**
+     * The objective: the minimum, over PUs, of the predicted co-run
+     * performance relative to the full-clock *standalone*
+     * performance, in percent.
+     */
+    double worstRelativePerformance = 0.0;
+    /** Per-PU relative performance of the selection, percent. */
+    std::vector<double> relativePerformance;
+};
+
+/**
+ * Exhaustively search the clock grids for the assignment that
+ * maximizes the worst per-PU predicted co-run performance while the
+ * total power stays within the budget.
+ *
+ * Performance of PU i at clocks (f_1..f_n): its standalone rate at
+ * f_i times the predicted relative speed under the other PUs' total
+ * standalone demand, normalized by its standalone rate at its
+ * maximum clock.
+ */
+PowerBudgetResult explorePowerBudget(const PowerBudgetProblem &problem);
+
+} // namespace pccs::model
+
+#endif // PCCS_MODEL_POWER_HH

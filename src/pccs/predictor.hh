@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The common slowdown-predictor interface.
+ *
+ * A slowdown predictor maps (x = the kernel's standalone bandwidth
+ * demand on the current PU, y = total external bandwidth demand) to
+ * the achieved relative speed in percent. Both PCCS and the Gables
+ * baseline implement it, so evaluation harnesses and the design-space
+ * explorer can treat them interchangeably.
+ */
+
+#ifndef PCCS_MODEL_PREDICTOR_HH
+#define PCCS_MODEL_PREDICTOR_HH
+
+#include "common/units.hh"
+
+namespace pccs::model {
+
+/** Interface of per-PU co-run slowdown predictors. */
+class SlowdownPredictor
+{
+  public:
+    virtual ~SlowdownPredictor() = default;
+
+    /** @return the predictor's display name. */
+    virtual const char *name() const = 0;
+
+    /**
+     * Predict the achieved relative speed.
+     *
+     * @param x standalone bandwidth demand of the kernel on this PU,
+     *          GB/s
+     * @param y total external bandwidth demand from other PUs, GB/s
+     * @return predicted achieved relative speed in percent (0..100]
+     */
+    virtual double relativeSpeed(GBps x, GBps y) const = 0;
+
+    /** Predicted slowdown factor (>= 1): standalone / co-run speed. */
+    double slowdownFactor(GBps x, GBps y) const
+    {
+        const double rs = relativeSpeed(x, y);
+        return rs > 0.0 ? 100.0 / rs : 1e9;
+    }
+};
+
+} // namespace pccs::model
+
+#endif // PCCS_MODEL_PREDICTOR_HH

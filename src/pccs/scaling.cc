@@ -1,0 +1,62 @@
+#include "scaling.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pccs::model {
+
+PccsParams
+scaleParams(const PccsParams &params, double ratio)
+{
+    PCCS_ASSERT(ratio > 0.0, "bandwidth ratio must be positive");
+    PccsParams s = params;
+    s.normalBw = params.normalBw * ratio;
+    s.intensiveBw = params.intensiveBw * ratio;
+    s.cbp = params.cbp * ratio;
+    s.tbwdc = params.tbwdc * ratio;
+    s.peakBw = params.peakBw * ratio;
+    // MRMC is a percentage at the (scaled) largest pressure: the curve
+    // shape is preserved, so the value carries over unchanged.
+    s.mrmc = params.mrmc;
+    // rateN is percent per GB/s: the same reduction now spreads over a
+    // bandwidth range scaled by `ratio`.
+    s.rateN = params.rateN / ratio;
+    return s;
+}
+
+namespace {
+
+double
+relErr(double a, double b)
+{
+    if (std::isnan(a) || std::isnan(b))
+        return (std::isnan(a) && std::isnan(b)) ? 0.0 : 100.0;
+    const double denom = std::fabs(b);
+    if (denom < 1e-12)
+        return std::fabs(a) < 1e-12 ? 0.0 : 100.0;
+    return 100.0 * std::fabs(a - b) / denom;
+}
+
+} // namespace
+
+ScalingError
+compareParams(const PccsParams &scaled, const PccsParams &constructed)
+{
+    ScalingError e;
+    e.normalBw = relErr(scaled.normalBw, constructed.normalBw);
+    e.intensiveBw = relErr(scaled.intensiveBw, constructed.intensiveBw);
+    e.mrmc = relErr(scaled.mrmc, constructed.mrmc);
+    e.cbp = relErr(scaled.cbp, constructed.cbp);
+    e.tbwdc = relErr(scaled.tbwdc, constructed.tbwdc);
+    e.rateN = relErr(scaled.rateN, constructed.rateN);
+    return e;
+}
+
+double
+ScalingError::average() const
+{
+    return (normalBw + intensiveBw + mrmc + cbp + tbwdc + rateN) / 6.0;
+}
+
+} // namespace pccs::model

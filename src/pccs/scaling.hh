@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Linear bandwidth scaling of PCCS parameters (Section 3.3).
+ *
+ * When the memory subsystem's theoretical bandwidth changes by an
+ * incremental amount (I/O clock or channel-count change, same memory
+ * technology), the bandwidth-valued PCCS parameters scale linearly
+ * with the bandwidth ratio, and the reduction rates — percent per
+ * GB/s — scale inversely, so the same total reduction spreads over
+ * the scaled bandwidth range. No re-calibration is needed.
+ */
+
+#ifndef PCCS_MODEL_SCALING_HH
+#define PCCS_MODEL_SCALING_HH
+
+#include "pccs/model.hh"
+
+namespace pccs::model {
+
+/**
+ * Scale a PCCS parameter set to a new memory bandwidth.
+ *
+ * @param params model built at the original memory configuration
+ * @param ratio  new theoretical bandwidth / original theoretical
+ *               bandwidth (e.g., 1066/2133 for halving the clock)
+ * @return the scaled parameter set
+ */
+PccsParams scaleParams(const PccsParams &params, double ratio);
+
+/**
+ * Per-parameter relative differences between a scaled model and a
+ * model constructed from scratch at the target configuration
+ * (the Table 5 comparison).
+ */
+struct ScalingError
+{
+    double normalBw = 0.0;
+    double intensiveBw = 0.0;
+    double mrmc = 0.0;
+    double cbp = 0.0;
+    double tbwdc = 0.0;
+    double rateN = 0.0;
+
+    /** @return the mean of the six component errors. */
+    double average() const;
+};
+
+/** Relative errors (in percent) of `scaled` against `constructed`. */
+ScalingError compareParams(const PccsParams &scaled,
+                           const PccsParams &constructed);
+
+} // namespace pccs::model
+
+#endif // PCCS_MODEL_SCALING_HH

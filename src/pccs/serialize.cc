@@ -1,0 +1,129 @@
+#include "serialize.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pccs::model {
+
+std::string
+paramsToText(const PccsParams &params)
+{
+    std::ostringstream os;
+    os << "pccs-model v1\n";
+    char buf[64];
+    auto emit = [&](const char *key, double v) {
+        if (std::isnan(v)) {
+            os << key << " NA\n";
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.17g", v);
+            os << key << " " << buf << "\n";
+        }
+    };
+    emit("normalBw", params.normalBw);
+    emit("intensiveBw", params.intensiveBw);
+    emit("mrmc", params.mrmc);
+    emit("cbp", params.cbp);
+    emit("tbwdc", params.tbwdc);
+    emit("rateN", params.rateN);
+    emit("peakBw", params.peakBw);
+    return os.str();
+}
+
+std::optional<PccsParams>
+paramsFromText(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string header, version;
+    is >> header >> version;
+    if (header != "pccs-model" || version != "v1") {
+        warn("pccs model text: bad header '%s %s'", header.c_str(),
+             version.c_str());
+        return std::nullopt;
+    }
+
+    std::map<std::string, double> values;
+    std::string line;
+    std::getline(is, line); // consume the header remainder
+    while (std::getline(is, line)) {
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream ls(line);
+        std::string key, value;
+        if (!(ls >> key >> value))
+            continue; // blank or comment-only line
+        if (value == "NA") {
+            values[key] = std::numeric_limits<double>::quiet_NaN();
+        } else {
+            try {
+                values[key] = std::stod(value);
+            } catch (const std::exception &) {
+                warn("pccs model text: bad value '%s' for key '%s'",
+                     value.c_str(), key.c_str());
+                return std::nullopt;
+            }
+        }
+    }
+
+    PccsParams p;
+    struct Field
+    {
+        const char *key;
+        double PccsParams::*member;
+    };
+    static const Field fields[] = {
+        {"normalBw", &PccsParams::normalBw},
+        {"intensiveBw", &PccsParams::intensiveBw},
+        {"mrmc", &PccsParams::mrmc},
+        {"cbp", &PccsParams::cbp},
+        {"tbwdc", &PccsParams::tbwdc},
+        {"rateN", &PccsParams::rateN},
+        {"peakBw", &PccsParams::peakBw},
+    };
+    for (const Field &f : fields) {
+        auto it = values.find(f.key);
+        if (it == values.end()) {
+            warn("pccs model text: missing key '%s'", f.key);
+            return std::nullopt;
+        }
+        p.*(f.member) = it->second;
+    }
+    if (!p.valid()) {
+        warn("pccs model text: parameters fail validation");
+        return std::nullopt;
+    }
+    return p;
+}
+
+void
+saveParams(const PccsParams &params, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    out << paramsToText(params);
+    if (!out)
+        fatal("failed writing model to '%s'", path.c_str());
+}
+
+PccsParams
+loadParams(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open model file '%s'", path.c_str());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const auto params = paramsFromText(buffer.str());
+    if (!params)
+        fatal("model file '%s' is malformed", path.c_str());
+    return *params;
+}
+
+} // namespace pccs::model

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Plain-text serialization of PCCS model parameters.
+ *
+ * The processor-centric methodology's selling point is calibrate-once,
+ * predict-forever: a model built on one board (or one simulator
+ * configuration) is reused across arbitrary workloads and, via linear
+ * scaling, across memory configurations. Persisting the handful of
+ * parameters makes that workflow practical — the CLI and downstream
+ * tools exchange models as small text files.
+ *
+ * Format (one key/value pair per line, '#' comments allowed):
+ *
+ *     pccs-model v1
+ *     normalBw 38.1
+ *     intensiveBw 96.2
+ *     mrmc 4.9          # or "NA" when the PU has no minor region
+ *     cbp 45.3
+ *     tbwdc 87.2
+ *     rateN 1.11
+ *     peakBw 137.0
+ */
+
+#ifndef PCCS_MODEL_SERIALIZE_HH
+#define PCCS_MODEL_SERIALIZE_HH
+
+#include <optional>
+#include <string>
+
+#include "pccs/model.hh"
+
+namespace pccs::model {
+
+/** Render parameters in the textual model format. */
+std::string paramsToText(const PccsParams &params);
+
+/**
+ * Parse the textual model format.
+ * @return the parameters, or std::nullopt with a warning when the
+ *         text is malformed or parameters are invalid
+ */
+std::optional<PccsParams> paramsFromText(const std::string &text);
+
+/** Write parameters to a file; fatal on I/O failure. */
+void saveParams(const PccsParams &params, const std::string &path);
+
+/** Read parameters from a file; fatal on I/O or parse failure. */
+PccsParams loadParams(const std::string &path);
+
+} // namespace pccs::model
+
+#endif // PCCS_MODEL_SERIALIZE_HH

@@ -1,0 +1,124 @@
+#include "builder.hh"
+
+#include "common/logging.hh"
+
+namespace pccs::soc {
+
+PuParams
+puTemplate(PuKind kind)
+{
+    // Characteristic values of the calibrated Xavier-class presets;
+    // sizing fields (clock, flops, bandwidths) are left for the
+    // builder's arguments.
+    PuParams p;
+    p.kind = kind;
+    switch (kind) {
+      case PuKind::Cpu:
+        p.overlap = 0.95;
+        p.latencySensitivity = 0.06;
+        p.fairShareWeight = 1.1;
+        break;
+      case PuKind::Gpu:
+        p.overlap = 0.97;
+        p.latencySensitivity = 0.06;
+        p.fairShareWeight = 1.0;
+        break;
+      case PuKind::Dla:
+        p.overlap = 0.60;
+        p.latencySensitivity = 0.70;
+        p.fairShareWeight = 0.8;
+        break;
+    }
+    return p;
+}
+
+SocBuilder::SocBuilder(std::string name)
+{
+    config_.name = std::move(name);
+}
+
+SocBuilder &
+SocBuilder::memory(GBps peak_bandwidth)
+{
+    PCCS_ASSERT(peak_bandwidth > 0.0, "peak bandwidth must be > 0");
+    MemoryParams m = xavierLike().memory; // calibrated efficiency knobs
+    m.peakBandwidth = peak_bandwidth;
+    return memory(m);
+}
+
+SocBuilder &
+SocBuilder::memory(const MemoryParams &params)
+{
+    config_.memory = params;
+    memorySet_ = true;
+    return *this;
+}
+
+SocBuilder &
+SocBuilder::add(PuKind kind, const std::string &name, MHz frequency,
+                double flops_per_cycle, GBps interface_bw,
+                GBps issue_bw, double default_issue_ratio)
+{
+    PCCS_ASSERT(frequency > 0.0 && flops_per_cycle > 0.0 &&
+                    interface_bw > 0.0,
+                "PU '%s' needs positive sizing parameters",
+                name.c_str());
+    PuParams p = puTemplate(kind);
+    p.name = name;
+    p.frequency = p.maxFrequency = frequency;
+    p.flopsPerCycle = flops_per_cycle;
+    p.interfaceBandwidth = interface_bw;
+    p.issueBandwidth =
+        issue_bw > 0.0 ? issue_bw : default_issue_ratio * interface_bw;
+    config_.pus.push_back(p);
+    return *this;
+}
+
+SocBuilder &
+SocBuilder::addCpu(const std::string &name, MHz frequency,
+                   double flops_per_cycle, GBps interface_bw,
+                   GBps issue_bw)
+{
+    return add(PuKind::Cpu, name, frequency, flops_per_cycle,
+               interface_bw, issue_bw, 105.0 / 93.0);
+}
+
+SocBuilder &
+SocBuilder::addGpu(const std::string &name, MHz frequency,
+                   double flops_per_cycle, GBps interface_bw,
+                   GBps issue_bw)
+{
+    return add(PuKind::Gpu, name, frequency, flops_per_cycle,
+               interface_bw, issue_bw, 194.0 / 127.0);
+}
+
+SocBuilder &
+SocBuilder::addDla(const std::string &name, MHz frequency,
+                   double flops_per_cycle, GBps interface_bw,
+                   GBps issue_bw)
+{
+    return add(PuKind::Dla, name, frequency, flops_per_cycle,
+               interface_bw, issue_bw, 34.0 / 30.0);
+}
+
+SocBuilder &
+SocBuilder::addPu(const PuParams &pu)
+{
+    PCCS_ASSERT(!pu.name.empty(), "PU needs a name");
+    config_.pus.push_back(pu);
+    return *this;
+}
+
+SocConfig
+SocBuilder::build() const
+{
+    if (!memorySet_)
+        fatal("SoC '%s': memory subsystem not configured",
+              config_.name.c_str());
+    if (config_.pus.empty())
+        fatal("SoC '%s': no processing units added",
+              config_.name.c_str());
+    return config_;
+}
+
+} // namespace pccs::soc

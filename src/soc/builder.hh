@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fluent construction of custom SoC configurations — the Figure 1
+ * design questions ("what PUs should be put onto the SoC, how many
+ * cores of each, what frequencies, what total memory bandwidth")
+ * expressed as an API. Kind-specific templates carry the
+ * characteristic contention behavior of each PU class (latency
+ * hiding, fairness weight), so a designer only specifies the sizing
+ * knobs.
+ */
+
+#ifndef PCCS_SOC_BUILDER_HH
+#define PCCS_SOC_BUILDER_HH
+
+#include <string>
+
+#include "soc/soc_config.hh"
+
+namespace pccs::soc {
+
+/**
+ * Characteristic (sizing-independent) parameters of a PU class:
+ * compute/memory overlap, latency sensitivity, and fairness weight,
+ * taken from the calibrated Xavier-class presets.
+ */
+PuParams puTemplate(PuKind kind);
+
+/** Fluent builder for SocConfig. */
+class SocBuilder
+{
+  public:
+    explicit SocBuilder(std::string name);
+
+    /** Set the memory subsystem from its peak bandwidth (GB/s). */
+    SocBuilder &memory(GBps peak_bandwidth);
+
+    /** Full control over the memory subsystem. */
+    SocBuilder &memory(const MemoryParams &params);
+
+    /**
+     * Add a CPU cluster.
+     * @param name display name
+     * @param frequency clock, MHz
+     * @param flops_per_cycle aggregate flops per clock
+     * @param interface_bw memory-interface cap, GB/s
+     * @param issue_bw load-issue capability at this clock's maximum,
+     *        GB/s (defaults to 1.13x the interface, the Xavier ratio)
+     */
+    SocBuilder &addCpu(const std::string &name, MHz frequency,
+                       double flops_per_cycle, GBps interface_bw,
+                       GBps issue_bw = 0.0);
+
+    /** Add a GPU (issue default: 1.53x the interface). */
+    SocBuilder &addGpu(const std::string &name, MHz frequency,
+                       double flops_per_cycle, GBps interface_bw,
+                       GBps issue_bw = 0.0);
+
+    /** Add a DLA-class accelerator (issue default: 1.13x). */
+    SocBuilder &addDla(const std::string &name, MHz frequency,
+                       double flops_per_cycle, GBps interface_bw,
+                       GBps issue_bw = 0.0);
+
+    /** Add a fully specified PU. */
+    SocBuilder &addPu(const PuParams &pu);
+
+    /** Validate and return the configuration; fatal when invalid. */
+    SocConfig build() const;
+
+  private:
+    SocBuilder &add(PuKind kind, const std::string &name,
+                    MHz frequency, double flops_per_cycle,
+                    GBps interface_bw, GBps issue_bw,
+                    double default_issue_ratio);
+
+    SocConfig config_;
+    bool memorySet_ = false;
+};
+
+} // namespace pccs::soc
+
+#endif // PCCS_SOC_BUILDER_HH

@@ -1,0 +1,138 @@
+#include "exec_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pccs::soc {
+
+ExecutionModel::ExecutionModel(const MemoryParams &mem) : mem_(mem) {}
+
+double
+ExecutionModel::rate(const PuParams &pu, const KernelProfile &kernel,
+                     GBps grant, double interference) const
+{
+    const double compute = pu.computeGflops() * 1e9; // flops/s
+    PCCS_ASSERT(compute > 0.0, "PU %s has no compute throughput",
+                pu.name.c_str());
+    const double t_c = kernel.intensity / compute; // s per byte
+
+    // Solo memory service rate: the PU's draw capability bounded by
+    // what the memory system delivers to a single source with this
+    // stream's row locality.
+    std::vector<BandwidthDemand> solo{
+        {1.0, kernel.locality, pu.fairShareWeight}};
+    const double service =
+        std::min(pu.drawBandwidth() * bytesPerGB,
+                 mem_.effectiveBandwidth(solo) * bytesPerGB);
+    const double t_m = 1.0 / service; // s per byte, standalone
+
+    // Base time per byte with compute/memory overlap.
+    const double t_base = std::max(t_c, t_m) +
+                          (1.0 - pu.overlap) * std::min(t_c, t_m);
+
+    // Queueing-latency inflation: interference (the fraction of
+    // effective bandwidth served to *other* sources) lengthens every
+    // access of this PU's stream, pacing the whole kernel — the
+    // per-PU latency sensitivity encodes how much of that inflation
+    // the PU's parallelism hides. The inflation is independent of the
+    // kernel's own demand, matching the observation that the paper's
+    // minor-region slope (MRMC) is a per-PU constant.
+    const double inflation = 1.0 + pu.latencySensitivity *
+                                       mem_.params().latencyLoad *
+                                       interference;
+
+    // Bandwidth constraint: progress can never outrun the granted
+    // bandwidth. Unconstrained kernels have grant == demand, where
+    // 1/grant == t_base and the latency path dominates.
+    double t = t_base * inflation;
+    if (grant > 0.0)
+        t = std::max(t, 1.0 / (grant * bytesPerGB));
+    return 1.0 / t; // bytes per second
+}
+
+GBps
+ExecutionModel::rawDemand(const PuParams &pu,
+                          const KernelProfile &kernel) const
+{
+    return rate(pu, kernel, 0.0, 0.0) / bytesPerGB;
+}
+
+StandaloneProfile
+ExecutionModel::standalone(const PuParams &pu,
+                           const KernelProfile &kernel) const
+{
+    // Standalone there is no interference and the grant equals the
+    // demand, so the achieved rate is the unconstrained rate directly.
+    StandaloneProfile prof;
+    prof.rate = rate(pu, kernel, 0.0, 0.0);
+    prof.bandwidthDemand = prof.rate / bytesPerGB;
+    prof.seconds =
+        prof.rate > 0.0 ? kernel.workBytes / prof.rate : 0.0;
+    return prof;
+}
+
+CorunRates
+ExecutionModel::corun(const std::vector<PuParams> &pus,
+                      const std::vector<KernelProfile> &kernels) const
+{
+    PCCS_ASSERT(pus.size() == kernels.size(),
+                "corun: %zu PUs vs %zu kernels", pus.size(),
+                kernels.size());
+    std::vector<BandwidthDemand> demands;
+    demands.reserve(pus.size());
+    for (std::size_t i = 0; i < pus.size(); ++i) {
+        const StandaloneProfile solo = standalone(pus[i], kernels[i]);
+        demands.push_back({solo.bandwidthDemand, kernels[i].locality,
+                           pus[i].fairShareWeight});
+    }
+
+    CorunRates result;
+    result.allocation = mem_.allocate(demands);
+    double served = 0.0;
+    for (GBps g : result.allocation.grants)
+        served += g;
+
+    result.rates.reserve(pus.size());
+    for (std::size_t i = 0; i < pus.size(); ++i) {
+        const double interference =
+            result.allocation.effectiveBandwidth > 0.0
+                ? (served - result.allocation.grants[i]) /
+                      result.allocation.effectiveBandwidth
+                : 0.0;
+        result.rates.push_back(rate(pus[i], kernels[i],
+                                    result.allocation.grants[i],
+                                    interference));
+    }
+    return result;
+}
+
+double
+ExecutionModel::relativeSpeed(
+    const PuParams &pu, const KernelProfile &kernel,
+    const std::vector<BandwidthDemand> &external) const
+{
+    const StandaloneProfile solo = standalone(pu, kernel);
+
+    std::vector<BandwidthDemand> demands;
+    demands.reserve(external.size() + 1);
+    demands.push_back(
+        {solo.bandwidthDemand, kernel.locality, pu.fairShareWeight});
+    for (const auto &e : external)
+        demands.push_back(e);
+
+    const AllocationResult alloc = mem_.allocate(demands);
+    double served = 0.0;
+    for (GBps g : alloc.grants)
+        served += g;
+    const double interference =
+        alloc.effectiveBandwidth > 0.0
+            ? (served - alloc.grants[0]) / alloc.effectiveBandwidth
+            : 0.0;
+    const double corun_rate =
+        rate(pu, kernel, alloc.grants[0], interference);
+    return solo.rate > 0.0 ? 100.0 * corun_rate / solo.rate : 0.0;
+}
+
+} // namespace pccs::soc

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The PU execution model: converts a kernel profile, a PU description,
+ * and a memory-bandwidth grant into an execution rate.
+ *
+ * Per DRAM byte of work, the kernel spends t_c = I / C seconds of
+ * compute and t_m = 1 / S seconds of memory service (S = the PU's
+ * draw capability bounded by the memory system's single-source
+ * effective bandwidth); the two overlap according to the PU's overlap
+ * quality o:
+ *
+ *     t_base = max(t_c, t_m) + (1 - o) * min(t_c, t_m)
+ *
+ * Under contention two independent effects add:
+ *
+ *  - queueing-latency inflation, proportional to the interference
+ *    phi (the share of effective bandwidth served to *other* sources)
+ *    and to the latency-exposed time (t_m + (1 - o) * t_c):
+ *        stall = eta * latencyLoad * phi * (t_m + (1 - o) * t_c)
+ *  - the fairness allocation's bandwidth grant G, a hard progress
+ *    ceiling:
+ *        t = max(t_base + stall, 1 / G)
+ *
+ * The stall term is what slows down even low-bandwidth kernels (the
+ * minor contention region; and, with low overlap, the DLA's missing
+ * minor region); the grant term produces the drop and the flat tail
+ * of the normal/intensive regions. Standalone, phi = 0 and G equals
+ * the demand, so the standalone rate is 1 / t_base with no iteration.
+ */
+
+#ifndef PCCS_SOC_EXEC_MODEL_HH
+#define PCCS_SOC_EXEC_MODEL_HH
+
+#include <vector>
+
+#include "soc/kernel.hh"
+#include "soc/memory_model.hh"
+#include "soc/pu.hh"
+
+namespace pccs::soc {
+
+/** Standalone characterization of one kernel on one PU. */
+struct StandaloneProfile
+{
+    /** Achieved standalone bandwidth = demand fed to slowdown models. */
+    GBps bandwidthDemand = 0.0;
+    /** Execution rate in DRAM bytes per second. */
+    double rate = 0.0;
+    /** Standalone execution time of the kernel's workBytes, seconds. */
+    double seconds = 0.0;
+};
+
+/** Execution rates of a set of co-running kernels. */
+struct CorunRates
+{
+    /** Progress rate per placement, DRAM bytes per second. */
+    std::vector<double> rates;
+    /** The bandwidth allocation that produced the rates. */
+    AllocationResult allocation;
+};
+
+/**
+ * Steady-state execution model over a shared memory system.
+ */
+class ExecutionModel
+{
+  public:
+    explicit ExecutionModel(const MemoryParams &mem);
+
+    /**
+     * Profile a kernel running alone on a PU (the simulator's analogue
+     * of profiling standalone runs with NVperf/perf).
+     */
+    StandaloneProfile standalone(const PuParams &pu,
+                                 const KernelProfile &kernel) const;
+
+    /**
+     * Steady-state co-run rates for kernels[i] on pus[i] (parallel
+     * arrays; each PU runs one kernel, matching the paper's scenario).
+     */
+    CorunRates corun(const std::vector<PuParams> &pus,
+                     const std::vector<KernelProfile> &kernels) const;
+
+    /**
+     * Achieved relative speed (%) of kernel on pu when co-running with
+     * the given external demand set. This is the quantity the paper's
+     * figures plot.
+     */
+    double relativeSpeed(const PuParams &pu, const KernelProfile &kernel,
+                         const std::vector<BandwidthDemand> &external) const;
+
+    const SharedMemorySystem &memory() const { return mem_; }
+
+  private:
+    /** Bytes/second given a grant (GB/s) and interference share. */
+    double rate(const PuParams &pu, const KernelProfile &kernel,
+                GBps grant, double interference) const;
+
+    /** Unconstrained demand used to seed the solo fixed point. */
+    GBps rawDemand(const PuParams &pu, const KernelProfile &kernel) const;
+
+    SharedMemorySystem mem_;
+};
+
+} // namespace pccs::soc
+
+#endif // PCCS_SOC_EXEC_MODEL_HH

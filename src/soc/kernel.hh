@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Kernel descriptions consumed by the SoC execution model.
+ *
+ * A kernel is characterized at the DRAM level: its effective
+ * operational intensity (useful flops per byte of DRAM traffic, i.e.,
+ * after caches) and its row-buffer locality. Work is measured in bytes
+ * of DRAM traffic so that bandwidth-demand arithmetic stays simple.
+ */
+
+#ifndef PCCS_SOC_KERNEL_HH
+#define PCCS_SOC_KERNEL_HH
+
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace pccs::soc {
+
+/** One kernel (or one phase of a multi-phase program). */
+struct KernelProfile
+{
+    std::string name;
+
+    /** Effective operational intensity, flops per DRAM byte. */
+    double intensity = 1.0;
+
+    /** Row-buffer locality of the DRAM access stream, in [0, 1]. */
+    double locality = 0.9;
+
+    /** Total DRAM traffic of one execution, bytes. */
+    double workBytes = 1e9;
+
+    /** @return a renamed copy (for phase labeling). */
+    KernelProfile named(std::string new_name) const
+    {
+        KernelProfile k = *this;
+        k.name = std::move(new_name);
+        return k;
+    }
+};
+
+/**
+ * A program as the slowdown methodology sees it: a sequence of phases,
+ * each a kernel profile with its own bandwidth demand. Single-kernel
+ * programs have one phase.
+ */
+struct PhasedWorkload
+{
+    std::string name;
+    std::vector<KernelProfile> phases;
+
+    /** Convenience: wrap a single kernel as a one-phase workload. */
+    static PhasedWorkload single(KernelProfile kernel)
+    {
+        PhasedWorkload w;
+        w.name = kernel.name;
+        w.phases.push_back(std::move(kernel));
+        return w;
+    }
+
+    /** @return total DRAM traffic across phases, bytes. */
+    double totalBytes() const
+    {
+        double b = 0.0;
+        for (const auto &p : phases)
+            b += p.workBytes;
+        return b;
+    }
+};
+
+} // namespace pccs::soc
+
+#endif // PCCS_SOC_KERNEL_HH

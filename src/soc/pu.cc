@@ -1,0 +1,21 @@
+#include "pu.hh"
+
+#include "common/logging.hh"
+
+namespace pccs::soc {
+
+const char *
+puKindName(PuKind kind)
+{
+    switch (kind) {
+      case PuKind::Cpu:
+        return "CPU";
+      case PuKind::Gpu:
+        return "GPU";
+      case PuKind::Dla:
+        return "DLA";
+    }
+    panic("unknown PuKind %d", static_cast<int>(kind));
+}
+
+} // namespace pccs::soc

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Processing-unit (PU) descriptions for the heterogeneous shared-memory
+ * SoC simulator.
+ *
+ * A PU is characterized by its compute throughput, how much memory
+ * bandwidth it can draw (interface cap and frequency-scaled issue
+ * capability), how well it overlaps compute with memory, how sensitive
+ * it is to memory latency inflation, and how much service the fairness
+ * policy of the memory controller tends to grant it.
+ */
+
+#ifndef PCCS_SOC_PU_HH
+#define PCCS_SOC_PU_HH
+
+#include <string>
+
+#include "common/units.hh"
+
+namespace pccs::soc {
+
+/** Kinds of processing units the paper's SoCs embed. */
+enum class PuKind { Cpu, Gpu, Dla };
+
+/** @return display name of a PU kind ("CPU", "GPU", "DLA"). */
+const char *puKindName(PuKind kind);
+
+/** Static description of one processing unit. */
+struct PuParams
+{
+    /** Display name, e.g. "Carmel CPU". */
+    std::string name;
+    PuKind kind = PuKind::Cpu;
+
+    /** Current clock in MHz. */
+    MHz frequency = 1000.0;
+    /** Nominal (maximum) clock in MHz. */
+    MHz maxFrequency = 1000.0;
+
+    /** Aggregate useful flops per clock across all cores/SMs. */
+    double flopsPerCycle = 8.0;
+
+    /**
+     * Memory-interface bandwidth cap in GB/s: the most this PU can draw
+     * regardless of clock (load/store unit + interconnect port width).
+     */
+    GBps interfaceBandwidth = 100.0;
+
+    /**
+     * Load-issue capability at maxFrequency in GB/s. Scales linearly
+     * with clock; the effective draw cap is
+     * min(interfaceBandwidth, issueBandwidth * f / fmax). Setting
+     * issueBandwidth > interfaceBandwidth gives the PU clock headroom:
+     * memory-bound kernels keep full speed until the clock drops below
+     * fmax * interfaceBandwidth / issueBandwidth (the Figure 15 story).
+     */
+    GBps issueBandwidth = 100.0;
+
+    /**
+     * Compute/memory overlap quality in [0, 1]: 1 = perfect overlap
+     * (ideal latency hiding), 0 = fully serialized. GPUs are near 1;
+     * streaming accelerators are lower.
+     */
+    double overlap = 0.9;
+
+    /**
+     * Sensitivity to memory-latency inflation under load (dimensionless
+     * slope of the latency factor in the served-load ratio). High for
+     * PUs with little thread-level parallelism (the DLA), low for GPUs.
+     */
+    double latencySensitivity = 0.3;
+
+    /**
+     * Relative service weight the memory controller's fairness policy
+     * grants this PU (1.0 = equal share). GPUs attain somewhat more
+     * than an equal share because their deep request queues keep row
+     * locality high in their service slots.
+     */
+    double fairShareWeight = 1.0;
+
+    /** @return compute throughput at the current clock, in GFlop/s. */
+    double computeGflops() const
+    {
+        return frequency * 1e6 * flopsPerCycle / 1e9;
+    }
+
+    /** @return max bandwidth this PU can draw at its current clock. */
+    GBps drawBandwidth() const
+    {
+        const double scale =
+            maxFrequency > 0.0 ? frequency / maxFrequency : 1.0;
+        const GBps issue = issueBandwidth * scale;
+        return issue < interfaceBandwidth ? issue : interfaceBandwidth;
+    }
+
+    /** @return a copy of this PU clocked at `f` MHz. */
+    PuParams atFrequency(MHz f) const
+    {
+        PuParams p = *this;
+        p.frequency = f;
+        return p;
+    }
+};
+
+} // namespace pccs::soc
+
+#endif // PCCS_SOC_PU_HH

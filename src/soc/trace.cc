@@ -1,0 +1,34 @@
+#include "trace.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace pccs::soc {
+
+std::vector<GBps>
+traceWorkload(const SocSimulator &sim, std::size_t pu_index,
+              const PhasedWorkload &workload, const TraceOptions &opts)
+{
+    PCCS_ASSERT(opts.samplePeriod > 0.0, "sample period must be > 0");
+    PCCS_ASSERT(!workload.phases.empty(), "workload has no phases");
+
+    Rng rng(opts.seed);
+    std::vector<GBps> trace;
+    for (const auto &phase : workload.phases) {
+        const StandaloneProfile prof = sim.profile(pu_index, phase);
+        const auto samples = static_cast<std::size_t>(
+            std::ceil(prof.seconds / opts.samplePeriod));
+        for (std::size_t s = 0; s < std::max<std::size_t>(samples, 1);
+             ++s) {
+            double v = prof.bandwidthDemand;
+            if (opts.noise > 0.0)
+                v *= 1.0 + rng.uniform(-opts.noise, opts.noise);
+            trace.push_back(v);
+        }
+    }
+    return trace;
+}
+
+} // namespace pccs::soc

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Standalone bandwidth-trace generation: the simulator-side analogue
+ * of sampling a hardware bandwidth counter (NVperf/perf style) while
+ * a program runs alone. Feeds the phase detector
+ * (pccs/phase_detect.hh) for the end-to-end multi-phase pipeline:
+ * trace -> phases -> piecewise slowdown prediction.
+ */
+
+#ifndef PCCS_SOC_TRACE_HH
+#define PCCS_SOC_TRACE_HH
+
+#include <vector>
+
+#include "soc/simulator.hh"
+
+namespace pccs::soc {
+
+/** Options for trace sampling. */
+struct TraceOptions
+{
+    /** Sampling period in seconds. */
+    double samplePeriod = 1e-3;
+    /**
+     * Relative amplitude of multiplicative measurement noise
+     * (0 = clean trace). Real bandwidth counters jitter by a few
+     * percent between samples.
+     */
+    double noise = 0.0;
+    /** Seed for the noise generator. */
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Sample the standalone bandwidth of a workload on a PU: each phase
+ * contributes samples for its standalone duration at its standalone
+ * demand (plus optional measurement noise).
+ *
+ * @return bandwidth samples in GB/s, one per samplePeriod
+ */
+std::vector<GBps> traceWorkload(const SocSimulator &sim,
+                                std::size_t pu_index,
+                                const PhasedWorkload &workload,
+                                const TraceOptions &opts = {});
+
+} // namespace pccs::soc
+
+#endif // PCCS_SOC_TRACE_HH

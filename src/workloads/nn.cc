@@ -1,0 +1,85 @@
+#include "nn.hh"
+
+#include "calib/calibrator.hh"
+#include "common/logging.hh"
+#include "soc/soc_config.hh"
+
+namespace pccs::workloads {
+
+namespace {
+
+/** DLA streams activations/weights with decent but not perfect rows. */
+constexpr double dlaLocality = 0.94;
+
+soc::KernelProfile
+dlaPhase(const char *name, GBps target_bw, double work_bytes)
+{
+    static const soc::SocConfig soc = soc::xavierLike();
+    static const soc::ExecutionModel model(soc.memory);
+    soc::KernelProfile k = calib::makeCalibrator(
+        model, soc.pu(soc::PuKind::Dla), target_bw, dlaLocality);
+    k.name = name;
+    k.workBytes = work_bytes;
+    return k;
+}
+
+} // namespace
+
+soc::PhasedWorkload
+resnet50Dla()
+{
+    // Phase grouping: stem + early residual stages are bandwidth
+    // heavier (large activations), late stages are compute dense.
+    soc::PhasedWorkload w;
+    w.name = "resnet-50";
+    const double total = 2.4e9;
+    w.phases.push_back(dlaPhase("resnet50-early", 24.0, 0.35 * total));
+    w.phases.push_back(dlaPhase("resnet50-mid", 17.0, 0.40 * total));
+    w.phases.push_back(dlaPhase("resnet50-late", 12.0, 0.25 * total));
+    return w;
+}
+
+soc::PhasedWorkload
+vgg19Dla()
+{
+    soc::PhasedWorkload w;
+    w.name = "vgg-19";
+    const double total = 3.6e9;
+    w.phases.push_back(dlaPhase("vgg19-early", 27.0, 0.50 * total));
+    w.phases.push_back(dlaPhase("vgg19-mid", 21.0, 0.30 * total));
+    w.phases.push_back(dlaPhase("vgg19-fc", 15.0, 0.20 * total));
+    return w;
+}
+
+soc::PhasedWorkload
+alexnetDla()
+{
+    soc::PhasedWorkload w;
+    w.name = "alexnet";
+    const double total = 1.5e9;
+    w.phases.push_back(dlaPhase("alexnet-conv", 20.0, 0.45 * total));
+    w.phases.push_back(dlaPhase("alexnet-fc", 14.0, 0.55 * total));
+    return w;
+}
+
+soc::KernelProfile
+mnistDla(GBps target_bw)
+{
+    PCCS_ASSERT(target_bw > 0.0, "mnist calibrator target must be > 0");
+    soc::KernelProfile k = dlaPhase("mnist", target_bw, 2e8);
+    return k;
+}
+
+soc::PhasedWorkload
+dlaWorkload(const std::string &name)
+{
+    if (name == "Resnet-50" || name == "resnet-50")
+        return resnet50Dla();
+    if (name == "VGG-19" || name == "vgg-19")
+        return vgg19Dla();
+    if (name == "Alexnet" || name == "alexnet")
+        return alexnetDla();
+    fatal("unknown DLA workload '%s'", name.c_str());
+}
+
+} // namespace pccs::workloads

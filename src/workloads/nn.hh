@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Neural-network inference workloads for the DLA (Section 4.1: the
+ * DLA slowdown model is validated on ImageNet inference with
+ * ResNet-50 and VGG19; the co-location study of Table 8 also uses
+ * AlexNet; MNIST serves as the DLA calibrator whose operational
+ * intensity is controlled by the convolution filter size).
+ *
+ * Each network is a multi-phase workload: groups of layers with
+ * similar bandwidth behavior form phases (early wide convolutions are
+ * bandwidth-heavier than late, compute-dense ones).
+ */
+
+#ifndef PCCS_WORKLOADS_NN_HH
+#define PCCS_WORKLOADS_NN_HH
+
+#include "soc/kernel.hh"
+
+namespace pccs::workloads {
+
+/** ResNet-50 inference on the DLA. */
+soc::PhasedWorkload resnet50Dla();
+
+/** VGG19 inference on the DLA (the most bandwidth-hungry model). */
+soc::PhasedWorkload vgg19Dla();
+
+/** AlexNet inference on the DLA. */
+soc::PhasedWorkload alexnetDla();
+
+/**
+ * The MNIST calibration network: a single convolution whose filter
+ * size controls the operational intensity.
+ *
+ * @param target_bw standalone bandwidth demand to hit on the
+ *        Xavier-class DLA, GB/s
+ */
+soc::KernelProfile mnistDla(GBps target_bw);
+
+/** @return the DLA workload by model name; fatal when unknown. */
+soc::PhasedWorkload dlaWorkload(const std::string &name);
+
+} // namespace pccs::workloads
+
+#endif // PCCS_WORKLOADS_NN_HH

@@ -1,0 +1,24 @@
+#include "table8.hh"
+
+namespace pccs::workloads {
+
+const std::vector<WorkloadTriple> &
+table8Workloads()
+{
+    static const std::vector<WorkloadTriple> workloads = {
+        {"A", "streamcluster", "pathfinder", "Resnet-50"},
+        {"B", "streamcluster", "pathfinder", "VGG-19"},
+        {"C", "streamcluster", "leukocyte", "Alexnet"},
+        {"D", "streamcluster", "srad", "Resnet-50"},
+        {"E", "pathfinder", "streamcluster", "VGG-19"},
+        {"F", "pathfinder", "heartwall", "Alexnet"},
+        {"G", "k-means", "b+tree", "Resnet-50"},
+        {"H", "k-means", "srad", "VGG-19"},
+        {"I", "hotspot", "bfs", "Alexnet"},
+        {"J", "srad", "pathfinder", "Resnet-50"},
+        {"K", "srad", "leukocyte", "VGG-19"},
+    };
+    return workloads;
+}
+
+} // namespace pccs::workloads

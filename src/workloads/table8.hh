@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The eleven three-PU co-location workloads of Table 8 (Section 4.2):
+ * each workload runs one Rodinia benchmark on the CPU, one on the GPU,
+ * and one neural network on the DLA.
+ */
+
+#ifndef PCCS_WORKLOADS_TABLE8_HH
+#define PCCS_WORKLOADS_TABLE8_HH
+
+#include <string>
+#include <vector>
+
+namespace pccs::workloads {
+
+/** One row of Table 8. */
+struct WorkloadTriple
+{
+    std::string id;       //!< "A" .. "K"
+    std::string cpuBench; //!< Rodinia benchmark on the CPU
+    std::string gpuBench; //!< Rodinia benchmark on the GPU
+    std::string dlaModel; //!< NN model on the DLA
+};
+
+/** @return the eleven Table 8 workloads. */
+const std::vector<WorkloadTriple> &table8Workloads();
+
+} // namespace pccs::workloads
+
+#endif // PCCS_WORKLOADS_TABLE8_HH

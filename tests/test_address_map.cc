@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit and property tests for DRAM address decoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "dram/address_map.hh"
+
+namespace pccs::dram {
+namespace {
+
+TEST(AddressMap, ChannelInterleavingOfConsecutiveLines)
+{
+    const DramConfig cfg = table1Config();
+    const AddressMapper map(cfg);
+    // Consecutive cache lines must rotate across all channels (the
+    // channel-interleaving scheme of Section 2.1).
+    for (unsigned i = 0; i < 16; ++i) {
+        const DecodedAddr loc = map.decode(Addr{i} * cfg.lineBytes);
+        EXPECT_EQ(loc.channel, i % cfg.channels);
+    }
+}
+
+TEST(AddressMap, LineOffsetIgnored)
+{
+    const DramConfig cfg = table1Config();
+    const AddressMapper map(cfg);
+    const DecodedAddr a = map.decode(0x1000);
+    const DecodedAddr b = map.decode(0x1000 + cfg.lineBytes - 1);
+    EXPECT_EQ(a.channel, b.channel);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(a.column, b.column);
+}
+
+TEST(AddressMap, SequentialLinesFillRowBeforeSwitching)
+{
+    const DramConfig cfg = table1Config();
+    const AddressMapper map(cfg);
+    // Walking one channel's lines (stride = channels * lineBytes),
+    // the row must stay constant for linesPerRow() accesses.
+    const DecodedAddr first = map.decode(0);
+    for (unsigned i = 1; i < cfg.linesPerRow(); ++i) {
+        const DecodedAddr loc =
+            map.decode(Addr{i} * cfg.lineBytes * cfg.channels);
+        EXPECT_EQ(loc.row, first.row) << "line " << i;
+        EXPECT_EQ(loc.channel, first.channel);
+    }
+}
+
+TEST(AddressMap, XorHashSpreadsConflictingRows)
+{
+    DramConfig cfg = table1Config();
+    cfg.xorBankHash = true;
+    const AddressMapper map(cfg);
+    // Addresses that differ only in the low row bits should land in
+    // different banks thanks to the XOR hash.
+    std::set<unsigned> banks;
+    const Addr row_stride = Addr{cfg.lineBytes} * cfg.channels *
+                            cfg.linesPerRow() * cfg.banksPerChannel;
+    for (unsigned r = 0; r < cfg.banksPerChannel; ++r)
+        banks.insert(map.decode(r * row_stride).bank);
+    EXPECT_EQ(banks.size(), cfg.banksPerChannel);
+}
+
+TEST(AddressMap, NoHashKeepsBankStable)
+{
+    DramConfig cfg = table1Config();
+    cfg.xorBankHash = false;
+    const AddressMapper map(cfg);
+    const Addr row_stride = Addr{cfg.lineBytes} * cfg.channels *
+                            cfg.linesPerRow() * cfg.banksPerChannel;
+    const unsigned bank0 = map.decode(0).bank;
+    for (unsigned r = 1; r < 8; ++r)
+        EXPECT_EQ(map.decode(r * row_stride).bank, bank0);
+}
+
+TEST(AddressMap, AddressSpanCoversGeometry)
+{
+    const DramConfig cfg = table1Config();
+    const AddressMapper map(cfg);
+    const Addr expected = Addr{cfg.lineBytes} * cfg.channels *
+                          cfg.linesPerRow() * cfg.banksPerChannel *
+                          cfg.rowsPerBank;
+    EXPECT_EQ(map.addressSpan(), expected);
+}
+
+/** decode/encode must be inverse bijections over random addresses. */
+class AddressRoundTrip : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(AddressRoundTrip, DecodeEncodeIdentity)
+{
+    DramConfig cfg = table1Config();
+    cfg.xorBankHash = GetParam();
+    const AddressMapper map(cfg);
+    Rng rng(99);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr a = (rng.next() % map.addressSpan()) &
+                       ~Addr{cfg.lineBytes - 1};
+        EXPECT_EQ(map.encode(map.decode(a)), a);
+    }
+}
+
+TEST_P(AddressRoundTrip, FieldsInRange)
+{
+    DramConfig cfg = table1Config();
+    cfg.xorBankHash = GetParam();
+    const AddressMapper map(cfg);
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr a = rng.next() % map.addressSpan();
+        const DecodedAddr loc = map.decode(a);
+        EXPECT_LT(loc.channel, cfg.channels);
+        EXPECT_LT(loc.bank, cfg.banksPerChannel);
+        EXPECT_LT(loc.column, cfg.linesPerRow());
+        EXPECT_LT(loc.row, cfg.rowsPerBank);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(HashModes, AddressRoundTrip,
+                         ::testing::Bool());
+
+TEST(AddressMapDeath, NonPowerOfTwoChannelsPanics)
+{
+    DramConfig cfg = table1Config();
+    cfg.channels = 3;
+    EXPECT_DEATH(AddressMapper{cfg}, "power of two");
+}
+
+} // namespace
+} // namespace pccs::dram

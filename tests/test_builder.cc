@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for the five-step model-construction algorithm (Section 3.2):
+ * planted-parameter recovery on synthetic matrices plus end-to-end
+ * construction on the simulated SoCs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pccs/builder.hh"
+
+namespace pccs::model {
+namespace {
+
+/**
+ * Generate a calibration matrix from a known PccsModel: the builder
+ * must approximately recover the planted parameters.
+ */
+calib::CalibrationMatrix
+matrixFromModel(const PccsModel &model, std::size_t n, std::size_t cols,
+                GBps max_std, GBps max_ext)
+{
+    calib::CalibrationMatrix m;
+    for (std::size_t i = 0; i < n; ++i)
+        m.standaloneBw.push_back(max_std * (i + 1) /
+                                 static_cast<double>(n));
+    for (std::size_t j = 0; j < cols; ++j)
+        m.externalBw.push_back(max_ext * (j + 1) /
+                               static_cast<double>(cols));
+    m.rela.assign(n, std::vector<double>(cols, 100.0));
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < cols; ++j)
+            m.rela[i][j] = model.relativeSpeed(m.standaloneBw[i],
+                                               m.externalBw[j]);
+    return m;
+}
+
+PccsParams
+planted()
+{
+    PccsParams p;
+    p.normalBw = 40.0;
+    p.intensiveBw = 100.0;
+    p.mrmc = 5.0;
+    p.cbp = 50.0;
+    p.tbwdc = 90.0;
+    p.rateN = 1.2;
+    p.peakBw = 137.0;
+    return p;
+}
+
+TEST(Builder, RecoversPlantedBoundaries)
+{
+    const PccsModel model(planted());
+    const auto m = matrixFromModel(model, 20, 20, 130.0, 100.0);
+    const PccsParams rec = buildModelParams(m, 137.0);
+    EXPECT_NEAR(rec.normalBw, planted().normalBw, 15.0);
+    EXPECT_NEAR(rec.tbwdc, planted().tbwdc, 15.0);
+    EXPECT_NEAR(rec.cbp, planted().cbp, 12.0);
+    EXPECT_NEAR(rec.rateN, planted().rateN, 0.35);
+    EXPECT_FALSE(rec.noMinorRegion());
+}
+
+TEST(Builder, RecoveredModelPredictsPlantedModel)
+{
+    // The real acceptance criterion: the reconstructed model agrees
+    // with the planted one over the whole (x, y) plane.
+    const PccsModel model(planted());
+    const auto m = matrixFromModel(model, 20, 20, 130.0, 100.0);
+    const PccsModel rec(buildModelParams(m, 137.0));
+    double worst = 0.0;
+    for (double x = 5.0; x <= 130.0; x += 5.0)
+        for (double y = 0.0; y <= 100.0; y += 5.0)
+            worst = std::max(worst,
+                             std::fabs(rec.relativeSpeed(x, y) -
+                                       model.relativeSpeed(x, y)));
+    EXPECT_LT(worst, 15.0);
+    // Average error should be much smaller than worst-case.
+    double sum = 0.0;
+    int count = 0;
+    for (double x = 5.0; x <= 130.0; x += 5.0)
+        for (double y = 0.0; y <= 100.0; y += 5.0, ++count)
+            sum += std::fabs(rec.relativeSpeed(x, y) -
+                             model.relativeSpeed(x, y));
+    EXPECT_LT(sum / count, 4.0);
+}
+
+TEST(Builder, FlatMatrixMeansEverythingMinor)
+{
+    calib::CalibrationMatrix m;
+    for (int i = 0; i < 8; ++i)
+        m.standaloneBw.push_back(10.0 * (i + 1));
+    for (int j = 0; j < 8; ++j)
+        m.externalBw.push_back(12.0 * (j + 1));
+    // Identical mild declines everywhere: no normal boundary exists.
+    m.rela.assign(8, {});
+    for (int i = 0; i < 8; ++i)
+        for (int j = 0; j < 8; ++j)
+            m.rela[i].push_back(100.0 - 0.02 * m.externalBw[j]);
+    const PccsParams p = buildModelParams(m, 137.0);
+    EXPECT_NEAR(p.normalBw, m.standaloneBw.back(), 1e-9);
+    EXPECT_FALSE(p.noMinorRegion());
+    EXPECT_TRUE(p.valid());
+}
+
+TEST(Builder, DlaStyleMatrixHasNoMinorRegion)
+{
+    // Every kernel, even the smallest, loses a lot of speed: the
+    // Table 7 DLA case (normalBW = 0, MRMC = NA).
+    calib::CalibrationMatrix m;
+    for (int i = 0; i < 8; ++i)
+        m.standaloneBw.push_back(3.0 * (i + 1));
+    for (int j = 0; j < 8; ++j)
+        m.externalBw.push_back(12.0 * (j + 1));
+    m.rela.assign(8, {});
+    for (int i = 0; i < 8; ++i)
+        for (int j = 0; j < 8; ++j)
+            m.rela[i].push_back(100.0 - 0.4 * m.externalBw[j]);
+    const PccsParams p = buildModelParams(m, 137.0);
+    EXPECT_DOUBLE_EQ(p.normalBw, 0.0);
+    EXPECT_TRUE(p.noMinorRegion());
+    EXPECT_TRUE(p.valid());
+}
+
+TEST(Builder, XavierGpuParametersSane)
+{
+    const soc::SocSimulator sim(soc::xavierLike());
+    const int gpu = sim.config().puIndex(soc::PuKind::Gpu);
+    const PccsModel m = buildModel(sim, gpu);
+    const PccsParams &p = m.params();
+    EXPECT_TRUE(p.valid());
+    EXPECT_FALSE(p.noMinorRegion());
+    // The GPU's minor/normal boundary sits in the tens of GB/s and
+    // MRMC is a single-digit percentage (Table 7: 38.1 / 4.9).
+    EXPECT_GT(p.normalBw, 15.0);
+    EXPECT_LT(p.normalBw, 70.0);
+    EXPECT_GT(p.mrmc, 1.0);
+    EXPECT_LT(p.mrmc, 12.0);
+    EXPECT_GT(p.cbp, 30.0);
+    EXPECT_GT(p.tbwdc, p.normalBw);
+    EXPECT_GT(p.rateN, 0.3);
+}
+
+TEST(Builder, XavierDlaHasNoMinorRegion)
+{
+    const soc::SocSimulator sim(soc::xavierLike());
+    const int dla = sim.config().puIndex(soc::PuKind::Dla);
+    const PccsModel m = buildModel(sim, dla);
+    EXPECT_TRUE(m.params().noMinorRegion());
+    EXPECT_DOUBLE_EQ(m.params().normalBw, 0.0);
+}
+
+TEST(Builder, XavierCpuGentlerThanGpu)
+{
+    const soc::SocSimulator sim(soc::xavierLike());
+    const PccsModel cpu =
+        buildModel(sim, sim.config().puIndex(soc::PuKind::Cpu));
+    const PccsModel gpu =
+        buildModel(sim, sim.config().puIndex(soc::PuKind::Gpu));
+    // Section 4.1: "GPUs are more sensitive to external memory demand
+    // and they have a higher reduction rate than CPUs have."
+    const double x_c = cpu.params().intensiveBw * 0.8;
+    const double x_g = gpu.params().intensiveBw * 0.8;
+    EXPECT_GT(cpu.relativeSpeed(x_c, 90.0),
+              gpu.relativeSpeed(x_g, 90.0));
+}
+
+TEST(Builder, SnapdragonModelsBuild)
+{
+    const soc::SocSimulator sim(soc::snapdragonLike());
+    for (std::size_t p = 0; p < sim.config().pus.size(); ++p) {
+        const PccsModel m = buildModel(sim, p);
+        EXPECT_TRUE(m.params().valid());
+        // Snapdragon's 34 GB/s memory implies small BW parameters.
+        EXPECT_LT(m.params().normalBw, 34.0);
+    }
+}
+
+TEST(Builder, BuilderPredictsItsOwnCalibrators)
+{
+    // Self-consistency: the constructed model should fit the matrix it
+    // was built from with a small average error.
+    const soc::SocSimulator sim(soc::xavierLike());
+    const int gpu = sim.config().puIndex(soc::PuKind::Gpu);
+    const auto matrix = calib::calibrate(sim, gpu);
+    const PccsModel m(buildModelParams(
+        matrix, sim.config().memory.peakBandwidth));
+    double sum = 0.0, sum_mid = 0.0;
+    int count = 0, count_mid = 0;
+    const double mid_cap = 0.75 * matrix.standaloneBw.back();
+    for (std::size_t i = 0; i < matrix.numKernels(); ++i) {
+        for (std::size_t j = 0; j < matrix.numExternal(); ++j) {
+            const double err =
+                std::fabs(m.relativeSpeed(matrix.standaloneBw[i],
+                                          matrix.externalBw[j]) -
+                          matrix.rela[i][j]);
+            sum += err;
+            ++count;
+            if (matrix.standaloneBw[i] <= mid_cap) {
+                sum_mid += err;
+                ++count_mid;
+            }
+        }
+    }
+    // The piecewise-linear model fits the minor/normal range tightly;
+    // the far-intensive corner (x near the PU's draw cap) saturates
+    // hyperbolically where the paper's model extrapolates linearly,
+    // so the all-rows average is looser.
+    EXPECT_LT(sum_mid / count_mid, 5.0);
+    EXPECT_LT(sum / count, 12.0);
+}
+
+TEST(BuilderDeath, TinyMatrixPanics)
+{
+    calib::CalibrationMatrix m;
+    m.standaloneBw = {10.0};
+    m.externalBw = {10.0};
+    m.rela = {{100.0}};
+    EXPECT_DEATH(buildModelParams(m, 137.0), "too small");
+}
+
+TEST(BuilderDeath, ShapeMismatchPanics)
+{
+    calib::CalibrationMatrix m;
+    m.standaloneBw = {10.0, 20.0};
+    m.externalBw = {10.0, 20.0};
+    m.rela = {{100.0, 99.0}}; // only one row
+    EXPECT_DEATH(buildModelParams(m, 137.0), "shape");
+}
+
+} // namespace
+} // namespace pccs::model

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the whole-SoC co-run predictor, including iterative
+ * external-pressure refinement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pccs/builder.hh"
+#include "pccs/corun.hh"
+#include "soc/simulator.hh"
+#include "workloads/nn.hh"
+#include "workloads/rodinia.hh"
+#include "workloads/table8.hh"
+
+namespace pccs::model {
+namespace {
+
+PccsParams
+flatParams()
+{
+    PccsParams p;
+    p.normalBw = 40.0;
+    p.intensiveBw = 100.0;
+    p.mrmc = 4.0;
+    p.cbp = 50.0;
+    p.tbwdc = 90.0;
+    p.rateN = 1.0;
+    p.peakBw = 137.0;
+    return p;
+}
+
+TEST(CorunInput, MeanDemandIsTimeWeighted)
+{
+    CorunInput in;
+    in.phases = {{100.0, 0.25}, {20.0, 0.75}};
+    EXPECT_DOUBLE_EQ(in.meanDemand(), 40.0);
+}
+
+TEST(CorunPredict, OneShotMatchesManualProtocol)
+{
+    const PccsModel m(flatParams());
+    CorunInput a{&m, {{60.0, 1.0}}};
+    CorunInput b{&m, {{50.0, 1.0}}};
+    const auto rs = predictCorun({a, b});
+    ASSERT_EQ(rs.size(), 2u);
+    EXPECT_NEAR(rs[0], m.relativeSpeed(60.0, 50.0), 1e-9);
+    EXPECT_NEAR(rs[1], m.relativeSpeed(50.0, 60.0), 1e-9);
+}
+
+TEST(CorunPredict, SinglePlacementIsFullSpeed)
+{
+    const PccsModel m(flatParams());
+    CorunInput a{&m, {{60.0, 1.0}}};
+    const auto rs = predictCorun({a});
+    EXPECT_NEAR(rs[0], 100.0, 1e-9);
+}
+
+TEST(CorunPredict, RefinementNeverRaisesPressure)
+{
+    // Refined external pressures are bounded by the standalone
+    // demands, so refined predictions are >= one-shot predictions.
+    const PccsModel m(flatParams());
+    CorunInput a{&m, {{80.0, 1.0}}};
+    CorunInput b{&m, {{70.0, 1.0}}};
+    const auto one_shot = predictCorun({a, b});
+    CorunPredictOptions opts;
+    opts.refinementIterations = 5;
+    const auto refined = predictCorun({a, b}, opts);
+    for (std::size_t i = 0; i < 2; ++i)
+        EXPECT_GE(refined[i], one_shot[i] - 1e-9);
+}
+
+TEST(CorunPredict, RefinementConverges)
+{
+    const PccsModel m(flatParams());
+    CorunInput a{&m, {{80.0, 1.0}}};
+    CorunInput b{&m, {{70.0, 1.0}}};
+    CorunPredictOptions opts;
+    opts.refinementIterations = 10;
+    const auto r10 = predictCorun({a, b}, opts);
+    opts.refinementIterations = 11;
+    const auto r11 = predictCorun({a, b}, opts);
+    EXPECT_NEAR(r10[0], r11[0], 0.5);
+    EXPECT_NEAR(r10[1], r11[1], 0.5);
+}
+
+TEST(CorunPredict, PhasedInputsUsePiecewisePrediction)
+{
+    const PccsModel m(flatParams());
+    CorunInput phased{&m, {{110.0, 0.3}, {50.0, 0.7}}};
+    CorunInput other{&m, {{40.0, 1.0}}};
+    const auto rs = predictCorun({phased, other});
+    const double expected =
+        predictPiecewise(m, phased.phases, 40.0);
+    EXPECT_NEAR(rs[0], expected, 1e-9);
+}
+
+TEST(CorunPredict, OneShotProtocolFitsDemandBasedSubstrate)
+{
+    // On this substrate a bandwidth-capped co-runner still *demands*
+    // its standalone rate (the fairness allocator caps its service,
+    // not its request stream), so the paper's one-shot protocol is
+    // the right match and refinement must stay a bounded, optimistic
+    // variant of it (it models issue-throttled co-runners instead).
+    const soc::SocSimulator sim(soc::xavierLike());
+    const auto &cfg = sim.config();
+    const std::size_t pu[3] = {
+        static_cast<std::size_t>(cfg.puIndex(soc::PuKind::Cpu)),
+        static_cast<std::size_t>(cfg.puIndex(soc::PuKind::Gpu)),
+        static_cast<std::size_t>(cfg.puIndex(soc::PuKind::Dla))};
+    const PccsModel models[3] = {buildModel(sim, pu[0]),
+                                 buildModel(sim, pu[1]),
+                                 buildModel(sim, pu[2])};
+
+    double err_oneshot = 0.0, err_refined = 0.0;
+    int n = 0;
+    for (const auto &wl : workloads::table8Workloads()) {
+        soc::PhasedWorkload on[3];
+        on[0] = soc::PhasedWorkload::single(
+            workloads::rodiniaKernel(wl.cpuBench, soc::PuKind::Cpu));
+        on[1] = soc::PhasedWorkload::single(
+            workloads::rodiniaKernel(wl.gpuBench, soc::PuKind::Gpu));
+        on[2] = workloads::dlaWorkload(wl.dlaModel);
+
+        std::vector<CorunInput> inputs(3);
+        for (int i = 0; i < 3; ++i) {
+            inputs[i].model = &models[i];
+            double total = 0.0;
+            for (const auto &ph : on[i].phases)
+                total += sim.profile(pu[i], ph).seconds;
+            for (const auto &ph : on[i].phases) {
+                const auto prof = sim.profile(pu[i], ph);
+                inputs[i].phases.push_back(
+                    {prof.bandwidthDemand, prof.seconds / total});
+            }
+        }
+
+        const soc::CorunOutcome actual =
+            sim.run({soc::Placement{pu[0], on[0]},
+                     soc::Placement{pu[1], on[1]},
+                     soc::Placement{pu[2], on[2]}});
+
+        const auto one_shot = predictCorun(inputs);
+        CorunPredictOptions opts;
+        opts.refinementIterations = 6;
+        const auto refined = predictCorun(inputs, opts);
+        for (int i = 0; i < 3; ++i, ++n) {
+            err_oneshot += std::fabs(
+                one_shot[i] - actual.placements[i].relativeSpeed);
+            err_refined += std::fabs(
+                refined[i] - actual.placements[i].relativeSpeed);
+        }
+    }
+    EXPECT_LT(err_oneshot / n, 12.0);
+    EXPECT_LT(err_refined / n, err_oneshot / n + 4.0)
+        << "refinement must stay a bounded variant of one-shot";
+}
+
+TEST(CorunPredictDeath, MissingModelPanics)
+{
+    CorunInput in;
+    in.phases = {{10.0, 1.0}};
+    EXPECT_DEATH(predictCorun({in}), "model");
+}
+
+TEST(CorunPredictDeath, EmptyInputsPanic)
+{
+    EXPECT_DEATH(predictCorun({}), "inputs");
+}
+
+} // namespace
+} // namespace pccs::model

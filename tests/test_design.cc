@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the design-space explorer (Sections 3.4 / 4.3): frequency
+ * and core-count selection under co-run slowdown requirements.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gables/gables.hh"
+#include "pccs/builder.hh"
+#include "pccs/design.hh"
+#include "workloads/rodinia.hh"
+
+namespace pccs::model {
+namespace {
+
+std::vector<double>
+frequencyGrid()
+{
+    std::vector<double> grid;
+    for (double f = 400.0; f <= 1377.0; f += 50.0)
+        grid.push_back(f);
+    grid.push_back(1377.0);
+    return grid;
+}
+
+class DesignTest : public ::testing::Test
+{
+  protected:
+    soc::SocConfig soc = soc::xavierLike();
+    DesignExplorer explorer{soc};
+    std::size_t gpu =
+        static_cast<std::size_t>(soc.puIndex(soc::PuKind::Gpu));
+    soc::KernelProfile sc =
+        workloads::rodiniaKernel("streamcluster", soc::PuKind::Gpu);
+};
+
+TEST_F(DesignTest, ActualCorunPerformanceIncreasesWithFrequency)
+{
+    const double lo =
+        explorer.corunPerformanceActual(gpu, sc, 500.0, 20.0);
+    const double hi =
+        explorer.corunPerformanceActual(gpu, sc, 1377.0, 20.0);
+    EXPECT_GT(hi, lo);
+}
+
+TEST_F(DesignTest, ActualCorunPerformanceSaturatesUnderContention)
+{
+    // Under heavy external pressure, raising the clock past the point
+    // where the memory grant binds cannot buy performance.
+    const double mid =
+        explorer.corunPerformanceActual(gpu, sc, 1100.0, 60.0);
+    const double top =
+        explorer.corunPerformanceActual(gpu, sc, 1377.0, 60.0);
+    EXPECT_NEAR(top, mid, top * 0.06);
+}
+
+TEST_F(DesignTest, GroundTruthSelectsLowerFrequencyUnderPressure)
+{
+    const auto grid = frequencyGrid();
+    const auto at_20 =
+        explorer.selectFrequencyActual(gpu, sc, 20.0, 5.0, grid);
+    const auto at_60 =
+        explorer.selectFrequencyActual(gpu, sc, 60.0, 5.0, grid);
+    // More external pressure -> co-run perf saturates earlier -> an
+    // equally good (cheaper) lower clock exists (Table 9's trend).
+    EXPECT_LE(at_60.value, at_20.value);
+    EXPECT_LT(at_20.value, 1377.0) << "over-provisioning avoided";
+}
+
+TEST_F(DesignTest, LargerAllowedSlowdownPicksLowerFrequency)
+{
+    const auto grid = frequencyGrid();
+    const auto tight =
+        explorer.selectFrequencyActual(gpu, sc, 40.0, 5.0, grid);
+    const auto loose =
+        explorer.selectFrequencyActual(gpu, sc, 40.0, 20.0, grid);
+    EXPECT_LE(loose.value, tight.value);
+}
+
+TEST_F(DesignTest, PccsSelectionTracksGroundTruthBetterThanGables)
+{
+    const soc::SocSimulator sim(soc);
+    const PccsModel pccs = buildModel(sim, gpu);
+    const gables::GablesModel gab(soc.memory.peakBandwidth);
+    const auto grid = frequencyGrid();
+
+    double pccs_err = 0.0, gables_err = 0.0;
+    for (double y : {20.0, 40.0, 60.0}) {
+        const auto truth =
+            explorer.selectFrequencyActual(gpu, sc, y, 5.0, grid);
+        const auto via_pccs =
+            explorer.selectFrequency(gpu, sc, y, 5.0, pccs, grid);
+        const auto via_gables =
+            explorer.selectFrequency(gpu, sc, y, 5.0, gab, grid);
+        pccs_err += std::abs(via_pccs.value - truth.value);
+        gables_err += std::abs(via_gables.value - truth.value);
+    }
+    EXPECT_LE(pccs_err, gables_err)
+        << "PCCS must guide frequency selection at least as well";
+}
+
+TEST_F(DesignTest, GablesOverProvisionsUnderContention)
+{
+    // Gables predicts no contention below the peak, so it sees no
+    // benefit-loss from high clocks and keeps them high (the paper's
+    // Table 9: Gables picks 880 MHz regardless of pressure).
+    const gables::GablesModel gab(soc.memory.peakBandwidth);
+    const auto grid = frequencyGrid();
+    const auto truth =
+        explorer.selectFrequencyActual(gpu, sc, 60.0, 5.0, grid);
+    const auto via_gables =
+        explorer.selectFrequency(gpu, sc, 60.0, 5.0, gab, grid);
+    EXPECT_GE(via_gables.value, truth.value);
+}
+
+TEST_F(DesignTest, SelectionReportsPerformanceNumbers)
+{
+    const auto grid = frequencyGrid();
+    const auto sel =
+        explorer.selectFrequencyActual(gpu, sc, 40.0, 10.0, grid);
+    EXPECT_GT(sel.referencePerformance, 0.0);
+    EXPECT_GT(sel.predictedPerformance, 0.0);
+    EXPECT_GE(sel.predictedPerformance,
+              sel.referencePerformance * 0.9 - 1e-9);
+}
+
+TEST_F(DesignTest, CoreScaleSelection)
+{
+    const soc::SocSimulator sim(soc);
+    const PccsModel pccs = buildModel(sim, gpu);
+    const std::vector<double> scales{0.25, 0.5, 0.75, 1.0};
+    const auto sel =
+        explorer.selectCoreScale(gpu, sc, 60.0, 10.0, pccs, scales);
+    EXPECT_GT(sel.value, 0.0);
+    EXPECT_LE(sel.value, 1.0);
+    // Under heavy contention a memory-bound kernel should not need the
+    // full GPU (the paper's "saving up to 50% area" use case).
+    EXPECT_LT(sel.value, 1.0);
+}
+
+TEST_F(DesignTest, EmptyGridDies)
+{
+    const gables::GablesModel gab(137.0);
+    EXPECT_DEATH(explorer.selectFrequency(gpu, sc, 20.0, 5.0, gab, {}),
+                 "grid");
+}
+
+} // namespace
+} // namespace pccs::model

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for DRAM refresh and write-related channel timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/system.hh"
+
+namespace pccs::dram {
+namespace {
+
+TEST(ChannelWtr, ReadBlockedAfterWriteBurst)
+{
+    const DramTimingParams t = ddr4_3200();
+    ChannelTiming ch(8, t);
+    ch.reserveBus(100, /*is_write=*/true);
+    const Cycles write_end = 100 + t.tCL + t.tBURST;
+    // Another write may follow as soon as the bus frees...
+    EXPECT_TRUE(ch.busAvailable(write_end, /*is_write=*/true));
+    // ...but a read must additionally wait out tWTR.
+    EXPECT_FALSE(ch.busAvailable(write_end, /*is_write=*/false));
+    EXPECT_FALSE(
+        ch.busAvailable(write_end + t.tWTR - 1, /*is_write=*/false));
+    EXPECT_TRUE(
+        ch.busAvailable(write_end + t.tWTR, /*is_write=*/false));
+}
+
+TEST(ChannelWtr, ReadsUnaffectedByReads)
+{
+    const DramTimingParams t = ddr4_3200();
+    ChannelTiming ch(8, t);
+    ch.reserveBus(100, /*is_write=*/false);
+    EXPECT_TRUE(ch.busAvailable(100 + t.tBURST, /*is_write=*/false));
+}
+
+class RefreshTest : public ::testing::Test
+{
+  protected:
+    static std::unique_ptr<DramSystem>
+    makeLoaded(Cycles trefi, Cycles trfc, double write_fraction = 0.0)
+    {
+        DramConfig cfg = table1Config();
+        cfg.timing.tREFI = trefi;
+        cfg.timing.tRFC = trfc;
+        auto sys = std::make_unique<DramSystem>(
+            cfg, SchedulerKind::FrFcfs);
+        TrafficParams p;
+        p.source = 0;
+        p.demand = 60.0;
+        p.writeFraction = write_fraction;
+        sys->addGenerator(p);
+        sys->run(10000);
+        sys->resetMeasurement();
+        sys->run(50000);
+        return sys;
+    }
+};
+
+TEST_F(RefreshTest, RefreshCadenceMatchesTrefi)
+{
+    auto sys = makeLoaded(5000, 100);
+    // 50000 cycles / 5000 tREFI = ~10 refreshes per channel, 4 chans.
+    const std::uint64_t refreshes =
+        sys->controller().stats().refreshes;
+    EXPECT_GE(refreshes, 30u);
+    EXPECT_LE(refreshes, 50u);
+}
+
+TEST_F(RefreshTest, RefreshCostsBandwidth)
+{
+    // A third of every tREFI spent refreshing must show as lost
+    // bandwidth relative to a nearly-refresh-free run.
+    auto heavy = makeLoaded(3000, 1000);
+    auto light = makeLoaded(1u << 30, 100);
+    const double bw_heavy = heavy->achievedBandwidth(0);
+    const double bw_light = light->achievedBandwidth(0);
+    EXPECT_LT(bw_heavy, 0.85 * bw_light);
+}
+
+TEST_F(RefreshTest, DefaultRefreshOverheadIsSmall)
+{
+    // DDR4's 560/12480 = ~4.5% overhead must not cripple throughput.
+    auto sys = makeLoaded(12480, 560);
+    EXPECT_GT(sys->achievedBandwidth(0), 50.0);
+}
+
+TEST_F(RefreshTest, WriteTrafficIsServed)
+{
+    auto sys = makeLoaded(12480, 560, /*write_fraction=*/0.3);
+    const auto &stats = sys->controller().stats();
+    EXPECT_GT(stats.writes, 0u);
+    EXPECT_GT(stats.reads, 0u);
+    // Roughly the configured mix.
+    const double frac =
+        static_cast<double>(stats.writes) /
+        static_cast<double>(stats.writes + stats.reads);
+    EXPECT_NEAR(frac, 0.3, 0.05);
+    // Interleaved reads and writes pay the tWTR turnaround; a single
+    // unbatched stream keeps most but not all of its bandwidth.
+    EXPECT_GT(sys->achievedBandwidth(0), 45.0);
+}
+
+TEST_F(RefreshTest, MixedReadWriteSlowerThanPureRead)
+{
+    // Write-to-read turnarounds cost bandwidth at saturation.
+    DramConfig cfg = table1Config();
+    auto measure = [&](double write_fraction) {
+        DramSystem sys(cfg, SchedulerKind::FrFcfs);
+        for (unsigned c = 0; c < 4; ++c) {
+            TrafficParams p;
+            p.source = c;
+            p.demand = 40.0;
+            p.writeFraction = write_fraction;
+            p.seed = 10 + c;
+            sys.addGenerator(p);
+        }
+        sys.run(10000);
+        sys.resetMeasurement();
+        sys.run(50000);
+        return sys.effectiveBandwidthFraction();
+    };
+    EXPECT_LT(measure(0.5), measure(0.0));
+}
+
+} // namespace
+} // namespace pccs::dram

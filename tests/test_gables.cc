@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the Gables baseline model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gables/gables.hh"
+
+namespace pccs::gables {
+namespace {
+
+TEST(Gables, NoSlowdownBelowPeak)
+{
+    const GablesModel g(137.0);
+    // The defining (flawed) assumption the paper refutes with Fig. 2:
+    // zero slowdown while total demand stays under the peak.
+    EXPECT_DOUBLE_EQ(g.relativeSpeed(60.0, 70.0), 100.0);
+    EXPECT_DOUBLE_EQ(g.relativeSpeed(10.0, 0.0), 100.0);
+    EXPECT_DOUBLE_EQ(g.relativeSpeed(137.0, 0.0), 100.0);
+}
+
+TEST(Gables, ProRatedAbovePeak)
+{
+    const GablesModel g(137.0);
+    // x + y = 200 > 137: everyone is scaled by peak / total.
+    EXPECT_NEAR(g.relativeSpeed(100.0, 100.0), 100.0 * 137.0 / 200.0,
+                1e-9);
+    EXPECT_NEAR(g.effectiveBandwidth(100.0, 100.0), 100.0 * 137.0 / 200.0,
+                1e-9);
+}
+
+TEST(Gables, ContinuousAtPeak)
+{
+    const GablesModel g(137.0);
+    EXPECT_NEAR(g.relativeSpeed(100.0, 37.0 - 1e-9),
+                g.relativeSpeed(100.0, 37.0 + 1e-9), 1e-6);
+}
+
+TEST(Gables, MonotoneInExternal)
+{
+    const GablesModel g(137.0);
+    double prev = 200.0;
+    for (double y = 0.0; y <= 200.0; y += 5.0) {
+        const double v = g.relativeSpeed(80.0, y);
+        EXPECT_LE(v, prev + 1e-12);
+        prev = v;
+    }
+}
+
+TEST(Gables, ZeroDemandIsFullSpeed)
+{
+    const GablesModel g(137.0);
+    EXPECT_DOUBLE_EQ(g.relativeSpeed(0.0, 500.0), 100.0);
+}
+
+TEST(Gables, SlowdownFactor)
+{
+    const GablesModel g(100.0);
+    EXPECT_NEAR(g.slowdownFactor(100.0, 100.0), 2.0, 1e-9);
+}
+
+TEST(Gables, Name)
+{
+    const GablesModel g(100.0);
+    EXPECT_STREQ(g.name(), "Gables");
+}
+
+TEST(GablesDeath, NonPositivePeakPanics)
+{
+    EXPECT_DEATH(GablesModel{0.0}, "positive");
+}
+
+TEST(Roofline, ComputeAndBandwidthRoofs)
+{
+    // Below the ridge: bandwidth bound.
+    EXPECT_DOUBLE_EQ(rooflinePerformance(1000.0, 2.0, 100.0), 200.0);
+    // Above the ridge: compute bound.
+    EXPECT_DOUBLE_EQ(rooflinePerformance(1000.0, 50.0, 100.0), 1000.0);
+    // Exactly at the ridge.
+    EXPECT_DOUBLE_EQ(rooflinePerformance(1000.0, 10.0, 100.0), 1000.0);
+}
+
+TEST(Roofline, ZeroInputs)
+{
+    EXPECT_DOUBLE_EQ(rooflinePerformance(0.0, 10.0, 100.0), 0.0);
+    EXPECT_DOUBLE_EQ(rooflinePerformance(1000.0, 0.0, 100.0), 0.0);
+}
+
+} // namespace
+} // namespace pccs::gables

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Unit tests for the three-region PCCS slowdown model
+ * (Equations 1-5 of the paper).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "pccs/model.hh"
+
+namespace pccs::model {
+namespace {
+
+PccsParams
+gpuLikeParams()
+{
+    // Roughly the paper's Table 7 Xavier GPU column.
+    PccsParams p;
+    p.normalBw = 38.1;
+    p.intensiveBw = 96.2;
+    p.mrmc = 4.9;
+    p.cbp = 45.3;
+    p.tbwdc = 87.2;
+    p.rateN = 1.0;
+    p.peakBw = 137.0;
+    return p;
+}
+
+TEST(PccsParams, ValidityChecks)
+{
+    EXPECT_TRUE(gpuLikeParams().valid());
+    PccsParams bad = gpuLikeParams();
+    bad.peakBw = 0.0;
+    EXPECT_FALSE(bad.valid());
+    bad = gpuLikeParams();
+    bad.intensiveBw = bad.normalBw - 1.0;
+    EXPECT_FALSE(bad.valid());
+    bad = gpuLikeParams();
+    bad.cbp = 0.0;
+    EXPECT_FALSE(bad.valid());
+}
+
+TEST(PccsParams, NoMinorRegionViaNan)
+{
+    PccsParams p = gpuLikeParams();
+    EXPECT_FALSE(p.noMinorRegion());
+    p.mrmc = std::numeric_limits<double>::quiet_NaN();
+    p.normalBw = 0.0;
+    EXPECT_TRUE(p.noMinorRegion());
+    EXPECT_TRUE(p.valid());
+}
+
+TEST(Equation1, RegionClassification)
+{
+    const PccsModel m(gpuLikeParams());
+    EXPECT_EQ(m.classify(0.0), Region::Minor);
+    EXPECT_EQ(m.classify(38.1), Region::Minor); // boundary inclusive
+    EXPECT_EQ(m.classify(38.2), Region::Normal);
+    EXPECT_EQ(m.classify(96.2), Region::Normal);
+    EXPECT_EQ(m.classify(96.3), Region::Intensive);
+}
+
+TEST(Equation1, DlaStyleNoMinorRegion)
+{
+    PccsParams p = gpuLikeParams();
+    p.normalBw = 0.0;
+    p.mrmc = std::numeric_limits<double>::quiet_NaN();
+    const PccsModel m(p);
+    EXPECT_EQ(m.classify(0.1), Region::Normal);
+}
+
+TEST(Equation2, MinorRegionLinearInExternalDemand)
+{
+    const PccsModel m(gpuLikeParams());
+    // RS = 100 - MRMC * y / PBW.
+    EXPECT_DOUBLE_EQ(m.relativeSpeed(10.0, 0.0), 100.0);
+    EXPECT_NEAR(m.relativeSpeed(10.0, 137.0), 100.0 - 4.9, 1e-9);
+    EXPECT_NEAR(m.relativeSpeed(10.0, 68.5), 100.0 - 4.9 / 2.0, 1e-9);
+}
+
+TEST(Equation2, MinorRegionIndependentOfOwnDemand)
+{
+    const PccsModel m(gpuLikeParams());
+    EXPECT_DOUBLE_EQ(m.relativeSpeed(5.0, 50.0),
+                     m.relativeSpeed(30.0, 50.0));
+}
+
+TEST(Equation3, PreContentionPieceMatchesMinor)
+{
+    const PccsModel m(gpuLikeParams());
+    // x = 60 (normal region), y = 20: x + y < TBWDC and y < CBP.
+    EXPECT_DOUBLE_EQ(m.relativeSpeed(60.0, 20.0),
+                     m.relativeSpeed(10.0, 20.0));
+}
+
+TEST(Equation3, DropPiece)
+{
+    const PccsModel m(gpuLikeParams());
+    // x = 60, y = 40: x + y = 100 > TBWDC = 87.2, y < CBP.
+    const double expected = 100.0 - (100.0 - 87.2) * 1.0;
+    EXPECT_NEAR(m.relativeSpeed(60.0, 40.0), expected, 1e-9);
+}
+
+TEST(Equation3, FlatPieceBeyondCbp)
+{
+    const PccsModel m(gpuLikeParams());
+    const double at_cbp = m.relativeSpeed(60.0, 45.3);
+    EXPECT_NEAR(m.relativeSpeed(60.0, 60.0), at_cbp, 0.6);
+    EXPECT_NEAR(m.relativeSpeed(60.0, 100.0), at_cbp, 0.6);
+    // Only the residual minor-line slope remains after CBP.
+    EXPECT_LE(m.relativeSpeed(60.0, 100.0),
+              m.relativeSpeed(60.0, 60.0));
+}
+
+TEST(Equation3, ContinuousAtCbp)
+{
+    const PccsModel m(gpuLikeParams());
+    const double before = m.relativeSpeed(60.0, 45.3 - 1e-6);
+    const double after = m.relativeSpeed(60.0, 45.3 + 1e-6);
+    EXPECT_NEAR(before, after, 1e-3);
+}
+
+TEST(Equation4, RateIDerivation)
+{
+    const PccsModel m(gpuLikeParams());
+    // rateI = rateN * (x + CBP - TBWDC) / CBP.
+    const double expected = 1.0 * (110.0 + 45.3 - 87.2) / 45.3;
+    EXPECT_NEAR(m.rateI(110.0), expected, 1e-9);
+}
+
+TEST(Equation4, RateIGrowsWithDemand)
+{
+    const PccsModel m(gpuLikeParams());
+    EXPECT_GT(m.rateI(120.0), m.rateI(100.0));
+}
+
+TEST(Equation5, IntensiveDropsFromZeroExternal)
+{
+    const PccsModel m(gpuLikeParams());
+    EXPECT_DOUBLE_EQ(m.relativeSpeed(110.0, 0.0), 100.0);
+    // Immediate decline, much steeper than the minor slope.
+    const double at_10 = m.relativeSpeed(110.0, 10.0);
+    EXPECT_LT(at_10, 100.0 - 10.0 * m.rateI(110.0) + 1e-9);
+    EXPECT_NEAR(at_10, 100.0 - 10.0 * m.rateI(110.0), 1e-9);
+}
+
+TEST(Equation5, IntensiveFlatBeyondCbp)
+{
+    const PccsModel m(gpuLikeParams());
+    const double at_cbp = m.relativeSpeed(110.0, 45.3);
+    EXPECT_NEAR(m.relativeSpeed(110.0, 90.0), at_cbp, 0.6);
+}
+
+TEST(Equation5, IntensiveReachesNormalReductionAtCbp)
+{
+    // By construction (Eq. 4) the intensive line meets the normal-
+    // region reduction at the contention balance point.
+    const PccsParams p = gpuLikeParams();
+    const PccsModel m(p);
+    const double x = 110.0;
+    const double intensive_at_cbp = m.relativeSpeed(x, p.cbp);
+    const double normal_formula =
+        100.0 - (x + p.cbp - p.tbwdc) * p.rateN;
+    EXPECT_NEAR(intensive_at_cbp, normal_formula, 1e-9);
+}
+
+TEST(PccsModel, MonotoneNonIncreasingInY)
+{
+    const PccsModel m(gpuLikeParams());
+    for (double x : {5.0, 50.0, 70.0, 110.0, 130.0}) {
+        double prev = 200.0;
+        for (double y = 0.0; y <= 137.0; y += 1.0) {
+            const double v = m.relativeSpeed(x, y);
+            EXPECT_LE(v, prev + 1e-9) << "x=" << x << " y=" << y;
+            prev = v;
+        }
+    }
+}
+
+TEST(PccsModel, MonotoneNonIncreasingInXWithinEachRegion)
+{
+    // The model is piecewise by region (and genuinely discontinuous at
+    // the normal/intensive boundary), so monotonicity in the kernel's
+    // own demand holds within a region, not globally.
+    const PccsParams p = gpuLikeParams();
+    const PccsModel m(p);
+    const double ranges[3][2] = {{1.0, p.normalBw},
+                                 {p.normalBw + 0.1, p.intensiveBw},
+                                 {p.intensiveBw + 0.1, 130.0}};
+    for (double y : {20.0, 50.0, 90.0}) {
+        for (const auto &range : ranges) {
+            double prev = 200.0;
+            for (double x = range[0]; x <= range[1]; x += 0.5) {
+                const double v = m.relativeSpeed(x, y);
+                EXPECT_LE(v, prev + 1e-9) << "x=" << x << " y=" << y;
+                prev = v;
+            }
+        }
+    }
+}
+
+TEST(PccsModel, ClampedToValidRange)
+{
+    PccsParams p = gpuLikeParams();
+    p.rateN = 50.0; // absurd rate would drive RS negative
+    const PccsModel m(p);
+    for (double y = 0.0; y <= 137.0; y += 10.0) {
+        const double v = m.relativeSpeed(120.0, y);
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 100.0);
+    }
+}
+
+TEST(PccsModel, SlowdownFactorInverse)
+{
+    const PccsModel m(gpuLikeParams());
+    const double rs = m.relativeSpeed(60.0, 50.0);
+    EXPECT_NEAR(m.slowdownFactor(60.0, 50.0), 100.0 / rs, 1e-9);
+}
+
+TEST(PccsModel, RegionNames)
+{
+    EXPECT_STREQ(regionName(Region::Minor), "minor");
+    EXPECT_STREQ(regionName(Region::Normal), "normal");
+    EXPECT_STREQ(regionName(Region::Intensive), "intensive");
+}
+
+TEST(PccsModelDeath, NegativeDemandPanics)
+{
+    const PccsModel m(gpuLikeParams());
+    EXPECT_DEATH(m.relativeSpeed(-1.0, 0.0), "negative");
+}
+
+TEST(PccsModelDeath, InvalidParamsPanic)
+{
+    PccsParams p = gpuLikeParams();
+    p.peakBw = -1.0;
+    EXPECT_DEATH(PccsModel{p}, "invalid");
+}
+
+} // namespace
+} // namespace pccs::model

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for bandwidth-trace phase detection and the end-to-end
+ * trace -> phases -> piecewise-prediction pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pccs/model.hh"
+#include "pccs/phase_detect.hh"
+#include "soc/trace.hh"
+#include "workloads/rodinia.hh"
+
+namespace pccs::model {
+namespace {
+
+std::vector<GBps>
+step(std::initializer_list<std::pair<double, int>> levels)
+{
+    std::vector<GBps> trace;
+    for (const auto &[level, count] : levels)
+        trace.insert(trace.end(), count, level);
+    return trace;
+}
+
+TEST(PhaseDetect, ConstantTraceIsOnePhase)
+{
+    const auto trace = step({{50.0, 100}});
+    const auto phases = detectPhases(trace);
+    ASSERT_EQ(phases.size(), 1u);
+    EXPECT_EQ(phases[0].begin, 0u);
+    EXPECT_EQ(phases[0].end, 100u);
+    EXPECT_NEAR(phases[0].meanDemand, 50.0, 1e-9);
+}
+
+TEST(PhaseDetect, TwoLevelTrace)
+{
+    const auto trace = step({{90.0, 60}, {30.0, 60}});
+    const auto phases = detectPhases(trace);
+    ASSERT_EQ(phases.size(), 2u);
+    EXPECT_NEAR(phases[0].meanDemand, 90.0, 5.0);
+    EXPECT_NEAR(phases[1].meanDemand, 30.0, 5.0);
+    // The cut lands near the true boundary.
+    EXPECT_NEAR(static_cast<double>(phases[0].end), 60.0, 8.0);
+}
+
+TEST(PhaseDetect, FourPhaseCfdShape)
+{
+    // The CFD pattern: one high-BW kernel plus three medium ones.
+    const auto trace =
+        step({{95.0, 40}, {55.0, 30}, {50.0, 25}, {58.0, 30}});
+    const auto phases = detectPhases(trace);
+    // K2-K4 are within the merge threshold of each other, so 2-4
+    // phases are acceptable; the high phase must stand alone.
+    ASSERT_GE(phases.size(), 2u);
+    EXPECT_NEAR(phases[0].meanDemand, 95.0, 5.0);
+    for (std::size_t i = 1; i < phases.size(); ++i)
+        EXPECT_LT(phases[i].meanDemand, 65.0);
+}
+
+TEST(PhaseDetect, PhasesCoverTraceContiguously)
+{
+    const auto trace = step({{80.0, 37}, {20.0, 23}, {60.0, 41}});
+    const auto phases = detectPhases(trace);
+    EXPECT_EQ(phases.front().begin, 0u);
+    EXPECT_EQ(phases.back().end, trace.size());
+    for (std::size_t i = 1; i < phases.size(); ++i)
+        EXPECT_EQ(phases[i].begin, phases[i - 1].end);
+}
+
+TEST(PhaseDetect, NoiseDoesNotSplitPhases)
+{
+    std::vector<GBps> trace;
+    unsigned long long s = 7;
+    for (int i = 0; i < 200; ++i) {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        const double jitter =
+            (static_cast<double>(s >> 11) / (1ull << 53) - 0.5) * 6.0;
+        trace.push_back((i < 100 ? 80.0 : 30.0) + jitter);
+    }
+    const auto phases = detectPhases(trace);
+    EXPECT_EQ(phases.size(), 2u);
+}
+
+TEST(PhaseDetect, ShortBlipMergesAway)
+{
+    PhaseDetectorOptions opts;
+    opts.minPhaseLength = 6;
+    const auto trace = step({{50.0, 80}, {90.0, 2}, {50.0, 80}});
+    const auto phases = detectPhases(trace, opts);
+    EXPECT_EQ(phases.size(), 1u);
+}
+
+TEST(PhaseDetect, ToPhaseDemandsSharesSumToOne)
+{
+    const auto trace = step({{90.0, 30}, {30.0, 70}});
+    const auto demands = toPhaseDemands(detectPhases(trace));
+    double total = 0.0;
+    for (const auto &d : demands)
+        total += d.timeShare;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PhaseDetect, TimeSharesMatchSegmentLengths)
+{
+    const auto trace = step({{90.0, 25}, {30.0, 75}});
+    const auto demands = toPhaseDemands(detectPhases(trace));
+    ASSERT_EQ(demands.size(), 2u);
+    EXPECT_NEAR(demands[0].timeShare, 0.25, 0.08);
+    EXPECT_NEAR(demands[1].timeShare, 0.75, 0.08);
+}
+
+TEST(PhaseDetectDeath, EmptyTracePanics)
+{
+    EXPECT_DEATH(detectPhases({}), "trace");
+}
+
+PccsParams
+gpuParams()
+{
+    PccsParams p;
+    p.normalBw = 38.0;
+    p.intensiveBw = 96.0;
+    p.mrmc = 4.9;
+    p.cbp = 45.0;
+    p.tbwdc = 87.0;
+    p.rateN = 1.0;
+    p.peakBw = 137.0;
+    return p;
+}
+
+TEST(PhaseDetect, PredictFromTraceMatchesManualPhases)
+{
+    const PccsModel m(gpuParams());
+    const auto trace = step({{95.0, 30}, {55.0, 70}});
+    const double via_trace = predictFromTrace(m, trace, 40.0);
+    const std::vector<PhaseDemand> manual{{95.0, 0.3}, {55.0, 0.7}};
+    const double via_manual = predictPiecewise(m, manual, 40.0);
+    EXPECT_NEAR(via_trace, via_manual, 1.5);
+}
+
+TEST(TraceWorkload, SamplesMatchPhaseDurations)
+{
+    const soc::SocSimulator sim(soc::xavierLike());
+    const std::size_t gpu = static_cast<std::size_t>(
+        sim.config().puIndex(soc::PuKind::Gpu));
+    const auto w = workloads::cfdPhased(soc::PuKind::Gpu);
+    soc::TraceOptions opts;
+    opts.samplePeriod = 1e-3;
+    const auto trace = soc::traceWorkload(sim, gpu, w, opts);
+    double total_s = 0.0;
+    for (const auto &ph : w.phases)
+        total_s += sim.profile(gpu, ph).seconds;
+    EXPECT_NEAR(static_cast<double>(trace.size()),
+                total_s / opts.samplePeriod, 6.0);
+}
+
+TEST(TraceWorkload, NoiseStaysBounded)
+{
+    const soc::SocSimulator sim(soc::xavierLike());
+    const std::size_t gpu = static_cast<std::size_t>(
+        sim.config().puIndex(soc::PuKind::Gpu));
+    const auto w = soc::PhasedWorkload::single(
+        workloads::rodiniaKernel("srad", soc::PuKind::Gpu));
+    soc::TraceOptions opts;
+    opts.noise = 0.05;
+    const auto trace = soc::traceWorkload(sim, gpu, w, opts);
+    const double x =
+        sim.profile(gpu, w.phases[0]).bandwidthDemand;
+    for (double v : trace) {
+        EXPECT_GE(v, x * 0.94);
+        EXPECT_LE(v, x * 1.06);
+    }
+}
+
+TEST(TraceWorkload, EndToEndPipelineOnCfd)
+{
+    // The complete loop the paper leaves to "orthogonal work": sample
+    // a standalone trace of the 4-phase CFD, detect phases, and
+    // predict -- the result must track the known-phase prediction.
+    const soc::SocSimulator sim(soc::xavierLike());
+    const std::size_t gpu = static_cast<std::size_t>(
+        sim.config().puIndex(soc::PuKind::Gpu));
+    const model::PccsModel m(gpuParams());
+    const auto w = workloads::cfdPhased(soc::PuKind::Gpu);
+
+    soc::TraceOptions opts;
+    opts.noise = 0.03;
+    const auto trace = soc::traceWorkload(sim, gpu, w, opts);
+
+    std::vector<PhaseDemand> manual;
+    double total_s = 0.0;
+    for (const auto &ph : w.phases)
+        total_s += sim.profile(gpu, ph).seconds;
+    for (const auto &ph : w.phases) {
+        const auto prof = sim.profile(gpu, ph);
+        manual.push_back(
+            {prof.bandwidthDemand, prof.seconds / total_s});
+    }
+
+    for (double y : {20.0, 45.0, 70.0}) {
+        EXPECT_NEAR(predictFromTrace(m, trace, y),
+                    predictPiecewise(m, manual, y), 3.0)
+            << "y=" << y;
+    }
+}
+
+} // namespace
+} // namespace pccs::model

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for multi-phase program prediction (Section 3.2 / Figure 13).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pccs/model.hh"
+#include "pccs/phases.hh"
+
+namespace pccs::model {
+namespace {
+
+PccsParams
+params()
+{
+    PccsParams p;
+    p.normalBw = 40.0;
+    p.intensiveBw = 100.0;
+    p.mrmc = 5.0;
+    p.cbp = 50.0;
+    p.tbwdc = 90.0;
+    p.rateN = 1.2;
+    p.peakBw = 137.0;
+    return p;
+}
+
+TEST(Phases, SinglePhaseMatchesDirectPrediction)
+{
+    const PccsModel m(params());
+    const std::vector<PhaseDemand> one{{60.0, 1.0}};
+    EXPECT_NEAR(predictPiecewise(m, one, 45.0),
+                m.relativeSpeed(60.0, 45.0), 1e-9);
+    EXPECT_NEAR(predictAverageBw(m, one, 45.0),
+                m.relativeSpeed(60.0, 45.0), 1e-9);
+}
+
+TEST(Phases, EqualPhasesCollapse)
+{
+    const PccsModel m(params());
+    const std::vector<PhaseDemand> phases{{60.0, 0.5}, {60.0, 0.5}};
+    EXPECT_NEAR(predictPiecewise(m, phases, 45.0),
+                m.relativeSpeed(60.0, 45.0), 1e-9);
+}
+
+TEST(Phases, PiecewiseIsHarmonicTimeAggregation)
+{
+    const PccsModel m(params());
+    const std::vector<PhaseDemand> phases{{110.0, 0.25}, {60.0, 0.75}};
+    const double rs1 = m.relativeSpeed(110.0, 45.0);
+    const double rs2 = m.relativeSpeed(60.0, 45.0);
+    const double expected =
+        100.0 / (0.25 / (rs1 / 100.0) + 0.75 / (rs2 / 100.0));
+    EXPECT_NEAR(predictPiecewise(m, phases, 45.0), expected, 1e-9);
+}
+
+TEST(Phases, AverageBwUnderestimatesSlowdown)
+{
+    // The Figure 13 point: with one high-BW phase, feeding the average
+    // bandwidth to the model predicts a milder slowdown than the
+    // correct piecewise method (high-BW phases suffer disproportionate
+    // slowdowns).
+    const PccsModel m(params());
+    const std::vector<PhaseDemand> phases{{115.0, 0.3}, {55.0, 0.7}};
+    const double piecewise = predictPiecewise(m, phases, 40.0);
+    const double averaged = predictAverageBw(m, phases, 40.0);
+    EXPECT_GT(averaged, piecewise);
+}
+
+TEST(Phases, SharesNeedNotBeNormalized)
+{
+    const PccsModel m(params());
+    const std::vector<PhaseDemand> a{{110.0, 0.25}, {60.0, 0.75}};
+    const std::vector<PhaseDemand> b{{110.0, 1.0}, {60.0, 3.0}};
+    EXPECT_NEAR(predictPiecewise(m, a, 45.0),
+                predictPiecewise(m, b, 45.0), 1e-9);
+    EXPECT_NEAR(predictAverageBw(m, a, 45.0),
+                predictAverageBw(m, b, 45.0), 1e-9);
+}
+
+TEST(Phases, ZeroShitPhaseIgnored)
+{
+    const PccsModel m(params());
+    const std::vector<PhaseDemand> a{{110.0, 0.0}, {60.0, 1.0}};
+    EXPECT_NEAR(predictPiecewise(m, a, 45.0),
+                m.relativeSpeed(60.0, 45.0), 1e-9);
+}
+
+TEST(Phases, NoExternalPressureIsFullSpeed)
+{
+    const PccsModel m(params());
+    const std::vector<PhaseDemand> phases{{110.0, 0.5}, {20.0, 0.5}};
+    EXPECT_NEAR(predictPiecewise(m, phases, 0.0), 100.0, 1e-9);
+}
+
+TEST(PhasesDeath, EmptyPhaseListPanics)
+{
+    const PccsModel m(params());
+    EXPECT_DEATH(predictPiecewise(m, {}, 10.0), "empty");
+}
+
+TEST(PhasesDeath, AllZeroSharesPanic)
+{
+    const PccsModel m(params());
+    const std::vector<PhaseDemand> phases{{50.0, 0.0}, {60.0, 0.0}};
+    EXPECT_DEATH(predictPiecewise(m, phases, 10.0), "zero");
+}
+
+} // namespace
+} // namespace pccs::model

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the kernel-to-PU placement optimizer (the Figure 7
+ * workflow as a library API).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pccs/builder.hh"
+#include "pccs/placement.hh"
+#include "workloads/nn.hh"
+#include "workloads/rodinia.hh"
+
+namespace pccs::model {
+namespace {
+
+class PlacementTest : public ::testing::Test
+{
+  protected:
+    PlacementTest() : sim(soc::xavierLike())
+    {
+        for (std::size_t p = 0; p < sim.config().pus.size(); ++p)
+            owned.push_back(
+                std::make_unique<PccsModel>(buildModel(sim, p)));
+        for (const auto &m : owned)
+            models.push_back(m.get());
+    }
+
+    /** A Rodinia task runnable on CPU or GPU, not on the DLA. */
+    PlacementTask
+    rodiniaTask(const std::string &bench)
+    {
+        PlacementTask t;
+        t.name = bench;
+        for (const auto &pu : sim.config().pus) {
+            if (pu.kind == soc::PuKind::Dla) {
+                t.options.push_back({}); // infeasible on the DLA
+            } else {
+                t.options.push_back(soc::PhasedWorkload::single(
+                    workloads::rodiniaKernel(bench, pu.kind)));
+            }
+        }
+        return t;
+    }
+
+    /** An NN task runnable only on the DLA. */
+    PlacementTask
+    nnTask(const std::string &model_name)
+    {
+        PlacementTask t;
+        t.name = model_name;
+        for (const auto &pu : sim.config().pus) {
+            if (pu.kind == soc::PuKind::Dla)
+                t.options.push_back(workloads::dlaWorkload(model_name));
+            else
+                t.options.push_back({});
+        }
+        return t;
+    }
+
+    soc::SocSimulator sim;
+    std::vector<std::unique_ptr<PccsModel>> owned;
+    std::vector<const SlowdownPredictor *> models;
+};
+
+TEST_F(PlacementTest, EnumeratesAllFeasibleAssignments)
+{
+    // Two CPU/GPU-capable tasks on a 3-PU SoC: 2 orderings over
+    // {CPU, GPU} are feasible (the DLA can run neither task), but the
+    // enumeration also considers assignments using the DLA slot for
+    // neither task -- every returned choice must be feasible.
+    const auto choices = enumeratePlacements(
+        sim, models,
+        {rodiniaTask("streamcluster"), rodiniaTask("srad")});
+    ASSERT_FALSE(choices.empty());
+    for (const auto &c : choices) {
+        ASSERT_EQ(c.puAssignment.size(), 2u);
+        EXPECT_NE(c.puAssignment[0], c.puAssignment[1]);
+        for (std::size_t t = 0; t < 2; ++t) {
+            EXPECT_NE(sim.config().pus[c.puAssignment[t]].kind,
+                      soc::PuKind::Dla);
+        }
+    }
+}
+
+TEST_F(PlacementTest, ChoicesSortedByScore)
+{
+    const auto choices = enumeratePlacements(
+        sim, models,
+        {rodiniaTask("streamcluster"), rodiniaTask("srad")});
+    for (std::size_t i = 1; i < choices.size(); ++i)
+        EXPECT_LE(choices[i].score, choices[i - 1].score + 1e-12);
+}
+
+TEST_F(PlacementTest, NnTaskPinsToTheDla)
+{
+    const auto best = bestPlacement(
+        sim, models,
+        {rodiniaTask("streamcluster"), rodiniaTask("srad"),
+         nnTask("Resnet-50")});
+    ASSERT_EQ(best.puAssignment.size(), 3u);
+    EXPECT_EQ(sim.config().pus[best.puAssignment[2]].kind,
+              soc::PuKind::Dla);
+}
+
+TEST_F(PlacementTest, ScoresAreConsistentWithReportedSpeeds)
+{
+    const auto choices = enumeratePlacements(
+        sim, models,
+        {rodiniaTask("streamcluster"), rodiniaTask("srad")});
+    for (const auto &c : choices) {
+        double worst = 1e300;
+        for (double rs : c.relativeSpeed)
+            worst = std::min(worst, rs);
+        EXPECT_NEAR(c.score, worst, 1e-9);
+    }
+}
+
+TEST_F(PlacementTest, MakespanObjectivePrefersShorterRuns)
+{
+    const auto choices = enumeratePlacements(
+        sim, models,
+        {rodiniaTask("streamcluster"), rodiniaTask("srad")},
+        PlacementObjective::MinMakespan);
+    ASSERT_GE(choices.size(), 2u);
+    auto makespan = [](const PlacementChoice &c) {
+        double m = 0.0;
+        for (double s : c.corunSeconds)
+            m = std::max(m, s);
+        return m;
+    };
+    EXPECT_LE(makespan(choices[0]), makespan(choices[1]) + 1e-12);
+}
+
+TEST_F(PlacementTest, BestPlacementBeatsWorstOnTheBoard)
+{
+    // The point of the optimizer: the PCCS-chosen placement must be at
+    // least as good as the PCCS-rejected one when actually co-run.
+    const auto choices = enumeratePlacements(
+        sim, models,
+        {rodiniaTask("streamcluster"), rodiniaTask("srad")});
+    ASSERT_GE(choices.size(), 2u);
+    auto measure = [&](const PlacementChoice &c) {
+        std::vector<soc::Placement> placements;
+        placements.push_back(
+            {c.puAssignment[0],
+             soc::PhasedWorkload::single(workloads::rodiniaKernel(
+                 "streamcluster",
+                 sim.config().pus[c.puAssignment[0]].kind))});
+        placements.push_back(
+            {c.puAssignment[1],
+             soc::PhasedWorkload::single(workloads::rodiniaKernel(
+                 "srad", sim.config().pus[c.puAssignment[1]].kind))});
+        const auto out =
+            sim.run(placements, soc::StopPolicy::FirstFinish);
+        return std::min(out.placements[0].relativeSpeed,
+                        out.placements[1].relativeSpeed);
+    };
+    EXPECT_GE(measure(choices.front()), measure(choices.back()) - 2.0);
+}
+
+TEST_F(PlacementTest, InfeasibleEverywhereYieldsEmpty)
+{
+    PlacementTask impossible;
+    impossible.name = "nowhere";
+    impossible.options.resize(sim.config().pus.size());
+    const auto choices =
+        enumeratePlacements(sim, models, {impossible});
+    EXPECT_TRUE(choices.empty());
+}
+
+TEST_F(PlacementTest, BestPlacementFatalWhenInfeasible)
+{
+    PlacementTask impossible;
+    impossible.name = "nowhere";
+    impossible.options.resize(sim.config().pus.size());
+    EXPECT_EXIT(bestPlacement(sim, models, {impossible}),
+                ::testing::ExitedWithCode(1), "no feasible");
+}
+
+TEST_F(PlacementTest, TooManyTasksPanic)
+{
+    std::vector<PlacementTask> four(4, rodiniaTask("srad"));
+    EXPECT_DEATH(enumeratePlacements(sim, models, four), "task count");
+}
+
+TEST_F(PlacementTest, WrongOptionCountPanics)
+{
+    PlacementTask t = rodiniaTask("srad");
+    t.options.pop_back();
+    EXPECT_DEATH(enumeratePlacements(sim, models, {t}), "option slot");
+}
+
+} // namespace
+} // namespace pccs::model

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the power model and power-budgeted design exploration
+ * (the Section 5 power-budget workflow).
+ */
+
+#include <gtest/gtest.h>
+
+#include "calib/calibrator.hh"
+#include "gables/gables.hh"
+#include "pccs/builder.hh"
+#include "pccs/power.hh"
+
+namespace pccs::model {
+namespace {
+
+TEST(PuPower, CubicFrequencyScaling)
+{
+    PowerParams p;
+    p.dynamicWatts = 16.0;
+    p.staticWatts = 2.0;
+    EXPECT_DOUBLE_EQ(puPower(p, 1000.0, 1000.0), 18.0);
+    EXPECT_DOUBLE_EQ(puPower(p, 500.0, 1000.0), 2.0 + 16.0 / 8.0);
+}
+
+TEST(PuPower, CoreScaleReducesDynamicOnly)
+{
+    PowerParams p;
+    p.dynamicWatts = 16.0;
+    p.staticWatts = 2.0;
+    EXPECT_DOUBLE_EQ(puPower(p, 1000.0, 1000.0, 0.5), 10.0);
+}
+
+TEST(PuPower, LinearExponentOption)
+{
+    PowerParams p;
+    p.dynamicWatts = 10.0;
+    p.staticWatts = 0.0;
+    p.frequencyExponent = 1.0;
+    EXPECT_DOUBLE_EQ(puPower(p, 250.0, 1000.0), 2.5);
+}
+
+TEST(PuPowerDeath, BadCoreScalePanics)
+{
+    EXPECT_DEATH(puPower(PowerParams{}, 500.0, 1000.0, 0.0), "scale");
+}
+
+class PowerBudgetTest : public ::testing::Test
+{
+  protected:
+    PowerBudgetTest()
+    {
+        problem.soc = soc::xavierLike();
+        const soc::SocSimulator sim(problem.soc);
+        for (std::size_t i = 0; i < problem.soc.pus.size(); ++i) {
+            models.push_back(std::make_unique<PccsModel>(
+                buildModel(sim, i)));
+            problem.models.push_back(models.back().get());
+            // A memory-hungry kernel on every PU.
+            problem.kernels.push_back(calib::makeCalibrator(
+                sim.model(), problem.soc.pus[i],
+                0.8 * problem.soc.pus[i].drawBandwidth()));
+            // Clock grid: 50%..100% of nominal, 5 points.
+            std::vector<MHz> grid;
+            const MHz fmax = problem.soc.pus[i].maxFrequency;
+            for (double r : {0.5, 0.625, 0.75, 0.875, 1.0})
+                grid.push_back(r * fmax);
+            problem.grids.push_back(grid);
+        }
+        // CPU 12 W, GPU 20 W, DLA 6 W dynamic at nominal clocks.
+        problem.power = {{12.0, 2.0, 3.0},
+                         {20.0, 3.0, 3.0},
+                         {6.0, 1.0, 3.0}};
+    }
+
+    /** Power of the all-lowest-clocks assignment. */
+    double
+    minFeasibleWatts() const
+    {
+        double watts = 0.0;
+        for (std::size_t i = 0; i < problem.soc.pus.size(); ++i) {
+            watts += puPower(problem.power[i],
+                             problem.grids[i].front(),
+                             problem.soc.pus[i].maxFrequency);
+        }
+        return watts;
+    }
+
+    PowerBudgetProblem problem;
+    std::vector<std::unique_ptr<PccsModel>> models;
+};
+
+TEST_F(PowerBudgetTest, UnlimitedBudgetPicksFeasibleAssignment)
+{
+    problem.budgetWatts = 1000.0;
+    const PowerBudgetResult r = explorePowerBudget(problem);
+    ASSERT_EQ(r.frequencies.size(), 3u);
+    EXPECT_GT(r.worstRelativePerformance, 20.0);
+    EXPECT_LE(r.totalWatts, 1000.0);
+}
+
+TEST_F(PowerBudgetTest, TightBudgetLowersClocksAndPower)
+{
+    problem.budgetWatts = 1000.0;
+    const PowerBudgetResult loose = explorePowerBudget(problem);
+    problem.budgetWatts = 1.1 * minFeasibleWatts();
+    const PowerBudgetResult tight = explorePowerBudget(problem);
+    ASSERT_EQ(tight.frequencies.size(), 3u);
+    EXPECT_LE(tight.totalWatts, problem.budgetWatts + 1e-9);
+    EXPECT_LE(tight.worstRelativePerformance,
+              loose.worstRelativePerformance + 1e-9);
+}
+
+TEST_F(PowerBudgetTest, InfeasibleBudgetReturnsEmpty)
+{
+    problem.budgetWatts = 1.0; // below static power alone
+    const PowerBudgetResult r = explorePowerBudget(problem);
+    EXPECT_TRUE(r.frequencies.empty());
+    EXPECT_DOUBLE_EQ(r.worstRelativePerformance, 0.0);
+}
+
+TEST_F(PowerBudgetTest, ContentionMakesDownClockingCheap)
+{
+    // The paper's use-case insight: with all PUs memory-hungry, the
+    // co-run performance is grant-bound, so a sizable power cut costs
+    // little predicted performance.
+    problem.budgetWatts = 1000.0;
+    const PowerBudgetResult loose = explorePowerBudget(problem);
+    problem.budgetWatts = 1.15 * minFeasibleWatts();
+    const PowerBudgetResult tight = explorePowerBudget(problem);
+    ASSERT_FALSE(tight.frequencies.empty());
+    // Nearly half the power for most of the worst-case performance.
+    EXPECT_GT(tight.worstRelativePerformance,
+              0.7 * loose.worstRelativePerformance);
+}
+
+TEST_F(PowerBudgetTest, ReportsPerPuPerformance)
+{
+    problem.budgetWatts = 40.0;
+    const PowerBudgetResult r = explorePowerBudget(problem);
+    ASSERT_EQ(r.relativePerformance.size(), 3u);
+    for (double rel : r.relativePerformance)
+        EXPECT_GE(rel, r.worstRelativePerformance - 1e-9);
+}
+
+TEST_F(PowerBudgetTest, GablesOverestimatesBudgetedPerformance)
+{
+    // Gables predicts no contention below peak, so it believes a
+    // tight budget still delivers near-full performance.
+    problem.budgetWatts = 35.0;
+    const PowerBudgetResult via_pccs = explorePowerBudget(problem);
+
+    const gables::GablesModel gables(
+        problem.soc.memory.peakBandwidth);
+    PowerBudgetProblem optimistic = problem;
+    optimistic.models = {&gables, &gables, &gables};
+    const PowerBudgetResult via_gables =
+        explorePowerBudget(optimistic);
+
+    ASSERT_FALSE(via_pccs.frequencies.empty());
+    ASSERT_FALSE(via_gables.frequencies.empty());
+    EXPECT_GE(via_gables.worstRelativePerformance,
+              via_pccs.worstRelativePerformance);
+}
+
+TEST_F(PowerBudgetTest, MismatchedArraysPanic)
+{
+    problem.budgetWatts = 50.0;
+    problem.grids.pop_back();
+    EXPECT_DEATH(explorePowerBudget(problem), "parallel");
+}
+
+} // namespace
+} // namespace pccs::model

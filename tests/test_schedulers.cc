@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Unit tests for the five memory-controller scheduling policies
+ * (Table 2 of the paper).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dram/sched_atlas.hh"
+#include "dram/sched_fcfs.hh"
+#include "dram/sched_sms.hh"
+#include "dram/sched_tcm.hh"
+#include "dram/scheduler.hh"
+
+namespace pccs::dram {
+namespace {
+
+Request
+makeReq(std::uint64_t id, unsigned source, Cycles arrival,
+        std::uint32_t row = 0)
+{
+    Request r;
+    r.id = id;
+    r.source = source;
+    r.arrival = arrival;
+    r.loc.row = row;
+    return r;
+}
+
+TEST(SchedulerFactory, NamesRoundTrip)
+{
+    for (auto kind : {SchedulerKind::Fcfs, SchedulerKind::FrFcfs,
+                      SchedulerKind::Atlas, SchedulerKind::Tcm,
+                      SchedulerKind::Sms}) {
+        auto sched = makeScheduler(kind);
+        EXPECT_EQ(schedulerFromName(sched->name()), kind);
+        EXPECT_STREQ(sched->name(), schedulerName(kind));
+    }
+}
+
+TEST(SchedulerFactory, ParseAliases)
+{
+    EXPECT_EQ(schedulerFromName("frfcfs"), SchedulerKind::FrFcfs);
+    EXPECT_EQ(schedulerFromName("FR-FCFS"), SchedulerKind::FrFcfs);
+    EXPECT_EQ(schedulerFromName("atlas"), SchedulerKind::Atlas);
+}
+
+TEST(SchedulerFactoryDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(schedulerFromName("lru"),
+                ::testing::ExitedWithCode(1), "unknown scheduler");
+}
+
+TEST(Fcfs, PicksOldestWhenIssuable)
+{
+    FcfsScheduler s;
+    Request r1 = makeReq(1, 0, 10);
+    Request r2 = makeReq(2, 1, 5);
+    std::vector<QueueEntryView> q{{&r1, true, false}, {&r2, true, false}};
+    EXPECT_EQ(s.pick(0, q, 20), 1);
+}
+
+TEST(Fcfs, OldestIssuableWhenHeadIsBlocked)
+{
+    FcfsScheduler s;
+    Request r1 = makeReq(1, 0, 10);
+    Request r2 = makeReq(2, 1, 5);
+    // The oldest request cannot issue its command this cycle; service
+    // stays chronological among the issuable ones.
+    std::vector<QueueEntryView> q{{&r1, true, false},
+                                  {&r2, false, false}};
+    EXPECT_EQ(s.pick(0, q, 20), 0);
+}
+
+TEST(Fcfs, NeverPrefersRowHitOverOlderRequest)
+{
+    FcfsScheduler s;
+    Request r1 = makeReq(1, 0, 5);  // older, row miss
+    Request r2 = makeReq(2, 1, 10); // younger, row hit
+    std::vector<QueueEntryView> q{{&r1, true, false}, {&r2, true, true}};
+    EXPECT_EQ(s.pick(0, q, 20), 0);
+}
+
+TEST(FrFcfs, PrefersRowHitOverOlder)
+{
+    FrFcfsScheduler s;
+    Request r1 = makeReq(1, 0, 5);  // older, row miss
+    Request r2 = makeReq(2, 1, 10); // younger, row hit
+    std::vector<QueueEntryView> q{{&r1, true, false}, {&r2, true, true}};
+    EXPECT_EQ(s.pick(0, q, 20), 1);
+}
+
+TEST(FrFcfs, AgeBreaksTiesAmongHits)
+{
+    FrFcfsScheduler s;
+    Request r1 = makeReq(1, 0, 10);
+    Request r2 = makeReq(2, 1, 5);
+    std::vector<QueueEntryView> q{{&r1, true, true}, {&r2, true, true}};
+    EXPECT_EQ(s.pick(0, q, 20), 1);
+}
+
+TEST(FrFcfs, SkipsNonIssuable)
+{
+    FrFcfsScheduler s;
+    Request r1 = makeReq(1, 0, 5);
+    Request r2 = makeReq(2, 1, 10);
+    std::vector<QueueEntryView> q{{&r1, false, true}, {&r2, true, false}};
+    EXPECT_EQ(s.pick(0, q, 20), 1);
+}
+
+TEST(FrFcfs, EmptyQueueIdles)
+{
+    FrFcfsScheduler s;
+    EXPECT_EQ(s.pick(0, {}, 0), -1);
+}
+
+TEST(Atlas, PrefersLeastAttainedService)
+{
+    SchedulerParams p;
+    AtlasScheduler s(p);
+    Request heavy = makeReq(1, 0, 0);
+    Request light = makeReq(2, 1, 5);
+    // Source 0 has attained lots of service this quantum.
+    for (int i = 0; i < 100; ++i)
+        s.onService(heavy, i, 64);
+    std::vector<QueueEntryView> q{{&heavy, true, true},
+                                  {&light, true, false}};
+    // Despite being younger and a row miss, the least-served source
+    // wins.
+    EXPECT_EQ(s.pick(0, q, 50), 1);
+}
+
+TEST(Atlas, StarvationThresholdOverridesService)
+{
+    SchedulerParams p;
+    p.starvationThreshold = 100;
+    AtlasScheduler s(p);
+    Request starved = makeReq(1, 0, 0);
+    Request fresh = makeReq(2, 1, 190);
+    for (int i = 0; i < 100; ++i)
+        s.onService(starved, i, 64); // source 0 heavily served
+    std::vector<QueueEntryView> q{{&starved, true, false},
+                                  {&fresh, true, true}};
+    // At now=200 the old request has waited 200 > threshold: it wins
+    // regardless of attained service.
+    EXPECT_EQ(s.pick(0, q, 200), 0);
+}
+
+TEST(Atlas, QuantumFoldsServiceWithSmoothing)
+{
+    SchedulerParams p;
+    p.quantum = 1000;
+    p.atlasAlpha = 0.5;
+    AtlasScheduler s(p);
+    Request r = makeReq(1, 3, 0);
+    for (int i = 0; i < 10; ++i)
+        s.onService(r, i, 64);
+    EXPECT_DOUBLE_EQ(s.attainedService(3), 0.0) << "before quantum end";
+    s.tick(1000);
+    EXPECT_DOUBLE_EQ(s.attainedService(3), 5.0); // 0.5 * 10
+    s.tick(2000);
+    EXPECT_DOUBLE_EQ(s.attainedService(3), 2.5); // decays when idle
+}
+
+TEST(Atlas, RowHitBreaksServiceTies)
+{
+    AtlasScheduler s{SchedulerParams{}};
+    Request r1 = makeReq(1, 0, 5);
+    Request r2 = makeReq(2, 1, 3);
+    std::vector<QueueEntryView> q{{&r1, true, true}, {&r2, true, false}};
+    EXPECT_EQ(s.pick(0, q, 10), 0);
+}
+
+TEST(Tcm, EveryoneLatencySensitiveInitially)
+{
+    TcmScheduler s{SchedulerParams{}};
+    EXPECT_TRUE(s.inLatencyCluster(0));
+    EXPECT_TRUE(s.inLatencyCluster(63));
+}
+
+TEST(Tcm, ClustersByIntensityAfterQuantum)
+{
+    SchedulerParams p;
+    p.quantum = 1000;
+    p.tcmClusterFraction = 0.2;
+    TcmScheduler s(p);
+    Request heavy = makeReq(1, 0, 0);
+    Request light = makeReq(2, 1, 0);
+    for (int i = 0; i < 900; ++i)
+        s.onService(heavy, i, 64);
+    for (int i = 0; i < 30; ++i)
+        s.onService(light, i, 64);
+    s.tick(1000);
+    EXPECT_FALSE(s.inLatencyCluster(0)) << "heavy source";
+    EXPECT_TRUE(s.inLatencyCluster(1)) << "light source";
+}
+
+TEST(Tcm, LatencyClusterWinsPick)
+{
+    SchedulerParams p;
+    p.quantum = 1000;
+    p.tcmClusterFraction = 0.2;
+    TcmScheduler s(p);
+    Request heavy = makeReq(1, 0, 0);
+    Request light = makeReq(2, 1, 10);
+    for (int i = 0; i < 900; ++i)
+        s.onService(heavy, i, 64);
+    for (int i = 0; i < 30; ++i)
+        s.onService(light, i, 64);
+    s.tick(1000);
+    // Heavy is older and a row hit; light still wins: it is in the
+    // latency-sensitive cluster.
+    std::vector<QueueEntryView> q{{&heavy, true, true},
+                                  {&light, true, false}};
+    EXPECT_EQ(s.pick(0, q, 1100), 1);
+}
+
+TEST(Sms, ServesBatchToCompletion)
+{
+    SchedulerParams p;
+    p.smsShortestFirstProb = 1.0; // deterministic
+    SmsScheduler s(p);
+    Request a1 = makeReq(1, 0, 0, /*row=*/5);
+    Request a2 = makeReq(2, 0, 1, /*row=*/5);
+    Request b1 = makeReq(3, 1, 2, /*row=*/9);
+    // Source 1's batch (1 request) is shorter: SJF picks it first.
+    std::vector<QueueEntryView> q{{&a1, true, false},
+                                  {&a2, true, false},
+                                  {&b1, true, false}};
+    EXPECT_EQ(s.pick(0, q, 10), 2);
+    // Next pick: source 1 exhausted, source 0's batch begins.
+    std::vector<QueueEntryView> q2{{&a1, true, false},
+                                   {&a2, true, false}};
+    EXPECT_EQ(s.pick(0, q2, 11), 0);
+    // The batch continues with the same source/row even though another
+    // source could be selected.
+    Request c1 = makeReq(4, 2, 3, /*row=*/7);
+    std::vector<QueueEntryView> q3{{&a2, true, false},
+                                   {&c1, true, false}};
+    EXPECT_EQ(s.pick(0, q3, 12), 0) << "batch not preempted";
+}
+
+TEST(Sms, WorkConservingWhenBatchHeadNotIssuable)
+{
+    SchedulerParams p;
+    p.smsShortestFirstProb = 1.0;
+    SmsScheduler s(p);
+    Request a1 = makeReq(1, 0, 0, 5);
+    Request a2 = makeReq(2, 0, 1, 5);
+    std::vector<QueueEntryView> q{{&a1, true, false}, {&a2, true, false}};
+    EXPECT_EQ(s.pick(0, q, 10), 0);
+    // The batch of source 0 is in flight but its next request is
+    // blocked (bank activating): the slot serves another source's
+    // ready request instead of idling...
+    Request b1 = makeReq(3, 1, 2, 9);
+    std::vector<QueueEntryView> q2{{&a2, false, false},
+                                   {&b1, true, false}};
+    EXPECT_EQ(s.pick(0, q2, 11), 1);
+    // ...and with nothing issuable at all, the slot idles.
+    std::vector<QueueEntryView> q3{{&a2, false, false}};
+    EXPECT_EQ(s.pick(0, q3, 12), -1);
+}
+
+TEST(Sms, EmptyQueueIdles)
+{
+    SmsScheduler s{SchedulerParams{}};
+    EXPECT_EQ(s.pick(0, {}, 0), -1);
+}
+
+TEST(Sms, PerChannelBatchesAreIndependent)
+{
+    SchedulerParams p;
+    p.smsShortestFirstProb = 1.0;
+    SmsScheduler s(p);
+    Request a = makeReq(1, 0, 0, 5);
+    Request b = makeReq(2, 1, 1, 9);
+    std::vector<QueueEntryView> q{{&a, true, false}, {&b, true, false}};
+    // Channel 0 picks source 0's single-request batch... (both size 1;
+    // older arrival wins the SJF tie).
+    EXPECT_EQ(s.pick(0, q, 10), 0);
+    // ...while channel 1's state is untouched and makes its own pick.
+    EXPECT_EQ(s.pick(1, q, 10), 0);
+}
+
+} // namespace
+} // namespace pccs::dram

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for PCCS model parameter serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+
+#include "pccs/serialize.hh"
+
+namespace pccs::model {
+namespace {
+
+PccsParams
+sample()
+{
+    PccsParams p;
+    p.normalBw = 38.1;
+    p.intensiveBw = 96.2;
+    p.mrmc = 4.9;
+    p.cbp = 45.3;
+    p.tbwdc = 87.2;
+    p.rateN = 1.11;
+    p.peakBw = 137.0;
+    return p;
+}
+
+TEST(Serialize, RoundTripExact)
+{
+    const PccsParams p = sample();
+    const auto parsed = paramsFromText(paramsToText(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_DOUBLE_EQ(parsed->normalBw, p.normalBw);
+    EXPECT_DOUBLE_EQ(parsed->intensiveBw, p.intensiveBw);
+    EXPECT_DOUBLE_EQ(parsed->mrmc, p.mrmc);
+    EXPECT_DOUBLE_EQ(parsed->cbp, p.cbp);
+    EXPECT_DOUBLE_EQ(parsed->tbwdc, p.tbwdc);
+    EXPECT_DOUBLE_EQ(parsed->rateN, p.rateN);
+    EXPECT_DOUBLE_EQ(parsed->peakBw, p.peakBw);
+}
+
+TEST(Serialize, NaRoundTrip)
+{
+    PccsParams p = sample();
+    p.normalBw = 0.0;
+    p.mrmc = std::numeric_limits<double>::quiet_NaN();
+    const auto parsed = paramsFromText(paramsToText(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->noMinorRegion());
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored)
+{
+    std::string text = paramsToText(sample());
+    text += "\n# trailing comment\n\n";
+    text.insert(text.find('\n') + 1, "# a leading comment line\n");
+    const auto parsed = paramsFromText(text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_DOUBLE_EQ(parsed->cbp, sample().cbp);
+}
+
+TEST(Serialize, InlineCommentsIgnored)
+{
+    std::string text = "pccs-model v1\n"
+                       "normalBw 38.1 # boundary\n"
+                       "intensiveBw 96.2\nmrmc 4.9\ncbp 45.3\n"
+                       "tbwdc 87.2\nrateN 1.11\npeakBw 137\n";
+    const auto parsed = paramsFromText(text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_DOUBLE_EQ(parsed->normalBw, 38.1);
+}
+
+TEST(Serialize, BadHeaderRejected)
+{
+    EXPECT_FALSE(paramsFromText("not-a-model v1\n").has_value());
+    EXPECT_FALSE(paramsFromText("pccs-model v2\n").has_value());
+    EXPECT_FALSE(paramsFromText("").has_value());
+}
+
+TEST(Serialize, MissingKeyRejected)
+{
+    std::string text = paramsToText(sample());
+    const auto pos = text.find("cbp");
+    text.erase(pos, text.find('\n', pos) - pos + 1);
+    EXPECT_FALSE(paramsFromText(text).has_value());
+}
+
+TEST(Serialize, GarbageValueRejected)
+{
+    std::string text = paramsToText(sample());
+    const auto pos = text.find("cbp ");
+    text.replace(pos, text.find('\n', pos) - pos, "cbp forty-five");
+    EXPECT_FALSE(paramsFromText(text).has_value());
+}
+
+TEST(Serialize, InvalidParametersRejected)
+{
+    PccsParams p = sample();
+    p.peakBw = -1.0;
+    EXPECT_FALSE(paramsFromText(paramsToText(p)).has_value());
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "pccs_serialize_test.model")
+            .string();
+    saveParams(sample(), path);
+    const PccsParams loaded = loadParams(path);
+    EXPECT_DOUBLE_EQ(loaded.rateN, sample().rateN);
+    std::remove(path.c_str());
+}
+
+TEST(SerializeDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadParams("/nonexistent/dir/model.txt"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(Serialize, LoadedModelPredictsLikeOriginal)
+{
+    const PccsModel original(sample());
+    const auto parsed = paramsFromText(paramsToText(sample()));
+    ASSERT_TRUE(parsed.has_value());
+    const PccsModel restored(*parsed);
+    for (double x : {10.0, 60.0, 110.0})
+        for (double y : {0.0, 40.0, 90.0})
+            EXPECT_DOUBLE_EQ(restored.relativeSpeed(x, y),
+                             original.relativeSpeed(x, y));
+}
+
+} // namespace
+} // namespace pccs::model

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the epoch-driven co-run SoC simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "calib/calibrator.hh"
+#include "soc/simulator.hh"
+
+namespace pccs::soc {
+namespace {
+
+class SimulatorTest : public ::testing::Test
+{
+  protected:
+    SocSimulator sim{xavierLike()};
+
+    KernelProfile
+    kernel(PuKind kind, GBps target, double bytes = 1e9)
+    {
+        KernelProfile k = calib::makeCalibrator(
+            sim.model(), sim.config().pu(kind), target);
+        k.workBytes = bytes;
+        return k;
+    }
+
+    std::size_t
+    idx(PuKind kind)
+    {
+        return static_cast<std::size_t>(sim.config().puIndex(kind));
+    }
+};
+
+TEST_F(SimulatorTest, SinglePlacementRunsAtFullSpeed)
+{
+    Placement p{idx(PuKind::Gpu),
+                PhasedWorkload::single(kernel(PuKind::Gpu, 80.0))};
+    const CorunOutcome out = sim.run({p});
+    ASSERT_EQ(out.placements.size(), 1u);
+    EXPECT_TRUE(out.placements[0].finished);
+    EXPECT_NEAR(out.placements[0].relativeSpeed, 100.0, 1e-6);
+    EXPECT_NEAR(out.placements[0].bytesCompleted, 1e9, 1.0);
+}
+
+TEST_F(SimulatorTest, CorunSlowsBothParties)
+{
+    Placement g{idx(PuKind::Gpu),
+                PhasedWorkload::single(kernel(PuKind::Gpu, 100.0, 4e9))};
+    Placement c{idx(PuKind::Cpu),
+                PhasedWorkload::single(kernel(PuKind::Cpu, 80.0, 4e9))};
+    const CorunOutcome out = sim.run({g, c}, StopPolicy::AllFinish);
+    EXPECT_LT(out.placements[0].relativeSpeed, 99.0);
+    EXPECT_LT(out.placements[1].relativeSpeed, 99.0);
+    EXPECT_GT(out.placements[0].relativeSpeed, 20.0);
+}
+
+TEST_F(SimulatorTest, FirstFinishStopsEarly)
+{
+    Placement small{idx(PuKind::Gpu),
+                    PhasedWorkload::single(
+                        kernel(PuKind::Gpu, 60.0, 1e8))};
+    Placement big{idx(PuKind::Cpu),
+                  PhasedWorkload::single(
+                      kernel(PuKind::Cpu, 60.0, 1e10))};
+    const CorunOutcome out = sim.run({small, big});
+    EXPECT_TRUE(out.placements[0].finished);
+    EXPECT_FALSE(out.placements[1].finished);
+    EXPECT_LT(out.placements[1].bytesCompleted, 1e10);
+}
+
+TEST_F(SimulatorTest, AllFinishCompletesEveryone)
+{
+    Placement a{idx(PuKind::Gpu),
+                PhasedWorkload::single(kernel(PuKind::Gpu, 60.0, 1e8))};
+    Placement b{idx(PuKind::Cpu),
+                PhasedWorkload::single(kernel(PuKind::Cpu, 60.0, 5e8))};
+    const CorunOutcome out = sim.run({a, b}, StopPolicy::AllFinish);
+    EXPECT_TRUE(out.placements[0].finished);
+    EXPECT_TRUE(out.placements[1].finished);
+}
+
+TEST_F(SimulatorTest, RelativeSpeedDefinitionHolds)
+{
+    Placement g{idx(PuKind::Gpu),
+                PhasedWorkload::single(kernel(PuKind::Gpu, 90.0, 2e9))};
+    Placement c{idx(PuKind::Cpu),
+                PhasedWorkload::single(kernel(PuKind::Cpu, 70.0, 2e9))};
+    const CorunOutcome out = sim.run({g, c}, StopPolicy::AllFinish);
+    for (const auto &po : out.placements) {
+        EXPECT_NEAR(po.relativeSpeed,
+                    100.0 * po.standaloneSeconds / po.corunSeconds,
+                    1e-9);
+        EXPECT_LE(po.standaloneSeconds, po.corunSeconds + 1e-12);
+    }
+}
+
+TEST_F(SimulatorTest, PhasedWorkloadAdvancesThroughPhases)
+{
+    PhasedWorkload w;
+    w.name = "two-phase";
+    w.phases.push_back(kernel(PuKind::Gpu, 100.0, 5e8));
+    w.phases.push_back(kernel(PuKind::Gpu, 20.0, 5e8));
+    const CorunOutcome out = sim.run({Placement{idx(PuKind::Gpu), w}});
+    EXPECT_TRUE(out.placements[0].finished);
+    EXPECT_NEAR(out.placements[0].bytesCompleted, 1e9, 1.0);
+}
+
+TEST_F(SimulatorTest, PhasedStandaloneTimeIsSumOfPhases)
+{
+    PhasedWorkload w;
+    w.name = "two-phase";
+    w.phases.push_back(kernel(PuKind::Gpu, 100.0, 5e8));
+    w.phases.push_back(kernel(PuKind::Gpu, 20.0, 5e8));
+    double expected = 0.0;
+    for (const auto &ph : w.phases)
+        expected += sim.profile(idx(PuKind::Gpu), ph).seconds;
+    const CorunOutcome out = sim.run({Placement{idx(PuKind::Gpu), w}});
+    EXPECT_NEAR(out.placements[0].standaloneSeconds, expected, 1e-9);
+}
+
+TEST_F(SimulatorTest, SweepHelperMatchesModel)
+{
+    const KernelProfile k = kernel(PuKind::Gpu, 70.0);
+    const std::size_t gpu = idx(PuKind::Gpu);
+    const double via_sim = sim.relativeSpeedUnderPressure(gpu, k, 50.0);
+    const auto ext = externalDemands(sim.config(), gpu, 50.0);
+    const double via_model =
+        sim.model().relativeSpeed(sim.config().pus[gpu], k, ext);
+    EXPECT_NEAR(via_sim, via_model, 1e-12);
+}
+
+TEST_F(SimulatorTest, ProfileByKindAndIndexAgree)
+{
+    const KernelProfile k = kernel(PuKind::Cpu, 50.0);
+    const auto a = sim.profile(PuKind::Cpu, k);
+    const auto b = sim.profile(idx(PuKind::Cpu), k);
+    EXPECT_DOUBLE_EQ(a.bandwidthDemand, b.bandwidthDemand);
+    EXPECT_DOUBLE_EQ(a.rate, b.rate);
+}
+
+TEST_F(SimulatorTest, EmptyPlacementsDie)
+{
+    EXPECT_DEATH(sim.run({}), "placements");
+}
+
+TEST_F(SimulatorTest, BadPuIndexDies)
+{
+    Placement p{99, PhasedWorkload::single(kernel(PuKind::Gpu, 50.0))};
+    EXPECT_DEATH(sim.run({p}), "missing PU");
+}
+
+} // namespace
+} // namespace pccs::soc

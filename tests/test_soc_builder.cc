@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the fluent SoC builder and its PU-class templates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "calib/calibrator.hh"
+#include "pccs/builder.hh"
+#include "soc/builder.hh"
+#include "soc/simulator.hh"
+
+namespace pccs::soc {
+namespace {
+
+TEST(PuTemplate, KindCharacteristics)
+{
+    // The DLA class has no latency hiding; the GPU class hides nearly
+    // everything.
+    EXPECT_GT(puTemplate(PuKind::Dla).latencySensitivity,
+              puTemplate(PuKind::Gpu).latencySensitivity * 5.0);
+    EXPECT_GT(puTemplate(PuKind::Gpu).overlap,
+              puTemplate(PuKind::Dla).overlap);
+    EXPECT_EQ(puTemplate(PuKind::Cpu).kind, PuKind::Cpu);
+}
+
+TEST(SocBuilder, BuildsACustomSoc)
+{
+    const SocConfig soc =
+        SocBuilder("my-soc")
+            .memory(100.0)
+            .addCpu("little-cpu", 1500.0, 32.0, 40.0)
+            .addGpu("big-gpu", 1000.0, 2048.0, 90.0)
+            .build();
+    EXPECT_EQ(soc.name, "my-soc");
+    EXPECT_DOUBLE_EQ(soc.memory.peakBandwidth, 100.0);
+    ASSERT_EQ(soc.pus.size(), 2u);
+    EXPECT_EQ(soc.pu(PuKind::Cpu).name, "little-cpu");
+    EXPECT_EQ(soc.pu(PuKind::Gpu).name, "big-gpu");
+}
+
+TEST(SocBuilder, IssueDefaultsFollowClassRatios)
+{
+    const SocConfig soc = SocBuilder("s")
+                              .memory(100.0)
+                              .addGpu("g", 1000.0, 1024.0, 100.0)
+                              .build();
+    // GPU issue default is the Xavier 194/127 ratio.
+    EXPECT_NEAR(soc.pu(PuKind::Gpu).issueBandwidth,
+                100.0 * 194.0 / 127.0, 0.1);
+}
+
+TEST(SocBuilder, ExplicitIssueOverrides)
+{
+    const SocConfig soc = SocBuilder("s")
+                              .memory(100.0)
+                              .addGpu("g", 1000.0, 1024.0, 100.0, 120.0)
+                              .build();
+    EXPECT_DOUBLE_EQ(soc.pu(PuKind::Gpu).issueBandwidth, 120.0);
+}
+
+TEST(SocBuilder, TemplatesCarryContentionCharacter)
+{
+    const SocConfig soc = SocBuilder("s")
+                              .memory(137.0)
+                              .addDla("dla", 1400.0, 512.0, 30.0)
+                              .build();
+    EXPECT_DOUBLE_EQ(soc.pu(PuKind::Dla).latencySensitivity,
+                     puTemplate(PuKind::Dla).latencySensitivity);
+}
+
+TEST(SocBuilder, BuiltSocIsSimulatable)
+{
+    const SocConfig soc =
+        SocBuilder("sim-me")
+            .memory(60.0)
+            .addCpu("cpu", 2000.0, 48.0, 30.0)
+            .addGpu("gpu", 900.0, 1024.0, 50.0)
+            .build();
+    const SocSimulator sim(soc);
+    const std::size_t gpu =
+        static_cast<std::size_t>(soc.puIndex(PuKind::Gpu));
+    const KernelProfile k =
+        calib::makeCalibrator(sim.model(), soc.pus[gpu], 40.0);
+    EXPECT_NEAR(sim.profile(gpu, k).bandwidthDemand, 40.0, 2.0);
+    const double rs = sim.relativeSpeedUnderPressure(gpu, k, 25.0);
+    EXPECT_GT(rs, 10.0);
+    EXPECT_LE(rs, 100.0);
+}
+
+TEST(SocBuilder, BuiltSocIsCalibratable)
+{
+    // The whole pipeline must work on a designer's custom SoC: build,
+    // calibrate, extract a valid PCCS model.
+    const SocConfig soc =
+        SocBuilder("calib-me")
+            .memory(80.0)
+            .addCpu("cpu", 1800.0, 40.0, 35.0)
+            .addGpu("gpu", 1100.0, 1536.0, 70.0)
+            .build();
+    const SocSimulator sim(soc);
+    const model::PccsModel m = model::buildModel(
+        sim, static_cast<std::size_t>(soc.puIndex(PuKind::Gpu)));
+    EXPECT_TRUE(m.params().valid());
+    EXPECT_DOUBLE_EQ(m.params().peakBw, 80.0);
+}
+
+TEST(SocBuilderDeath, MissingMemoryIsFatal)
+{
+    EXPECT_EXIT(SocBuilder("s").addCpu("c", 1000.0, 8.0, 10.0).build(),
+                ::testing::ExitedWithCode(1), "memory");
+}
+
+TEST(SocBuilderDeath, NoPusIsFatal)
+{
+    EXPECT_EXIT(SocBuilder("s").memory(50.0).build(),
+                ::testing::ExitedWithCode(1), "no processing units");
+}
+
+TEST(SocBuilderDeath, BadSizingPanics)
+{
+    EXPECT_DEATH(SocBuilder("s").memory(50.0).addCpu("c", 0.0, 8.0,
+                                                     10.0),
+                 "positive sizing");
+}
+
+} // namespace
+} // namespace pccs::soc

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the SoC presets and configuration helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "soc/soc_config.hh"
+
+namespace pccs::soc {
+namespace {
+
+TEST(XavierPreset, Structure)
+{
+    const SocConfig soc = xavierLike();
+    EXPECT_EQ(soc.pus.size(), 3u);
+    EXPECT_GE(soc.puIndex(PuKind::Cpu), 0);
+    EXPECT_GE(soc.puIndex(PuKind::Gpu), 0);
+    EXPECT_GE(soc.puIndex(PuKind::Dla), 0);
+    EXPECT_NEAR(soc.memory.peakBandwidth, 137.0, 0.5);
+}
+
+TEST(XavierPreset, Table6Frequencies)
+{
+    const SocConfig soc = xavierLike();
+    EXPECT_NEAR(soc.pu(PuKind::Cpu).frequency, 2265.0, 1.0);
+    EXPECT_NEAR(soc.pu(PuKind::Gpu).frequency, 1377.0, 1.0);
+    EXPECT_NEAR(soc.pu(PuKind::Dla).frequency, 1395.2, 1.0);
+}
+
+TEST(XavierPreset, DrawCapsMatchFigure2)
+{
+    const SocConfig soc = xavierLike();
+    EXPECT_NEAR(soc.pu(PuKind::Cpu).drawBandwidth(), 93.0, 1.0);
+    EXPECT_NEAR(soc.pu(PuKind::Gpu).drawBandwidth(), 127.0, 1.0);
+    EXPECT_NEAR(soc.pu(PuKind::Dla).drawBandwidth(), 30.0, 1.0);
+}
+
+TEST(SnapdragonPreset, Structure)
+{
+    const SocConfig soc = snapdragonLike();
+    EXPECT_EQ(soc.pus.size(), 2u);
+    EXPECT_GE(soc.puIndex(PuKind::Cpu), 0);
+    EXPECT_GE(soc.puIndex(PuKind::Gpu), 0);
+    EXPECT_EQ(soc.puIndex(PuKind::Dla), -1);
+    EXPECT_NEAR(soc.memory.peakBandwidth, 34.0, 0.5);
+}
+
+TEST(SnapdragonPresetDeath, MissingDlaIsFatal)
+{
+    const SocConfig soc = snapdragonLike();
+    EXPECT_EXIT(soc.pu(PuKind::Dla), ::testing::ExitedWithCode(1),
+                "has no DLA");
+}
+
+TEST(PuParams, DrawBandwidthScalesWithClockUntilInterfaceCap)
+{
+    PuParams pu;
+    pu.frequency = pu.maxFrequency = 1000.0;
+    pu.interfaceBandwidth = 100.0;
+    pu.issueBandwidth = 150.0;
+    EXPECT_DOUBLE_EQ(pu.drawBandwidth(), 100.0);
+    EXPECT_DOUBLE_EQ(pu.atFrequency(500.0).drawBandwidth(), 75.0);
+    // The knee: issue capability crosses the interface cap at
+    // f = fmax * iface / issue.
+    EXPECT_NEAR(pu.atFrequency(1000.0 * 100.0 / 150.0).drawBandwidth(),
+                100.0, 1e-9);
+}
+
+TEST(PuParams, ComputeScalesWithClock)
+{
+    PuParams pu;
+    pu.frequency = pu.maxFrequency = 1000.0;
+    pu.flopsPerCycle = 64.0;
+    EXPECT_DOUBLE_EQ(pu.computeGflops(), 64.0);
+    EXPECT_DOUBLE_EQ(pu.atFrequency(2000.0).computeGflops(), 128.0);
+}
+
+TEST(SocConfig, MemoryScaling)
+{
+    const SocConfig soc = xavierLike();
+    const SocConfig half = soc.withMemoryScaled(0.5);
+    EXPECT_NEAR(half.memory.peakBandwidth, 68.5, 1e-9);
+    EXPECT_EQ(half.pus.size(), soc.pus.size());
+}
+
+TEST(ExternalDemands, SplitsAcrossOtherPus)
+{
+    const SocConfig soc = xavierLike();
+    const std::size_t gpu =
+        static_cast<std::size_t>(soc.puIndex(PuKind::Gpu));
+    const auto ext = externalDemands(soc, gpu, 60.0);
+    ASSERT_EQ(ext.size(), 2u); // CPU and DLA
+    double total = 0.0;
+    for (const auto &d : ext)
+        total += d.demand;
+    EXPECT_NEAR(total, 60.0, 1e-9);
+}
+
+TEST(ExternalDemands, ClipsAtDrawCapabilities)
+{
+    const SocConfig soc = snapdragonLike();
+    const std::size_t gpu =
+        static_cast<std::size_t>(soc.puIndex(PuKind::Gpu));
+    // Only the CPU (draw ~20 GB/s) can generate pressure on the GPU:
+    // a 50 GB/s request must clip to the CPU's capability.
+    const auto ext = externalDemands(soc, gpu, 50.0);
+    ASSERT_EQ(ext.size(), 1u);
+    EXPECT_NEAR(ext[0].demand, soc.pu(PuKind::Cpu).drawBandwidth(),
+                1e-9);
+}
+
+TEST(ExternalDemands, ZeroDemandIsEmpty)
+{
+    const SocConfig soc = xavierLike();
+    EXPECT_TRUE(externalDemands(soc, 0, 0.0).empty());
+}
+
+TEST(PuKindNames, AllDistinct)
+{
+    EXPECT_STREQ(puKindName(PuKind::Cpu), "CPU");
+    EXPECT_STREQ(puKindName(PuKind::Gpu), "GPU");
+    EXPECT_STREQ(puKindName(PuKind::Dla), "DLA");
+}
+
+} // namespace
+} // namespace pccs::soc

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for the statistics toolkit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/statistics.hh"
+
+namespace pccs {
+namespace {
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats rs;
+    rs.add(42.0);
+    EXPECT_EQ(rs.count(), 1u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.min(), 42.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 42.0);
+    EXPECT_DOUBLE_EQ(rs.sum(), 42.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats rs;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        rs.add(v);
+    EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 4.0); // classic textbook data set
+    EXPECT_DOUBLE_EQ(rs.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, NegativeValues)
+{
+    RunningStats rs;
+    rs.add(-3.0);
+    rs.add(3.0);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.min(), -3.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 3.0);
+}
+
+TEST(Mean, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Mean, Basic)
+{
+    const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean({v.data(), v.size()}), 2.5);
+}
+
+TEST(Stddev, ConstantSeriesIsZero)
+{
+    const std::vector<double> v{5.0, 5.0, 5.0};
+    EXPECT_DOUBLE_EQ(stddev({v.data(), v.size()}), 0.0);
+}
+
+TEST(FitLine, ExactLineRecovered)
+{
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 10; ++i) {
+        xs.push_back(i);
+        ys.push_back(3.5 * i - 2.0);
+    }
+    const LineFit fit =
+        fitLine({xs.data(), xs.size()}, {ys.data(), ys.size()});
+    EXPECT_NEAR(fit.slope, 3.5, 1e-12);
+    EXPECT_NEAR(fit.intercept, -2.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLine, NegativeSlope)
+{
+    std::vector<double> xs{0.0, 1.0, 2.0};
+    std::vector<double> ys{10.0, 8.0, 6.0};
+    const LineFit fit =
+        fitLine({xs.data(), xs.size()}, {ys.data(), ys.size()});
+    EXPECT_NEAR(fit.slope, -2.0, 1e-12);
+}
+
+TEST(FitLine, DegenerateXGivesMeanIntercept)
+{
+    std::vector<double> xs{5.0, 5.0, 5.0};
+    std::vector<double> ys{1.0, 2.0, 3.0};
+    const LineFit fit =
+        fitLine({xs.data(), xs.size()}, {ys.data(), ys.size()});
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+    EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(FitLine, EmptyInput)
+{
+    const LineFit fit = fitLine({}, {});
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+    EXPECT_DOUBLE_EQ(fit.intercept, 0.0);
+}
+
+TEST(FitLine, NoisyDataReasonableR2)
+{
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 50; ++i) {
+        xs.push_back(i);
+        ys.push_back(2.0 * i + ((i % 2) ? 0.5 : -0.5));
+    }
+    const LineFit fit =
+        fitLine({xs.data(), xs.size()}, {ys.data(), ys.size()});
+    EXPECT_NEAR(fit.slope, 2.0, 0.01);
+    EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(MeanAbsoluteError, Identity)
+{
+    const std::vector<double> a{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(
+        meanAbsoluteError({a.data(), a.size()}, {a.data(), a.size()}),
+        0.0);
+}
+
+TEST(MeanAbsoluteError, Known)
+{
+    const std::vector<double> p{90.0, 80.0, 70.0};
+    const std::vector<double> t{100.0, 85.0, 65.0};
+    EXPECT_DOUBLE_EQ(
+        meanAbsoluteError({p.data(), p.size()}, {t.data(), t.size()}),
+        (10.0 + 5.0 + 5.0) / 3.0);
+}
+
+TEST(MeanAbsPctPointError, MatchesMae)
+{
+    const std::vector<double> p{90.0, 80.0};
+    const std::vector<double> t{92.0, 84.0};
+    EXPECT_DOUBLE_EQ(
+        meanAbsPctPointError({p.data(), p.size()}, {t.data(), t.size()}),
+        meanAbsoluteError({p.data(), p.size()}, {t.data(), t.size()}));
+}
+
+TEST(Clamp, Bounds)
+{
+    EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 10.0), 5.0);
+    EXPECT_DOUBLE_EQ(clamp(-1.0, 0.0, 10.0), 0.0);
+    EXPECT_DOUBLE_EQ(clamp(11.0, 0.0, 10.0), 10.0);
+    EXPECT_DOUBLE_EQ(clamp(0.0, 0.0, 10.0), 0.0);
+    EXPECT_DOUBLE_EQ(clamp(10.0, 0.0, 10.0), 10.0);
+}
+
+/** Welford implementation must match the two-pass formula. */
+class RunningStatsProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RunningStatsProperty, MatchesTwoPassVariance)
+{
+    const int seed = GetParam();
+    std::vector<double> data;
+    // Simple LCG to generate deterministic pseudo-random doubles.
+    unsigned long long s = static_cast<unsigned long long>(seed) + 1;
+    for (int i = 0; i < 200; ++i) {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        data.push_back(static_cast<double>(s >> 11) / (1ull << 53) *
+                       100.0);
+    }
+    RunningStats rs;
+    for (double v : data)
+        rs.add(v);
+    const double m = mean({data.data(), data.size()});
+    double var = 0.0;
+    for (double v : data)
+        var += (v - m) * (v - m);
+    var /= static_cast<double>(data.size());
+    EXPECT_NEAR(rs.mean(), m, 1e-9);
+    EXPECT_NEAR(rs.variance(), var, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RunningStatsProperty,
+                         ::testing::Values(1, 2, 3, 7, 13, 42));
+
+} // namespace
+} // namespace pccs

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the ASCII table / CSV writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace pccs {
+namespace {
+
+TEST(Table, HeadersOnly)
+{
+    Table t({"a", "b"});
+    EXPECT_EQ(t.rows(), 0u);
+    const std::string s = t.str();
+    EXPECT_NE(s.find("a"), std::string::npos);
+    EXPECT_NE(s.find("b"), std::string::npos);
+}
+
+TEST(Table, RowAlignment)
+{
+    Table t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer-name", "2"});
+    const std::string s = t.str();
+    // Every rendered line must have the same length (aligned columns).
+    std::istringstream is(s);
+    std::string line;
+    std::size_t len = 0;
+    while (std::getline(is, line)) {
+        if (len == 0)
+            len = line.size();
+        EXPECT_EQ(line.size(), len) << "misaligned line: " << line;
+    }
+}
+
+TEST(Table, DoubleRowFormatting)
+{
+    Table t({"bench", "err"});
+    t.addRow("bfs", {12.345}, 1);
+    EXPECT_NE(t.str().find("12.3"), std::string::npos);
+}
+
+TEST(Table, CsvFormat)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    t.addRow({"3", "4"});
+    EXPECT_EQ(t.csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, StreamOperator)
+{
+    Table t({"h"});
+    t.addRow({"v"});
+    std::ostringstream os;
+    os << t;
+    EXPECT_EQ(os.str(), t.str());
+}
+
+TEST(Table, RowCount)
+{
+    Table t({"h"});
+    t.addRow({"1"});
+    t.addRow({"2"});
+    t.addRow({"3"});
+    EXPECT_EQ(t.rows(), 3u);
+}
+
+TEST(FmtDouble, Precision)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(3.14159, 0), "3");
+    EXPECT_EQ(fmtDouble(-1.5, 1), "-1.5");
+    EXPECT_EQ(fmtDouble(0.0, 3), "0.000");
+}
+
+TEST(TableDeath, WrongCellCountPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "cells");
+}
+
+TEST(TableDeath, EmptyHeadersPanics)
+{
+    EXPECT_DEATH(Table({}), "column");
+}
+
+} // namespace
+} // namespace pccs

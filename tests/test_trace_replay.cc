@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for trace-driven DRAM traffic replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "dram/system.hh"
+
+namespace pccs::dram {
+namespace {
+
+std::string
+writeTempTrace(const std::string &content)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "pccs_trace_test.trc")
+            .string();
+    std::ofstream out(path);
+    out << content;
+    return path;
+}
+
+TEST(LoadTrace, ParsesReadsWritesAndBareAddresses)
+{
+    const std::string path = writeTempTrace(
+        "# a comment line\n"
+        "R 0x1000\n"
+        "W 0x2000\n"
+        "0x3000\n"
+        "r 4096\n"
+        "\n");
+    const auto trace = loadTrace(path);
+    std::remove(path.c_str());
+    ASSERT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace[0].addr, 0x1000u);
+    EXPECT_FALSE(trace[0].isWrite);
+    EXPECT_EQ(trace[1].addr, 0x2000u);
+    EXPECT_TRUE(trace[1].isWrite);
+    EXPECT_EQ(trace[2].addr, 0x3000u);
+    EXPECT_FALSE(trace[2].isWrite);
+    EXPECT_EQ(trace[3].addr, 4096u);
+}
+
+TEST(LoadTrace, SkipsMalformedLinesWithWarning)
+{
+    const std::string path = writeTempTrace(
+        "R 0x1000\n"
+        "R not-an-address\n"
+        "W\n"
+        "0x2000\n");
+    const auto trace = loadTrace(path);
+    std::remove(path.c_str());
+    ASSERT_EQ(trace.size(), 2u);
+}
+
+TEST(LoadTraceDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadTrace("/nonexistent/file.trc"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+std::vector<TraceEntry>
+sequentialTrace(unsigned lines, unsigned line_bytes = 64)
+{
+    std::vector<TraceEntry> t;
+    for (unsigned i = 0; i < lines; ++i)
+        t.push_back({Addr{i} * line_bytes, false});
+    return t;
+}
+
+TEST(TraceReplay, LoopingReplayAchievesDemand)
+{
+    DramSystem sys(table1Config(), SchedulerKind::FrFcfs);
+    ReplayParams p;
+    p.source = 0;
+    p.demand = 25.0;
+    sys.addReplay(p, sequentialTrace(4096));
+    sys.run(10000);
+    sys.resetMeasurement();
+    sys.run(50000);
+    const double bw =
+        static_cast<double>(sys.replay(0).completedLines()) * 64.0 /
+        (50000 * table1Config().timing.cycleSeconds()) / 1e9;
+    EXPECT_NEAR(bw, 25.0, 2.0);
+}
+
+TEST(TraceReplay, NonLoopingStopsAtTraceEnd)
+{
+    DramSystem sys(table1Config(), SchedulerKind::FrFcfs);
+    ReplayParams p;
+    p.source = 0;
+    p.demand = 50.0;
+    p.loop = false;
+    sys.addReplay(p, sequentialTrace(100));
+    sys.run(60000);
+    EXPECT_TRUE(sys.replay(0).exhausted());
+    EXPECT_EQ(sys.replay(0).issuedLines(), 100u);
+    EXPECT_EQ(sys.replay(0).completedLines(), 100u);
+}
+
+TEST(TraceReplay, SequentialTraceGetsHighRowHitRate)
+{
+    DramSystem sys(table1Config(), SchedulerKind::FrFcfs);
+    ReplayParams p;
+    p.source = 0;
+    p.demand = 40.0;
+    sys.addReplay(p, sequentialTrace(8192));
+    sys.run(40000);
+    EXPECT_GT(sys.controller().stats().rowBufferHitRate(), 0.85);
+}
+
+TEST(TraceReplay, CoexistsWithSyntheticTraffic)
+{
+    DramSystem sys(table1Config(), SchedulerKind::Atlas);
+    ReplayParams rp;
+    rp.source = 0;
+    rp.demand = 20.0;
+    sys.addReplay(rp, sequentialTrace(4096));
+    TrafficParams tp;
+    tp.source = 1;
+    tp.demand = 30.0;
+    sys.addGenerator(tp);
+    sys.run(40000);
+    EXPECT_GT(sys.replay(0).completedLines(), 0u);
+    EXPECT_GT(sys.generator(0).completedLines(), 0u);
+}
+
+TEST(TraceReplay, AddressesWrappedIntoSpan)
+{
+    // Addresses beyond the port's space must be folded, not crash.
+    DramSystem sys(table1Config(), SchedulerKind::FrFcfs);
+    std::vector<TraceEntry> t{{~Addr{0}, false}, {Addr{1} << 60, true}};
+    ReplayParams p;
+    p.source = 0;
+    p.demand = 10.0;
+    sys.addReplay(p, t);
+    sys.run(2000);
+    EXPECT_GT(sys.replay(0).completedLines(), 0u);
+}
+
+TEST(TraceReplayDeath, DuplicateSourceAcrossKindsDies)
+{
+    DramSystem sys(table1Config(), SchedulerKind::FrFcfs);
+    TrafficParams tp;
+    tp.source = 0;
+    tp.demand = 10.0;
+    sys.addGenerator(tp);
+    ReplayParams rp;
+    rp.source = 0;
+    rp.demand = 10.0;
+    EXPECT_DEATH(sys.addReplay(rp, sequentialTrace(16)), "duplicate");
+}
+
+TEST(TraceReplayDeath, EmptyTraceDies)
+{
+    DramSystem sys(table1Config(), SchedulerKind::FrFcfs);
+    ReplayParams p;
+    p.source = 0;
+    EXPECT_DEATH(sys.addReplay(p, {}), "non-empty");
+}
+
+} // namespace
+} // namespace pccs::dram

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Unit tests for unit helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+
+namespace pccs {
+namespace {
+
+TEST(Units, ToGBps)
+{
+    EXPECT_DOUBLE_EQ(toGBps(1e9, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(toGBps(5e9, 0.5), 10.0);
+    EXPECT_DOUBLE_EQ(toGBps(1e9, 0.0), 0.0);
+}
+
+TEST(Units, MhzToHz)
+{
+    EXPECT_DOUBLE_EQ(mhzToHz(1.0), 1e6);
+    EXPECT_DOUBLE_EQ(mhzToHz(2133.0), 2.133e9);
+}
+
+TEST(Units, PeakBandwidthTable1)
+{
+    // DDR4-3200, 4 channels, 64-bit: 102.4 GB/s (Table 1).
+    EXPECT_NEAR(peakBandwidth(3200.0, 4, 64), 102.4, 1e-9);
+}
+
+TEST(Units, PeakBandwidthXavier)
+{
+    // LPDDR4x at 2133 MHz DDR (4266 MT/s), 256-bit: ~136.5 GB/s.
+    EXPECT_NEAR(peakBandwidth(4266.0, 1, 256), 136.5, 0.1);
+}
+
+TEST(Units, PeakBandwidthSnapdragon)
+{
+    // 64-bit LPDDR4x @ 2133 (4266 MT/s): ~34 GB/s (Table 6).
+    EXPECT_NEAR(peakBandwidth(4266.0, 1, 64), 34.1, 0.1);
+}
+
+} // namespace
+} // namespace pccs

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the workload library: Rodinia profiles, NN models for the
+ * DLA, the CFD multi-phase program, and the Table 8 co-run triples.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "soc/simulator.hh"
+#include "workloads/nn.hh"
+#include "workloads/rodinia.hh"
+#include "workloads/table8.hh"
+
+namespace pccs::workloads {
+namespace {
+
+TEST(Rodinia, SuiteHasTenBenchmarks)
+{
+    EXPECT_EQ(rodiniaSuite().size(), 10u);
+    std::set<std::string> names;
+    for (const auto &s : rodiniaSuite())
+        names.insert(s.name);
+    EXPECT_EQ(names.size(), 10u);
+}
+
+TEST(Rodinia, ComputeIntensiveTrio)
+{
+    // Section 4.1: HS, LC, HW are compute intensive; the other 7 are
+    // memory intensive.
+    int compute = 0;
+    for (const auto &s : rodiniaSuite())
+        if (s.computeIntensive)
+            ++compute;
+    EXPECT_EQ(compute, 3);
+    EXPECT_TRUE(rodiniaSpec("hotspot").computeIntensive);
+    EXPECT_TRUE(rodiniaSpec("leukocyte").computeIntensive);
+    EXPECT_TRUE(rodiniaSpec("heartwall").computeIntensive);
+    EXPECT_FALSE(rodiniaSpec("bfs").computeIntensive);
+}
+
+TEST(Rodinia, CpuListMatchesFigure9)
+{
+    const auto cpu = cpuBenchmarks();
+    EXPECT_EQ(cpu.size(), 5u);
+    EXPECT_EQ(gpuBenchmarks().size(), 10u);
+}
+
+TEST(Rodinia, UnknownBenchmarkIsFatal)
+{
+    EXPECT_EXIT(rodiniaSpec("doitgen"), ::testing::ExitedWithCode(1),
+                "unknown Rodinia");
+}
+
+TEST(Rodinia, XavierDemandsHitTargets)
+{
+    const soc::SocSimulator sim(soc::xavierLike());
+    for (const auto &spec : rodiniaSuite()) {
+        const auto kc = rodiniaKernel(spec.name, soc::PuKind::Cpu);
+        const auto kg = rodiniaKernel(spec.name, soc::PuKind::Gpu);
+        EXPECT_NEAR(sim.profile(soc::PuKind::Cpu, kc).bandwidthDemand,
+                    spec.cpuTarget, 0.05 * spec.cpuTarget + 0.5)
+            << spec.name;
+        EXPECT_NEAR(sim.profile(soc::PuKind::Gpu, kg).bandwidthDemand,
+                    spec.gpuTarget, 0.05 * spec.gpuTarget + 0.5)
+            << spec.name;
+    }
+}
+
+TEST(Rodinia, ComputeIntensiveKernelsLandInMinorRegionDemands)
+{
+    const soc::SocSimulator sim(soc::xavierLike());
+    for (const char *name : {"hotspot", "leukocyte", "heartwall"}) {
+        const auto k = rodiniaKernel(name, soc::PuKind::Cpu);
+        EXPECT_LT(sim.profile(soc::PuKind::Cpu, k).bandwidthDemand,
+                  15.0)
+            << name;
+    }
+}
+
+TEST(Rodinia, SnapdragonDemandsAreLower)
+{
+    // The same binaries draw less bandwidth on the smaller SoC
+    // (Section 4.1: hotspot moves into the minor contention category
+    // on the Snapdragon).
+    const soc::SocSimulator xavier(soc::xavierLike());
+    const soc::SocSimulator snap(soc::snapdragonLike());
+    for (const auto &spec : rodiniaSuite()) {
+        const auto k = rodiniaKernel(spec.name, soc::PuKind::Cpu);
+        const double on_x =
+            xavier.profile(soc::PuKind::Cpu, k).bandwidthDemand;
+        const double on_s =
+            snap.profile(soc::PuKind::Cpu, k).bandwidthDemand;
+        EXPECT_LT(on_s, on_x) << spec.name;
+    }
+}
+
+TEST(Rodinia, KernelCacheReturnsSameProfile)
+{
+    const auto a = rodiniaKernel("bfs", soc::PuKind::Gpu);
+    const auto b = rodiniaKernel("bfs", soc::PuKind::Gpu);
+    EXPECT_DOUBLE_EQ(a.intensity, b.intensity);
+    EXPECT_EQ(a.name, b.name);
+}
+
+TEST(Rodinia, PoorLocalityTrio)
+{
+    // The paper attributes bfs/k-means/b+tree's larger errors to poor
+    // row-buffer behavior.
+    EXPECT_LT(rodiniaSpec("bfs").locality,
+              rodiniaSpec("streamcluster").locality);
+    EXPECT_LT(rodiniaSpec("k-means").locality,
+              rodiniaSpec("streamcluster").locality);
+    EXPECT_LT(rodiniaSpec("b+tree").locality,
+              rodiniaSpec("streamcluster").locality);
+}
+
+TEST(Cfd, FourPhasesWithOneHighBwKernel)
+{
+    const auto w = cfdPhased(soc::PuKind::Gpu);
+    ASSERT_EQ(w.phases.size(), 4u);
+    const soc::SocSimulator sim(soc::xavierLike());
+    std::vector<double> demands;
+    for (const auto &ph : w.phases)
+        demands.push_back(
+            sim.profile(soc::PuKind::Gpu, ph).bandwidthDemand);
+    // K1 is the high-bandwidth kernel.
+    EXPECT_GT(demands[0], demands[1] + 20.0);
+    EXPECT_GT(demands[0], demands[2] + 20.0);
+    EXPECT_GT(demands[0], demands[3] + 20.0);
+}
+
+TEST(Cfd, TotalBytesMatchSpec)
+{
+    const auto w = cfdPhased(soc::PuKind::Gpu);
+    EXPECT_NEAR(w.totalBytes(), rodiniaSpec("cfd").workBytes, 1.0);
+}
+
+TEST(Nn, DlaModelsArePhased)
+{
+    EXPECT_EQ(resnet50Dla().phases.size(), 3u);
+    EXPECT_EQ(vgg19Dla().phases.size(), 3u);
+    EXPECT_EQ(alexnetDla().phases.size(), 2u);
+}
+
+TEST(Nn, DlaDemandsWithinDlaRange)
+{
+    // The DLA only achieves 20-30 GB/s in standalone runs (Sec. 4.1).
+    const soc::SocSimulator sim(soc::xavierLike());
+    for (const auto &w :
+         {resnet50Dla(), vgg19Dla(), alexnetDla()}) {
+        for (const auto &ph : w.phases) {
+            const double d =
+                sim.profile(soc::PuKind::Dla, ph).bandwidthDemand;
+            EXPECT_GT(d, 5.0) << w.name;
+            EXPECT_LE(d, 30.5) << w.name;
+        }
+    }
+}
+
+TEST(Nn, Vgg19IsTheBandwidthHeaviest)
+{
+    const soc::SocSimulator sim(soc::xavierLike());
+    auto peak_demand = [&](const soc::PhasedWorkload &w) {
+        double best = 0.0;
+        for (const auto &ph : w.phases)
+            best = std::max(
+                best, sim.profile(soc::PuKind::Dla, ph).bandwidthDemand);
+        return best;
+    };
+    EXPECT_GT(peak_demand(vgg19Dla()), peak_demand(resnet50Dla()));
+    EXPECT_GT(peak_demand(vgg19Dla()), peak_demand(alexnetDla()));
+}
+
+TEST(Nn, MnistCalibratorHitsTarget)
+{
+    const soc::SocSimulator sim(soc::xavierLike());
+    const auto k = mnistDla(15.0);
+    EXPECT_NEAR(sim.profile(soc::PuKind::Dla, k).bandwidthDemand, 15.0,
+                1.0);
+}
+
+TEST(Nn, WorkloadLookupByName)
+{
+    EXPECT_EQ(dlaWorkload("Resnet-50").name, "resnet-50");
+    EXPECT_EQ(dlaWorkload("VGG-19").name, "vgg-19");
+    EXPECT_EQ(dlaWorkload("Alexnet").name, "alexnet");
+}
+
+TEST(Nn, UnknownModelIsFatal)
+{
+    EXPECT_EXIT(dlaWorkload("bert"), ::testing::ExitedWithCode(1),
+                "unknown DLA workload");
+}
+
+TEST(Table8, ElevenWorkloadsAthroughK)
+{
+    const auto &ws = table8Workloads();
+    ASSERT_EQ(ws.size(), 11u);
+    EXPECT_EQ(ws.front().id, "A");
+    EXPECT_EQ(ws.back().id, "K");
+    for (const auto &w : ws) {
+        // Every referenced benchmark/model must resolve.
+        EXPECT_NO_FATAL_FAILURE(rodiniaSpec(w.cpuBench));
+        EXPECT_NO_FATAL_FAILURE(rodiniaSpec(w.gpuBench));
+        EXPECT_EQ(dlaWorkload(w.dlaModel).phases.empty(), false);
+    }
+}
+
+TEST(Table8, MatchesPaperRows)
+{
+    const auto &ws = table8Workloads();
+    EXPECT_EQ(ws[0].cpuBench, "streamcluster");
+    EXPECT_EQ(ws[0].gpuBench, "pathfinder");
+    EXPECT_EQ(ws[0].dlaModel, "Resnet-50");
+    EXPECT_EQ(ws[8].cpuBench, "hotspot");
+    EXPECT_EQ(ws[8].gpuBench, "bfs");
+    EXPECT_EQ(ws[8].dlaModel, "Alexnet");
+}
+
+TEST(RodiniaDeath, DlaPlacementIsFatal)
+{
+    EXPECT_EXIT(rodiniaKernel("bfs", soc::PuKind::Dla),
+                ::testing::ExitedWithCode(1), "no DLA implementation");
+}
+
+} // namespace
+} // namespace pccs::workloads

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * pccs — command-line front end to the library.
+ *
+ * Subcommands:
+ *   calibrate --soc xavier|snapdragon --pu cpu|gpu|dla [--out FILE]
+ *       Build a PU's slowdown model from calibrator sweeps and print
+ *       (optionally save) its parameters.
+ *   predict --model FILE --demand X --external Y
+ *   predict --soc S --pu P --demand X --external Y
+ *       Predict the achieved relative speed (%) of a kernel.
+ *   scale --model FILE --ratio R [--out FILE]
+ *       Linearly scale a model to a new memory bandwidth (Sec. 3.3).
+ *   explore --soc S --pu P --bench NAME --external Y --allowed PCT
+ *       Pick the lowest PU clock meeting a co-run slowdown budget.
+ *   region --model FILE --demand X
+ *       Classify a demand into its contention region.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <fstream>
+
+#include "common/logging.hh"
+#include "pccs/builder.hh"
+#include "pccs/design.hh"
+#include "pccs/phase_detect.hh"
+#include "pccs/scaling.hh"
+#include "pccs/serialize.hh"
+#include "workloads/rodinia.hh"
+
+using namespace pccs;
+
+namespace {
+
+using ArgMap = std::map<std::string, std::string>;
+
+ArgMap
+parseArgs(int argc, char **argv, int first)
+{
+    ArgMap args;
+    for (int i = first; i < argc; ++i) {
+        const std::string key = argv[i];
+        if (key.rfind("--", 0) != 0)
+            fatal("expected --option, got '%s'", key.c_str());
+        if (i + 1 >= argc)
+            fatal("option '%s' needs a value", key.c_str());
+        args[key.substr(2)] = argv[++i];
+    }
+    return args;
+}
+
+const std::string &
+require(const ArgMap &args, const std::string &key)
+{
+    auto it = args.find(key);
+    if (it == args.end())
+        fatal("missing required option --%s", key.c_str());
+    return it->second;
+}
+
+double
+requireDouble(const ArgMap &args, const std::string &key)
+{
+    try {
+        return std::stod(require(args, key));
+    } catch (const std::exception &) {
+        fatal("option --%s needs a number", key.c_str());
+    }
+}
+
+soc::SocConfig
+socByName(const std::string &name)
+{
+    if (name == "xavier")
+        return soc::xavierLike();
+    if (name == "snapdragon")
+        return soc::snapdragonLike();
+    fatal("unknown SoC '%s' (use xavier or snapdragon)", name.c_str());
+}
+
+soc::PuKind
+puByName(const std::string &name)
+{
+    if (name == "cpu")
+        return soc::PuKind::Cpu;
+    if (name == "gpu")
+        return soc::PuKind::Gpu;
+    if (name == "dla")
+        return soc::PuKind::Dla;
+    fatal("unknown PU '%s' (use cpu, gpu, or dla)", name.c_str());
+}
+
+void
+printParams(const model::PccsParams &p)
+{
+    std::printf("%s", model::paramsToText(p).c_str());
+}
+
+model::PccsParams
+paramsFromArgs(const ArgMap &args)
+{
+    if (args.count("model"))
+        return model::loadParams(args.at("model"));
+    const soc::SocConfig soc = socByName(require(args, "soc"));
+    const int pu = soc.puIndex(puByName(require(args, "pu")));
+    if (pu < 0)
+        fatal("that SoC has no such PU");
+    const soc::SocSimulator sim(soc);
+    return model::buildModel(sim, static_cast<std::size_t>(pu))
+        .params();
+}
+
+int
+cmdCalibrate(const ArgMap &args)
+{
+    const soc::SocConfig soc = socByName(require(args, "soc"));
+    const int pu = soc.puIndex(puByName(require(args, "pu")));
+    if (pu < 0)
+        fatal("that SoC has no such PU");
+    const soc::SocSimulator sim(soc);
+    const model::PccsParams p =
+        model::buildModel(sim, static_cast<std::size_t>(pu)).params();
+    printParams(p);
+    if (args.count("out")) {
+        model::saveParams(p, args.at("out"));
+        inform("model written to %s", args.at("out").c_str());
+    }
+    return 0;
+}
+
+int
+cmdPredict(const ArgMap &args)
+{
+    const model::PccsParams p = paramsFromArgs(args);
+    const model::PccsModel m(p);
+    const double x = requireDouble(args, "demand");
+    const double y = requireDouble(args, "external");
+    std::printf("region:          %s\n",
+                model::regionName(m.classify(x)));
+    std::printf("relative speed:  %.2f %%\n", m.relativeSpeed(x, y));
+    std::printf("slowdown factor: %.3fx\n", m.slowdownFactor(x, y));
+    return 0;
+}
+
+int
+cmdScale(const ArgMap &args)
+{
+    const model::PccsParams p =
+        model::loadParams(require(args, "model"));
+    const double ratio = requireDouble(args, "ratio");
+    const model::PccsParams scaled = model::scaleParams(p, ratio);
+    printParams(scaled);
+    if (args.count("out")) {
+        model::saveParams(scaled, args.at("out"));
+        inform("scaled model written to %s", args.at("out").c_str());
+    }
+    return 0;
+}
+
+int
+cmdExplore(const ArgMap &args)
+{
+    const soc::SocConfig soc = socByName(require(args, "soc"));
+    const soc::PuKind kind = puByName(require(args, "pu"));
+    const int pu = soc.puIndex(kind);
+    if (pu < 0)
+        fatal("that SoC has no such PU");
+    const soc::KernelProfile kernel =
+        workloads::rodiniaKernel(require(args, "bench"), kind);
+    const double y = requireDouble(args, "external");
+    const double allowed = requireDouble(args, "allowed");
+
+    const soc::SocSimulator sim(soc);
+    const model::PccsModel m =
+        model::buildModel(sim, static_cast<std::size_t>(pu));
+    const model::DesignExplorer explorer(soc);
+
+    std::vector<double> grid;
+    const double fmax = soc.pus[pu].maxFrequency;
+    for (double f = 0.3 * fmax; f < fmax; f += fmax / 64.0)
+        grid.push_back(f);
+    grid.push_back(fmax);
+
+    const auto sel = explorer.selectFrequency(
+        static_cast<std::size_t>(pu), kernel, y, allowed, m, grid);
+    std::printf("selected clock:  %.0f MHz (of %.0f MHz max)\n",
+                sel.value, fmax);
+    std::printf("predicted co-run performance: %.1f %% of the "
+                "full-clock co-run\n",
+                100.0 * sel.predictedPerformance /
+                    sel.referencePerformance);
+    return 0;
+}
+
+int
+cmdPhases(const ArgMap &args)
+{
+    // Read whitespace-separated GB/s samples from the trace file.
+    const std::string &path = require(args, "trace");
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file '%s'", path.c_str());
+    std::vector<GBps> trace;
+    double v;
+    while (in >> v)
+        trace.push_back(v);
+    if (trace.empty())
+        fatal("trace file '%s' has no samples", path.c_str());
+
+    const model::PccsParams p = paramsFromArgs(args);
+    const model::PccsModel m(p);
+    const double y = requireDouble(args, "external");
+
+    const auto phases = model::detectPhases(trace);
+    std::printf("detected %zu phase(s):\n", phases.size());
+    for (const auto &ph : phases) {
+        std::printf("  samples [%zu, %zu): mean demand %.1f GB/s "
+                    "(%.0f%% of time)\n",
+                    ph.begin, ph.end, ph.meanDemand,
+                    100.0 * ph.length() / trace.size());
+    }
+    const double rs = model::predictPiecewise(
+        m, model::toPhaseDemands(phases), y);
+    std::printf("piecewise relative speed at y=%.1f GB/s: %.2f %%\n",
+                y, rs);
+    return 0;
+}
+
+int
+cmdRegion(const ArgMap &args)
+{
+    const model::PccsParams p = paramsFromArgs(args);
+    const model::PccsModel m(p);
+    const double x = requireDouble(args, "demand");
+    std::printf("%s\n", model::regionName(m.classify(x)));
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "pccs — processor-centric contention-aware slowdown modeling\n"
+        "\n"
+        "usage:\n"
+        "  pccs calibrate --soc S --pu P [--out FILE]\n"
+        "  pccs predict   (--model FILE | --soc S --pu P) --demand X "
+        "--external Y\n"
+        "  pccs scale     --model FILE --ratio R [--out FILE]\n"
+        "  pccs explore   --soc S --pu P --bench NAME --external Y "
+        "--allowed PCT\n"
+        "  pccs region    (--model FILE | --soc S --pu P) --demand X\n"
+        "  pccs phases    --trace FILE (--model FILE | --soc S --pu P) "
+        "--external Y\n"
+        "\n"
+        "  S: xavier | snapdragon      P: cpu | gpu | dla\n"
+        "  NAME: a Rodinia benchmark (e.g. streamcluster)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    const ArgMap args = parseArgs(argc, argv, 2);
+    if (cmd == "calibrate")
+        return cmdCalibrate(args);
+    if (cmd == "predict")
+        return cmdPredict(args);
+    if (cmd == "scale")
+        return cmdScale(args);
+    if (cmd == "explore")
+        return cmdExplore(args);
+    if (cmd == "region")
+        return cmdRegion(args);
+    if (cmd == "phases")
+        return cmdPhases(args);
+    usage();
+    fatal("unknown command '%s'", cmd.c_str());
+}
