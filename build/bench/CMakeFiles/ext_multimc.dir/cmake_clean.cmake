@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multimc.dir/ext_multimc.cc.o"
+  "CMakeFiles/ext_multimc.dir/ext_multimc.cc.o.d"
+  "ext_multimc"
+  "ext_multimc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multimc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_power_budget.dir/ext_power_budget.cc.o"
+  "CMakeFiles/ext_power_budget.dir/ext_power_budget.cc.o.d"
+  "ext_power_budget"
+  "ext_power_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_power_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_bw_satisfaction.dir/fig02_bw_satisfaction.cc.o"
+  "CMakeFiles/fig02_bw_satisfaction.dir/fig02_bw_satisfaction.cc.o.d"
+  "fig02_bw_satisfaction"
+  "fig02_bw_satisfaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_bw_satisfaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

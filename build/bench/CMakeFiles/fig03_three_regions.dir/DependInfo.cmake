@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig03_three_regions.cc" "bench/CMakeFiles/fig03_three_regions.dir/fig03_three_regions.cc.o" "gcc" "bench/CMakeFiles/fig03_three_regions.dir/fig03_three_regions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/pccs_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/pccs_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pccs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/gables/CMakeFiles/pccs_gables.dir/DependInfo.cmake"
+  "/root/repo/build/src/pccs/CMakeFiles/pccs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/pccs_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/pccs_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pccs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

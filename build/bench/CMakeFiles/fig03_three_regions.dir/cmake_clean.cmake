@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_three_regions.dir/fig03_three_regions.cc.o"
+  "CMakeFiles/fig03_three_regions.dir/fig03_three_regions.cc.o.d"
+  "fig03_three_regions"
+  "fig03_three_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_three_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_scheduling_policies.dir/fig05_scheduling_policies.cc.o"
+  "CMakeFiles/fig05_scheduling_policies.dir/fig05_scheduling_policies.cc.o.d"
+  "fig05_scheduling_policies"
+  "fig05_scheduling_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_scheduling_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_xavier_gpu.dir/fig08_xavier_gpu.cc.o"
+  "CMakeFiles/fig08_xavier_gpu.dir/fig08_xavier_gpu.cc.o.d"
+  "fig08_xavier_gpu"
+  "fig08_xavier_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_xavier_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_xavier_cpu.dir/fig09_xavier_cpu.cc.o"
+  "CMakeFiles/fig09_xavier_cpu.dir/fig09_xavier_cpu.cc.o.d"
+  "fig09_xavier_cpu"
+  "fig09_xavier_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_xavier_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_snapdragon_gpu.dir/fig10_snapdragon_gpu.cc.o"
+  "CMakeFiles/fig10_snapdragon_gpu.dir/fig10_snapdragon_gpu.cc.o.d"
+  "fig10_snapdragon_gpu"
+  "fig10_snapdragon_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_snapdragon_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_snapdragon_cpu.dir/fig11_snapdragon_cpu.cc.o"
+  "CMakeFiles/fig11_snapdragon_cpu.dir/fig11_snapdragon_cpu.cc.o.d"
+  "fig11_snapdragon_cpu"
+  "fig11_snapdragon_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_snapdragon_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_xavier_dla.dir/fig12_xavier_dla.cc.o"
+  "CMakeFiles/fig12_xavier_dla.dir/fig12_xavier_dla.cc.o.d"
+  "fig12_xavier_dla"
+  "fig12_xavier_dla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_xavier_dla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

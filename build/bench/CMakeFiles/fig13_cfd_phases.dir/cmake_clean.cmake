@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cfd_phases.dir/fig13_cfd_phases.cc.o"
+  "CMakeFiles/fig13_cfd_phases.dir/fig13_cfd_phases.cc.o.d"
+  "fig13_cfd_phases"
+  "fig13_cfd_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cfd_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

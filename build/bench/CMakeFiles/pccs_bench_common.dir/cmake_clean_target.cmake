@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libpccs_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_rbh_effective_bw.dir/table03_rbh_effective_bw.cc.o"
+  "CMakeFiles/table03_rbh_effective_bw.dir/table03_rbh_effective_bw.cc.o.d"
+  "table03_rbh_effective_bw"
+  "table03_rbh_effective_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_rbh_effective_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_linear_scaling.dir/table05_linear_scaling.cc.o"
+  "CMakeFiles/table05_linear_scaling.dir/table05_linear_scaling.cc.o.d"
+  "table05_linear_scaling"
+  "table05_linear_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_linear_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

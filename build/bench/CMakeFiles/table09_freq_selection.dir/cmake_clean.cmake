@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table09_freq_selection.dir/table09_freq_selection.cc.o"
+  "CMakeFiles/table09_freq_selection.dir/table09_freq_selection.cc.o.d"
+  "table09_freq_selection"
+  "table09_freq_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table09_freq_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_fig02_bw_satisfaction "/root/repo/build/bench/fig02_bw_satisfaction")
+set_tests_properties(bench_smoke_fig02_bw_satisfaction PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig03_three_regions "/root/repo/build/bench/fig03_three_regions")
+set_tests_properties(bench_smoke_fig03_three_regions PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig08_xavier_gpu "/root/repo/build/bench/fig08_xavier_gpu")
+set_tests_properties(bench_smoke_fig08_xavier_gpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig09_xavier_cpu "/root/repo/build/bench/fig09_xavier_cpu")
+set_tests_properties(bench_smoke_fig09_xavier_cpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig10_snapdragon_gpu "/root/repo/build/bench/fig10_snapdragon_gpu")
+set_tests_properties(bench_smoke_fig10_snapdragon_gpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig11_snapdragon_cpu "/root/repo/build/bench/fig11_snapdragon_cpu")
+set_tests_properties(bench_smoke_fig11_snapdragon_cpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig12_xavier_dla "/root/repo/build/bench/fig12_xavier_dla")
+set_tests_properties(bench_smoke_fig12_xavier_dla PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig13_cfd_phases "/root/repo/build/bench/fig13_cfd_phases")
+set_tests_properties(bench_smoke_fig13_cfd_phases PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig14_colocation "/root/repo/build/bench/fig14_colocation")
+set_tests_properties(bench_smoke_fig14_colocation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table05_linear_scaling "/root/repo/build/bench/table05_linear_scaling")
+set_tests_properties(bench_smoke_table05_linear_scaling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table07_model_params "/root/repo/build/bench/table07_model_params")
+set_tests_properties(bench_smoke_table07_model_params PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table09_freq_selection "/root/repo/build/bench/table09_freq_selection")
+set_tests_properties(bench_smoke_table09_freq_selection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_allocation "/root/repo/build/bench/ablation_allocation")
+set_tests_properties(bench_smoke_ablation_allocation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ext_power_budget "/root/repo/build/bench/ext_power_budget")
+set_tests_properties(bench_smoke_ext_power_budget PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonomous_vehicle.dir/autonomous_vehicle.cpp.o"
+  "CMakeFiles/autonomous_vehicle.dir/autonomous_vehicle.cpp.o.d"
+  "autonomous_vehicle"
+  "autonomous_vehicle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonomous_vehicle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

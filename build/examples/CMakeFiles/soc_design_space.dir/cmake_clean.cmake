@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_design_space.dir/soc_design_space.cpp.o"
+  "CMakeFiles/soc_design_space.dir/soc_design_space.cpp.o.d"
+  "soc_design_space"
+  "soc_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pccs_calib.dir/calibrator.cc.o"
+  "CMakeFiles/pccs_calib.dir/calibrator.cc.o.d"
+  "libpccs_calib.a"
+  "libpccs_calib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pccs_calib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

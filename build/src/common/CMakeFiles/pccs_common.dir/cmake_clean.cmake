@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pccs_common.dir/logging.cc.o"
+  "CMakeFiles/pccs_common.dir/logging.cc.o.d"
+  "CMakeFiles/pccs_common.dir/rng.cc.o"
+  "CMakeFiles/pccs_common.dir/rng.cc.o.d"
+  "CMakeFiles/pccs_common.dir/statistics.cc.o"
+  "CMakeFiles/pccs_common.dir/statistics.cc.o.d"
+  "CMakeFiles/pccs_common.dir/table.cc.o"
+  "CMakeFiles/pccs_common.dir/table.cc.o.d"
+  "libpccs_common.a"
+  "libpccs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pccs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/address_map.cc" "src/dram/CMakeFiles/pccs_dram.dir/address_map.cc.o" "gcc" "src/dram/CMakeFiles/pccs_dram.dir/address_map.cc.o.d"
+  "/root/repo/src/dram/bank.cc" "src/dram/CMakeFiles/pccs_dram.dir/bank.cc.o" "gcc" "src/dram/CMakeFiles/pccs_dram.dir/bank.cc.o.d"
+  "/root/repo/src/dram/config.cc" "src/dram/CMakeFiles/pccs_dram.dir/config.cc.o" "gcc" "src/dram/CMakeFiles/pccs_dram.dir/config.cc.o.d"
+  "/root/repo/src/dram/controller.cc" "src/dram/CMakeFiles/pccs_dram.dir/controller.cc.o" "gcc" "src/dram/CMakeFiles/pccs_dram.dir/controller.cc.o.d"
+  "/root/repo/src/dram/multi_mc.cc" "src/dram/CMakeFiles/pccs_dram.dir/multi_mc.cc.o" "gcc" "src/dram/CMakeFiles/pccs_dram.dir/multi_mc.cc.o.d"
+  "/root/repo/src/dram/sched_atlas.cc" "src/dram/CMakeFiles/pccs_dram.dir/sched_atlas.cc.o" "gcc" "src/dram/CMakeFiles/pccs_dram.dir/sched_atlas.cc.o.d"
+  "/root/repo/src/dram/sched_fcfs.cc" "src/dram/CMakeFiles/pccs_dram.dir/sched_fcfs.cc.o" "gcc" "src/dram/CMakeFiles/pccs_dram.dir/sched_fcfs.cc.o.d"
+  "/root/repo/src/dram/sched_sms.cc" "src/dram/CMakeFiles/pccs_dram.dir/sched_sms.cc.o" "gcc" "src/dram/CMakeFiles/pccs_dram.dir/sched_sms.cc.o.d"
+  "/root/repo/src/dram/sched_tcm.cc" "src/dram/CMakeFiles/pccs_dram.dir/sched_tcm.cc.o" "gcc" "src/dram/CMakeFiles/pccs_dram.dir/sched_tcm.cc.o.d"
+  "/root/repo/src/dram/scheduler.cc" "src/dram/CMakeFiles/pccs_dram.dir/scheduler.cc.o" "gcc" "src/dram/CMakeFiles/pccs_dram.dir/scheduler.cc.o.d"
+  "/root/repo/src/dram/system.cc" "src/dram/CMakeFiles/pccs_dram.dir/system.cc.o" "gcc" "src/dram/CMakeFiles/pccs_dram.dir/system.cc.o.d"
+  "/root/repo/src/dram/timing.cc" "src/dram/CMakeFiles/pccs_dram.dir/timing.cc.o" "gcc" "src/dram/CMakeFiles/pccs_dram.dir/timing.cc.o.d"
+  "/root/repo/src/dram/trace_replay.cc" "src/dram/CMakeFiles/pccs_dram.dir/trace_replay.cc.o" "gcc" "src/dram/CMakeFiles/pccs_dram.dir/trace_replay.cc.o.d"
+  "/root/repo/src/dram/traffic.cc" "src/dram/CMakeFiles/pccs_dram.dir/traffic.cc.o" "gcc" "src/dram/CMakeFiles/pccs_dram.dir/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pccs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pccs_dram.dir/address_map.cc.o"
+  "CMakeFiles/pccs_dram.dir/address_map.cc.o.d"
+  "CMakeFiles/pccs_dram.dir/bank.cc.o"
+  "CMakeFiles/pccs_dram.dir/bank.cc.o.d"
+  "CMakeFiles/pccs_dram.dir/config.cc.o"
+  "CMakeFiles/pccs_dram.dir/config.cc.o.d"
+  "CMakeFiles/pccs_dram.dir/controller.cc.o"
+  "CMakeFiles/pccs_dram.dir/controller.cc.o.d"
+  "CMakeFiles/pccs_dram.dir/multi_mc.cc.o"
+  "CMakeFiles/pccs_dram.dir/multi_mc.cc.o.d"
+  "CMakeFiles/pccs_dram.dir/sched_atlas.cc.o"
+  "CMakeFiles/pccs_dram.dir/sched_atlas.cc.o.d"
+  "CMakeFiles/pccs_dram.dir/sched_fcfs.cc.o"
+  "CMakeFiles/pccs_dram.dir/sched_fcfs.cc.o.d"
+  "CMakeFiles/pccs_dram.dir/sched_sms.cc.o"
+  "CMakeFiles/pccs_dram.dir/sched_sms.cc.o.d"
+  "CMakeFiles/pccs_dram.dir/sched_tcm.cc.o"
+  "CMakeFiles/pccs_dram.dir/sched_tcm.cc.o.d"
+  "CMakeFiles/pccs_dram.dir/scheduler.cc.o"
+  "CMakeFiles/pccs_dram.dir/scheduler.cc.o.d"
+  "CMakeFiles/pccs_dram.dir/system.cc.o"
+  "CMakeFiles/pccs_dram.dir/system.cc.o.d"
+  "CMakeFiles/pccs_dram.dir/timing.cc.o"
+  "CMakeFiles/pccs_dram.dir/timing.cc.o.d"
+  "CMakeFiles/pccs_dram.dir/trace_replay.cc.o"
+  "CMakeFiles/pccs_dram.dir/trace_replay.cc.o.d"
+  "CMakeFiles/pccs_dram.dir/traffic.cc.o"
+  "CMakeFiles/pccs_dram.dir/traffic.cc.o.d"
+  "libpccs_dram.a"
+  "libpccs_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pccs_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pccs_gables.dir/gables.cc.o"
+  "CMakeFiles/pccs_gables.dir/gables.cc.o.d"
+  "libpccs_gables.a"
+  "libpccs_gables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pccs_gables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpccs_gables.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pccs_gables.
+# This may be replaced when dependencies are built.

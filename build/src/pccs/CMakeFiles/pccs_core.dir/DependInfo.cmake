@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pccs/builder.cc" "src/pccs/CMakeFiles/pccs_core.dir/builder.cc.o" "gcc" "src/pccs/CMakeFiles/pccs_core.dir/builder.cc.o.d"
+  "/root/repo/src/pccs/corun.cc" "src/pccs/CMakeFiles/pccs_core.dir/corun.cc.o" "gcc" "src/pccs/CMakeFiles/pccs_core.dir/corun.cc.o.d"
+  "/root/repo/src/pccs/design.cc" "src/pccs/CMakeFiles/pccs_core.dir/design.cc.o" "gcc" "src/pccs/CMakeFiles/pccs_core.dir/design.cc.o.d"
+  "/root/repo/src/pccs/model.cc" "src/pccs/CMakeFiles/pccs_core.dir/model.cc.o" "gcc" "src/pccs/CMakeFiles/pccs_core.dir/model.cc.o.d"
+  "/root/repo/src/pccs/phase_detect.cc" "src/pccs/CMakeFiles/pccs_core.dir/phase_detect.cc.o" "gcc" "src/pccs/CMakeFiles/pccs_core.dir/phase_detect.cc.o.d"
+  "/root/repo/src/pccs/phases.cc" "src/pccs/CMakeFiles/pccs_core.dir/phases.cc.o" "gcc" "src/pccs/CMakeFiles/pccs_core.dir/phases.cc.o.d"
+  "/root/repo/src/pccs/placement.cc" "src/pccs/CMakeFiles/pccs_core.dir/placement.cc.o" "gcc" "src/pccs/CMakeFiles/pccs_core.dir/placement.cc.o.d"
+  "/root/repo/src/pccs/power.cc" "src/pccs/CMakeFiles/pccs_core.dir/power.cc.o" "gcc" "src/pccs/CMakeFiles/pccs_core.dir/power.cc.o.d"
+  "/root/repo/src/pccs/scaling.cc" "src/pccs/CMakeFiles/pccs_core.dir/scaling.cc.o" "gcc" "src/pccs/CMakeFiles/pccs_core.dir/scaling.cc.o.d"
+  "/root/repo/src/pccs/serialize.cc" "src/pccs/CMakeFiles/pccs_core.dir/serialize.cc.o" "gcc" "src/pccs/CMakeFiles/pccs_core.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/calib/CMakeFiles/pccs_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/pccs_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pccs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

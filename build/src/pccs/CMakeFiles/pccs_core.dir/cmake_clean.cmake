@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pccs_core.dir/builder.cc.o"
+  "CMakeFiles/pccs_core.dir/builder.cc.o.d"
+  "CMakeFiles/pccs_core.dir/corun.cc.o"
+  "CMakeFiles/pccs_core.dir/corun.cc.o.d"
+  "CMakeFiles/pccs_core.dir/design.cc.o"
+  "CMakeFiles/pccs_core.dir/design.cc.o.d"
+  "CMakeFiles/pccs_core.dir/model.cc.o"
+  "CMakeFiles/pccs_core.dir/model.cc.o.d"
+  "CMakeFiles/pccs_core.dir/phase_detect.cc.o"
+  "CMakeFiles/pccs_core.dir/phase_detect.cc.o.d"
+  "CMakeFiles/pccs_core.dir/phases.cc.o"
+  "CMakeFiles/pccs_core.dir/phases.cc.o.d"
+  "CMakeFiles/pccs_core.dir/placement.cc.o"
+  "CMakeFiles/pccs_core.dir/placement.cc.o.d"
+  "CMakeFiles/pccs_core.dir/power.cc.o"
+  "CMakeFiles/pccs_core.dir/power.cc.o.d"
+  "CMakeFiles/pccs_core.dir/scaling.cc.o"
+  "CMakeFiles/pccs_core.dir/scaling.cc.o.d"
+  "CMakeFiles/pccs_core.dir/serialize.cc.o"
+  "CMakeFiles/pccs_core.dir/serialize.cc.o.d"
+  "libpccs_core.a"
+  "libpccs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pccs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

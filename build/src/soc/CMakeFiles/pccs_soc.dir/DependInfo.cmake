@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/builder.cc" "src/soc/CMakeFiles/pccs_soc.dir/builder.cc.o" "gcc" "src/soc/CMakeFiles/pccs_soc.dir/builder.cc.o.d"
+  "/root/repo/src/soc/exec_model.cc" "src/soc/CMakeFiles/pccs_soc.dir/exec_model.cc.o" "gcc" "src/soc/CMakeFiles/pccs_soc.dir/exec_model.cc.o.d"
+  "/root/repo/src/soc/memory_model.cc" "src/soc/CMakeFiles/pccs_soc.dir/memory_model.cc.o" "gcc" "src/soc/CMakeFiles/pccs_soc.dir/memory_model.cc.o.d"
+  "/root/repo/src/soc/pu.cc" "src/soc/CMakeFiles/pccs_soc.dir/pu.cc.o" "gcc" "src/soc/CMakeFiles/pccs_soc.dir/pu.cc.o.d"
+  "/root/repo/src/soc/simulator.cc" "src/soc/CMakeFiles/pccs_soc.dir/simulator.cc.o" "gcc" "src/soc/CMakeFiles/pccs_soc.dir/simulator.cc.o.d"
+  "/root/repo/src/soc/soc_config.cc" "src/soc/CMakeFiles/pccs_soc.dir/soc_config.cc.o" "gcc" "src/soc/CMakeFiles/pccs_soc.dir/soc_config.cc.o.d"
+  "/root/repo/src/soc/trace.cc" "src/soc/CMakeFiles/pccs_soc.dir/trace.cc.o" "gcc" "src/soc/CMakeFiles/pccs_soc.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pccs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

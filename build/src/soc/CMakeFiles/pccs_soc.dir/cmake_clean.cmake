@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pccs_soc.dir/builder.cc.o"
+  "CMakeFiles/pccs_soc.dir/builder.cc.o.d"
+  "CMakeFiles/pccs_soc.dir/exec_model.cc.o"
+  "CMakeFiles/pccs_soc.dir/exec_model.cc.o.d"
+  "CMakeFiles/pccs_soc.dir/memory_model.cc.o"
+  "CMakeFiles/pccs_soc.dir/memory_model.cc.o.d"
+  "CMakeFiles/pccs_soc.dir/pu.cc.o"
+  "CMakeFiles/pccs_soc.dir/pu.cc.o.d"
+  "CMakeFiles/pccs_soc.dir/simulator.cc.o"
+  "CMakeFiles/pccs_soc.dir/simulator.cc.o.d"
+  "CMakeFiles/pccs_soc.dir/soc_config.cc.o"
+  "CMakeFiles/pccs_soc.dir/soc_config.cc.o.d"
+  "CMakeFiles/pccs_soc.dir/trace.cc.o"
+  "CMakeFiles/pccs_soc.dir/trace.cc.o.d"
+  "libpccs_soc.a"
+  "libpccs_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pccs_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/nn.cc" "src/workloads/CMakeFiles/pccs_workloads.dir/nn.cc.o" "gcc" "src/workloads/CMakeFiles/pccs_workloads.dir/nn.cc.o.d"
+  "/root/repo/src/workloads/rodinia.cc" "src/workloads/CMakeFiles/pccs_workloads.dir/rodinia.cc.o" "gcc" "src/workloads/CMakeFiles/pccs_workloads.dir/rodinia.cc.o.d"
+  "/root/repo/src/workloads/table8.cc" "src/workloads/CMakeFiles/pccs_workloads.dir/table8.cc.o" "gcc" "src/workloads/CMakeFiles/pccs_workloads.dir/table8.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/calib/CMakeFiles/pccs_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/pccs_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pccs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pccs_workloads.dir/nn.cc.o"
+  "CMakeFiles/pccs_workloads.dir/nn.cc.o.d"
+  "CMakeFiles/pccs_workloads.dir/rodinia.cc.o"
+  "CMakeFiles/pccs_workloads.dir/rodinia.cc.o.d"
+  "CMakeFiles/pccs_workloads.dir/table8.cc.o"
+  "CMakeFiles/pccs_workloads.dir/table8.cc.o.d"
+  "libpccs_workloads.a"
+  "libpccs_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pccs_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calibrator.dir/test_calibrator.cc.o"
+  "CMakeFiles/test_calibrator.dir/test_calibrator.cc.o.d"
+  "test_calibrator"
+  "test_calibrator.pdb"
+  "test_calibrator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calibrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corun_predict.dir/test_corun_predict.cc.o"
+  "CMakeFiles/test_corun_predict.dir/test_corun_predict.cc.o.d"
+  "test_corun_predict"
+  "test_corun_predict.pdb"
+  "test_corun_predict[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corun_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

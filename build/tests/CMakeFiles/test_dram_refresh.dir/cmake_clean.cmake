@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram_refresh.dir/test_dram_refresh.cc.o"
+  "CMakeFiles/test_dram_refresh.dir/test_dram_refresh.cc.o.d"
+  "test_dram_refresh"
+  "test_dram_refresh.pdb"
+  "test_dram_refresh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_dram.dir/test_fuzz_dram.cc.o"
+  "CMakeFiles/test_fuzz_dram.dir/test_fuzz_dram.cc.o.d"
+  "test_fuzz_dram"
+  "test_fuzz_dram.pdb"
+  "test_fuzz_dram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

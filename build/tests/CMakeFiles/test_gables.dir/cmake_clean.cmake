@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gables.dir/test_gables.cc.o"
+  "CMakeFiles/test_gables.dir/test_gables.cc.o.d"
+  "test_gables"
+  "test_gables.pdb"
+  "test_gables[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_accuracy.dir/test_integration_accuracy.cc.o"
+  "CMakeFiles/test_integration_accuracy.dir/test_integration_accuracy.cc.o.d"
+  "test_integration_accuracy"
+  "test_integration_accuracy.pdb"
+  "test_integration_accuracy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_mc.dir/test_multi_mc.cc.o"
+  "CMakeFiles/test_multi_mc.dir/test_multi_mc.cc.o.d"
+  "test_multi_mc"
+  "test_multi_mc.pdb"
+  "test_multi_mc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pccs_model.dir/test_pccs_model.cc.o"
+  "CMakeFiles/test_pccs_model.dir/test_pccs_model.cc.o.d"
+  "test_pccs_model"
+  "test_pccs_model.pdb"
+  "test_pccs_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pccs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase_detect.dir/test_phase_detect.cc.o"
+  "CMakeFiles/test_phase_detect.dir/test_phase_detect.cc.o.d"
+  "test_phase_detect"
+  "test_phase_detect.pdb"
+  "test_phase_detect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

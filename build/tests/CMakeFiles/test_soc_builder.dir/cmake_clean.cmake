@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soc_builder.dir/test_soc_builder.cc.o"
+  "CMakeFiles/test_soc_builder.dir/test_soc_builder.cc.o.d"
+  "test_soc_builder"
+  "test_soc_builder.pdb"
+  "test_soc_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soc_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soc_config.dir/test_soc_config.cc.o"
+  "CMakeFiles/test_soc_config.dir/test_soc_config.cc.o.d"
+  "test_soc_config"
+  "test_soc_config.pdb"
+  "test_soc_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soc_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

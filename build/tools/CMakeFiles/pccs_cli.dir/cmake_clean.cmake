@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pccs_cli.dir/pccs_cli.cc.o"
+  "CMakeFiles/pccs_cli.dir/pccs_cli.cc.o.d"
+  "pccs"
+  "pccs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pccs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

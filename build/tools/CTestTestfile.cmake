@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_calibrate "pccs" "calibrate" "--soc" "snapdragon" "--pu" "cpu")
+set_tests_properties(cli_calibrate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_predict "pccs" "predict" "--soc" "snapdragon" "--pu" "gpu" "--demand" "20" "--external" "15")
+set_tests_properties(cli_predict PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_region "pccs" "region" "--soc" "xavier" "--pu" "gpu" "--demand" "110")
+set_tests_properties(cli_region PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_phases "pccs" "phases" "--trace" "/root/repo/build/cli_trace.txt" "--soc" "xavier" "--pu" "gpu" "--external" "50")
+set_tests_properties(cli_phases PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
