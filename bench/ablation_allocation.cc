@@ -30,9 +30,11 @@ sweepRow(Table &t, const std::string &label, const soc::SocConfig &cfg,
         cfg.puIndex(soc::PuKind::Gpu));
     const soc::KernelProfile k =
         calib::makeCalibrator(sim.model(), cfg.pus[gpu], target);
-    std::vector<double> row;
+    std::vector<runner::EvalPoint> points;
     for (GBps y = 0.0; y <= 100.0; y += 10.0)
-        row.push_back(sim.relativeSpeedUnderPressure(gpu, k, y));
+        points.push_back({gpu, k, y});
+    const std::vector<double> row =
+        runner::SweepEngine::global().evaluateBatch(sim, points);
     t.addRow(label, row, 1);
 }
 
@@ -69,6 +71,13 @@ main()
     for (auto &pu : no_latency.pus)
         pu.latencySensitivity = 0.0;
 
+    runner::RunResult artifact = bench::makeArtifact(
+        "ablation_allocation",
+        "Memory-model ablations: fairness allocation and "
+        "effective-bandwidth degradation",
+        "DESIGN.md ablations (supports Figs. 2, 3, 5)", base.name,
+        "GPU");
+
     for (GBps target : {60.0, 110.0}) {
         std::printf("--- GPU kernel with ~%.0f GB/s standalone demand "
                     "---\n",
@@ -81,7 +90,11 @@ main()
                  target);
         sweepRow(t, "no latency sensitivity", no_latency, target);
         std::printf("%s\n", t.str().c_str());
+        artifact.addTable("GPU kernel ~" + fmtDouble(target, 0) +
+                              " GB/s standalone demand",
+                          t);
     }
+    bench::writeArtifact(std::move(artifact));
 
     std::printf(
         "Reading the ablation:\n"

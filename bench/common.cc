@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/statistics.hh"
 
@@ -46,14 +47,23 @@ sweepKernel(const soc::SocSimulator &sim, std::size_t pu,
             const soc::KernelProfile &kernel,
             const model::SlowdownPredictor &pccs,
             const model::SlowdownPredictor &gables,
-            const std::vector<GBps> &ladder)
+            const std::vector<GBps> &ladder,
+            runner::SweepEngine *engine)
 {
+    runner::SweepEngine &eng =
+        engine ? *engine : runner::SweepEngine::global();
+
     SweepResult r;
     r.name = kernel.name;
-    r.demand = sim.profile(pu, kernel).bandwidthDemand;
+    r.demand = eng.profile(sim, pu, kernel).bandwidthDemand;
+
+    std::vector<runner::EvalPoint> points;
+    points.reserve(ladder.size());
+    for (GBps y : ladder)
+        points.push_back({pu, kernel, y});
+    r.actual = eng.evaluateBatch(sim, points);
+
     for (GBps y : ladder) {
-        r.actual.push_back(
-            sim.relativeSpeedUnderPressure(pu, kernel, y));
         r.pccs.push_back(pccs.relativeSpeed(r.demand, y));
         r.gables.push_back(gables.relativeSpeed(r.demand, y));
     }
@@ -102,6 +112,67 @@ printErrorSummary(const std::vector<SweepResult> &results,
     std::printf("measured on simulated substrate:  PCCS %.1f%%, "
                 "Gables %.1f%%\n\n",
                 pccs_sum / n, gables_sum / n);
+}
+
+runner::RunResult
+makeArtifact(const std::string &experiment, const std::string &title,
+             const std::string &paper_ref, const std::string &soc_name,
+             const std::string &pu_name,
+             const std::vector<GBps> &ladder)
+{
+    runner::RunResult r;
+    r.spec.experiment = experiment;
+    r.spec.title = title;
+    r.spec.paperRef = paper_ref;
+    r.spec.socName = soc_name;
+    r.spec.puName = pu_name;
+    r.spec.externalBw = ladder;
+    return r;
+}
+
+runner::RunResult
+sweepArtifact(const std::string &experiment, const std::string &title,
+              const std::string &paper_ref,
+              const soc::SocSimulator &sim, std::size_t pu,
+              const std::vector<SweepResult> &results,
+              const std::vector<GBps> &ladder)
+{
+    runner::RunResult r =
+        makeArtifact(experiment, title, paper_ref, sim.config().name,
+                     sim.config().pus[pu].name, ladder);
+    for (const SweepResult &res : results) {
+        runner::KernelRun kr;
+        kr.name = res.name;
+        kr.demand = res.demand;
+        kr.series.push_back({"actual", res.actual});
+        kr.series.push_back({"pccs", res.pccs});
+        kr.series.push_back({"gables", res.gables});
+        r.kernels.push_back(std::move(kr));
+    }
+    Table errors({"kernel", "demand (GB/s)", "PCCS err (%)",
+                  "Gables err (%)"});
+    for (const SweepResult &res : results) {
+        errors.addRow({res.name, fmtDouble(res.demand, 1),
+                       fmtDouble(res.pccsError(), 1),
+                       fmtDouble(res.gablesError(), 1)});
+    }
+    r.addTable("mean absolute error vs actual", errors);
+    return r;
+}
+
+void
+writeArtifact(runner::RunResult artifact)
+{
+    const char *env = std::getenv("PCCS_ARTIFACT_DIR");
+    const std::string dir = env && *env ? env : ".";
+    artifact.cache = runner::SweepEngine::global().cache().stats();
+    const std::string path = artifact.writeArtifacts(dir);
+    std::printf("artifact: %s (+ .csv; engine cache: %llu hits / "
+                "%llu misses)\n",
+                path.c_str(),
+                static_cast<unsigned long long>(artifact.cache.hits),
+                static_cast<unsigned long long>(
+                    artifact.cache.misses));
 }
 
 } // namespace pccs::bench

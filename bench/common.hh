@@ -1,8 +1,16 @@
 /**
  * @file
  * Shared helpers for the benchmark harness: standard sweeps, error
- * accounting, and report formatting. Each bench binary regenerates one
- * table or figure of the paper and prints the corresponding series.
+ * accounting, report formatting, and machine-readable artifacts. Each
+ * bench binary regenerates one table or figure of the paper, prints
+ * the corresponding series, and writes a JSON + CSV artifact
+ * (`<experiment>.json` / `<experiment>.csv`, in $PCCS_ARTIFACT_DIR or
+ * the working directory) with the same data.
+ *
+ * All simulator evaluations route through the process-wide
+ * `runner::SweepEngine`: sweep points run in parallel and overlapping
+ * sweeps (model calibration, figure ladders, frequency grids) are
+ * memoized instead of recomputed.
  */
 
 #ifndef PCCS_BENCH_COMMON_HH
@@ -13,6 +21,8 @@
 
 #include "common/table.hh"
 #include "pccs/predictor.hh"
+#include "runner/run_spec.hh"
+#include "runner/sweep_engine.hh"
 #include "soc/simulator.hh"
 
 namespace pccs::bench {
@@ -41,12 +51,15 @@ struct SweepResult
 /**
  * Sweep one kernel on one PU across the external ladder, collecting
  * actual (simulated) and predicted (PCCS + Gables) relative speeds.
+ * The actual points are evaluated through `engine` (the process-wide
+ * engine when null), in parallel and memoized.
  */
 SweepResult sweepKernel(const soc::SocSimulator &sim, std::size_t pu,
                         const soc::KernelProfile &kernel,
                         const model::SlowdownPredictor &pccs,
                         const model::SlowdownPredictor &gables,
-                        const std::vector<GBps> &ladder);
+                        const std::vector<GBps> &ladder,
+                        runner::SweepEngine *engine = nullptr);
 
 /** Render a set of sweep results as per-kernel curve tables. */
 void printSweepReport(const std::vector<SweepResult> &results,
@@ -58,6 +71,37 @@ void printSweepReport(const std::vector<SweepResult> &results,
  */
 void printErrorSummary(const std::vector<SweepResult> &results,
                        double paper_pccs, double paper_gables);
+
+/**
+ * Start a machine-readable artifact for this experiment. The SoC/PU
+ * names and the global engine's cache counters are filled in when the
+ * artifact is written.
+ */
+runner::RunResult makeArtifact(const std::string &experiment,
+                               const std::string &title,
+                               const std::string &paper_ref,
+                               const std::string &soc_name,
+                               const std::string &pu_name,
+                               const std::vector<GBps> &ladder = {});
+
+/**
+ * Assemble a predicted-vs-actual figure artifact from sweep results
+ * (actual/pccs/gables series per kernel plus the error summary).
+ */
+runner::RunResult sweepArtifact(const std::string &experiment,
+                                const std::string &title,
+                                const std::string &paper_ref,
+                                const soc::SocSimulator &sim,
+                                std::size_t pu,
+                                const std::vector<SweepResult> &results,
+                                const std::vector<GBps> &ladder);
+
+/**
+ * Write the artifact's JSON and CSV files into $PCCS_ARTIFACT_DIR
+ * (default: the working directory), stamping in the engine's cache
+ * counters, and announce the JSON path.
+ */
+void writeArtifact(runner::RunResult artifact);
 
 } // namespace pccs::bench
 

@@ -115,6 +115,15 @@ main()
     }
     std::printf("%s\n", t.str().c_str());
 
+    runner::RunResult artifact = bench::makeArtifact(
+        "ext_multimc",
+        "Multi-MC organizations and address mappings under "
+        "co-location",
+        "Section 5 extension (multi-MC / address mapping)",
+        "table1-ddr4", "victim");
+    artifact.addTable("victim RS / aggregate BW / RBH", t);
+    bench::writeArtifact(std::move(artifact));
+
     std::printf(
         "Reading: with line interleaving every source stresses every "
         "controller, so the victim contends everywhere\n"

@@ -101,6 +101,15 @@ main()
                   fmtDouble(validate(via_gables.frequencies), 1)});
     }
     std::printf("%s\n", t.str().c_str());
+
+    runner::RunResult artifact = bench::makeArtifact(
+        "ext_power_budget", "Co-run performance vs SoC power budget",
+        "Section 5 extension (power budget)", problem.soc.name, "all");
+    artifact.addTable("clock choices and actual worst co-run "
+                      "performance",
+                      t);
+    bench::writeArtifact(std::move(artifact));
+
     std::printf(
         "Columns report the *actual* (simulated) worst per-PU co-run "
         "performance of each model's clock choice,\nrelative to "

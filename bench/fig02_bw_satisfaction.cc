@@ -67,6 +67,15 @@ main()
                       fmtDouble(100.0 - met, 1)});
     }
     std::printf("%s\n", marks.str().c_str());
+
+    runner::RunResult artifact = bench::makeArtifact(
+        "fig02_bw_satisfaction",
+        "Bandwidth satisfaction under external pressure", "Figure 2",
+        cfg.name, "all", ladder);
+    artifact.addTable("% of requested bandwidth met", t);
+    artifact.addTable("nominal saturation points", marks);
+    bench::writeArtifact(std::move(artifact));
+
     std::printf("Key observation (paper, Fig. 2): the %% of requested "
                 "bandwidth that is met already drops *before* the\n"
                 "sum of requested and external bandwidth reaches the "

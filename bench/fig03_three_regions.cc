@@ -20,7 +20,7 @@ namespace {
 
 void
 panel(const soc::SocSimulator &sim, std::size_t gpu, const char *title,
-      const std::vector<GBps> &targets)
+      const std::vector<GBps> &targets, runner::RunResult &artifact)
 {
     std::printf("--- %s ---\n", title);
     std::vector<std::string> headers{"kernel"};
@@ -37,6 +37,7 @@ panel(const soc::SocSimulator &sim, std::size_t gpu, const char *title,
         t.addRow("x=" + fmtDouble(x, 0) + " GB/s", row, 1);
     }
     std::printf("%s\n", t.str().c_str());
+    artifact.addTable(title, t);
 }
 
 } // namespace
@@ -51,11 +52,24 @@ main()
     const std::size_t gpu = static_cast<std::size_t>(
         sim.config().puIndex(soc::PuKind::Gpu));
 
-    panel(sim, gpu, "(a) low demand: 10-30 GB/s", {10.0, 20.0, 30.0});
+    std::vector<GBps> ladder;
+    for (GBps y = 0.0; y <= 100.0; y += 10.0)
+        ladder.push_back(y);
+    runner::RunResult artifact = bench::makeArtifact(
+        "fig03_three_regions",
+        "Synthetic kernels under memory pressure: the three "
+        "contention regions",
+        "Figure 3 (a)(b)(c)", sim.config().name,
+        sim.config().pus[gpu].name, ladder);
+
+    panel(sim, gpu, "(a) low demand: 10-30 GB/s", {10.0, 20.0, 30.0},
+          artifact);
     panel(sim, gpu, "(b) medium demand: 40-80 GB/s",
-          {40.0, 50.0, 60.0, 70.0, 80.0});
+          {40.0, 50.0, 60.0, 70.0, 80.0}, artifact);
     panel(sim, gpu, "(c) high demand: 80-100+ GB/s",
-          {85.0, 95.0, 110.0, 125.0});
+          {85.0, 95.0, 110.0, 125.0}, artifact);
+
+    bench::writeArtifact(std::move(artifact));
 
     std::printf(
         "Expected shapes (paper, Fig. 3): (a) mild near-linear decline;"

@@ -83,6 +83,13 @@ main()
     const std::vector<GBps> low_demands{10.0, 20.0, 30.0, 40.0, 50.0,
                                         60.0};
 
+    runner::RunResult artifact = bench::makeArtifact(
+        "fig05_scheduling_policies",
+        "High-BW group relative speed under the five MC scheduling "
+        "policies",
+        "Figure 5 (a)-(e), Tables 1 & 2", "table1-ddr4", "high group",
+        low_demands);
+
     for (auto policy : {SchedulerKind::Fcfs, SchedulerKind::FrFcfs,
                         SchedulerKind::Atlas, SchedulerKind::Tcm,
                         SchedulerKind::Sms}) {
@@ -104,7 +111,10 @@ main()
             t.addRow(fmtDouble(high, 0) + " GB/s", row, 1);
         }
         std::printf("%s\n", t.str().c_str());
+        artifact.addTable(schedulerName(policy), t);
     }
+
+    bench::writeArtifact(std::move(artifact));
 
     std::printf("Expected (paper, Fig. 5): FCFS reduces speed roughly "
                 "proportionally with pressure; FR-FCFS shows large\n"

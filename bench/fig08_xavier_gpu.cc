@@ -37,5 +37,9 @@ main()
     }
     bench::printSweepReport(results, ladder);
     bench::printErrorSummary(results, 6.3, 39.0);
+    bench::writeArtifact(bench::sweepArtifact(
+        "fig08_xavier_gpu",
+        "Rodinia on the Xavier GPU: predicted vs actual slowdown",
+        "Figure 8", sim, gpu, results, ladder));
     return 0;
 }

@@ -36,5 +36,9 @@ main()
     }
     bench::printSweepReport(results, ladder);
     bench::printErrorSummary(results, 2.6, 10.3);
+    bench::writeArtifact(bench::sweepArtifact(
+        "fig09_xavier_cpu",
+        "Rodinia on the Xavier CPU: predicted vs actual slowdown",
+        "Figure 9", sim, cpu, results, ladder));
     return 0;
 }

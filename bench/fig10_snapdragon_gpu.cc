@@ -36,5 +36,10 @@ main()
     }
     bench::printSweepReport(results, ladder);
     bench::printErrorSummary(results, 5.9, 37.6);
+    bench::writeArtifact(bench::sweepArtifact(
+        "fig10_snapdragon_gpu",
+        "Rodinia on the Snapdragon 855 GPU: predicted vs actual "
+        "slowdown",
+        "Figure 10", sim, gpu, results, ladder));
     return 0;
 }

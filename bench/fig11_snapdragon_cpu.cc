@@ -38,5 +38,10 @@ main()
     }
     bench::printSweepReport(results, ladder);
     bench::printErrorSummary(results, 3.1, 8.1);
+    bench::writeArtifact(bench::sweepArtifact(
+        "fig11_snapdragon_cpu",
+        "Rodinia on the Snapdragon 855 CPU: predicted vs actual "
+        "slowdown",
+        "Figure 11", sim, cpu, results, ladder));
     return 0;
 }

@@ -37,6 +37,12 @@ main()
     double pccs_sum = 0.0, gables_sum = 0.0;
     int n_models = 0;
     Table summary({"model", "PCCS err (%)", "Gables err (%)"});
+    runner::RunResult artifact = bench::makeArtifact(
+        "fig12_xavier_dla",
+        "Neural-network inference on the Xavier DLA: predicted vs "
+        "actual slowdown",
+        "Figure 12", sim.config().name, sim.config().pus[dla].name,
+        ladder);
 
     for (const auto &w : {workloads::vgg19Dla(),
                           workloads::resnet50Dla(),
@@ -74,6 +80,16 @@ main()
         t.addRow("Gables RS (%)", gab, 1);
         std::printf("%s\n%s\n", w.name.c_str(), t.str().c_str());
 
+        runner::KernelRun kr;
+        kr.name = w.name;
+        kr.demand = 0.0;
+        for (const auto &ph : phases)
+            kr.demand += ph.demand * ph.timeShare;
+        kr.series.push_back({"actual", act});
+        kr.series.push_back({"pccs", prd});
+        kr.series.push_back({"gables", gab});
+        artifact.kernels.push_back(std::move(kr));
+
         double pe = 0.0, ge = 0.0;
         for (std::size_t j = 0; j < ladder.size(); ++j) {
             pe += std::fabs(prd[j] - act[j]);
@@ -90,6 +106,8 @@ main()
     summary.addRow({"AVERAGE", fmtDouble(pccs_sum / n_models, 1),
                     fmtDouble(gables_sum / n_models, 1)});
     std::printf("%s\n", summary.str().c_str());
+    artifact.addTable("mean absolute error vs actual", summary);
+    bench::writeArtifact(std::move(artifact));
     std::printf("paper reports (on real hardware): PCCS 5.3%%, Gables "
                 "26.7%%\n");
     return 0;

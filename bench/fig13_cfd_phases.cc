@@ -70,6 +70,21 @@ main()
     t.addRow("(b) piecewise prediction", pw, 1);
     std::printf("%s\n", t.str().c_str());
 
+    runner::RunResult artifact = bench::makeArtifact(
+        "fig13_cfd_phases",
+        "CFD with phase shifts: average-BW vs piecewise prediction",
+        "Figure 13 (a)(b)", sim.config().name,
+        sim.config().pus[gpu].name, ladder);
+    runner::KernelRun kr;
+    kr.name = w.name;
+    for (const auto &ph : phases)
+        kr.demand += ph.demand * ph.timeShare;
+    kr.series.push_back({"actual", act});
+    kr.series.push_back({"avg-bw", avg});
+    kr.series.push_back({"piecewise", pw});
+    artifact.kernels.push_back(std::move(kr));
+    bench::writeArtifact(std::move(artifact));
+
     double avg_err = 0.0, pw_err = 0.0;
     for (std::size_t j = 0; j < ladder.size(); ++j) {
         avg_err += std::fabs(avg[j] - act[j]);

@@ -139,6 +139,11 @@ main()
     const double paper_pccs[3] = {3.7, 8.7, 5.6};
     const double paper_gables[3] = {13.4, 30.3, 20.6};
     const double n = static_cast<double>(rows.size());
+    runner::RunResult artifact = bench::makeArtifact(
+        "fig14_colocation",
+        "Eleven 3-PU co-run workloads: predicted vs actual achieved "
+        "relative speed",
+        "Table 8 + Figure 14 (a)(b)(c)", cfg.name, "all");
     for (int i = 0; i < 3; ++i) {
         std::printf("--- Figure 14 (%c): %s ---\n", 'a' + i,
                     pu_label[i]);
@@ -147,6 +152,11 @@ main()
                     "(paper: PCCS %.1f%%, Gables %.1f%%)\n\n",
                     pccs_err[i] / n, gables_err[i] / n, paper_pccs[i],
                     paper_gables[i]);
+        artifact.addTable(std::string("Figure 14 (") +
+                              static_cast<char>('a' + i) + ") " +
+                              pu_label[i],
+                          tables[i]);
     }
+    bench::writeArtifact(std::move(artifact));
     return 0;
 }

@@ -12,6 +12,7 @@
 #include "dram/system.hh"
 #include "gables/gables.hh"
 #include "pccs/builder.hh"
+#include "runner/sweep_engine.hh"
 #include "soc/simulator.hh"
 
 using namespace pccs;
@@ -157,6 +158,63 @@ BM_SchedulerPick(benchmark::State &state)
 BENCHMARK(BM_SchedulerPick)
     ->DenseRange(0, 4)
     ->ArgNames({"policy"});
+
+/** A 64-point sweep batch (8 kernels x 8 external-BW steps). */
+std::vector<runner::EvalPoint>
+sweepBatch(const soc::SocSimulator &sim, std::size_t gpu)
+{
+    std::vector<runner::EvalPoint> points;
+    for (unsigned i = 0; i < 8; ++i) {
+        const soc::KernelProfile k = calib::makeCalibrator(
+            sim.model(), sim.config().pus[gpu], 20.0 + 12.0 * i);
+        for (unsigned j = 1; j <= 8; ++j)
+            points.push_back({gpu, k, 12.5 * j});
+    }
+    return points;
+}
+
+/**
+ * Engine throughput on a cold cache: evaluateBatch of 64 sweep
+ * points, serial (jobs=1) vs the hardware-sized pool.
+ */
+void
+BM_EngineSweepThroughput(benchmark::State &state)
+{
+    const soc::SocSimulator sim(xavier());
+    const std::size_t gpu = static_cast<std::size_t>(
+        xavier().puIndex(soc::PuKind::Gpu));
+    runner::SweepEngine engine(
+        static_cast<unsigned>(state.range(0)));
+    const auto points = sweepBatch(sim, gpu);
+    for (auto _ : state) {
+        engine.cache().clear();
+        benchmark::DoNotOptimize(engine.evaluateBatch(sim, points));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_EngineSweepThroughput)
+    ->Arg(1)
+    ->Arg(0) // 0 = hardware concurrency (or PCCS_JOBS)
+    ->ArgNames({"jobs"})
+    ->Unit(benchmark::kMillisecond);
+
+/** Warm-cache hit path: the same batch re-evaluated repeatedly. */
+void
+BM_EngineCacheHit(benchmark::State &state)
+{
+    const soc::SocSimulator sim(xavier());
+    const std::size_t gpu = static_cast<std::size_t>(
+        xavier().puIndex(soc::PuKind::Gpu));
+    runner::SweepEngine engine(1);
+    const auto points = sweepBatch(sim, gpu);
+    engine.evaluateBatch(sim, points); // warm the cache
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.evaluateBatch(sim, points));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_EngineCacheHit);
 
 } // namespace
 

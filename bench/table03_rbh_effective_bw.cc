@@ -76,6 +76,15 @@ main()
                   fmtDouble(row.eff, 1)});
     }
     std::printf("%s\n", t.str().c_str());
+
+    runner::RunResult artifact = bench::makeArtifact(
+        "table03_rbh_effective_bw",
+        "Row-buffer hits and effective bandwidth at saturation, per "
+        "scheduling policy",
+        "Table 3", "table1-ddr4", "all");
+    artifact.addTable("RBH and effective bandwidth", t);
+    bench::writeArtifact(std::move(artifact));
+
     std::printf("Expected ordering (paper, Table 3): FCFS has by far "
                 "the lowest RBH and effective bandwidth; FR-FCFS the\n"
                 "highest; the fairness policies (ATLAS/TCM/SMS) trade "

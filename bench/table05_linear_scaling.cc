@@ -65,6 +65,13 @@ main()
               fmtDouble(sum.average() / n, 1)});
     std::printf("%s\n", t.str().c_str());
 
+    runner::RunResult artifact = bench::makeArtifact(
+        "table05_linear_scaling",
+        "Linear parameter scaling across memory clocks", "Table 5",
+        full.name, full.pus[gpu].name);
+    artifact.addTable("scaled vs constructed parameters", t);
+    bench::writeArtifact(std::move(artifact));
+
     std::printf("Paper (Table 5) reports 1.5-2.2%% average error per "
                 "parameter on real hardware, where all bandwidth-\n"
                 "related quantities scale with the memory clock "

@@ -84,6 +84,13 @@ main()
                   "13.4", "2.27"});
     std::printf("%s\n", paper.str().c_str());
 
+    runner::RunResult artifact = bench::makeArtifact(
+        "table07_model_params", "PCCS model parameters per PU",
+        "Table 7", "xavier-like + snapdragon-like", "all");
+    artifact.addTable("constructed parameters", t);
+    artifact.addTable("paper values", paper);
+    bench::writeArtifact(std::move(artifact));
+
     std::printf("Structural checks: the DLA column must show "
                 "normalBW=0 / MRMC=NA (no minor contention region);\n"
                 "Snapdragon parameters must sit an order of magnitude "

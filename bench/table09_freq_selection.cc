@@ -44,6 +44,12 @@ main()
         grid.push_back(f);
     grid.push_back(1377.0);
 
+    runner::RunResult artifact = bench::makeArtifact(
+        "table09_freq_selection",
+        "GPU frequency selection for streamcluster under co-run "
+        "slowdown caps",
+        "Table 9 + Figure 15", soc.name, soc.pus[gpu].name);
+
     // --- Table 9 analogue -------------------------------------------
     for (double allowed : {5.0, 20.0}) {
         std::printf("--- maximum allowed co-run slowdown: %.0f%% ---\n",
@@ -74,6 +80,9 @@ main()
         t.addRow({"AVERAGE", "-", "-", fmtDouble(pe_sum / 3.0, 1),
                   "-", fmtDouble(ge_sum / 3.0, 1)});
         std::printf("%s\n", t.str().c_str());
+        artifact.addTable("max allowed slowdown " +
+                              fmtDouble(allowed, 0) + "%",
+                          t);
     }
     std::printf("paper (Table 9): PCCS picks within 1.3-3.6%% of the "
                 "ground truth; Gables is 3.8-49.1%% off (it keeps the "
@@ -118,7 +127,11 @@ main()
         t.addRow("PCCS (%)", via_pccs, 1);
         t.addRow("Gables (%)", via_gables, 1);
         std::printf("%s\n", t.str().c_str());
+        artifact.addTable("co-run performance at " +
+                              fmtDouble(freq, 0) + " MHz",
+                          t);
     }
+    bench::writeArtifact(std::move(artifact));
     std::printf("Expected (Fig. 15): under contention the down-clocked "
                 "GPU loses little co-run performance (its demand no\n"
                 "longer exceeds its shrunken grant); PCCS tracks this, "

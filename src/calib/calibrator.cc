@@ -50,13 +50,15 @@ makeCalibrator(const soc::ExecutionModel &model, const soc::PuParams &pu,
 
 CalibrationMatrix
 calibrate(const soc::SocSimulator &sim, std::size_t pu_index,
-          const SweepSpec &spec)
+          const SweepSpec &spec, runner::SweepEngine *engine)
 {
     PCCS_ASSERT(pu_index < sim.config().pus.size(),
                 "bad PU index %zu", pu_index);
     PCCS_ASSERT(spec.numKernels >= 2 && spec.numExternal >= 2,
                 "sweep needs at least 2x2 points");
 
+    runner::SweepEngine &eng =
+        engine ? *engine : runner::SweepEngine::global();
     const soc::PuParams &pu = sim.config().pus[pu_index];
     const GBps draw = pu.drawBandwidth();
     const GBps peak = sim.config().memory.peakBandwidth;
@@ -73,7 +75,7 @@ calibrate(const soc::SocSimulator &sim, std::size_t pu_index,
                 static_cast<double>(spec.numKernels - 1);
         const GBps target = frac * draw;
         soc::KernelProfile k =
-            makeCalibrator(sim.model(), pu, target);
+            makeCalibrator(sim.model(), pu, target, spec.locality);
         const GBps achieved =
             sim.model().standalone(pu, k).bandwidthDemand;
         kernels.push_back(std::move(k));
@@ -89,14 +91,20 @@ calibrate(const soc::SocSimulator &sim, std::size_t pu_index,
                                static_cast<double>(spec.numExternal));
     }
 
+    // The rela matrix is a batch of independent points; the engine
+    // evaluates them in parallel and memoizes each one.
+    std::vector<runner::EvalPoint> points;
+    points.reserve(m.numKernels() * m.numExternal());
+    for (std::size_t i = 0; i < m.numKernels(); ++i)
+        for (std::size_t j = 0; j < m.numExternal(); ++j)
+            points.push_back({pu_index, kernels[i], m.externalBw[j]});
+    const std::vector<double> rela = eng.evaluateBatch(sim, points);
+
     m.rela.assign(m.numKernels(),
                   std::vector<double>(m.numExternal(), 0.0));
-    for (std::size_t i = 0; i < m.numKernels(); ++i) {
-        for (std::size_t j = 0; j < m.numExternal(); ++j) {
-            m.rela[i][j] = sim.relativeSpeedUnderPressure(
-                pu_index, kernels[i], m.externalBw[j]);
-        }
-    }
+    for (std::size_t i = 0; i < m.numKernels(); ++i)
+        for (std::size_t j = 0; j < m.numExternal(); ++j)
+            m.rela[i][j] = rela[i * m.numExternal() + j];
     return m;
 }
 

@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "runner/sweep_engine.hh"
 #include "soc/simulator.hh"
 
 namespace pccs::calib {
@@ -75,15 +76,22 @@ struct SweepSpec
      * Xavier, i.e., ~0.73 of peak.
      */
     double maxExternalFraction = 0.73;
+    /** Row locality of the sweep's calibrator kernels. */
+    double locality = calibratorLocality;
 };
 
 /**
  * Run the processor-centric calibration of one PU: no application
- * co-run measurements, only calibrators against calibrators.
+ * co-run measurements, only calibrators against calibrators. The
+ * sweep's (kernel, external) points are evaluated through `engine`
+ * (the process-wide engine when null): in parallel, and memoized so
+ * later sweeps sharing points with the calibration ladder hit the
+ * cache.
  */
 CalibrationMatrix calibrate(const soc::SocSimulator &sim,
                             std::size_t pu_index,
-                            const SweepSpec &spec = {});
+                            const SweepSpec &spec = {},
+                            runner::SweepEngine *engine = nullptr);
 
 } // namespace pccs::calib
 

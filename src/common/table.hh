@@ -40,6 +40,15 @@ class Table
     /** @return number of data rows. */
     std::size_t rows() const { return rows_.size(); }
 
+    /** @return the column headers. */
+    const std::vector<std::string> &headers() const { return headers_; }
+
+    /** @return the raw cell rows (for export/serialization). */
+    const std::vector<std::vector<std::string>> &cells() const
+    {
+        return rows_;
+    }
+
     /** Render the aligned table into a string. */
     std::string str() const;
 

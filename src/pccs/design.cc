@@ -6,8 +6,10 @@
 
 namespace pccs::model {
 
-DesignExplorer::DesignExplorer(const soc::SocConfig &config)
-    : config_(config)
+DesignExplorer::DesignExplorer(const soc::SocConfig &config,
+                               runner::SweepEngine *engine)
+    : config_(config),
+      engine_(engine ? engine : &runner::SweepEngine::global())
 {
     PCCS_ASSERT(!config_.pus.empty(), "explorer needs a populated SoC");
 }
@@ -39,12 +41,13 @@ DesignExplorer::performance(const soc::SocConfig &cfg,
                             const SlowdownPredictor *predictor) const
 {
     const soc::SocSimulator sim(cfg);
-    const soc::StandaloneProfile solo = sim.profile(pu_index, kernel);
+    const soc::StandaloneProfile solo =
+        engine_->profile(sim, pu_index, kernel);
     double rs;
     if (predictor) {
         rs = predictor->relativeSpeed(solo.bandwidthDemand, external);
     } else {
-        rs = sim.relativeSpeedUnderPressure(pu_index, kernel, external);
+        rs = engine_->evaluate(sim, pu_index, kernel, external);
     }
     return solo.rate * rs / 100.0;
 }
@@ -78,18 +81,26 @@ DesignExplorer::selectLowest(
     std::vector<double> sorted = grid;
     std::sort(sorted.begin(), sorted.end());
 
+    // Precompute every grid point's performance on the engine's pool
+    // (the points are independent; repeated selections over the same
+    // grid hit the engine cache), then scan serially — deterministic
+    // and identical to the serial early-exit loop.
+    std::vector<double> perfs(sorted.size(), 0.0);
+    engine_->parallelFor(sorted.size(), [&](std::size_t i) {
+        perfs[i] = perf_at(sorted[i]);
+    });
+
     DesignSelection sel;
-    sel.referencePerformance = perf_at(sorted.back());
+    sel.referencePerformance = perfs.back();
     const double floor =
         sel.referencePerformance * (1.0 - allowed_pct / 100.0);
 
     sel.value = sorted.back();
     sel.predictedPerformance = sel.referencePerformance;
-    for (double v : sorted) {
-        const double perf = perf_at(v);
-        if (perf >= floor) {
-            sel.value = v;
-            sel.predictedPerformance = perf;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        if (perfs[i] >= floor) {
+            sel.value = sorted[i];
+            sel.predictedPerformance = perfs[i];
             break;
         }
     }

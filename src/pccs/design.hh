@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "pccs/predictor.hh"
+#include "runner/sweep_engine.hh"
 #include "soc/simulator.hh"
 
 namespace pccs::model {
@@ -40,7 +41,15 @@ struct DesignSelection
 class DesignExplorer
 {
   public:
-    explicit DesignExplorer(const soc::SocConfig &config);
+    /**
+     * @param config the SoC whose design space is explored
+     * @param engine evaluation engine for ground-truth simulator
+     *        points (grid sweeps are evaluated in parallel and
+     *        memoized across select* calls); the process-wide engine
+     *        when null
+     */
+    explicit DesignExplorer(const soc::SocConfig &config,
+                            runner::SweepEngine *engine = nullptr);
 
     /**
      * Predicted co-run performance (bytes/s) of `kernel` on PU
@@ -103,6 +112,7 @@ class DesignExplorer
         const std::function<double(double)> &perf_at) const;
 
     soc::SocConfig config_;
+    runner::SweepEngine *engine_;
 };
 
 } // namespace pccs::model

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "runner/sweep_engine.hh"
 
 namespace pccs::model {
 
@@ -37,7 +38,10 @@ explorePowerBudget(const PowerBudgetProblem &problem)
     }
 
     // Precompute, per PU and grid point: power, standalone demand,
-    // and standalone rate; plus the full-clock reference rate.
+    // and standalone rate; plus the full-clock reference rate. The
+    // per-point profiles are independent simulator evaluations, so
+    // they go through the sweep engine: in parallel, memoized across
+    // repeated explorations of overlapping grids.
     struct Point
     {
         MHz frequency;
@@ -45,28 +49,36 @@ explorePowerBudget(const PowerBudgetProblem &problem)
         GBps demand;
         double rate;
     };
+    runner::SweepEngine &eng = runner::SweepEngine::global();
     std::vector<std::vector<Point>> points(n);
     std::vector<double> reference_rate(n);
+    std::vector<std::pair<std::size_t, std::size_t>> flat;
     for (std::size_t i = 0; i < n; ++i) {
-        soc::SocConfig cfg = problem.soc;
-        {
-            cfg.pus[i].frequency = cfg.pus[i].maxFrequency;
-            const soc::SocSimulator sim(cfg);
-            reference_rate[i] =
-                sim.profile(i, problem.kernels[i]).rate;
-        }
-        for (MHz f : problem.grids[i]) {
-            cfg.pus[i].frequency = f;
-            const soc::SocSimulator sim(cfg);
-            const soc::StandaloneProfile prof =
-                sim.profile(i, problem.kernels[i]);
-            points[i].push_back(
-                {f,
-                 puPower(problem.power[i], f,
-                         problem.soc.pus[i].maxFrequency),
-                 prof.bandwidthDemand, prof.rate});
-        }
+        points[i].resize(problem.grids[i].size());
+        // Grid index g addresses grids[i][g]; n + g below marks the
+        // extra full-clock reference evaluation of PU i.
+        for (std::size_t g = 0; g <= problem.grids[i].size(); ++g)
+            flat.emplace_back(i, g);
     }
+    eng.parallelFor(flat.size(), [&](std::size_t idx) {
+        const auto [i, g] = flat[idx];
+        const bool reference = g == problem.grids[i].size();
+        const MHz f = reference ? problem.soc.pus[i].maxFrequency
+                                : problem.grids[i][g];
+        soc::SocConfig cfg = problem.soc;
+        cfg.pus[i].frequency = f;
+        const soc::SocSimulator sim(cfg);
+        const soc::StandaloneProfile prof =
+            eng.profile(sim, i, problem.kernels[i]);
+        if (reference) {
+            reference_rate[i] = prof.rate;
+        } else {
+            points[i][g] = {f,
+                            puPower(problem.power[i], f,
+                                    problem.soc.pus[i].maxFrequency),
+                            prof.bandwidthDemand, prof.rate};
+        }
+    });
 
     PowerBudgetResult best;
     best.worstRelativePerformance = -1.0;

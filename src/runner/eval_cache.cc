@@ -1,0 +1,178 @@
+#include "eval_cache.hh"
+
+#include <bit>
+
+namespace pccs::runner {
+
+namespace {
+
+constexpr std::uint64_t fnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t fnvPrime = 1099511628211ull;
+
+void
+mix(std::uint64_t &h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffu;
+        h *= fnvPrime;
+    }
+}
+
+void
+mix(std::uint64_t &h, double v)
+{
+    mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+void
+mix(std::uint64_t &h, const std::string &s)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= fnvPrime;
+    }
+    mix(h, static_cast<std::uint64_t>(s.size()));
+}
+
+std::uint64_t
+doubleBits(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+} // namespace
+
+std::size_t
+PointKeyHash::operator()(const PointKey &k) const
+{
+    std::uint64_t h = fnvOffset;
+    mix(h, k.socFingerprint);
+    mix(h, static_cast<std::uint64_t>(k.puIndex));
+    mix(h, k.intensityBits);
+    mix(h, k.localityBits);
+    mix(h, k.workBytesBits);
+    mix(h, k.externalBits);
+    return static_cast<std::size_t>(h);
+}
+
+std::uint64_t
+socFingerprint(const soc::SocConfig &config)
+{
+    std::uint64_t h = fnvOffset;
+    mix(h, config.name);
+    mix(h, config.memory.peakBandwidth);
+    mix(h, config.memory.baseEfficiency);
+    mix(h, config.memory.minEfficiency);
+    mix(h, config.memory.mixPenalty);
+    mix(h, config.memory.localityPenalty);
+    mix(h, config.memory.latencyLoad);
+    mix(h, static_cast<std::uint64_t>(config.memory.policy));
+    mix(h, static_cast<std::uint64_t>(config.pus.size()));
+    for (const auto &pu : config.pus) {
+        mix(h, pu.name);
+        mix(h, static_cast<std::uint64_t>(pu.kind));
+        mix(h, pu.frequency);
+        mix(h, pu.maxFrequency);
+        mix(h, pu.flopsPerCycle);
+        mix(h, pu.interfaceBandwidth);
+        mix(h, pu.issueBandwidth);
+        mix(h, pu.overlap);
+        mix(h, pu.latencySensitivity);
+        mix(h, pu.fairShareWeight);
+    }
+    return h;
+}
+
+PointKey
+speedKey(std::uint64_t soc_fingerprint, std::size_t pu_index,
+         const soc::KernelProfile &kernel, GBps external)
+{
+    PointKey k;
+    k.socFingerprint = soc_fingerprint;
+    k.puIndex = pu_index;
+    k.intensityBits = doubleBits(kernel.intensity);
+    k.localityBits = doubleBits(kernel.locality);
+    k.workBytesBits = doubleBits(kernel.workBytes);
+    k.externalBits = doubleBits(external);
+    return k;
+}
+
+PointKey
+speedKey(const soc::SocConfig &config, std::size_t pu_index,
+         const soc::KernelProfile &kernel, GBps external)
+{
+    return speedKey(socFingerprint(config), pu_index, kernel, external);
+}
+
+PointKey
+profileKey(const soc::SocConfig &config, std::size_t pu_index,
+           const soc::KernelProfile &kernel)
+{
+    return speedKey(socFingerprint(config), pu_index, kernel, 0.0);
+}
+
+std::optional<double>
+EvalCache::lookupSpeed(const PointKey &key)
+{
+    std::lock_guard lock(mutex_);
+    auto it = speeds_.find(key);
+    if (it == speeds_.end()) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    ++stats_.hits;
+    return it->second;
+}
+
+void
+EvalCache::storeSpeed(const PointKey &key, double value)
+{
+    std::lock_guard lock(mutex_);
+    speeds_[key] = value;
+}
+
+std::optional<soc::StandaloneProfile>
+EvalCache::lookupProfile(const PointKey &key)
+{
+    std::lock_guard lock(mutex_);
+    auto it = profiles_.find(key);
+    if (it == profiles_.end()) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    ++stats_.hits;
+    return it->second;
+}
+
+void
+EvalCache::storeProfile(const PointKey &key,
+                        const soc::StandaloneProfile &profile)
+{
+    std::lock_guard lock(mutex_);
+    profiles_[key] = profile;
+}
+
+CacheStats
+EvalCache::stats() const
+{
+    std::lock_guard lock(mutex_);
+    return stats_;
+}
+
+std::size_t
+EvalCache::size() const
+{
+    std::lock_guard lock(mutex_);
+    return speeds_.size() + profiles_.size();
+}
+
+void
+EvalCache::clear()
+{
+    std::lock_guard lock(mutex_);
+    speeds_.clear();
+    profiles_.clear();
+    stats_ = {};
+}
+
+} // namespace pccs::runner

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Memoization of simulator evaluations for the sweep engine.
+ *
+ * Every sweep-shaped consumer of the SoC simulator (calibration, the
+ * predicted-vs-actual benches, the design and power explorers) asks
+ * for the same two pure quantities over and over: the standalone
+ * profile of a kernel on a PU, and the achieved relative speed of a
+ * kernel under a given external bandwidth demand. Both depend only on
+ * (SoC configuration, PU index, kernel profile, external demand), so
+ * they memoize perfectly. The cache keys on bit-exact double
+ * representations: a hit returns the very double the simulator would
+ * have produced, keeping cached sweeps bit-identical to uncached ones.
+ */
+
+#ifndef PCCS_RUNNER_EVAL_CACHE_HH
+#define PCCS_RUNNER_EVAL_CACHE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "soc/exec_model.hh"
+#include "soc/soc_config.hh"
+
+namespace pccs::runner {
+
+/**
+ * Identity of one simulator evaluation. Doubles are keyed by their
+ * bit patterns so that only exactly-equal inputs share an entry.
+ * Kernel names are deliberately excluded: the simulator's results do
+ * not depend on them, so renamed copies of a kernel still hit.
+ */
+struct PointKey
+{
+    /** Fingerprint of the full SoC configuration. */
+    std::uint64_t socFingerprint = 0;
+    std::size_t puIndex = 0;
+    std::uint64_t intensityBits = 0;
+    std::uint64_t localityBits = 0;
+    std::uint64_t workBytesBits = 0;
+    /** External demand bits; 0 for standalone-profile entries. */
+    std::uint64_t externalBits = 0;
+
+    bool operator==(const PointKey &other) const = default;
+};
+
+/** FNV-1a style hash over the key's fields. */
+struct PointKeyHash
+{
+    std::size_t operator()(const PointKey &k) const;
+};
+
+/**
+ * Order-independent fingerprint of an SoC configuration: hashes the
+ * memory parameters and every PU's numeric fields (and names, for
+ * conservatism). Two configs with equal fingerprints are treated as
+ * interchangeable by the cache.
+ */
+std::uint64_t socFingerprint(const soc::SocConfig &config);
+
+/** Cache key for a relative-speed evaluation. */
+PointKey speedKey(const soc::SocConfig &config, std::size_t pu_index,
+                  const soc::KernelProfile &kernel, GBps external);
+
+/** Same, but with a precomputed config fingerprint. */
+PointKey speedKey(std::uint64_t soc_fingerprint, std::size_t pu_index,
+                  const soc::KernelProfile &kernel, GBps external);
+
+/** Cache key for a standalone-profile evaluation. */
+PointKey profileKey(const soc::SocConfig &config, std::size_t pu_index,
+                    const soc::KernelProfile &kernel);
+
+/** Hit/miss accounting of an EvalCache. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    std::uint64_t lookups() const { return hits + misses; }
+
+    /** @return hits / lookups in [0, 1]; 0 when never consulted. */
+    double hitRate() const
+    {
+        return lookups() > 0
+                   ? static_cast<double>(hits) /
+                         static_cast<double>(lookups())
+                   : 0.0;
+    }
+};
+
+/**
+ * Thread-safe memo table for relative-speed and standalone-profile
+ * evaluations. Lookups and stores may race benignly: both racers
+ * compute the same pure function, so the value stored last is the
+ * value stored first.
+ */
+class EvalCache
+{
+  public:
+    /** @return the cached relative speed, counting a hit or miss. */
+    std::optional<double> lookupSpeed(const PointKey &key);
+
+    void storeSpeed(const PointKey &key, double value);
+
+    /** @return the cached profile, counting a hit or miss. */
+    std::optional<soc::StandaloneProfile>
+    lookupProfile(const PointKey &key);
+
+    void storeProfile(const PointKey &key,
+                      const soc::StandaloneProfile &profile);
+
+    /** Combined hit/miss counters across both tables. */
+    CacheStats stats() const;
+
+    /** @return number of memoized entries across both tables. */
+    std::size_t size() const;
+
+    /** Drop all entries and reset the counters. */
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<PointKey, double, PointKeyHash> speeds_;
+    std::unordered_map<PointKey, soc::StandaloneProfile, PointKeyHash>
+        profiles_;
+    CacheStats stats_;
+};
+
+} // namespace pccs::runner
+
+#endif // PCCS_RUNNER_EVAL_CACHE_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests of the bench support library: the external-pressure ladder
+ * and the per-kernel sweep error metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench/common.hh"
+#include "calib/calibrator.hh"
+#include "gables/gables.hh"
+#include "pccs/builder.hh"
+
+using namespace pccs;
+
+TEST(ExternalLadder, HasRequestedShapeAndEndpoints)
+{
+    const auto ladder = bench::externalLadder(100.0, 10);
+    ASSERT_EQ(ladder.size(), 10u);
+    EXPECT_DOUBLE_EQ(ladder.front(), 10.0);
+    EXPECT_DOUBLE_EQ(ladder.back(), 100.0);
+    for (std::size_t j = 1; j < ladder.size(); ++j)
+        EXPECT_LT(ladder[j - 1], ladder[j]);
+}
+
+TEST(ExternalLadder, ScalesWithMaxExternal)
+{
+    const auto ladder = bench::externalLadder(73.0, 5);
+    ASSERT_EQ(ladder.size(), 5u);
+    EXPECT_DOUBLE_EQ(ladder.front(), 73.0 / 5.0);
+    EXPECT_DOUBLE_EQ(ladder.back(), 73.0);
+}
+
+TEST(SweepResult, ErrorsAgainstKnownVectors)
+{
+    bench::SweepResult r;
+    r.actual = {100.0, 80.0, 50.0};
+    r.pccs = {100.0, 80.0, 50.0};   // perfect prediction
+    r.gables = {110.0, 100.0, 60.0}; // off by 10/20/10 RS points
+    EXPECT_DOUBLE_EQ(r.pccsError(), 0.0);
+    // Mean absolute per-point error in RS percentage points.
+    EXPECT_NEAR(r.gablesError(), (10.0 + 20.0 + 10.0) / 3.0, 1e-9);
+}
+
+TEST(SweepResult, ErrorIsSymmetricInSign)
+{
+    bench::SweepResult r;
+    r.actual = {90.0, 90.0};
+    r.pccs = {80.0, 100.0}; // -10 and +10
+    EXPECT_NEAR(r.pccsError(), 10.0, 1e-9);
+}
+
+TEST(SweepKernel, PopulatesAllSeriesOverTheLadder)
+{
+    const soc::SocSimulator sim(soc::xavierLike());
+    const std::size_t gpu = static_cast<std::size_t>(
+        sim.config().puIndex(soc::PuKind::Gpu));
+    const model::PccsModel pccs = model::buildModel(sim, gpu);
+    const gables::GablesModel gables(
+        sim.config().memory.peakBandwidth);
+    const soc::KernelProfile k = calib::makeCalibrator(
+        sim.model(), sim.config().pus[gpu], 70.0);
+    const auto ladder = bench::externalLadder(100.0, 5);
+
+    runner::SweepEngine engine(2);
+    const bench::SweepResult r = bench::sweepKernel(
+        sim, gpu, k, pccs, gables, ladder, &engine);
+    EXPECT_EQ(r.name, k.name);
+    EXPECT_GT(r.demand, 0.0);
+    ASSERT_EQ(r.actual.size(), ladder.size());
+    ASSERT_EQ(r.pccs.size(), ladder.size());
+    ASSERT_EQ(r.gables.size(), ladder.size());
+    for (std::size_t j = 0; j < ladder.size(); ++j) {
+        EXPECT_EQ(r.actual[j], sim.relativeSpeedUnderPressure(
+                                   gpu, k, ladder[j]));
+    }
+}
+
+TEST(SweepArtifact, CarriesCurvesAndErrorTable)
+{
+    const soc::SocSimulator sim(soc::xavierLike());
+    const std::size_t gpu = static_cast<std::size_t>(
+        sim.config().puIndex(soc::PuKind::Gpu));
+    const model::PccsModel pccs = model::buildModel(sim, gpu);
+    const gables::GablesModel gables(
+        sim.config().memory.peakBandwidth);
+    const soc::KernelProfile k = calib::makeCalibrator(
+        sim.model(), sim.config().pus[gpu], 70.0);
+    const auto ladder = bench::externalLadder(100.0, 5);
+
+    runner::SweepEngine engine(1);
+    std::vector<bench::SweepResult> results{bench::sweepKernel(
+        sim, gpu, k, pccs, gables, ladder, &engine)};
+    const runner::RunResult artifact = bench::sweepArtifact(
+        "unit_sweep", "unit sweep", "test", sim, gpu, results,
+        ladder);
+    EXPECT_EQ(artifact.spec.experiment, "unit_sweep");
+    EXPECT_EQ(artifact.spec.externalBw, ladder);
+    ASSERT_EQ(artifact.kernels.size(), 1u);
+    ASSERT_EQ(artifact.kernels[0].series.size(), 3u);
+    EXPECT_EQ(artifact.kernels[0].series[0].name, "actual");
+    EXPECT_EQ(artifact.kernels[0].series[0].values,
+              results[0].actual);
+    ASSERT_EQ(artifact.tables.size(), 1u);
+    EXPECT_EQ(artifact.tables[0].title,
+              "mean absolute error vs actual");
+}

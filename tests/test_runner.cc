@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Tests of the runner layer: the sweep engine's parallel == serial
+ * guarantee, the eval cache's hit/miss accounting, the PCCS_JOBS
+ * fallback, and the RunResult artifact rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "calib/calibrator.hh"
+#include "runner/eval_cache.hh"
+#include "runner/run_spec.hh"
+#include "runner/sweep_engine.hh"
+#include "soc/simulator.hh"
+
+using namespace pccs;
+
+namespace {
+
+std::vector<runner::EvalPoint>
+gpuSweepPoints(const soc::SocSimulator &sim, std::size_t gpu)
+{
+    std::vector<runner::EvalPoint> points;
+    for (unsigned i = 0; i < 4; ++i) {
+        const soc::KernelProfile k = calib::makeCalibrator(
+            sim.model(), sim.config().pus[gpu], 25.0 + 25.0 * i);
+        for (unsigned j = 1; j <= 5; ++j)
+            points.push_back({gpu, k, 15.0 * j});
+    }
+    return points;
+}
+
+} // namespace
+
+TEST(SweepEngine, ParallelEqualsSerialOnCalibrationMatrix)
+{
+    const soc::SocSimulator sim(soc::xavierLike());
+    const std::size_t gpu = static_cast<std::size_t>(
+        sim.config().puIndex(soc::PuKind::Gpu));
+
+    runner::SweepEngine serial(1);
+    runner::SweepEngine parallel(4);
+    ASSERT_EQ(serial.jobs(), 1u);
+    ASSERT_EQ(parallel.jobs(), 4u);
+
+    const calib::CalibrationMatrix a =
+        calib::calibrate(sim, gpu, {}, &serial);
+    const calib::CalibrationMatrix b =
+        calib::calibrate(sim, gpu, {}, &parallel);
+
+    ASSERT_EQ(a.numKernels(), b.numKernels());
+    ASSERT_EQ(a.numExternal(), b.numExternal());
+    EXPECT_EQ(a.standaloneBw, b.standaloneBw);
+    EXPECT_EQ(a.externalBw, b.externalBw);
+    for (std::size_t i = 0; i < a.numKernels(); ++i) {
+        for (std::size_t j = 0; j < a.numExternal(); ++j) {
+            // Bit-identical, not approximately equal.
+            EXPECT_EQ(a.rela[i][j], b.rela[i][j])
+                << "rela[" << i << "][" << j << "]";
+        }
+    }
+}
+
+TEST(SweepEngine, BatchMatchesDirectSimulatorCalls)
+{
+    const soc::SocSimulator sim(soc::xavierLike());
+    const std::size_t gpu = static_cast<std::size_t>(
+        sim.config().puIndex(soc::PuKind::Gpu));
+    const auto points = gpuSweepPoints(sim, gpu);
+
+    runner::SweepEngine engine(4);
+    const std::vector<double> batch =
+        engine.evaluateBatch(sim, points);
+    ASSERT_EQ(batch.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(batch[i], sim.relativeSpeedUnderPressure(
+                                points[i].puIndex, points[i].kernel,
+                                points[i].externalBw));
+    }
+}
+
+TEST(SweepEngine, CacheCountsHitsAndMisses)
+{
+    const soc::SocSimulator sim(soc::xavierLike());
+    const std::size_t gpu = static_cast<std::size_t>(
+        sim.config().puIndex(soc::PuKind::Gpu));
+    const auto points = gpuSweepPoints(sim, gpu);
+
+    runner::SweepEngine engine(2);
+    const auto first = engine.evaluateBatch(sim, points);
+    const runner::CacheStats cold = engine.cache().stats();
+    EXPECT_EQ(cold.hits, 0u);
+    EXPECT_EQ(cold.misses, points.size());
+
+    // The second identical batch must be all hits, same values.
+    const auto second = engine.evaluateBatch(sim, points);
+    const runner::CacheStats warm = engine.cache().stats();
+    EXPECT_EQ(warm.hits, points.size());
+    EXPECT_EQ(warm.misses, points.size());
+    EXPECT_GT(warm.hitRate(), 0.49);
+    EXPECT_EQ(first, second);
+}
+
+TEST(SweepEngine, CalibrationSharesPointsWithFig8StyleSweep)
+{
+    const soc::SocSimulator sim(soc::xavierLike());
+    const std::size_t gpu = static_cast<std::size_t>(
+        sim.config().puIndex(soc::PuKind::Gpu));
+
+    runner::SweepEngine engine(2);
+    const calib::SweepSpec spec;
+    const calib::CalibrationMatrix matrix =
+        calib::calibrate(sim, gpu, spec, &engine);
+    const runner::CacheStats after_calib = engine.cache().stats();
+    EXPECT_EQ(after_calib.hits, 0u);
+
+    // A Fig. 8-style sweep of an application kernel over the
+    // calibration ladder: the kernel happens to have a calibrator's
+    // demand, so every point is already in the cache.
+    const soc::KernelProfile k = calib::makeCalibrator(
+        sim.model(), sim.config().pus[gpu],
+        spec.maxDemandFraction *
+            sim.config().pus[gpu].drawBandwidth());
+    std::vector<runner::EvalPoint> points;
+    for (GBps y : matrix.externalBw)
+        points.push_back({gpu, k, y});
+    engine.evaluateBatch(sim, points);
+
+    const runner::CacheStats after_sweep = engine.cache().stats();
+    EXPECT_GT(after_sweep.hits, 0u) << "calibration and the sweep "
+                                       "share points but none hit";
+    EXPECT_GT(after_sweep.hitRate(), 0.0);
+}
+
+TEST(SweepEngine, ProfileIsMemoized)
+{
+    const soc::SocSimulator sim(soc::xavierLike());
+    const std::size_t gpu = static_cast<std::size_t>(
+        sim.config().puIndex(soc::PuKind::Gpu));
+    const soc::KernelProfile k = calib::makeCalibrator(
+        sim.model(), sim.config().pus[gpu], 70.0);
+
+    runner::SweepEngine engine(1);
+    const soc::StandaloneProfile p1 = engine.profile(sim, gpu, k);
+    const soc::StandaloneProfile p2 = engine.profile(sim, gpu, k);
+    EXPECT_EQ(engine.cache().stats().hits, 1u);
+    EXPECT_EQ(p1.bandwidthDemand, p2.bandwidthDemand);
+    EXPECT_EQ(p1.seconds, p2.seconds);
+    const soc::StandaloneProfile direct = sim.profile(gpu, k);
+    EXPECT_EQ(p1.bandwidthDemand, direct.bandwidthDemand);
+    EXPECT_EQ(p1.seconds, direct.seconds);
+}
+
+TEST(SweepEngine, DistinctConfigsDoNotCollide)
+{
+    soc::SocConfig base = soc::xavierLike();
+    soc::SocConfig scaled = base.withMemoryScaled(0.75);
+    const soc::SocSimulator sim_a(base);
+    const soc::SocSimulator sim_b(scaled);
+    const std::size_t gpu = static_cast<std::size_t>(
+        base.puIndex(soc::PuKind::Gpu));
+    const soc::KernelProfile k = calib::makeCalibrator(
+        sim_a.model(), base.pus[gpu], 70.0);
+
+    runner::SweepEngine engine(1);
+    const double a = engine.evaluate(sim_a, gpu, k, 50.0);
+    const double b = engine.evaluate(sim_b, gpu, k, 50.0);
+    EXPECT_EQ(engine.cache().stats().hits, 0u);
+    EXPECT_EQ(a, sim_a.relativeSpeedUnderPressure(gpu, k, 50.0));
+    EXPECT_EQ(b, sim_b.relativeSpeedUnderPressure(gpu, k, 50.0));
+}
+
+TEST(SweepEngine, CacheClearResetsEverything)
+{
+    const soc::SocSimulator sim(soc::xavierLike());
+    const std::size_t gpu = static_cast<std::size_t>(
+        sim.config().puIndex(soc::PuKind::Gpu));
+    const soc::KernelProfile k = calib::makeCalibrator(
+        sim.model(), sim.config().pus[gpu], 40.0);
+
+    runner::SweepEngine engine(1);
+    engine.evaluate(sim, gpu, k, 30.0);
+    EXPECT_GT(engine.cache().size(), 0u);
+    engine.cache().clear();
+    EXPECT_EQ(engine.cache().size(), 0u);
+    EXPECT_EQ(engine.cache().stats().lookups(), 0u);
+}
+
+TEST(SweepEngine, PccsJobsEnvForcesSerialFallback)
+{
+    setenv("PCCS_JOBS", "1", 1);
+    runner::SweepEngine engine; // jobs = 0 -> consult PCCS_JOBS
+    unsetenv("PCCS_JOBS");
+    EXPECT_EQ(engine.jobs(), 1u);
+
+    const soc::SocSimulator sim(soc::xavierLike());
+    const std::size_t gpu = static_cast<std::size_t>(
+        sim.config().puIndex(soc::PuKind::Gpu));
+    const auto points = gpuSweepPoints(sim, gpu);
+    const auto results = engine.evaluateBatch(sim, points);
+    runner::SweepEngine parallel(4);
+    EXPECT_EQ(results, parallel.evaluateBatch(sim, points));
+}
+
+TEST(SweepEngine, PccsJobsEnvSizesThePool)
+{
+    setenv("PCCS_JOBS", "3", 1);
+    runner::SweepEngine engine;
+    unsetenv("PCCS_JOBS");
+    EXPECT_EQ(engine.jobs(), 3u);
+}
+
+TEST(SweepEngine, ParallelForCoversEveryIndexOnce)
+{
+    runner::SweepEngine engine(4);
+    std::vector<int> counts(257, 0);
+    engine.parallelFor(counts.size(), [&](std::size_t i) {
+        ++counts[i]; // each index owned by exactly one worker
+    });
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        EXPECT_EQ(counts[i], 1) << "index " << i;
+}
+
+TEST(PointKey, SpeedAndProfileKeysDiffer)
+{
+    const soc::SocConfig cfg = soc::xavierLike();
+    const soc::SocSimulator sim(cfg);
+    const std::size_t gpu = static_cast<std::size_t>(
+        cfg.puIndex(soc::PuKind::Gpu));
+    const soc::KernelProfile k = calib::makeCalibrator(
+        sim.model(), cfg.pus[gpu], 70.0);
+
+    // external = 0 speed evaluations and standalone profiles live in
+    // separate tables, so equal key fields must not alias results.
+    runner::SweepEngine engine(1);
+    engine.evaluate(sim, gpu, k, 0.0);
+    engine.profile(sim, gpu, k);
+    EXPECT_EQ(engine.cache().stats().hits, 0u);
+    EXPECT_EQ(engine.cache().stats().misses, 2u);
+}
+
+TEST(RunResult, JsonContainsSpecSeriesAndTables)
+{
+    runner::RunResult r;
+    r.spec.experiment = "unit_test";
+    r.spec.title = "a \"quoted\" title";
+    r.spec.paperRef = "Figure 0";
+    r.spec.socName = "xavier-like";
+    r.spec.puName = "GPU";
+    r.spec.externalBw = {10.0, 20.0};
+    r.kernels.push_back(
+        {"bfs", 55.25, {{"actual", {99.0, 88.5}}}});
+    r.tables.push_back({"summary", {"a", "b"}, {{"1", "2"}}});
+    r.cache = {3, 9};
+
+    const std::string json = r.toJson();
+    EXPECT_NE(json.find("\"experiment\": \"unit_test\""),
+              std::string::npos);
+    EXPECT_NE(json.find("a \\\"quoted\\\" title"), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"bfs\""), std::string::npos);
+    EXPECT_NE(json.find("\"actual\""), std::string::npos);
+    EXPECT_NE(json.find("\"summary\""), std::string::npos);
+    EXPECT_NE(json.find("\"hits\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"misses\": 9"), std::string::npos);
+
+    const std::string csv = r.toCsv();
+    EXPECT_NE(csv.find("kernel,demand_gbps,series,"
+                       "external_bw_gbps,value"),
+              std::string::npos);
+    EXPECT_NE(csv.find("bfs"), std::string::npos);
+    EXPECT_NE(csv.find("# summary"), std::string::npos);
+}
+
+TEST(RunResult, JsonNumberIsRoundTrippableAndFiniteSafe)
+{
+    EXPECT_EQ(runner::jsonNumber(0.5), "0.5");
+    const double v = 1.0 / 3.0;
+    EXPECT_EQ(std::stod(runner::jsonNumber(v)), v);
+    EXPECT_EQ(runner::jsonNumber(
+                  std::numeric_limits<double>::quiet_NaN()),
+              "null");
+}

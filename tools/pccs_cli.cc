@@ -15,9 +15,16 @@
  *       Pick the lowest PU clock meeting a co-run slowdown budget.
  *   region --model FILE --demand X
  *       Classify a demand into its contention region.
+ *   sweep --soc S --pu P --bench NAME [--max-external Y] [--steps N]
+ *       Sweep a kernel under external pressure through the parallel
+ *       sweep engine and write JSON/CSV artifacts.
+ *
+ * The global option --jobs N caps the sweep engine's worker threads
+ * (equivalent to setting PCCS_JOBS=N).
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -26,11 +33,15 @@
 #include <fstream>
 
 #include "common/logging.hh"
+#include "common/table.hh"
+#include "gables/gables.hh"
 #include "pccs/builder.hh"
 #include "pccs/design.hh"
 #include "pccs/phase_detect.hh"
 #include "pccs/scaling.hh"
 #include "pccs/serialize.hh"
+#include "runner/run_spec.hh"
+#include "runner/sweep_engine.hh"
 #include "workloads/rodinia.hh"
 
 using namespace pccs;
@@ -232,6 +243,95 @@ cmdPhases(const ArgMap &args)
 }
 
 int
+cmdSweep(const ArgMap &args)
+{
+    const soc::SocConfig soc = socByName(require(args, "soc"));
+    const soc::PuKind kind = puByName(require(args, "pu"));
+    const int pu = soc.puIndex(kind);
+    if (pu < 0)
+        fatal("that SoC has no such PU");
+    const std::size_t pi = static_cast<std::size_t>(pu);
+    const soc::KernelProfile kernel =
+        workloads::rodiniaKernel(require(args, "bench"), kind);
+
+    const double max_external =
+        args.count("max-external")
+            ? requireDouble(args, "max-external")
+            : 0.73 * soc.memory.peakBandwidth;
+    const unsigned steps =
+        args.count("steps")
+            ? static_cast<unsigned>(requireDouble(args, "steps"))
+            : 10;
+    if (steps == 0)
+        fatal("--steps must be at least 1");
+
+    std::vector<GBps> ladder;
+    for (unsigned j = 1; j <= steps; ++j)
+        ladder.push_back(max_external * j / steps);
+
+    const soc::SocSimulator sim(soc);
+    const model::PccsModel pccs = model::buildModel(sim, pi);
+    const gables::GablesModel gables(soc.memory.peakBandwidth);
+
+    runner::SweepEngine &engine = runner::SweepEngine::global();
+    const GBps demand = engine.profile(sim, pi, kernel).bandwidthDemand;
+    std::vector<runner::EvalPoint> points;
+    points.reserve(ladder.size());
+    for (GBps y : ladder)
+        points.push_back({pi, kernel, y});
+    const std::vector<double> actual =
+        engine.evaluateBatch(sim, points);
+
+    runner::RunResult artifact;
+    artifact.spec.experiment = "sweep_" + kernel.name;
+    artifact.spec.title = kernel.name + " on the " + soc.name + " " +
+                          soc.pus[pi].name + " under external pressure";
+    artifact.spec.paperRef = "pccs sweep";
+    artifact.spec.socName = soc.name;
+    artifact.spec.puName = soc.pus[pi].name;
+    artifact.spec.externalBw = ladder;
+
+    runner::KernelRun kr;
+    kr.name = kernel.name;
+    kr.demand = demand;
+    kr.series.push_back({"actual", actual});
+    std::vector<double> prd, gab;
+    for (GBps y : ladder) {
+        prd.push_back(pccs.relativeSpeed(demand, y));
+        gab.push_back(gables.relativeSpeed(demand, y));
+    }
+    kr.series.push_back({"pccs", prd});
+    kr.series.push_back({"gables", gab});
+    artifact.kernels.push_back(std::move(kr));
+    artifact.cache = engine.cache().stats();
+
+    std::vector<std::string> headers{"series"};
+    for (GBps y : ladder)
+        headers.push_back("y=" + fmtDouble(y, 0));
+    Table t(std::move(headers));
+    t.addRow("actual RS (%)", actual, 1);
+    t.addRow("PCCS RS (%)", prd, 1);
+    t.addRow("Gables RS (%)", gab, 1);
+    std::printf("%s (standalone demand %.1f GB/s)\n%s\n",
+                kernel.name.c_str(), demand, t.str().c_str());
+
+    const char *env = std::getenv("PCCS_ARTIFACT_DIR");
+    const std::string dir =
+        args.count("out") ? args.at("out")
+                          : (env && *env ? env : ".");
+    const std::string path = artifact.writeArtifacts(dir);
+    std::printf("artifact: %s (+ .csv)\n", path.c_str());
+    std::printf("engine: %u job(s), cache %llu hit(s) / %llu "
+                "miss(es)\n",
+                engine.jobs(),
+                static_cast<unsigned long long>(
+                    artifact.cache.hits),
+                static_cast<unsigned long long>(
+                    artifact.cache.misses));
+    return 0;
+}
+
+int
 cmdRegion(const ArgMap &args)
 {
     const model::PccsParams p = paramsFromArgs(args);
@@ -257,9 +357,16 @@ usage()
         "  pccs region    (--model FILE | --soc S --pu P) --demand X\n"
         "  pccs phases    --trace FILE (--model FILE | --soc S --pu P) "
         "--external Y\n"
+        "  pccs sweep     --soc S --pu P --bench NAME "
+        "[--max-external Y]\n"
+        "                 [--steps N] [--out DIR]\n"
         "\n"
         "  S: xavier | snapdragon      P: cpu | gpu | dla\n"
-        "  NAME: a Rodinia benchmark (e.g. streamcluster)\n");
+        "  NAME: a Rodinia benchmark (e.g. streamcluster)\n"
+        "\n"
+        "global options:\n"
+        "  --jobs N    cap the sweep engine's worker threads "
+        "(PCCS_JOBS)\n");
 }
 
 } // namespace
@@ -273,6 +380,10 @@ main(int argc, char **argv)
     }
     const std::string cmd = argv[1];
     const ArgMap args = parseArgs(argc, argv, 2);
+    if (args.count("jobs")) {
+        // Must land before the first SweepEngine::global() call.
+        setenv("PCCS_JOBS", args.at("jobs").c_str(), 1);
+    }
     if (cmd == "calibrate")
         return cmdCalibrate(args);
     if (cmd == "predict")
@@ -285,6 +396,8 @@ main(int argc, char **argv)
         return cmdRegion(args);
     if (cmd == "phases")
         return cmdPhases(args);
+    if (cmd == "sweep")
+        return cmdSweep(args);
     usage();
     fatal("unknown command '%s'", cmd.c_str());
 }
