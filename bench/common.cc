@@ -3,10 +3,28 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/statistics.hh"
+#include "dram/run_mode.hh"
 
 namespace pccs::bench {
+
+void
+applyDramRunFlags(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--dram-reference") == 0) {
+            dram::setDefaultDramRunMode(dram::DramRunMode::Reference);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--dram-reference]\n"
+                         "unknown argument '%s'\n",
+                         argv[0], argv[i]);
+            std::exit(2);
+        }
+    }
+}
 
 void
 banner(const std::string &title, const std::string &paper_ref)

@@ -30,6 +30,14 @@ namespace pccs::bench {
 /** Print a banner naming the experiment being regenerated. */
 void banner(const std::string &title, const std::string &paper_ref);
 
+/**
+ * Handle the DRAM run-loop flags shared by the DRAM-driven benches:
+ * `--dram-reference` selects the cycle-by-cycle reference core for
+ * every DramSystem the bench constructs (the default is the bit-exact
+ * event-driven core). Unknown arguments are fatal.
+ */
+void applyDramRunFlags(int argc, char **argv);
+
 /** The external-pressure ladder the paper sweeps (10%..100% of max). */
 std::vector<GBps> externalLadder(GBps max_external, unsigned steps = 10);
 

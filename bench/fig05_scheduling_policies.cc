@@ -73,8 +73,9 @@ measure(SchedulerKind policy, GBps high_total, GBps low_total)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyDramRunFlags(argc, argv);
     bench::banner("High-BW group relative speed under the five MC "
                   "scheduling policies (cycle-level DRAM simulator)",
                   "Figure 5 (a)-(e), Tables 1 & 2");

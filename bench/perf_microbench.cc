@@ -2,11 +2,20 @@
  * @file
  * google-benchmark microbenchmarks of the library's hot paths: model
  * evaluation, model construction, bandwidth allocation, the DRAM
- * simulator's cycle loop, and the SoC co-run solver. These quantify
- * the cost of using PCCS inside a design-space-exploration loop.
+ * simulator's cycle loop (reference and event-driven), and the SoC
+ * co-run solver. These quantify the cost of using PCCS inside a
+ * design-space-exploration loop.
+ *
+ * Beyond the standard google-benchmark flags, `--json <path>` writes a
+ * machine-readable snapshot ({benchmark, ns/op, items/s}) of every run
+ * — CI stores it as the BENCH_dram.json artifact.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "calib/calibrator.hh"
 #include "dram/system.hh"
@@ -136,6 +145,89 @@ BM_DramCyclesUnderLoad(benchmark::State &state)
 BENCHMARK(BM_DramCyclesUnderLoad)->Arg(1000)->Unit(
     benchmark::kMicrosecond);
 
+/**
+ * Simulated-cycles-per-second of the two DRAM run loops, reported via
+ * items/s (one item = one simulated bus cycle). Idle-heavy case: one
+ * low-demand core, so the event core skips long quiet stretches.
+ */
+void
+dramCyclesIdleSingle(benchmark::State &state, dram::DramRunMode mode)
+{
+    dram::DramSystem sys(dram::table1Config(),
+                         dram::SchedulerKind::FrFcfs,
+                         dram::SchedulerParams{}, mode);
+    dram::TrafficParams p;
+    p.source = 0;
+    p.demand = 0.8; // ~1 line every ~240 cycles
+    p.mlp = 8;
+    p.seed = 7;
+    sys.addGenerator(p);
+    sys.run(10000);
+    for (auto _ : state)
+        sys.run(static_cast<Cycles>(state.range(0)));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_DramCyclesIdleSingleReference(benchmark::State &state)
+{
+    dramCyclesIdleSingle(state, dram::DramRunMode::Reference);
+}
+BENCHMARK(BM_DramCyclesIdleSingleReference)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_DramCyclesIdleSingleEventDriven(benchmark::State &state)
+{
+    dramCyclesIdleSingle(state, dram::DramRunMode::EventDriven);
+}
+BENCHMARK(BM_DramCyclesIdleSingleEventDriven)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Saturated case: four cores demanding 120 GB/s against a 102.4 GB/s
+ * system; nearly every cycle is active, so the event core's win comes
+ * from the incremental controller bookkeeping, not from skipping.
+ */
+void
+dramCyclesSaturated4(benchmark::State &state, dram::DramRunMode mode)
+{
+    dram::DramSystem sys(dram::table1Config(),
+                         dram::SchedulerKind::FrFcfs,
+                         dram::SchedulerParams{}, mode);
+    for (unsigned c = 0; c < 4; ++c) {
+        dram::TrafficParams p;
+        p.source = c;
+        p.demand = 30.0;
+        p.seed = 20 + c;
+        sys.addGenerator(p);
+    }
+    sys.run(10000); // fill the queues
+    for (auto _ : state)
+        sys.run(static_cast<Cycles>(state.range(0)));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_DramCyclesSaturated4Reference(benchmark::State &state)
+{
+    dramCyclesSaturated4(state, dram::DramRunMode::Reference);
+}
+BENCHMARK(BM_DramCyclesSaturated4Reference)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_DramCyclesSaturated4EventDriven(benchmark::State &state)
+{
+    dramCyclesSaturated4(state, dram::DramRunMode::EventDriven);
+}
+BENCHMARK(BM_DramCyclesSaturated4EventDriven)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_SchedulerPick(benchmark::State &state)
 {
@@ -216,6 +308,96 @@ BM_EngineCacheHit(benchmark::State &state)
 }
 BENCHMARK(BM_EngineCacheHit);
 
+/**
+ * Console output as usual, plus an in-memory snapshot of every
+ * per-iteration run for the `--json` artifact. (A display-reporter
+ * subclass, because benchmark's separate file reporter only engages
+ * with --benchmark_out.)
+ */
+class JsonSnapshotReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &r : runs) {
+            if (r.run_type != Run::RT_Iteration || r.error_occurred)
+                continue;
+            Row row;
+            row.name = r.benchmark_name();
+            row.nsPerOp = r.iterations
+                              ? r.real_accumulated_time /
+                                    static_cast<double>(r.iterations) *
+                                    1e9
+                              : 0.0;
+            const auto it = r.counters.find("items_per_second");
+            row.itemsPerSecond =
+                it != r.counters.end() ? it->second.value : 0.0;
+            rows_.push_back(std::move(row));
+        }
+        benchmark::ConsoleReporter::ReportRuns(runs);
+    }
+
+    /** Write the snapshot; fatal-free (a bench must not fail late). */
+    void write(const std::string &path) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return;
+        }
+        std::fprintf(f, "{\n  \"benchmarks\": [\n");
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            const Row &row = rows_[i];
+            std::fprintf(f,
+                         "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "
+                         "\"items_per_second\": %.3f}%s\n",
+                         row.name.c_str(), row.nsPerOp,
+                         row.itemsPerSecond,
+                         i + 1 < rows_.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", path.c_str());
+    }
+
+  private:
+    struct Row
+    {
+        std::string name;
+        double nsPerOp = 0.0;
+        /** Simulated cycles (or sweep points) per wall-clock second. */
+        double itemsPerSecond = 0.0;
+    };
+    std::vector<Row> rows_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Peel off `--json <path>` / `--json=<path>` before benchmark's
+    // own flag parsing (it rejects unknown flags).
+    std::string json_path;
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+        return 1;
+    JsonSnapshotReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    if (!json_path.empty())
+        reporter.write(json_path);
+    benchmark::Shutdown();
+    return 0;
+}

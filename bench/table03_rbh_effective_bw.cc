@@ -16,8 +16,9 @@ using namespace pccs;
 using namespace pccs::dram;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyDramRunFlags(argc, argv);
     bench::banner("Row-buffer hits and effective bandwidth at "
                   "saturation, per scheduling policy",
                   "Table 3");

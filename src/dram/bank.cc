@@ -56,6 +56,15 @@ ChannelTiming::canActivateRank(Cycles now) const
     return true;
 }
 
+Cycles
+ChannelTiming::rankActivateReadyAt() const
+{
+    Cycles ready = nextActRank_;
+    if (actWindow_.size() >= 4)
+        ready = std::max(ready, actWindow_.front() + timing_.tFAW);
+    return ready;
+}
+
 void
 ChannelTiming::recordActivate(Cycles now)
 {
@@ -73,6 +82,18 @@ ChannelTiming::busAvailable(Cycles now, bool is_write) const
     if (!is_write && now < readAllowedAt_)
         return false;
     return true;
+}
+
+Cycles
+ChannelTiming::busReadyAt(bool is_write) const
+{
+    // busAvailable(c): busFreeAt_ <= c + tCL, and reads additionally
+    // c >= readAllowedAt_.
+    Cycles ready =
+        busFreeAt_ > timing_.tCL ? busFreeAt_ - timing_.tCL : 0;
+    if (!is_write)
+        ready = std::max(ready, readAllowedAt_);
+    return ready;
 }
 
 void

@@ -48,6 +48,17 @@ class Bank
                now >= nextCas_;
     }
 
+    /**
+     * Earliest-legality accessors for the event-driven core: with the
+     * bank state frozen (no commands issued in between), canActivate /
+     * canPrecharge / canAccess first become true exactly at these
+     * cycles. They say nothing about the open-row precondition — the
+     * caller pairs them with openRow().
+     */
+    Cycles nextActivateAt() const { return nextAct_; }
+    Cycles nextPrechargeAt() const { return nextPre_; }
+    Cycles nextAccessAt() const { return nextCas_; }
+
     /** Issue ACT(row) at cycle now; caller checked legality. */
     void activate(Cycles now, std::uint32_t row, const DramTimingParams &t);
 
@@ -81,6 +92,12 @@ class ChannelTiming
     /** @return true when the rank-level ACT constraints allow an ACT. */
     bool canActivateRank(Cycles now) const;
 
+    /**
+     * Earliest cycle at which canActivateRank() becomes true, assuming
+     * no further ACTs are recorded in between (monotone thereafter).
+     */
+    Cycles rankActivateReadyAt() const;
+
     /** Record an ACT at cycle now (updates tFAW window and tRRD). */
     void recordActivate(Cycles now);
 
@@ -91,6 +108,12 @@ class ChannelTiming
      * the last write burst.
      */
     bool busAvailable(Cycles now, bool is_write = false) const;
+
+    /**
+     * Earliest cycle at which busAvailable(cycle, is_write) becomes
+     * true, assuming no bus reservations in between.
+     */
+    Cycles busReadyAt(bool is_write = false) const;
 
     /** Reserve the data bus for a CAS issued at cycle now. */
     void reserveBus(Cycles now, bool is_write = false);

@@ -14,21 +14,35 @@ MemoryController::MemoryController(const DramConfig &cfg,
     PCCS_ASSERT(scheduler_ != nullptr, "controller needs a scheduler");
     PCCS_ASSERT(cfg_.banksPerChannel <= 32,
                 "row-hit preservation bitmask supports <= 32 banks");
+    purePick_ = scheduler_->pickIsPure();
     channels_.reserve(cfg_.channels);
-    for (unsigned c = 0; c < cfg_.channels; ++c)
+    queues_.reserve(cfg_.channels);
+    for (unsigned c = 0; c < cfg_.channels; ++c) {
         channels_.emplace_back(cfg_.banksPerChannel, cfg_.timing);
-    queues_.resize(cfg_.channels);
-    for (auto &q : queues_)
-        q.reserve(cfg_.queuePerChannel());
+        queues_.emplace_back(cfg_.queuePerChannel());
+    }
+    rowHitPending_.assign(
+        static_cast<std::size_t>(cfg_.channels) * cfg_.banksPerChannel, 0);
     nextRefresh_.assign(cfg_.channels, cfg_.timing.tREFI);
     refreshUntil_.assign(cfg_.channels, 0);
+    channelWake_.assign(cfg_.channels, 0);
+}
+
+void
+MemoryController::setLazyChannelScan(bool on)
+{
+    // The cache is only maintained while lazy scanning is on; entries
+    // from a previous lazy phase are stale after a non-lazy interlude.
+    if (on && !lazyChannels_)
+        std::fill(channelWake_.begin(), channelWake_.end(), Cycles{0});
+    lazyChannels_ = on;
 }
 
 bool
 MemoryController::canAccept(Addr addr) const
 {
     const unsigned ch = mapper_.decode(addr).channel;
-    return queues_[ch].size() < cfg_.queuePerChannel();
+    return !queues_[ch].full();
 }
 
 bool
@@ -47,27 +61,58 @@ MemoryController::enqueue(unsigned source, Addr addr, bool is_write,
     req.arrival = now;
 
     auto &queue = queues_[req.loc.channel];
-    if (queue.size() >= cfg_.queuePerChannel())
+    if (queue.full())
         return false;
-    queue.push_back(req);
-    scheduler_->onEnqueue(queue.back());
+    const int slot = queue.push_back(req);
+    const Bank &bank = channels_[req.loc.channel].bank(req.loc.bank);
+    if (bank.openRow() == static_cast<std::int64_t>(req.loc.row)) {
+        ++rowHitPending_[req.loc.channel * cfg_.banksPerChannel +
+                         req.loc.bank];
+    }
+    if (lazyChannels_) {
+        Cycles &wake = channelWake_[req.loc.channel];
+        if (purePick_ && queue.size() > 1) {
+            // The cached bound stays valid for the requests it was
+            // computed over (enqueues change no bank state); only the
+            // newcomer can move the channel's first legality earlier.
+            wake = std::min(wake, requestIssueBound(req, now));
+        } else {
+            // First request on an idle channel (a refresh may have
+            // come due while the queue was empty), or a rebatching
+            // policy (SMS): force a full evaluation next cycle.
+            wake = 0;
+        }
+    }
+    scheduler_->onEnqueue(queue.slot(slot));
     return true;
 }
 
-void
+bool
 MemoryController::tick(Cycles now)
 {
     scheduler_->tick(now);
-    drainCompletions(now);
+    bool active = drainCompletions(now);
     for (unsigned ch = 0; ch < cfg_.channels; ++ch) {
-        if (!queues_[ch].empty())
-            scheduleChannel(ch, now);
+        if (queues_[ch].empty())
+            continue;
+        if (lazyChannels_) {
+            // Quiet channel: its cached wake bound proves this
+            // evaluation would come up empty, so skip rebuilding the
+            // scheduler view (the dominant per-cycle cost at load).
+            if (now < channelWake_[ch])
+                continue;
+            active |= scheduleChannel(ch, now, &channelWake_[ch]);
+        } else {
+            active |= scheduleChannel(ch, now);
+        }
     }
+    return active;
 }
 
-void
+bool
 MemoryController::drainCompletions(Cycles now)
 {
+    bool drained = false;
     while (!inflight_.empty() && inflight_.top().completion <= now) {
         const Request req = inflight_.top().req;
         inflight_.pop();
@@ -76,17 +121,19 @@ MemoryController::drainCompletions(Cycles now)
         ++stats_.completedPerSource[req.source];
         if (onComplete_)
             onComplete_(req);
+        drained = true;
     }
+    return drained;
 }
 
-bool
+MemoryController::RefreshOutcome
 MemoryController::handleRefresh(unsigned ch, Cycles now)
 {
     ChannelTiming &timing = channels_[ch];
     if (now < refreshUntil_[ch])
-        return true; // refresh in progress: channel blocked
+        return RefreshOutcome::Busy; // refresh in progress: blocked
     if (now < nextRefresh_[ch])
-        return false;
+        return RefreshOutcome::NotDue;
 
     // Refresh due: close every open row, then hold the channel for
     // tRFC. Precharges obey their bank timing (one per command slot).
@@ -94,9 +141,12 @@ MemoryController::handleRefresh(unsigned ch, Cycles now)
         Bank &bank = timing.bank(b);
         if (bank.openRow() == Bank::noRow)
             continue;
-        if (bank.canPrecharge(now))
+        if (bank.canPrecharge(now)) {
             bank.precharge(now, cfg_.timing);
-        return true; // either issued a PRE or must wait for one
+            rowHitPending_[ch * cfg_.banksPerChannel + b] = 0;
+            return RefreshOutcome::Progressed;
+        }
+        return RefreshOutcome::Busy; // must wait for this PRE
     }
     refreshUntil_[ch] = now + cfg_.timing.tRFC;
     // No catch-up storms after idle stretches: refresh debt from
@@ -104,65 +154,133 @@ MemoryController::handleRefresh(unsigned ch, Cycles now)
     nextRefresh_[ch] =
         std::max(nextRefresh_[ch] + cfg_.timing.tREFI, now + 1);
     ++stats_.refreshes;
-    return true;
+    return RefreshOutcome::Progressed;
 }
 
 void
-MemoryController::scheduleChannel(unsigned ch, Cycles now)
+MemoryController::recountRowHits(unsigned ch, unsigned bank)
 {
-    if (handleRefresh(ch, now))
-        return;
+    const Bank &b = channels_[ch].bank(bank);
+    std::uint32_t count = 0;
+    if (b.openRow() != Bank::noRow) {
+        for (const Request &r : queues_[ch]) {
+            if (r.loc.bank == bank &&
+                b.openRow() == static_cast<std::int64_t>(r.loc.row)) {
+                ++count;
+            }
+        }
+    }
+    rowHitPending_[ch * cfg_.banksPerChannel + bank] = count;
+}
+
+bool
+MemoryController::scheduleChannel(unsigned ch, Cycles now, Cycles *wake)
+{
+    switch (handleRefresh(ch, now)) {
+    case RefreshOutcome::NotDue:
+        break;
+    case RefreshOutcome::Busy:
+        // Refresh head only (running refresh or a PRE-drain wait): no
+        // queue scan happens inside channelNextEvent on this path.
+        if (wake)
+            *wake = channelNextEvent(ch, now);
+        return false;
+    case RefreshOutcome::Progressed:
+        if (wake)
+            *wake = now + 1; // the PRE-drain / refresh chain continues
+        return true;
+    }
 
     ChannelTiming &timing = channels_[ch];
-    auto &queue = queues_[ch];
+    RequestQueue &queue = queues_[ch];
 
     // Row-hit preservation: a bank whose open row still has pending
     // requests must not be precharged for a conflicting request --
     // otherwise a PRE slips into the cycles between data bursts and
     // destroys every row chain (all policies would degenerate to
-    // conflict-per-access behavior).
-    std::uint32_t pending_hits = 0; // bitmask over banks
-    if (scheduler_->preservesRowHits()) {
-        for (const Request &r : queue) {
-            const Bank &bank = timing.bank(r.loc.bank);
-            if (bank.openRow() == static_cast<std::int64_t>(r.loc.row))
-                pending_hits |= 1u << r.loc.bank;
-        }
-    }
+    // conflict-per-access behavior). The mask used to be rebuilt here
+    // with a queue scan every cycle; it is now maintained
+    // incrementally on enqueue/CAS/PRE/ACT (rowHitPending_).
+    const std::uint32_t pending_hits =
+        scheduler_->preservesRowHits() ? pendingRowHitMask(ch) : 0;
 
-    // Build the scheduler's view: for each request, whether its *next
-    // needed command* (CAS for an open matching row, otherwise PRE or
-    // ACT) can issue this cycle.
+    // Build the scheduler's view: for each request, the cycle its
+    // *next needed command* (CAS for an open matching row, otherwise
+    // PRE or ACT) first becomes legal; issuable means that cycle has
+    // arrived. The legality cycles double as the wake-bound input for
+    // the lazy scan, so no second queue scan is ever needed. The bank
+    // accessors are exact (canX(now) == now >= nextXAt), so this is
+    // the same predicate the per-cycle reference loop evaluates.
     scratchEntries_.clear();
     scratchEntries_.reserve(queue.size());
-    for (const Request &r : queue) {
+    scratchSlots_.clear();
+    scratchSlots_.reserve(queue.size());
+    const Cycles rank_ready = timing.rankActivateReadyAt();
+    const Cycles bus_ready_rd = timing.busReadyAt(false);
+    const Cycles bus_ready_wr = timing.busReadyAt(true);
+    unsigned ready_hit = 0;    // issuable row-hit (CAS) entries
+    unsigned ready_other = 0;  // issuable PRE/ACT entries
+    Cycles future = kNoEvent;  // earliest not-yet-legal entry
+    std::uint32_t masked_banks = 0; // banks with a masked conflict PRE
+    for (int s = queue.head(); s >= 0; s = queue.next(s)) {
+        const Request &r = queue.slot(s);
         const Bank &bank = timing.bank(r.loc.bank);
         QueueEntryView e;
         e.req = &r;
         e.rowHit =
             bank.openRow() == static_cast<std::int64_t>(r.loc.row);
+        Cycles t;
         if (e.rowHit) {
-            e.issuable = bank.canAccess(now, r.loc.row) &&
-                         timing.busAvailable(now, r.isWrite);
+            t = std::max(bank.nextAccessAt(),
+                         r.isWrite ? bus_ready_wr : bus_ready_rd);
         } else if (bank.openRow() != Bank::noRow) {
-            e.issuable = bank.canPrecharge(now) &&
-                         !(pending_hits & (1u << r.loc.bank));
+            // A conflicting PRE stays masked until the open row's
+            // pending hits drain; draining is in-channel activity,
+            // which recomputes this channel's wake anyway.
+            if (pending_hits & (1u << r.loc.bank)) {
+                masked_banks |= 1u << r.loc.bank;
+                t = kNoEvent;
+            } else {
+                t = bank.nextPrechargeAt();
+            }
         } else {
-            e.issuable =
-                bank.canActivate(now) && timing.canActivateRank(now);
+            t = std::max(bank.nextActivateAt(), rank_ready);
         }
+        e.issuable = t <= now;
+        if (e.issuable)
+            ++(e.rowHit ? ready_hit : ready_other);
+        else
+            future = std::min(future, t);
         scratchEntries_.push_back(e);
+        scratchSlots_.push_back(s);
     }
 
     const int idx = scheduler_->pick(ch, scratchEntries_, now);
-    if (idx < 0)
-        return;
+    if (idx < 0) {
+        if (wake) {
+            // An issuable entry the policy declined (FCFS's in-order
+            // window) forces per-cycle stepping, as in the reference.
+            *wake = (ready_hit + ready_other)
+                        ? now + 1
+                        : std::max(std::min(future, nextRefresh_[ch]),
+                                   now + 1);
+        }
+        return false;
+    }
     PCCS_ASSERT(static_cast<std::size_t>(idx) < scratchEntries_.size() &&
                     scratchEntries_[idx].issuable,
                 "scheduler picked a non-issuable entry %d", idx);
 
-    Request &req = queue[idx];
+    const int slot = scratchSlots_[idx];
+    Request &req = queue.slot(slot);
     Bank &bank = timing.bank(req.loc.bank);
+
+    // Post-command legality of the *chosen* request's next command
+    // (kNoEvent for a CAS: the request leaves the queue). Every other
+    // entry's pre-command bound in `future` can only be pushed later
+    // by the command, so reusing it wakes at worst early (a no-op
+    // evaluation that recomputes a fresh bound), never late.
+    Cycles own = kNoEvent;
 
     if (scratchEntries_[idx].rowHit) {
         // CAS: the request completes after CL + burst.
@@ -182,10 +300,23 @@ MemoryController::scheduleChannel(unsigned ch, Cycles now)
         stats_.bytesPerSource[req.source] += cfg_.lineBytes;
         scheduler_->onService(req, now, cfg_.lineBytes);
         inflight_.push(Inflight{done, req});
-        queue.erase(queue.begin() + idx);
+        std::uint32_t &hits =
+            rowHitPending_[ch * cfg_.banksPerChannel + req.loc.bank];
+        PCCS_ASSERT(hits > 0, "row-hit counter underflow");
+        --hits;
+        // This CAS may have drained the open row's last pending hit,
+        // unmasking a conflicting PRE that the build loop excluded
+        // from `future`; its legality (post-CAS: access() pushed
+        // nextPre_) must bound the wake or the PRE would issue late.
+        if (hits == 0 && (masked_banks & (1u << req.loc.bank)))
+            own = bank.nextPrechargeAt();
+        queue.erase(slot);
     } else if (bank.openRow() != Bank::noRow) {
         // Row conflict: close the current row first.
         bank.precharge(now, cfg_.timing);
+        rowHitPending_[ch * cfg_.banksPerChannel + req.loc.bank] = 0;
+        own = std::max(bank.nextActivateAt(),
+                       timing.rankActivateReadyAt());
     } else {
         // Row closed: open the request's row. Every request served
         // after this ACT without another ACT counts as a row hit;
@@ -193,7 +324,140 @@ MemoryController::scheduleChannel(unsigned ch, Cycles now)
         bank.activate(now, req.loc.row, cfg_.timing);
         timing.recordActivate(now);
         req.neededActivate = true;
+        recountRowHits(ch, req.loc.bank);
+        own = std::max(bank.nextAccessAt(),
+                       timing.busReadyAt(req.isWrite));
     }
+    if (wake) {
+        if (!purePick_) {
+            // SMS must re-pick right after any queue change.
+            *wake = now + 1;
+        } else {
+            Cycles w = std::min({future, own, nextRefresh_[ch]});
+            if (scratchEntries_[idx].rowHit) {
+                // A CAS only delays other row hits through the data
+                // bus, which it just reserved: none of them can be
+                // legal again before busReadyAt (exactly now + tBURST;
+                // reads possibly later still). Pending PRE/ACT work is
+                // untouched by the bus and can issue next cycle.
+                if (ready_other > 0)
+                    w = now + 1;
+                else if (ready_hit > 1)
+                    w = std::min(w, timing.busReadyAt(true));
+            } else if (ready_hit + ready_other > 1) {
+                // A PRE/ACT leaves every other issuable entry legal.
+                w = now + 1;
+            }
+            *wake = std::max(w, now + 1);
+        }
+    }
+    return true;
+}
+
+Cycles
+MemoryController::requestIssueBound(const Request &r, Cycles now) const
+{
+    const ChannelTiming &timing = channels_[r.loc.channel];
+    const Bank &bank = timing.bank(r.loc.bank);
+    Cycles t;
+    if (bank.openRow() == static_cast<std::int64_t>(r.loc.row)) {
+        t = std::max(bank.nextAccessAt(), timing.busReadyAt(r.isWrite));
+    } else if (bank.openRow() != Bank::noRow) {
+        // A conflicting PRE stays masked while the open row has
+        // pending hits; draining them is activity, which recomputes
+        // the channel's wake anyway.
+        if (scheduler_->preservesRowHits() &&
+            rowHitPending_[r.loc.channel * cfg_.banksPerChannel +
+                           r.loc.bank] > 0) {
+            return kNoEvent;
+        }
+        t = bank.nextPrechargeAt();
+    } else {
+        t = std::max(bank.nextActivateAt(),
+                     timing.rankActivateReadyAt());
+    }
+    return std::max(t, now + 1);
+}
+
+Cycles
+MemoryController::channelNextEvent(unsigned ch, Cycles now) const
+{
+    const Cycles next = now + 1;
+
+    // A running refresh blocks everything until it completes.
+    if (refreshUntil_[ch] > next)
+        return refreshUntil_[ch];
+
+    // A due (or about-to-be-due) refresh drains open rows one PRE per
+    // cycle; the next step happens when the first open bank's PRE
+    // becomes legal.
+    if (nextRefresh_[ch] <= next) {
+        const ChannelTiming &timing = channels_[ch];
+        for (unsigned b = 0; b < timing.numBanks(); ++b) {
+            const Bank &bank = timing.bank(b);
+            if (bank.openRow() == Bank::noRow)
+                continue;
+            return std::max(next, bank.nextPrechargeAt());
+        }
+        return next; // all banks closed: refresh starts next tick
+    }
+
+    // Normal scheduling: the earliest cycle any queued request's next
+    // command becomes legal, or the refresh deadline, whichever first.
+    // These are conservative lower bounds (issuing a command only
+    // pushes legality later, and any command issue wakes the core at
+    // now + 1 anyway), so no first-legality edge is ever skipped.
+    const ChannelTiming &timing = channels_[ch];
+    const bool preserve = scheduler_->preservesRowHits();
+    Cycles cand = nextRefresh_[ch];
+    for (const Request &r : queues_[ch]) {
+        const Bank &bank = timing.bank(r.loc.bank);
+        Cycles t;
+        if (bank.openRow() == static_cast<std::int64_t>(r.loc.row)) {
+            t = std::max(bank.nextAccessAt(),
+                         timing.busReadyAt(r.isWrite));
+        } else if (bank.openRow() != Bank::noRow) {
+            // A conflicting PRE stays masked until the pending row
+            // hits drain; draining is activity, which wakes the core.
+            if (preserve &&
+                rowHitPending_[ch * cfg_.banksPerChannel + r.loc.bank] >
+                    0) {
+                continue;
+            }
+            t = bank.nextPrechargeAt();
+        } else {
+            t = std::max(bank.nextActivateAt(),
+                         timing.rankActivateReadyAt());
+        }
+        cand = std::min(cand, t);
+    }
+    return std::max(cand, next);
+}
+
+Cycles
+MemoryController::nextEventCycle(Cycles now) const
+{
+    Cycles best = kNoEvent;
+    if (!inflight_.empty())
+        best = std::max(inflight_.top().completion, now + 1);
+    // Scheduler tick events (ATLAS/TCM quantum and shuffle boundaries)
+    // mutate scheduler state even on otherwise-idle cycles; their
+    // rearm chains must advance exactly as in the reference loop.
+    const Cycles sched = scheduler_->nextTickEvent();
+    if (sched != kNoEvent)
+        best = std::min(best, std::max(sched, now + 1));
+    for (unsigned ch = 0; ch < cfg_.channels; ++ch) {
+        // Empty channels are lazy, exactly like the reference loop:
+        // scheduleChannel (and with it refresh progress) only runs for
+        // channels with queued requests.
+        if (queues_[ch].empty())
+            continue;
+        if (lazyChannels_ && channelWake_[ch] > now)
+            best = std::min(best, channelWake_[ch]);
+        else
+            best = std::min(best, channelNextEvent(ch, now));
+    }
+    return best;
 }
 
 void

@@ -21,6 +21,7 @@
 #include "dram/config.hh"
 #include "dram/port.hh"
 #include "dram/request.hh"
+#include "dram/request_queue.hh"
 #include "dram/scheduler.hh"
 
 namespace pccs::dram {
@@ -104,8 +105,43 @@ class MemoryController : public MemoryPort
         return mapper_.addressSpan();
     }
 
-    /** Advance the controller by one bus cycle. */
-    void tick(Cycles now);
+    /**
+     * Advance the controller by one bus cycle.
+     * @return true when the cycle was "active": a completion drained,
+     *         a command (ACT/PRE/CAS) issued, or refresh made progress.
+     *         A false return guarantees this cycle changed no
+     *         controller, bank, or scheduler state, which is what lets
+     *         the event-driven core skip ahead (see nextEventCycle()).
+     */
+    bool tick(Cycles now);
+
+    /**
+     * Earliest cycle >= now + 1 at which tick() could do anything,
+     * assuming no new requests arrive in between: the next inflight
+     * completion, the next scheduler tick event, and per channel with
+     * queued requests the next refresh deadline / refresh unblock /
+     * bank, bus, or rank timing expiry. Conservative: waking earlier
+     * than necessary is a no-op tick; the returned cycle is never
+     * *later* than the first active cycle. kNoEvent when the
+     * controller is fully idle.
+     */
+    Cycles nextEventCycle(Cycles now) const;
+
+    /**
+     * Enable/disable the lazy per-channel scan used by the
+     * event-driven core: while a channel's cached wake cycle lies in
+     * the future, tick() skips rebuilding and re-evaluating that
+     * channel's scheduler view entirely. The cache is refreshed after
+     * every evaluation; for side-effect-free policies (pickIsPure())
+     * it additionally survives enqueues (tightened by the newcomer's
+     * own bound) and command issues (advanced to the next legality
+     * bound), while SMS invalidates on both so its rebatching pick()
+     * runs on exactly the reference cycles. Off by default so the
+     * reference mode stays the plain every-cycle-evaluates-everything
+     * specification; bit-exact either way (skipped evaluations are
+     * provably no-ops — see the audit notes in the sched_*.cc files).
+     */
+    void setLazyChannelScan(bool on);
 
     /** @return number of requests in queues plus in flight. */
     std::size_t pendingRequests() const;
@@ -113,7 +149,22 @@ class MemoryController : public MemoryPort
     /** @return a copy of one channel's queued requests (debug/tests). */
     std::vector<Request> queueSnapshot(unsigned channel) const
     {
-        return queues_[channel];
+        const RequestQueue &q = queues_[channel];
+        return {q.begin(), q.end()};
+    }
+
+    /**
+     * Banks of `channel` whose open row has queued requests, as a
+     * bitmask (incrementally maintained; debug/tests).
+     */
+    std::uint32_t pendingRowHitMask(unsigned channel) const
+    {
+        std::uint32_t mask = 0;
+        for (unsigned b = 0; b < cfg_.banksPerChannel; ++b) {
+            if (rowHitPending_[channel * cfg_.banksPerChannel + b] > 0)
+                mask |= 1u << b;
+        }
+        return mask;
     }
 
     /** Install the completion callback (may be empty). */
@@ -146,16 +197,43 @@ class MemoryController : public MemoryPort
         }
     };
 
-    void scheduleChannel(unsigned ch, Cycles now);
-    void drainCompletions(Cycles now);
-    /** @return true when the channel is consumed by refresh work. */
-    bool handleRefresh(unsigned ch, Cycles now);
+    enum class RefreshOutcome
+    {
+        NotDue,     ///< no refresh work; normal scheduling proceeds
+        Busy,       ///< channel consumed by refresh, nothing changed
+        Progressed, ///< channel consumed and a PRE/refresh was issued
+    };
+
+    /**
+     * @return true when a command (ACT/PRE/CAS) was issued.
+     * When `wake` is non-null (lazy scan), it receives a conservative
+     * lower bound on the channel's next interesting cycle, computed as
+     * a byproduct of the scheduler-view build — no second queue scan.
+     */
+    bool scheduleChannel(unsigned ch, Cycles now, Cycles *wake = nullptr);
+    /** @return true when at least one completion drained. */
+    bool drainCompletions(Cycles now);
+    RefreshOutcome handleRefresh(unsigned ch, Cycles now);
+    /**
+     * Earliest cycle >= now + 1 at which channel `ch` (which must have
+     * queued requests) could issue a command or make refresh progress.
+     */
+    Cycles channelNextEvent(unsigned ch, Cycles now) const;
+    /**
+     * Earliest cycle >= now + 1 at which request `r` alone could have
+     * its next command issued (kNoEvent when its PRE is masked by
+     * pending row hits). Used to tighten a channel's cached wake on
+     * enqueue without rescanning the whole queue.
+     */
+    Cycles requestIssueBound(const Request &r, Cycles now) const;
+    /** Recount rowHitPending_ for one bank after its open row changed. */
+    void recountRowHits(unsigned ch, unsigned bank);
 
     DramConfig cfg_;
     AddressMapper mapper_;
     std::unique_ptr<Scheduler> scheduler_;
     std::vector<ChannelTiming> channels_;
-    std::vector<std::vector<Request>> queues_;
+    std::vector<RequestQueue> queues_;
     std::priority_queue<Inflight, std::vector<Inflight>,
                         std::greater<Inflight>>
         inflight_;
@@ -163,10 +241,34 @@ class MemoryController : public MemoryPort
     CompletionCallback onComplete_;
     std::uint64_t nextId_ = 1;
     std::vector<QueueEntryView> scratchEntries_;
+    /** Queue slot ids parallel to scratchEntries_ (O(1) dequeue). */
+    std::vector<int> scratchSlots_;
+    /**
+     * Per (channel, bank): queued requests targeting the bank's open
+     * row. Maintained incrementally: +1 on a matching enqueue, -1 when
+     * a CAS dequeues a row hit, reset on precharge, recounted on
+     * activate. Indexed ch * banksPerChannel + bank.
+     */
+    std::vector<std::uint32_t> rowHitPending_;
     /** Per-channel next refresh deadline (tREFI cadence). */
     std::vector<Cycles> nextRefresh_;
     /** Per-channel cycle until which a refresh blocks the channel. */
     std::vector<Cycles> refreshUntil_;
+    /**
+     * Lazy-scan cache: channel ch cannot issue before channelWake_[ch]
+     * (valid only while lazyChannels_; 0 = evaluate). Maintained by
+     * tick(), reset by enqueue() and setLazyChannelScan().
+     */
+    std::vector<Cycles> channelWake_;
+    bool lazyChannels_ = false;
+    /**
+     * Cached scheduler_->pickIsPure(): when true, the lazy scan keeps
+     * a channel's cached wake alive across enqueues (min-ing in the
+     * newcomer's own bound) and across successful command issues
+     * (jumping straight to the next legality bound) instead of forcing
+     * a re-evaluation on the following cycle.
+     */
+    bool purePick_ = false;
 };
 
 } // namespace pccs::dram

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Fixed-capacity request queue with O(1) arrival-order-preserving
+ * removal.
+ *
+ * The memory controller removes requests from the *middle* of a
+ * channel queue (the scheduler picks by policy, not position), but
+ * every policy tie-breaks by arrival order, which until PR 2 was
+ * implicitly encoded in vector position and maintained with an O(n)
+ * `erase(begin() + idx)` per CAS. This container keeps requests in a
+ * fixed slot arena and threads an intrusive doubly-linked index list
+ * through them in arrival order: push_back() appends at the tail,
+ * erase() unlinks in O(1), and iteration walks the list — so the
+ * sequence a scheduler observes is exactly the sequence the old
+ * vector produced, while slot addresses stay stable for the lifetime
+ * of a request (QueueEntryView keeps raw pointers across a pick).
+ */
+
+#ifndef PCCS_DRAM_REQUEST_QUEUE_HH
+#define PCCS_DRAM_REQUEST_QUEUE_HH
+
+#include <cstddef>
+#include <iterator>
+#include <vector>
+
+#include "common/logging.hh"
+#include "dram/request.hh"
+
+namespace pccs::dram {
+
+/** Arrival-ordered request buffer of one channel. */
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(std::size_t capacity)
+        : slots_(capacity), next_(capacity, -1), prev_(capacity, -1)
+    {
+        PCCS_ASSERT(capacity > 0, "request queue needs capacity");
+        for (std::size_t i = 0; i + 1 < capacity; ++i)
+            next_[i] = static_cast<int>(i + 1);
+        freeHead_ = 0;
+    }
+
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return slots_.size(); }
+    bool empty() const { return size_ == 0; }
+    bool full() const { return freeHead_ < 0; }
+
+    /**
+     * Append a request in arrival order (queue must not be full).
+     * @return the slot index holding it (stable until erase).
+     */
+    int push_back(const Request &req)
+    {
+        PCCS_ASSERT(!full(), "push_back on a full request queue");
+        const int s = freeHead_;
+        freeHead_ = next_[s];
+        slots_[s] = req;
+        next_[s] = -1;
+        prev_[s] = tail_;
+        if (tail_ >= 0)
+            next_[tail_] = s;
+        else
+            head_ = s;
+        tail_ = s;
+        ++size_;
+        return s;
+    }
+
+    /** Remove slot `s`; the relative order of the rest is unchanged. */
+    void erase(int s)
+    {
+        const int p = prev_[s];
+        const int n = next_[s];
+        if (p >= 0)
+            next_[p] = n;
+        else
+            head_ = n;
+        if (n >= 0)
+            prev_[n] = p;
+        else
+            tail_ = p;
+        next_[s] = freeHead_;
+        prev_[s] = -1;
+        freeHead_ = s;
+        --size_;
+    }
+
+    Request &slot(int s) { return slots_[s]; }
+    const Request &slot(int s) const { return slots_[s]; }
+
+    /** @return slot index of the oldest request, or -1 when empty. */
+    int head() const { return head_; }
+
+    /** @return slot index following `s` in arrival order, or -1. */
+    int next(int s) const { return next_[s]; }
+
+    /** Arrival-order iteration (enables range-for). */
+    class const_iterator
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = Request;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const Request *;
+        using reference = const Request &;
+
+        const_iterator(const RequestQueue *q, int s) : q_(q), s_(s) {}
+        const Request &operator*() const { return q_->slots_[s_]; }
+        const Request *operator->() const { return &q_->slots_[s_]; }
+        const_iterator &operator++()
+        {
+            s_ = q_->next_[s_];
+            return *this;
+        }
+        bool operator==(const const_iterator &o) const
+        {
+            return s_ == o.s_;
+        }
+        bool operator!=(const const_iterator &o) const
+        {
+            return s_ != o.s_;
+        }
+
+      private:
+        const RequestQueue *q_;
+        int s_;
+    };
+
+    const_iterator begin() const { return {this, head_}; }
+    const_iterator end() const { return {this, -1}; }
+
+  private:
+    std::vector<Request> slots_;
+    /** Arrival-order successor per slot; doubles as free-list link. */
+    std::vector<int> next_;
+    std::vector<int> prev_;
+    int head_ = -1;
+    int tail_ = -1;
+    int freeHead_ = -1;
+    std::size_t size_ = 0;
+};
+
+} // namespace pccs::dram
+
+#endif // PCCS_DRAM_REQUEST_QUEUE_HH

@@ -1,0 +1,54 @@
+#include "run_mode.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace pccs::dram {
+
+namespace {
+
+DramRunMode
+envDefault()
+{
+    const char *env = std::getenv("PCCS_DRAM_REFERENCE");
+    if (env && *env && std::strcmp(env, "0") != 0)
+        return DramRunMode::Reference;
+    return DramRunMode::EventDriven;
+}
+
+DramRunMode &
+defaultMode()
+{
+    static DramRunMode mode = envDefault();
+    return mode;
+}
+
+} // namespace
+
+const char *
+dramRunModeName(DramRunMode mode)
+{
+    switch (mode) {
+      case DramRunMode::EventDriven:
+        return "event-driven";
+      case DramRunMode::Reference:
+        return "reference";
+    }
+    panic("unknown DramRunMode %d", static_cast<int>(mode));
+}
+
+DramRunMode
+defaultDramRunMode()
+{
+    return defaultMode();
+}
+
+void
+setDefaultDramRunMode(DramRunMode mode)
+{
+    defaultMode() = mode;
+}
+
+} // namespace pccs::dram

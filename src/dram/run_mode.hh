@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Selection between the two DRAM simulation cores.
+ *
+ * The event-driven core computes the next "interesting" cycle (inflight
+ * completion, refresh deadline, bank/bus/rank timing expiry, scheduler
+ * quantum, token-bucket accrual) and jumps straight to it; the
+ * reference core ticks every bus cycle. Both produce bit-identical
+ * results (see tests/test_dram_equivalence.cc); the reference core is
+ * kept as the executable specification and as a debugging fallback
+ * (`--dram-reference` on the DRAM benches, or PCCS_DRAM_REFERENCE=1 in
+ * the environment).
+ */
+
+#ifndef PCCS_DRAM_RUN_MODE_HH
+#define PCCS_DRAM_RUN_MODE_HH
+
+namespace pccs::dram {
+
+/** Which run loop DramSystem::run uses. */
+enum class DramRunMode
+{
+    EventDriven, //!< cycle-skipping next-event loop (default)
+    Reference,   //!< tick every bus cycle (executable specification)
+};
+
+/** @return display name of a run mode. */
+const char *dramRunModeName(DramRunMode mode);
+
+/**
+ * Process-wide default mode for newly constructed systems:
+ * EventDriven, unless overridden by setDefaultDramRunMode() or by
+ * setting PCCS_DRAM_REFERENCE=1 in the environment.
+ */
+DramRunMode defaultDramRunMode();
+
+/** Override the process-wide default (e.g., from --dram-reference). */
+void setDefaultDramRunMode(DramRunMode mode);
+
+} // namespace pccs::dram
+
+#endif // PCCS_DRAM_RUN_MODE_HH

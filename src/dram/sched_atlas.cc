@@ -2,6 +2,15 @@
 
 #include "common/logging.hh"
 
+// Event-driven audit: pick() is stateless (reads attained-service
+// tables, mutates nothing, no RNG). Its `now`-dependent starvation
+// test can flip an *ordering* between two entries as time passes, but
+// on skipped cycles no entry is issuable, so pick() returns -1 under
+// either ordering; at the next wake the test is evaluated with the
+// true `now`, exactly as the reference loop would. tick()'s quantum
+// fold is the one time-triggered state change; it is exported through
+// nextTickEvent() so the event core wakes on the precise boundary
+// cycle.
 namespace pccs::dram {
 
 AtlasScheduler::AtlasScheduler(const SchedulerParams &params)

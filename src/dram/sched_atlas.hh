@@ -28,6 +28,7 @@ class AtlasScheduler : public Scheduler
 
     const char *name() const override { return "ATLAS"; }
     void tick(Cycles now) override;
+    Cycles nextTickEvent() const override { return nextQuantum_; }
     void onService(const Request &req, Cycles now, unsigned bytes) override;
     int pick(unsigned channel, std::span<const QueueEntryView> entries,
              Cycles now) override;

@@ -3,6 +3,14 @@
 #include <array>
 #include <utility>
 
+// Event-driven audit (FCFS and FR-FCFS): pick() is a pure function of
+// (entries, now) with no mutable state and no RNG, and tick() is the
+// default no-op, so skipping pick() calls on cycles where no entry is
+// issuable cannot change any future decision. Note FCFS's issue window
+// can return -1 while *younger* entries are issuable; the event core
+// handles this by falling back to +1-cycle stepping whenever a wake
+// cycle yields no command (it never re-skips past a computed
+// issuability edge).
 namespace pccs::dram {
 
 int

@@ -4,6 +4,18 @@
 
 #include "common/logging.hh"
 
+// Event-driven audit: SMS is the one policy whose pick() mutates state
+// (batch bookkeeping) and consumes RNG (batch selection), so the
+// skipping contract needs care. A new batch is selected — and an RNG
+// draw consumed — only when the previous batch is finished or no
+// longer visible in the queue, and both conditions can change solely
+// on queue-content changes (a CAS removing a request, or an enqueue
+// into an empty-source queue). The event core always processes the
+// cycle *after* any issue/enqueue/completion, which is precisely when
+// the reference loop would reselect; on every later skipped cycle the
+// in-flight-batch path runs instead, which touches neither state nor
+// RNG when nothing is issuable. Hence the RNG stream and batch state
+// stay cycle-for-cycle identical across the two cores.
 namespace pccs::dram {
 
 SmsScheduler::SmsScheduler(const SchedulerParams &params)

@@ -29,6 +29,8 @@ class SmsScheduler : public Scheduler
     explicit SmsScheduler(const SchedulerParams &params);
 
     const char *name() const override { return "SMS"; }
+    /** pick() rebatches (state + RNG) after queue changes. */
+    bool pickIsPure() const override { return false; }
     int pick(unsigned channel, std::span<const QueueEntryView> entries,
              Cycles now) override;
 

@@ -6,6 +6,13 @@
 
 #include "common/logging.hh"
 
+// Event-driven audit: pick() reads cluster/rank tables and mutates
+// nothing, so skipped no-issuable cycles are pure no-ops. Both
+// time-triggered updates (the recluster quantum and the rank shuffle)
+// live in tick() and are exported through nextTickEvent(), so the
+// event core wakes on exactly the reference cycles and the
+// `nextQuantum_/nextShuffle_ = now + interval` rearm chains advance
+// identically in both modes.
 namespace pccs::dram {
 
 TcmScheduler::TcmScheduler(const SchedulerParams &params)

@@ -30,6 +30,11 @@ class TcmScheduler : public Scheduler
 
     const char *name() const override { return "TCM"; }
     void tick(Cycles now) override;
+    Cycles nextTickEvent() const override
+    {
+        return nextShuffle_ < nextQuantum_ ? nextShuffle_
+                                           : nextQuantum_;
+    }
     void onService(const Request &req, Cycles now, unsigned bytes) override;
     int pick(unsigned channel, std::span<const QueueEntryView> entries,
              Cycles now) override;

@@ -20,6 +20,9 @@
 
 namespace pccs::dram {
 
+/** Sentinel "no pending event" cycle for the event-driven core. */
+inline constexpr Cycles kNoEvent = ~Cycles{0};
+
 /** The scheduling policies of Table 2. */
 enum class SchedulerKind
 {
@@ -71,10 +74,23 @@ class Scheduler
     virtual bool preservesRowHits() const { return true; }
 
     /**
-     * Called once per simulation cycle before any pick; policies use it
-     * to run quantum updates (ATLAS/TCM) or shuffles.
+     * Called before any pick on every *simulated* cycle the controller
+     * processes; policies use it to run quantum updates (ATLAS/TCM) or
+     * shuffles. The event-driven core skips cycles wholesale, so a
+     * policy whose tick() is not a no-op at some future cycle must
+     * report that cycle through nextTickEvent() — otherwise the skip
+     * would jump over the state update the reference core performs.
      */
     virtual void tick(Cycles now) { (void)now; }
+
+    /**
+     * Earliest future cycle at which tick() stops being a no-op
+     * (quantum boundary, shuffle deadline, ...), or kNoEvent when
+     * tick() never does anything. The event-driven core includes this
+     * in its next-event computation so tick() fires on exactly the
+     * same cycles as under the per-cycle reference loop.
+     */
+    virtual Cycles nextTickEvent() const { return kNoEvent; }
 
     /** Notify that a request entered the request buffer. */
     virtual void onEnqueue(const Request &req) { (void)req; }
@@ -89,7 +105,30 @@ class Scheduler
     }
 
     /**
+     * True when pick() is a pure function of its arguments and the
+     * scheduler's state: no internal mutation, no RNG consumption.
+     * The event-driven core then drops pick() calls on *every* cycle
+     * it can prove unproductive — including the cycle right after a
+     * command issue or an enqueue — and wakes a channel only at its
+     * next command-legality bound. SMS returns false: its pick()
+     * rebatches (mutating state and drawing RNG) on exactly those
+     * post-change cycles, so they must be evaluated.
+     */
+    virtual bool pickIsPure() const { return true; }
+
+    /**
      * Choose the next request to advance on a channel.
+     *
+     * Event-driven contract: the reference core calls pick() on every
+     * cycle a channel has queued requests; the event-driven core only
+     * calls it (a) on the cycle after any command issue, completion,
+     * or enqueue (pickIsPure() policies: only when that cycle is also
+     * a legality edge), and (b) on the first cycle any entry's next
+     * command becomes timing-legal. A policy is compatible iff every
+     * pick() call on a skipped cycle — queue contents unchanged and no
+     * entry issuable — would have been a pure no-op (returns -1, no
+     * state or RNG consumption). All five policies satisfy this; the
+     * per-policy audits live at the top of each sched_*.cc.
      *
      * @param channel index of the channel being scheduled
      * @param entries snapshot of the channel's queued requests

@@ -5,12 +5,15 @@
 namespace pccs::dram {
 
 DramSystem::DramSystem(const DramConfig &cfg, SchedulerKind policy,
-                       const SchedulerParams &sched_params)
-    : controller_(std::make_unique<MemoryController>(
+                       const SchedulerParams &sched_params,
+                       DramRunMode mode)
+    : mode_(mode),
+      controller_(std::make_unique<MemoryController>(
           cfg, makeScheduler(policy, sched_params))),
       bySource_(Scheduler::maxSources, nullptr),
       replayBySource_(Scheduler::maxSources, nullptr)
 {
+    controller_->setLazyChannelScan(mode == DramRunMode::EventDriven);
     controller_->setCompletionCallback([this](const Request &req) {
         if (CoreTrafficGenerator *gen = bySource_[req.source]) {
             gen->onComplete(req);
@@ -56,21 +59,65 @@ void
 DramSystem::run(Cycles cycles)
 {
     const Cycles end = now_ + cycles;
+    if (mode_ == DramRunMode::Reference)
+        runReference(end);
+    else
+        runEventDriven(end);
+}
+
+bool
+DramSystem::stepCycle()
+{
+    bool active = controller_->tick(now_);
+    // Rotate the issue order each cycle: with full request queues,
+    // a fixed order would hand every freed slot to the lowest-
+    // indexed generator (an arbitration bias no real interconnect
+    // has). The rotation offset is a pure function of now_, so it is
+    // unchanged by skipping quiet cycles (on which every generator's
+    // tick is a no-op regardless of order).
     const std::size_t n = generators_.size();
     const std::size_t r = replays_.size();
+    const std::size_t start = n ? now_ % n : 0;
+    for (std::size_t i = 0; i < n; ++i)
+        active |= generators_[(start + i) % n]->tick(now_);
+    const std::size_t rstart = r ? now_ % r : 0;
+    for (std::size_t i = 0; i < r; ++i)
+        active |= replays_[(rstart + i) % r]->tick(now_);
+    return active;
+}
+
+void
+DramSystem::runReference(Cycles end)
+{
+    // The original cycle-by-cycle loop, kept as the equivalence oracle
+    // (--dram-reference / PCCS_DRAM_REFERENCE).
     while (now_ < end) {
-        controller_->tick(now_);
-        // Rotate the issue order each cycle: with full request queues,
-        // a fixed order would hand every freed slot to the lowest-
-        // indexed generator (an arbitration bias no real interconnect
-        // has).
-        const std::size_t start = n ? now_ % n : 0;
-        for (std::size_t i = 0; i < n; ++i)
-            generators_[(start + i) % n]->tick(now_);
-        const std::size_t rstart = r ? now_ % r : 0;
-        for (std::size_t i = 0; i < r; ++i)
-            replays_[(rstart + i) % r]->tick(now_);
+        stepCycle();
         ++now_;
+    }
+}
+
+void
+DramSystem::runEventDriven(Cycles end)
+{
+    while (now_ < end) {
+        if (stepCycle()) {
+            // Something happened: the very next cycle may react to it
+            // (a freed queue slot, a drained row hit, a legal command),
+            // so no skipping is safe.
+            ++now_;
+            continue;
+        }
+        // Quiet cycle: jump to the earliest lower bound over every
+        // event source. Each bound is conservative (waking early is a
+        // no-op tick), so no state transition is ever skipped; each is
+        // >= now_ + 1, so progress is guaranteed.
+        Cycles wake = controller_->nextEventCycle(now_);
+        for (const auto &gen : generators_)
+            wake = std::min(wake, gen->nextIssueEvent(now_));
+        for (const auto &rep : replays_)
+            wake = std::min(wake, rep->nextIssueEvent(now_));
+        now_ = std::min(end, std::max(wake, now_ + 1));
     }
 }
 

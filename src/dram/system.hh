@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "dram/controller.hh"
+#include "dram/run_mode.hh"
 #include "dram/trace_replay.hh"
 #include "dram/traffic.hh"
 
@@ -26,7 +27,17 @@ class DramSystem
 {
   public:
     DramSystem(const DramConfig &cfg, SchedulerKind policy,
-               const SchedulerParams &sched_params = {});
+               const SchedulerParams &sched_params = {},
+               DramRunMode mode = defaultDramRunMode());
+
+    /** Select the run-loop implementation (bit-exact either way). */
+    void setRunMode(DramRunMode mode)
+    {
+        mode_ = mode;
+        controller_->setLazyChannelScan(mode ==
+                                        DramRunMode::EventDriven);
+    }
+    DramRunMode runMode() const { return mode_; }
 
     /** Add a synthetic core; returns its index. */
     std::size_t addGenerator(const TrafficParams &params);
@@ -35,7 +46,16 @@ class DramSystem
     std::size_t addReplay(const ReplayParams &params,
                           std::vector<TraceEntry> trace);
 
-    /** Advance the simulation by `cycles` bus cycles. */
+    /**
+     * Advance the simulation by `cycles` bus cycles.
+     *
+     * In EventDriven mode quiet stretches — cycles provably free of
+     * completions, command issue, refresh progress, scheduler tick
+     * events, and token-bucket issue crossings — are skipped in one
+     * jump; every simulated state transition, statistic, and RNG draw
+     * is bit-identical to Reference mode (see DESIGN.md and
+     * tests/test_dram_equivalence.cc).
+     */
     void run(Cycles cycles);
 
     /** Start a fresh measurement window (zeroes all counters). */
@@ -66,6 +86,12 @@ class DramSystem
     double effectiveBandwidthFraction() const;
 
   private:
+    void runReference(Cycles end);
+    void runEventDriven(Cycles end);
+    /** One full simulated cycle; @return true when anything happened. */
+    bool stepCycle();
+
+    DramRunMode mode_;
     std::unique_ptr<MemoryController> controller_;
     std::vector<std::unique_ptr<CoreTrafficGenerator>> generators_;
     std::vector<std::unique_ptr<TraceReplayGenerator>> replays_;

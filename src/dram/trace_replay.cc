@@ -72,24 +72,59 @@ TraceReplayGenerator::TraceReplayGenerator(const ReplayParams &params,
 }
 
 void
+TraceReplayGenerator::advanceTokens(Cycles n)
+{
+    // Same bit-exactness contract as the synthetic generator: one
+    // capped addition per elapsed cycle, cap is absorbing.
+    for (Cycles i = 0; i < n && tokens_ < tokenCap_; ++i)
+        tokens_ = std::min(tokens_ + tokensPerCycle_, tokenCap_);
+}
+
+bool
 TraceReplayGenerator::tick(Cycles now)
 {
-    tokens_ = std::min(tokens_ + tokensPerCycle_, tokenCap_);
+    PCCS_ASSERT(now + 1 >= tickedThrough_, "replay ticked backwards");
+    advanceTokens(now + 1 - tickedThrough_);
+    tickedThrough_ = now + 1;
+    bool issued = false;
     const double line = port_.lineBytes();
     while (tokens_ >= line && outstanding_ < params_.mlp) {
         if (position_ >= trace_.size()) {
             if (!params_.loop)
-                return;
+                return issued;
             position_ = 0;
         }
         const TraceEntry &e = trace_[position_];
-        if (!port_.enqueue(params_.source, e.addr, e.isWrite, now))
+        if (!port_.enqueue(params_.source, e.addr, e.isWrite, now)) {
+            blocked_ = true;
             break; // backpressure: retry the same entry next cycle
+        }
+        blocked_ = false;
         ++position_;
         tokens_ -= line;
         ++outstanding_;
         ++issuedLines_;
+        issued = true;
     }
+    return issued;
+}
+
+Cycles
+TraceReplayGenerator::nextIssueEvent(Cycles now) const
+{
+    // Queue backpressure and the MLP limit only clear through
+    // controller activity (a CAS dequeue / a completion), which is
+    // itself a wake; an exhausted non-looping trace never issues again.
+    if (exhausted() || outstanding_ >= params_.mlp || blocked_)
+        return kNoEvent;
+    const double line = port_.lineBytes();
+    if (tokens_ >= line)
+        return now + 1;
+    double est = (line - tokens_) / tokensPerCycle_;
+    if (!(est < 1.0e15))
+        est = 1.0e15;
+    const auto cycles = static_cast<Cycles>(est);
+    return now + (cycles > 3 ? cycles - 2 : 1);
 }
 
 void

@@ -58,8 +58,21 @@ class TraceReplayGenerator
                          std::vector<TraceEntry> trace,
                          MemoryPort &port);
 
-    /** Advance one cycle: accrue tokens, issue eligible requests. */
-    void tick(Cycles now);
+    /**
+     * Advance through bus cycle `now`: accrue tokens for every cycle
+     * since the last call (bit-identical capped single-cycle additions
+     * whether batched or not), then issue eligible requests.
+     * @return true when at least one line was issued.
+     */
+    bool tick(Cycles now);
+
+    /**
+     * Earliest cycle >= now + 1 at which tick() could issue a request,
+     * given no completions arrive in between; kNoEvent when gated on
+     * external progress (MLP, backpressure, exhausted trace).
+     * Conservative: may wake early, never late.
+     */
+    Cycles nextIssueEvent(Cycles now) const;
 
     /** Notify that one of this source's requests completed. */
     void onComplete(const Request &req);
@@ -82,10 +95,17 @@ class TraceReplayGenerator
     ReplayParams params_;
     std::vector<TraceEntry> trace_;
     MemoryPort &port_;
+    /** Apply `n` single-cycle capped token additions. */
+    void advanceTokens(Cycles n);
+
     std::size_t position_ = 0;
     double tokens_ = 0.0;
     double tokensPerCycle_;
     double tokenCap_;
+    /** Tokens are accrued for every cycle < tickedThrough_. */
+    Cycles tickedThrough_ = 0;
+    /** Last attempt hit request-buffer backpressure. */
+    bool blocked_ = false;
     unsigned outstanding_ = 0;
     std::uint64_t completedLines_ = 0;
     std::uint64_t issuedLines_ = 0;

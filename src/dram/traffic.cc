@@ -34,16 +34,33 @@ CoreTrafficGenerator::nextAddress()
         // surely, modeling poor-locality strides).
         cursor_ = rng_.below(regionLines_);
     }
-    const Addr addr =
-        regionBase_ + (cursor_ % regionLines_) * port_.lineBytes();
-    ++cursor_;
+    const Addr addr = regionBase_ + cursor_ * port_.lineBytes();
+    // Wrap on increment: the cursor stays in [0, regionLines_) instead
+    // of growing without bound and being reduced at every use.
+    if (++cursor_ >= regionLines_)
+        cursor_ = 0;
     return addr;
 }
 
 void
+CoreTrafficGenerator::advanceTokens(Cycles n)
+{
+    // One capped addition per elapsed cycle, never a closed form: the
+    // float results must be bit-identical no matter how the cycles are
+    // batched. The cap is absorbing (the addition is min-clamped), so
+    // once full the remaining iterations are skippable no-ops.
+    for (Cycles i = 0; i < n && tokens_ < tokenCap_; ++i)
+        tokens_ = std::min(tokens_ + tokensPerCycle_, tokenCap_);
+}
+
+bool
 CoreTrafficGenerator::tick(Cycles now)
 {
-    tokens_ = std::min(tokens_ + tokensPerCycle_, tokenCap_);
+    PCCS_ASSERT(now + 1 >= tickedThrough_,
+                "traffic generator ticked backwards");
+    advanceTokens(now + 1 - tickedThrough_);
+    tickedThrough_ = now + 1;
+    bool issued = false;
     const double line = port_.lineBytes();
     while (tokens_ >= line && outstanding_ < params_.mlp) {
         if (!hasPending_) {
@@ -63,7 +80,32 @@ CoreTrafficGenerator::tick(Cycles now)
         tokens_ -= line;
         ++outstanding_;
         ++issuedLines_;
+        issued = true;
     }
+    return issued;
+}
+
+Cycles
+CoreTrafficGenerator::nextIssueEvent(Cycles now) const
+{
+    // Gated on a completion (MLP) or on queue space (backpressure):
+    // both only clear through controller activity, which is itself a
+    // wake, so no standalone event is needed. Retries on intervening
+    // cycles are pure no-ops (no RNG, no state change).
+    if (outstanding_ >= params_.mlp || hasPending_)
+        return kNoEvent;
+    const double line = port_.lineBytes();
+    if (tokens_ >= line)
+        return now + 1;
+    // Estimate when the bucket reaches one line. The closed form can
+    // differ from the capped sequential adds by a few ulps, so wake a
+    // couple of cycles early; early wakes are no-op ticks, late wakes
+    // would break equivalence.
+    double est = (line - tokens_) / tokensPerCycle_;
+    if (!(est < 1.0e15))
+        est = 1.0e15; // demand so low it may as well be an epoch away
+    const auto cycles = static_cast<Cycles>(est);
+    return now + (cycles > 3 ? cycles - 2 : 1);
 }
 
 void

@@ -51,8 +51,24 @@ class CoreTrafficGenerator
   public:
     CoreTrafficGenerator(const TrafficParams &params, MemoryPort &port);
 
-    /** Advance one bus cycle: accrue tokens, issue eligible requests. */
-    void tick(Cycles now);
+    /**
+     * Advance through bus cycle `now`: accrue tokens for every cycle
+     * since the last call (token updates are identical capped
+     * single-cycle additions whether performed eagerly or in a batch,
+     * so reference and event-driven runs see bit-identical buckets),
+     * then issue eligible requests.
+     * @return true when at least one line was issued.
+     */
+    bool tick(Cycles now);
+
+    /**
+     * Earliest cycle >= now + 1 at which tick() could issue a request,
+     * given no completions arrive in between. kNoEvent when issue is
+     * gated on external progress (MLP limit or queue backpressure),
+     * which only clears through controller activity — itself a wake.
+     * Conservative: may wake a couple of cycles early, never late.
+     */
+    Cycles nextIssueEvent(Cycles now) const;
 
     /** Notify that one of this source's requests completed. */
     void onComplete(const Request &req);
@@ -80,6 +96,8 @@ class CoreTrafficGenerator
 
   private:
     Addr nextAddress();
+    /** Apply `n` single-cycle capped token additions. */
+    void advanceTokens(Cycles n);
 
     TrafficParams params_;
     MemoryPort &port_;
@@ -87,6 +105,8 @@ class CoreTrafficGenerator
     double tokens_ = 0.0;
     double tokensPerCycle_;
     double tokenCap_;
+    /** Tokens are accrued for every cycle < tickedThrough_. */
+    Cycles tickedThrough_ = 0;
     unsigned outstanding_ = 0;
     std::uint64_t completedLines_ = 0;
     std::uint64_t issuedLines_ = 0;
