@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Load generator for the prediction service: starts an in-process
+ * `serve::Server` on an ephemeral loopback port, drives it from
+ * pipelined TCP clients, and reports sustained predict throughput.
+ *
+ * Flags: --seconds N (measurement window, default 3), --clients N
+ * (default 6), --pipeline N (in-flight requests per client, default
+ * 64), --json PATH (machine-readable snapshot, default
+ * BENCH_serve.json). The JSON records client-side throughput plus the
+ * server's own latency percentiles and batch-size distribution, so a
+ * regression in either the transport or the batcher shows up in CI.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "pccs/model.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/registry.hh"
+#include "serve/server.hh"
+
+using namespace pccs;
+using namespace pccs::serve;
+
+namespace {
+
+model::PccsParams
+xavierGpuLikeParams()
+{
+    // Fixed parameters in the shape of a calibrated Xavier GPU model;
+    // the bench measures the service, not the calibrator.
+    model::PccsParams p;
+    p.normalBw = 38.1;
+    p.intensiveBw = 96.2;
+    p.mrmc = 4.9;
+    p.cbp = 45.3;
+    p.tbwdc = 87.2;
+    p.rateN = 1.11;
+    p.peakBw = 137.0;
+    return p;
+}
+
+struct ClientTally
+{
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+};
+
+void
+clientLoop(std::uint16_t port, unsigned pipeline,
+           std::chrono::steady_clock::time_point deadline,
+           ClientTally &tally)
+{
+    TcpClient client;
+    std::string error;
+    if (!client.connectTo("127.0.0.1", port, &error)) {
+        std::fprintf(stderr, "client: %s\n", error.c_str());
+        tally.failed = 1;
+        return;
+    }
+    std::uint64_t id = 0;
+    double demand = 5.0;
+    while (std::chrono::steady_clock::now() < deadline) {
+        for (unsigned i = 0; i < pipeline; ++i) {
+            char frame[160];
+            std::snprintf(frame, sizeof(frame),
+                          "{\"op\":\"predict\",\"id\":%llu,"
+                          "\"model\":\"xavier.gpu\",\"demand\":%.17g,"
+                          "\"external\":25}",
+                          static_cast<unsigned long long>(id++),
+                          demand);
+            demand = demand < 130.0 ? demand + 1.0 : 5.0;
+            if (!client.sendLine(frame)) {
+                ++tally.failed;
+                return;
+            }
+        }
+        for (unsigned i = 0; i < pipeline; ++i) {
+            const auto line = client.recvLine();
+            if (!line.has_value()) {
+                ++tally.failed;
+                return;
+            }
+            // Responses are one JSON object per line; the cheap check
+            // keeps the generator out of the measurement's way.
+            if (line->find("\"ok\":true") != std::string::npos)
+                ++tally.ok;
+            else
+                ++tally.failed;
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double seconds = 3.0;
+    unsigned clients = 6;
+    unsigned pipeline = 64;
+    std::string json_path = "BENCH_serve.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("flag %s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--seconds")
+            seconds = std::atof(value().c_str());
+        else if (arg == "--clients")
+            clients = static_cast<unsigned>(
+                std::atoi(value().c_str()));
+        else if (arg == "--pipeline")
+            pipeline = static_cast<unsigned>(
+                std::atoi(value().c_str()));
+        else if (arg == "--json")
+            json_path = value();
+        else
+            fatal("unknown flag '%s'", arg.c_str());
+    }
+    if (seconds <= 0.0 || clients == 0 || pipeline == 0)
+        fatal("--seconds, --clients, and --pipeline must be > 0");
+
+    ModelRegistry registry;
+    registry.addFromParams("xavier.gpu", xavierGpuLikeParams(),
+                           "bench:fixed");
+    Metrics metrics;
+    Dispatcher dispatcher(registry, metrics);
+    Server server(dispatcher);
+    std::string error;
+    if (!server.start(&error))
+        fatal("%s", error.c_str());
+
+    std::printf("serve_throughput: %u client(s), pipeline %u, "
+                "%.1f s window, port %u\n",
+                clients, pipeline, seconds, server.port());
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto deadline =
+        start + std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(seconds));
+    std::vector<ClientTally> tallies(clients);
+    std::vector<std::thread> threads;
+    for (unsigned c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            clientLoop(server.port(), pipeline, deadline,
+                       tallies[c]);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    const double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    std::uint64_t ok = 0, failed = 0;
+    for (const ClientTally &t : tallies) {
+        ok += t.ok;
+        failed += t.failed;
+    }
+    const double throughput = elapsed > 0.0 ? ok / elapsed : 0.0;
+
+    // Pull the server's own view before stopping it.
+    TcpClient probe;
+    Json server_stats;
+    if (probe.connectTo("127.0.0.1", server.port())) {
+        Json req = Json::object();
+        req.set("op", "stats");
+        const Json resp = probe.request(req);
+        if (const Json *result = resp.find("result"))
+            server_stats = *result;
+    }
+    server.stop();
+
+    std::printf("predict responses: %llu ok, %llu failed in %.2f s\n",
+                static_cast<unsigned long long>(ok),
+                static_cast<unsigned long long>(failed), elapsed);
+    std::printf("throughput: %.0f predict req/s\n", throughput);
+    if (const Json *batches = server_stats.find("batches")) {
+        std::printf("batches: %.0f passes, mean size %.1f, "
+                    "largest %.0f\n",
+                    batches->find("passes")->asNumber(),
+                    batches->find("meanSize")->asNumber(),
+                    batches->find("largest")->asNumber());
+    }
+
+    Json out = Json::object();
+    out.set("benchmark", "serve_throughput");
+    out.set("clients", clients);
+    out.set("pipeline", pipeline);
+    out.set("elapsedSeconds", elapsed);
+    out.set("requestsOk", ok);
+    out.set("requestsFailed", failed);
+    out.set("throughputPerSecond", throughput);
+    out.set("server", std::move(server_stats));
+    if (std::FILE *f = std::fopen(json_path.c_str(), "w")) {
+        const std::string text = out.dump();
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("artifact: %s\n", json_path.c_str());
+    } else {
+        fatal("cannot write %s", json_path.c_str());
+    }
+
+    if (failed > 0) {
+        std::fprintf(stderr,
+                     "serve_throughput: %llu failed request(s)\n",
+                     static_cast<unsigned long long>(failed));
+        return 1;
+    }
+    return 0;
+}

@@ -35,14 +35,45 @@ namespace pccs::model {
 std::string paramsToText(const PccsParams &params);
 
 /**
+ * Outcome of a non-fatal parse or load. Exactly one of `params` /
+ * `error` is meaningful: a failed load never yields a partially
+ * filled or silently-defaulted parameter set.
+ */
+struct ParamsLoad
+{
+    std::optional<PccsParams> params;
+    /** Human-readable diagnostic when `params` is empty. */
+    std::string error;
+
+    bool ok() const { return params.has_value(); }
+};
+
+/**
+ * Parse the textual model format with a full diagnostic: bad header,
+ * malformed/duplicate/missing keys (with line numbers), non-numeric
+ * or non-finite values, and which structural constraint failed when
+ * the parameters are out of range.
+ */
+ParamsLoad paramsFromTextChecked(const std::string &text);
+
+/**
  * Parse the textual model format.
  * @return the parameters, or std::nullopt with a warning when the
  *         text is malformed or parameters are invalid
  */
 std::optional<PccsParams> paramsFromText(const std::string &text);
 
+/**
+ * @return the first violated structural constraint of `params` as
+ *         text, or an empty string when `params.valid()`.
+ */
+std::string paramsValidationError(const PccsParams &params);
+
 /** Write parameters to a file; fatal on I/O failure. */
 void saveParams(const PccsParams &params, const std::string &path);
+
+/** Read parameters from a file without exiting on failure. */
+ParamsLoad tryLoadParams(const std::string &path);
 
 /** Read parameters from a file; fatal on I/O or parse failure. */
 PccsParams loadParams(const std::string &path);

@@ -31,6 +31,12 @@ jsonEscape(const std::string &s)
           case '\r':
             out += "\\r";
             break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
           default:
             if (c < 0x20) {
                 char buf[8];

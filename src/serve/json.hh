@@ -1,0 +1,146 @@
+/**
+ * @file
+ * A small, dependency-free JSON value type with a strict parser and a
+ * compact writer — the wire format of the prediction service.
+ *
+ * The repo so far only *wrote* JSON (runner/run_spec artifacts); the
+ * serve subsystem also has to *read* it, so this file adds the
+ * parser. It is deliberately strict (RFC 8259): no trailing commas,
+ * no comments, no leading zeros, no bare control characters inside
+ * strings. Parse failures carry a message and the byte offset, and a
+ * configurable nesting-depth limit keeps adversarial frames
+ * ("[[[[[...") from overflowing the stack.
+ *
+ * Objects preserve insertion order and use linear lookup — protocol
+ * messages have a handful of keys, so a map would only cost locality.
+ */
+
+#ifndef PCCS_SERVE_JSON_HH
+#define PCCS_SERVE_JSON_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace pccs::serve {
+
+class Json;
+
+/** Array of JSON values. */
+using JsonArray = std::vector<Json>;
+
+/** Insertion-ordered object; keys are not deduplicated on insert. */
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+/** One JSON value (null, bool, number, string, array, or object). */
+class Json
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Json() : value_(nullptr) {}
+    Json(std::nullptr_t) : value_(nullptr) {}
+    Json(bool b) : value_(b) {}
+    Json(double v) : value_(v) {}
+    Json(int v) : value_(static_cast<double>(v)) {}
+    Json(unsigned v) : value_(static_cast<double>(v)) {}
+    Json(long v) : value_(static_cast<double>(v)) {}
+    Json(unsigned long v) : value_(static_cast<double>(v)) {}
+    Json(unsigned long long v) : value_(static_cast<double>(v)) {}
+    Json(const char *s) : value_(std::string(s)) {}
+    Json(std::string s) : value_(std::move(s)) {}
+    Json(JsonArray a) : value_(std::move(a)) {}
+    Json(JsonObject o) : value_(std::move(o)) {}
+
+    /** @return an empty array value. */
+    static Json array() { return Json(JsonArray{}); }
+
+    /** @return an empty object value. */
+    static Json object() { return Json(JsonObject{}); }
+
+    Kind kind() const { return static_cast<Kind>(value_.index()); }
+
+    bool isNull() const { return kind() == Kind::Null; }
+    bool isBool() const { return kind() == Kind::Bool; }
+    bool isNumber() const { return kind() == Kind::Number; }
+    bool isString() const { return kind() == Kind::String; }
+    bool isArray() const { return kind() == Kind::Array; }
+    bool isObject() const { return kind() == Kind::Object; }
+
+    /** @return the bool payload, or `fallback` for other kinds. */
+    bool asBool(bool fallback = false) const
+    {
+        return isBool() ? std::get<bool>(value_) : fallback;
+    }
+
+    /** @return the number payload, or `fallback` for other kinds. */
+    double asNumber(double fallback = 0.0) const
+    {
+        return isNumber() ? std::get<double>(value_) : fallback;
+    }
+
+    /** @return the string payload; empty for other kinds. */
+    const std::string &asString() const;
+
+    /** @return the array items; empty for other kinds. */
+    const JsonArray &asArray() const;
+
+    /** @return the object members; empty for other kinds. */
+    const JsonObject &asObject() const;
+
+    /**
+     * @return the value of the first member named `key`, or nullptr
+     *         when absent or when this value is not an object.
+     */
+    const Json *find(std::string_view key) const;
+
+    /** Append/overwrite an object member (makes this an object). */
+    void set(std::string key, Json value);
+
+    /** Append an array element (makes this an array). */
+    void push(Json value);
+
+    /** Render compactly on one line (never emits raw newlines). */
+    std::string dump() const;
+
+    /** Structural deep equality (numbers compare by value). */
+    bool operator==(const Json &other) const = default;
+
+  private:
+    std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+                 JsonObject>
+        value_;
+};
+
+/** Knobs bounding what the parser accepts. */
+struct JsonLimits
+{
+    /** Maximum container nesting depth. */
+    std::size_t maxDepth = 64;
+};
+
+/** Outcome of a parse: a value, or a diagnostic with its offset. */
+struct JsonParse
+{
+    std::optional<Json> value;
+    /** Parse diagnostic; empty on success. */
+    std::string error;
+    /** Byte offset the diagnostic refers to. */
+    std::size_t offset = 0;
+
+    bool ok() const { return value.has_value(); }
+};
+
+/**
+ * Parse one complete JSON document. Leading/trailing whitespace is
+ * allowed; anything else after the document is an error.
+ */
+JsonParse parseJson(std::string_view text, const JsonLimits &limits = {});
+
+} // namespace pccs::serve
+
+#endif // PCCS_SERVE_JSON_HH

@@ -1,0 +1,154 @@
+#include "metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pccs::serve {
+
+namespace {
+
+/** Index of the bucket covering `micros`: floor(log2), clamped. */
+std::size_t
+bucketIndex(double micros, std::size_t buckets)
+{
+    if (!(micros >= 1.0))
+        return 0;
+    const int e = std::ilogb(micros);
+    return std::min<std::size_t>(static_cast<std::size_t>(e),
+                                 buckets - 1);
+}
+
+} // namespace
+
+void
+LatencyHistogram::record(double micros)
+{
+    if (!(micros >= 0.0) || !std::isfinite(micros))
+        micros = 0.0;
+    ++buckets_[bucketIndex(micros, kBuckets)];
+    ++count_;
+    sumMicros_ += micros;
+    maxMicros_ = std::max(maxMicros_, micros);
+}
+
+double
+LatencyHistogram::percentileMicros(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    // Rank of the requested percentile (1-based, nearest-rank).
+    const double rank =
+        std::max(1.0, std::ceil(p / 100.0 *
+                                static_cast<double>(count_)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        const double before = static_cast<double>(seen);
+        seen += buckets_[i];
+        if (static_cast<double>(seen) < rank)
+            continue;
+        // Interpolate within [2^i, 2^(i+1)) by the rank's position
+        // among this bucket's samples.
+        const double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i));
+        const double hi = std::ldexp(1.0, static_cast<int>(i) + 1);
+        const double frac =
+            (rank - before) / static_cast<double>(buckets_[i]);
+        return std::min(lo + (hi - lo) * frac, maxMicros_);
+    }
+    return maxMicros_;
+}
+
+void
+Metrics::recordRequest(const std::string &op, bool ok, double micros)
+{
+    std::lock_guard lock(mutex_);
+    EndpointCounters &c = endpoints_[op];
+    ++c.requests;
+    if (!ok)
+        ++c.errors;
+    c.latency.record(micros);
+}
+
+void
+Metrics::recordBatch(std::size_t size)
+{
+    if (size == 0)
+        return;
+    std::lock_guard lock(mutex_);
+    ++batchSizes_[size];
+    batchedRequests_ += size;
+}
+
+std::uint64_t
+Metrics::totalRequests() const
+{
+    std::lock_guard lock(mutex_);
+    std::uint64_t total = 0;
+    for (const auto &[op, c] : endpoints_)
+        total += c.requests;
+    return total;
+}
+
+double
+Metrics::uptimeSeconds() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
+Json
+Metrics::toJson(const runner::CacheStats &cache) const
+{
+    std::lock_guard lock(mutex_);
+
+    Json endpoints = Json::object();
+    for (const auto &[op, c] : endpoints_) {
+        Json latency = Json::object();
+        latency.set("meanUs", c.latency.meanMicros());
+        latency.set("p50Us", c.latency.percentileMicros(50.0));
+        latency.set("p95Us", c.latency.percentileMicros(95.0));
+        latency.set("p99Us", c.latency.percentileMicros(99.0));
+        latency.set("maxUs", c.latency.maxMicros());
+
+        Json entry = Json::object();
+        entry.set("requests", c.requests);
+        entry.set("errors", c.errors);
+        entry.set("latency", std::move(latency));
+        endpoints.set(op, std::move(entry));
+    }
+
+    Json sizes = Json::object();
+    std::uint64_t passes = 0;
+    std::size_t largest = 0;
+    for (const auto &[size, n] : batchSizes_) {
+        sizes.set(std::to_string(size), n);
+        passes += n;
+        largest = std::max(largest, size);
+    }
+    Json batches = Json::object();
+    batches.set("passes", passes);
+    batches.set("requests", batchedRequests_);
+    batches.set("largest", largest);
+    batches.set("meanSize",
+                passes > 0 ? static_cast<double>(batchedRequests_) /
+                                 static_cast<double>(passes)
+                           : 0.0);
+    batches.set("sizes", std::move(sizes));
+
+    Json cacheJson = Json::object();
+    cacheJson.set("hits", cache.hits);
+    cacheJson.set("misses", cache.misses);
+    cacheJson.set("hitRate", cache.hitRate());
+
+    Json out = Json::object();
+    out.set("uptimeSeconds", uptimeSeconds());
+    out.set("endpoints", std::move(endpoints));
+    out.set("batches", std::move(batches));
+    out.set("cache", std::move(cacheJson));
+    return out;
+}
+
+} // namespace pccs::serve

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Live observability of the prediction service: per-endpoint request
+ * and error counters, latency histograms with percentile estimates,
+ * and the predict batcher's batch-size distribution.
+ *
+ * Latencies land in geometric (powers-of-two microseconds) buckets,
+ * so recording is O(1) and percentiles are estimated by linear
+ * interpolation inside the bucket that crosses the requested rank —
+ * the standard monitoring-histogram trade: bounded memory, ~2x worst
+ * case relative error, exact counts.
+ */
+
+#ifndef PCCS_SERVE_METRICS_HH
+#define PCCS_SERVE_METRICS_HH
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "runner/eval_cache.hh"
+#include "serve/json.hh"
+
+namespace pccs::serve {
+
+/** Fixed-bucket log-scale histogram of microsecond latencies. */
+class LatencyHistogram
+{
+  public:
+    void record(double micros);
+
+    std::uint64_t count() const { return count_; }
+
+    /** Mean recorded latency, microseconds (0 when empty). */
+    double meanMicros() const
+    {
+        return count_ > 0 ? sumMicros_ / static_cast<double>(count_)
+                          : 0.0;
+    }
+
+    /** Largest recorded latency, microseconds. */
+    double maxMicros() const { return maxMicros_; }
+
+    /**
+     * Estimated p-th percentile (p in [0, 100]), microseconds.
+     * Interpolated within the crossing bucket; 0 when empty.
+     */
+    double percentileMicros(double p) const;
+
+  private:
+    /** Buckets cover [2^i, 2^(i+1)) microseconds. */
+    static constexpr std::size_t kBuckets = 40;
+
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    double sumMicros_ = 0.0;
+    double maxMicros_ = 0.0;
+};
+
+/** Counters of one protocol endpoint. */
+struct EndpointCounters
+{
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    LatencyHistogram latency;
+};
+
+/**
+ * Thread-safe metrics registry of the service. One instance per
+ * server; the `stats` endpoint renders it as JSON.
+ */
+class Metrics
+{
+  public:
+    Metrics() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Record one handled request (ok or error) and its latency. */
+    void recordRequest(const std::string &op, bool ok, double micros);
+
+    /** Record one coalesced predict evaluation pass of `size`. */
+    void recordBatch(std::size_t size);
+
+    /** Total requests across all endpoints. */
+    std::uint64_t totalRequests() const;
+
+    /** Seconds since the metrics (i.e., the server) started. */
+    double uptimeSeconds() const;
+
+    /**
+     * Render everything as the `stats` result object; `cache` is the
+     * shared sweep-engine cache counters to report alongside.
+     */
+    Json toJson(const runner::CacheStats &cache) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, EndpointCounters> endpoints_;
+    /** batch size -> number of passes with that size. */
+    std::map<std::size_t, std::uint64_t> batchSizes_;
+    std::uint64_t batchedRequests_ = 0;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace pccs::serve
+
+#endif // PCCS_SERVE_METRICS_HH

@@ -1,0 +1,687 @@
+#include "protocol.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "pccs/builder.hh"
+#include "pccs/corun.hh"
+#include "pccs/design.hh"
+#include "pccs/placement.hh"
+#include "workloads/nn.hh"
+#include "workloads/rodinia.hh"
+
+namespace pccs::serve {
+
+void
+FrameBuffer::feed(const char *data, std::size_t n)
+{
+    buf_.append(data, n);
+}
+
+std::optional<FrameBuffer::Frame>
+FrameBuffer::next()
+{
+    while (true) {
+        const std::size_t nl = buf_.find('\n', scanned_);
+        if (discarding_) {
+            if (nl == std::string::npos) {
+                buf_.clear();
+                scanned_ = 0;
+                return std::nullopt;
+            }
+            buf_.erase(0, nl + 1);
+            scanned_ = 0;
+            discarding_ = false;
+            continue;
+        }
+        if (nl == std::string::npos) {
+            // Remember how far we scanned so repeated feeds of a long
+            // line stay linear.
+            scanned_ = buf_.size();
+            if (buf_.size() > maxFrame_) {
+                buf_.clear();
+                scanned_ = 0;
+                discarding_ = true;
+                return Frame{"", true};
+            }
+            return std::nullopt;
+        }
+        if (nl > maxFrame_) {
+            buf_.erase(0, nl + 1);
+            scanned_ = 0;
+            return Frame{"", true};
+        }
+        std::string text = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        scanned_ = 0;
+        if (!text.empty() && text.back() == '\r')
+            text.pop_back();
+        if (text.empty())
+            continue; // tolerate blank lines between frames
+        return Frame{std::move(text), false};
+    }
+}
+
+namespace {
+
+/** A per-request failure; caught per frame, never escapes. */
+struct ThrownRequestError
+{
+    std::string message;
+};
+
+[[noreturn]] void
+requestError(std::string message)
+{
+    throw ThrownRequestError{std::move(message)};
+}
+
+/** @return the member `key`, or fail the request. */
+const Json &
+field(const Json &request, const char *key)
+{
+    const Json *v = request.find(key);
+    if (v == nullptr)
+        requestError(std::string("missing field '") + key + "'");
+    return *v;
+}
+
+std::string
+requireString(const Json &request, const char *key)
+{
+    const Json &v = field(request, key);
+    if (!v.isString())
+        requestError(std::string("field '") + key +
+                     "' must be a string");
+    return v.asString();
+}
+
+double
+requireFinite(const Json &request, const char *key)
+{
+    const Json &v = field(request, key);
+    if (!v.isNumber() || !std::isfinite(v.asNumber()))
+        requestError(std::string("field '") + key +
+                     "' must be a finite number");
+    return v.asNumber();
+}
+
+double
+requireNonNegative(const Json &request, const char *key)
+{
+    const double v = requireFinite(request, key);
+    if (v < 0.0)
+        requestError(std::string("field '") + key +
+                     "' must be >= 0");
+    return v;
+}
+
+/** The program's phase demands: "phases" array, or a lone "demand". */
+std::vector<model::PhaseDemand>
+parsePhases(const Json &request)
+{
+    const Json *phases = request.find("phases");
+    if (phases == nullptr)
+        return {{requireNonNegative(request, "demand"), 1.0}};
+    if (!phases->isArray() || phases->asArray().empty())
+        requestError("field 'phases' must be a non-empty array");
+    std::vector<model::PhaseDemand> out;
+    out.reserve(phases->asArray().size());
+    for (const Json &phase : phases->asArray()) {
+        if (!phase.isObject())
+            requestError("each phase must be an object with "
+                         "'demand' and 'share'");
+        const double demand = requireNonNegative(phase, "demand");
+        const double share = requireFinite(phase, "share");
+        if (share <= 0.0)
+            requestError("field 'share' must be > 0");
+        out.push_back({demand, share});
+    }
+    return out;
+}
+
+bool
+isRodiniaBenchmark(const std::string &name)
+{
+    for (const auto &spec : workloads::rodiniaSuite())
+        if (spec.name == name)
+            return true;
+    return false;
+}
+
+bool
+isDlaWorkload(const std::string &name)
+{
+    return name == "Resnet-50" || name == "resnet-50" ||
+           name == "VGG-19" || name == "vgg-19" ||
+           name == "Alexnet" || name == "alexnet";
+}
+
+soc::PuKind
+puKindByName(const std::string &name)
+{
+    if (name == "cpu")
+        return soc::PuKind::Cpu;
+    if (name == "gpu")
+        return soc::PuKind::Gpu;
+    if (name == "dla")
+        return soc::PuKind::Dla;
+    requestError("unknown pu '" + name +
+                 "' (use cpu, gpu, or dla)");
+}
+
+double
+nowMicros(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+Dispatcher::Dispatcher(ModelRegistry &registry, Metrics &metrics,
+                       runner::SweepEngine *engine,
+                       DispatchOptions options)
+    : registry_(registry), metrics_(metrics),
+      engine_(engine != nullptr ? engine
+                                : &runner::SweepEngine::global()),
+      options_(options),
+      batchThread_([this](std::stop_token stop) { batchLoop(stop); })
+{
+}
+
+Dispatcher::~Dispatcher()
+{
+    batchThread_.request_stop();
+    batchCv_.notify_all();
+}
+
+std::vector<std::string>
+Dispatcher::handleFrames(const std::vector<FrameBuffer::Frame> &frames,
+                         bool *shutdown)
+{
+    struct Slot
+    {
+        std::string op = "_frame";
+        Json id;
+        bool hasId = false;
+        std::string error;
+        Json result;
+        PredictJob *job = nullptr;
+        std::chrono::steady_clock::time_point start;
+    };
+
+    std::vector<Slot> slots(frames.size());
+    std::vector<std::unique_ptr<PredictJob>> jobs;
+
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        Slot &s = slots[i];
+        s.start = std::chrono::steady_clock::now();
+        if (frames[i].oversized) {
+            s.error = "frame exceeds the size limit";
+            continue;
+        }
+        JsonParse parsed = parseJson(frames[i].text);
+        if (!parsed.ok()) {
+            s.error = "parse error at offset " +
+                      std::to_string(parsed.offset) + ": " +
+                      parsed.error;
+            continue;
+        }
+        const Json &request = *parsed.value;
+        if (!request.isObject()) {
+            s.error = "request must be a JSON object";
+            continue;
+        }
+        if (const Json *id = request.find("id")) {
+            s.id = *id;
+            s.hasId = true;
+        }
+        const Json *op = request.find("op");
+        if (op == nullptr || !op->isString()) {
+            s.error = "missing string field 'op'";
+            continue;
+        }
+        s.op = op->asString();
+        try {
+            if (s.op == "predict") {
+                jobs.push_back(makePredictJob(request));
+                s.job = jobs.back().get();
+            } else {
+                s.result = execute(s.op, request, shutdown);
+            }
+        } catch (const ThrownRequestError &e) {
+            s.error = e.message;
+        }
+    }
+
+    if (!jobs.empty())
+        submitBatch(jobs);
+
+    std::vector<std::string> out;
+    out.reserve(frames.size());
+    for (Slot &s : slots) {
+        if (s.job != nullptr) {
+            s.job->ready.wait();
+            s.result = std::move(s.job->result);
+        }
+        Json response = Json::object();
+        if (s.hasId)
+            response.set("id", std::move(s.id));
+        const bool ok = s.error.empty();
+        response.set("ok", ok);
+        if (ok)
+            response.set("result", std::move(s.result));
+        else
+            response.set("error", s.error);
+        metrics_.recordRequest(s.op, ok, nowMicros(s.start));
+        out.push_back(response.dump());
+    }
+    return out;
+}
+
+std::string
+Dispatcher::handleFrame(const std::string &frame, bool *shutdown)
+{
+    return handleFrames({FrameBuffer::Frame{frame, false}}, shutdown)
+        .front();
+}
+
+Json
+Dispatcher::execute(const std::string &op, const Json &request,
+                    bool *shutdown)
+{
+    if (op == "health")
+        return doHealth();
+    if (op == "stats")
+        return doStats();
+    if (op == "reload")
+        return doReload(request);
+    if (op == "corun")
+        return doCorun(request);
+    if (op == "place")
+        return doPlace(request);
+    if (op == "explore")
+        return doExplore(request);
+    if (op == "shutdown") {
+        if (shutdown != nullptr)
+            *shutdown = true;
+        Json result = Json::object();
+        result.set("stopping", true);
+        return result;
+    }
+    requestError("unknown op '" + op + "'");
+}
+
+std::unique_ptr<Dispatcher::PredictJob>
+Dispatcher::makePredictJob(const Json &request)
+{
+    auto job = std::make_unique<PredictJob>();
+    const std::string name = requireString(request, "model");
+    job->entry = registry_.find(name);
+    if (!job->entry)
+        requestError("unknown model '" + name + "'");
+    job->external = requireNonNegative(request, "external");
+    job->phases = parsePhases(request);
+    job->ready = job->done.get_future();
+    return job;
+}
+
+void
+Dispatcher::evaluatePredict(PredictJob &job)
+{
+    const model::PccsModel &m = job.entry->model;
+    Json result = Json::object();
+    double rs, slowdown;
+    if (job.phases.size() == 1) {
+        const GBps x = job.phases.front().demand;
+        rs = m.relativeSpeed(x, job.external);
+        slowdown = m.slowdownFactor(x, job.external);
+        result.set("region", model::regionName(m.classify(x)));
+        result.set("demand", x);
+    } else {
+        rs = model::predictPiecewise(m, job.phases, job.external);
+        slowdown = rs > 0.0 ? 100.0 / rs : 1e9;
+        result.set("phases", job.phases.size());
+    }
+    result.set("model", job.entry->name);
+    result.set("version", job.entry->version);
+    result.set("external", job.external);
+    result.set("relativeSpeed", rs);
+    result.set("slowdownFactor", slowdown);
+    job.result = std::move(result);
+}
+
+void
+Dispatcher::submitBatch(
+    std::vector<std::unique_ptr<PredictJob>> &batch)
+{
+    {
+        std::lock_guard lock(batchMutex_);
+        for (const auto &job : batch)
+            queue_.push_back(job.get());
+    }
+    batchCv_.notify_all();
+}
+
+void
+Dispatcher::batchLoop(const std::stop_token &stop)
+{
+    std::unique_lock lock(batchMutex_);
+    while (true) {
+        if (!batchCv_.wait(lock, stop,
+                           [&] { return !queue_.empty(); })) {
+            break; // stop requested while idle
+        }
+        std::vector<PredictJob *> batch(queue_.begin(), queue_.end());
+        queue_.clear();
+        lock.unlock();
+
+        // One coalesced evaluation pass for however many queries
+        // accumulated while the previous pass ran.
+        metrics_.recordBatch(batch.size());
+        if (batch.size() > 1 && engine_->jobs() > 1) {
+            engine_->parallelFor(batch.size(), [&](std::size_t i) {
+                evaluatePredict(*batch[i]);
+            });
+        } else {
+            for (PredictJob *job : batch)
+                evaluatePredict(*job);
+        }
+        for (PredictJob *job : batch)
+            job->done.set_value();
+
+        lock.lock();
+    }
+    // Graceful drain: finish whatever was queued when stop arrived.
+    for (PredictJob *job : queue_) {
+        evaluatePredict(*job);
+        job->done.set_value();
+    }
+    queue_.clear();
+}
+
+Json
+Dispatcher::doCorun(const Json &request)
+{
+    const Json &entries = field(request, "entries");
+    if (!entries.isArray() || entries.asArray().empty())
+        requestError("field 'entries' must be a non-empty array");
+
+    std::vector<std::shared_ptr<const ModelEntry>> held;
+    std::vector<model::CorunInput> inputs;
+    Json names = Json::array();
+    for (const Json &entry : entries.asArray()) {
+        if (!entry.isObject())
+            requestError("each corun entry must be an object");
+        const std::string name = requireString(entry, "model");
+        auto snapshot = registry_.find(name);
+        if (!snapshot)
+            requestError("unknown model '" + name + "'");
+        model::CorunInput input;
+        input.model = &snapshot->model;
+        input.phases = parsePhases(entry);
+        held.push_back(std::move(snapshot));
+        inputs.push_back(std::move(input));
+        names.push(name);
+    }
+
+    model::CorunPredictOptions opts;
+    if (request.find("refine") != nullptr) {
+        const double n = requireNonNegative(request, "refine");
+        opts.refinementIterations = static_cast<unsigned>(n);
+    }
+    if (request.find("damping") != nullptr) {
+        opts.damping = requireFinite(request, "damping");
+        if (opts.damping <= 0.0 || opts.damping > 1.0)
+            requestError("field 'damping' must be in (0, 1]");
+    }
+
+    const std::vector<double> speeds =
+        model::predictCorun(inputs, opts);
+    Json rs = Json::array();
+    Json slowdown = Json::array();
+    for (double s : speeds) {
+        rs.push(s);
+        slowdown.push(s > 0.0 ? 100.0 / s : 1e9);
+    }
+    Json result = Json::object();
+    result.set("models", std::move(names));
+    result.set("relativeSpeed", std::move(rs));
+    result.set("slowdownFactor", std::move(slowdown));
+    return result;
+}
+
+Json
+Dispatcher::doPlace(const Json &request)
+{
+    std::lock_guard lock(socMutex_);
+    SocBundle &bundle = socBundle(requireString(request, "soc"));
+
+    const Json &taskList = field(request, "tasks");
+    if (!taskList.isArray() || taskList.asArray().empty())
+        requestError("field 'tasks' must be a non-empty array");
+    if (taskList.asArray().size() > bundle.config.pus.size())
+        requestError("more tasks than PUs on that SoC");
+
+    std::vector<model::PlacementTask> tasks;
+    for (const Json &item : taskList.asArray()) {
+        std::string bench, nn;
+        if (item.isString()) {
+            bench = item.asString();
+        } else if (item.isObject()) {
+            if (const Json *b = item.find("bench"))
+                bench = b->asString();
+            else if (const Json *n = item.find("nn"))
+                nn = n->asString();
+        }
+        model::PlacementTask task;
+        if (!bench.empty()) {
+            if (!isRodiniaBenchmark(bench))
+                requestError("unknown benchmark '" + bench + "'");
+            task.name = bench;
+            for (const auto &pu : bundle.config.pus) {
+                if (pu.kind == soc::PuKind::Dla) {
+                    task.options.push_back({});
+                } else {
+                    task.options.push_back(
+                        soc::PhasedWorkload::single(
+                            workloads::rodiniaKernel(bench,
+                                                     pu.kind)));
+                }
+            }
+        } else if (!nn.empty()) {
+            if (!isDlaWorkload(nn))
+                requestError("unknown DLA workload '" + nn + "'");
+            task.name = nn;
+            for (const auto &pu : bundle.config.pus) {
+                if (pu.kind == soc::PuKind::Dla)
+                    task.options.push_back(
+                        workloads::dlaWorkload(nn));
+                else
+                    task.options.push_back({});
+            }
+        } else {
+            requestError("each task must be a benchmark name, "
+                         "{\"bench\": ...}, or {\"nn\": ...}");
+        }
+        tasks.push_back(std::move(task));
+    }
+
+    model::PlacementObjective objective =
+        model::PlacementObjective::MaxMinRelativeSpeed;
+    if (const Json *o = request.find("objective")) {
+        if (o->asString() == "makespan")
+            objective = model::PlacementObjective::MinMakespan;
+        else if (o->asString() != "maxmin")
+            requestError("field 'objective' must be 'maxmin' or "
+                         "'makespan'");
+    }
+
+    std::vector<const model::SlowdownPredictor *> models;
+    for (std::size_t p = 0; p < bundle.config.pus.size(); ++p)
+        models.push_back(&puModel(bundle, p));
+
+    const auto choices = model::enumeratePlacements(
+        *bundle.sim, models, tasks, objective);
+    if (choices.empty())
+        requestError("no feasible placement for those tasks");
+    const model::PlacementChoice &best = choices.front();
+
+    Json assignment = Json::array();
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+        Json a = Json::object();
+        a.set("task", tasks[t].name);
+        a.set("pu", best.puAssignment[t]);
+        a.set("puName",
+              bundle.config.pus[best.puAssignment[t]].name);
+        assignment.push(std::move(a));
+    }
+    Json rs = Json::array();
+    for (double s : best.relativeSpeed)
+        rs.push(s);
+    Json seconds = Json::array();
+    for (double s : best.corunSeconds)
+        seconds.push(s);
+
+    Json result = Json::object();
+    result.set("assignment", std::move(assignment));
+    result.set("relativeSpeed", std::move(rs));
+    result.set("corunSeconds", std::move(seconds));
+    result.set("score", best.score);
+    result.set("choicesConsidered", choices.size());
+    return result;
+}
+
+Json
+Dispatcher::doExplore(const Json &request)
+{
+    std::lock_guard lock(socMutex_);
+    SocBundle &bundle = socBundle(requireString(request, "soc"));
+
+    const soc::PuKind kind =
+        puKindByName(requireString(request, "pu"));
+    const int pu = bundle.config.puIndex(kind);
+    if (pu < 0)
+        requestError("that SoC has no such PU");
+    if (kind == soc::PuKind::Dla)
+        requestError("explore supports cpu and gpu kernels");
+    const std::string bench = requireString(request, "bench");
+    if (!isRodiniaBenchmark(bench))
+        requestError("unknown benchmark '" + bench + "'");
+    const double external = requireNonNegative(request, "external");
+    const double allowed = requireNonNegative(request, "allowed");
+
+    const std::size_t pi = static_cast<std::size_t>(pu);
+    const soc::KernelProfile kernel =
+        workloads::rodiniaKernel(bench, kind);
+    const model::PccsModel &m = puModel(bundle, pi);
+    const model::DesignExplorer explorer(bundle.config, engine_);
+
+    std::vector<MHz> grid;
+    const double fmax = bundle.config.pus[pi].maxFrequency;
+    const unsigned steps = std::max(2u, options_.exploreGridSteps);
+    for (double f = 0.3 * fmax; f < fmax; f += fmax / steps)
+        grid.push_back(f);
+    grid.push_back(fmax);
+
+    const model::DesignSelection sel = explorer.selectFrequency(
+        pi, kernel, external, allowed, m, grid);
+
+    Json result = Json::object();
+    result.set("bench", bench);
+    result.set("selectedMhz", sel.value);
+    result.set("maxMhz", fmax);
+    result.set("predictedPerformance", sel.predictedPerformance);
+    result.set("referencePerformance", sel.referencePerformance);
+    result.set("performanceRatio",
+               sel.referencePerformance > 0.0
+                   ? sel.predictedPerformance /
+                         sel.referencePerformance
+                   : 0.0);
+    return result;
+}
+
+Json
+Dispatcher::doReload(const Json &request)
+{
+    const std::string name = requireString(request, "model");
+    std::string path;
+    if (request.find("path") != nullptr)
+        path = requireString(request, "path");
+    const ModelRegistry::Reloaded outcome =
+        registry_.reload(name, path);
+    if (!outcome.ok)
+        requestError(outcome.error);
+    Json result = Json::object();
+    result.set("model", name);
+    result.set("version", outcome.version);
+    if (auto entry = registry_.find(name))
+        result.set("source", entry->source);
+    return result;
+}
+
+Json
+Dispatcher::doStats() const
+{
+    Json stats = metrics_.toJson(engine_->cache().stats());
+    Json models = Json::array();
+    for (const auto &entry : registry_.list()) {
+        Json m = Json::object();
+        m.set("name", entry->name);
+        m.set("version", entry->version);
+        m.set("source", entry->source);
+        models.push(std::move(m));
+    }
+    stats.set("models", std::move(models));
+    return stats;
+}
+
+Json
+Dispatcher::doHealth() const
+{
+    Json result = Json::object();
+    result.set("status", "ok");
+    result.set("uptimeSeconds", metrics_.uptimeSeconds());
+    result.set("models", registry_.size());
+    result.set("protocol", 1);
+    return result;
+}
+
+Dispatcher::SocBundle &
+Dispatcher::socBundle(const std::string &soc_name)
+{
+    auto it = socs_.find(soc_name);
+    if (it != socs_.end())
+        return *it->second;
+
+    soc::SocConfig config;
+    if (soc_name == "xavier")
+        config = soc::xavierLike();
+    else if (soc_name == "snapdragon")
+        config = soc::snapdragonLike();
+    else
+        requestError("unknown soc '" + soc_name +
+                     "' (use xavier or snapdragon)");
+
+    auto bundle = std::make_unique<SocBundle>();
+    bundle->config = config;
+    bundle->sim = std::make_unique<soc::SocSimulator>(config);
+    bundle->models.resize(config.pus.size());
+    return *(socs_[soc_name] = std::move(bundle));
+}
+
+const model::PccsModel &
+Dispatcher::puModel(SocBundle &bundle, std::size_t pu_index)
+{
+    if (!bundle.models[pu_index]) {
+        bundle.models[pu_index] =
+            std::make_unique<model::PccsModel>(
+                model::buildModel(*bundle.sim, pu_index));
+    }
+    return *bundle.models[pu_index];
+}
+
+} // namespace pccs::serve

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The wire protocol of the prediction service: newline-delimited JSON
+ * frames, one request per line, one response line per request.
+ *
+ * Request:  {"op": "<endpoint>", "id": <any>, ...endpoint fields}
+ * Response: {"id": <echoed>, "ok": true,  "result": {...}}
+ *        or {"id": <echoed>, "ok": false, "error": "<diagnostic>"}
+ *
+ * Endpoints: predict, corun, place, explore, reload, stats, health,
+ * shutdown (see DESIGN.md section 9 for the field grammar). Every
+ * malformed frame — garbage bytes, oversized lines, bad JSON, wrong
+ * field types — yields an `ok:false` response for that frame only;
+ * nothing a client sends can terminate the service.
+ *
+ * The dispatcher is transport-agnostic (tests drive it without
+ * sockets) and coalesces concurrent `predict` requests: instead of
+ * evaluating one model query per caller, pending queries are drained
+ * into a single batch evaluated in one `SweepEngine::parallelFor`
+ * pass (smart batching: under load, batches form naturally; when
+ * idle, a lone request flows through immediately).
+ */
+
+#ifndef PCCS_SERVE_PROTOCOL_HH
+#define PCCS_SERVE_PROTOCOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pccs/phases.hh"
+#include "runner/sweep_engine.hh"
+#include "serve/json.hh"
+#include "serve/metrics.hh"
+#include "serve/registry.hh"
+
+namespace pccs::serve {
+
+/**
+ * Reassembles newline-delimited frames from a TCP byte stream that
+ * may arrive arbitrarily split or merged. Lines longer than the
+ * configured maximum are reported once as oversized (so the peer gets
+ * a diagnostic) and their remaining bytes are discarded until the
+ * terminating newline, bounding memory per connection.
+ */
+class FrameBuffer
+{
+  public:
+    explicit FrameBuffer(std::size_t max_frame_bytes = 1 << 20)
+        : maxFrame_(max_frame_bytes)
+    {
+    }
+
+    /** One reassembled frame (without the trailing newline). */
+    struct Frame
+    {
+        std::string text;
+        /** True when the line exceeded the limit (text is empty). */
+        bool oversized = false;
+    };
+
+    /** Append raw bytes from the stream. */
+    void feed(const char *data, std::size_t n);
+
+    /** @return the next complete frame, if any. */
+    std::optional<Frame> next();
+
+  private:
+    std::string buf_;
+    std::size_t scanned_ = 0;
+    std::size_t maxFrame_;
+    bool discarding_ = false;
+};
+
+/** Configuration of a dispatcher (and so of the service). */
+struct DispatchOptions
+{
+    /** Frequency-grid points of the `explore` endpoint. */
+    unsigned exploreGridSteps = 64;
+};
+
+/**
+ * Parses, validates, and executes protocol requests against a model
+ * registry, recording metrics. Thread-safe: connection handlers call
+ * `handleFrames` concurrently.
+ */
+class Dispatcher
+{
+  public:
+    /**
+     * @param engine evaluation engine for batched predicts and the
+     *        simulator-backed endpoints; the process-wide engine
+     *        when null
+     */
+    Dispatcher(ModelRegistry &registry, Metrics &metrics,
+               runner::SweepEngine *engine = nullptr,
+               DispatchOptions options = {});
+    ~Dispatcher();
+
+    Dispatcher(const Dispatcher &) = delete;
+    Dispatcher &operator=(const Dispatcher &) = delete;
+
+    /**
+     * Handle one batch of frames (typically: everything one read()
+     * returned). Returns exactly one response line per frame, in
+     * frame order, without trailing newlines. All `predict` frames of
+     * the batch are submitted to the shared batcher together.
+     *
+     * @param shutdown set to true when a frame requested shutdown
+     */
+    std::vector<std::string>
+    handleFrames(const std::vector<FrameBuffer::Frame> &frames,
+                 bool *shutdown = nullptr);
+
+    /** Convenience wrapper for a single textual frame. */
+    std::string handleFrame(const std::string &frame,
+                            bool *shutdown = nullptr);
+
+    ModelRegistry &registry() { return registry_; }
+    Metrics &metrics() { return metrics_; }
+    runner::SweepEngine &engine() { return *engine_; }
+
+  private:
+    /** One parsed, batchable predict query awaiting evaluation. */
+    struct PredictJob
+    {
+        std::shared_ptr<const ModelEntry> entry;
+        std::vector<model::PhaseDemand> phases;
+        GBps external = 0.0;
+        Json result;
+        std::promise<void> done;
+        std::future<void> ready;
+    };
+
+    /** Lazily built simulator + per-PU models of one named SoC. */
+    struct SocBundle
+    {
+        soc::SocConfig config;
+        std::unique_ptr<soc::SocSimulator> sim;
+        std::vector<std::unique_ptr<model::PccsModel>> models;
+    };
+
+    Json execute(const std::string &op, const Json &request,
+                 bool *shutdown);
+
+    Json doCorun(const Json &request);
+    Json doPlace(const Json &request);
+    Json doExplore(const Json &request);
+    Json doReload(const Json &request);
+    Json doStats() const;
+    Json doHealth() const;
+
+    std::unique_ptr<PredictJob> makePredictJob(const Json &request);
+    static void evaluatePredict(PredictJob &job);
+
+    void submitBatch(std::vector<std::unique_ptr<PredictJob>> &batch);
+    void batchLoop(const std::stop_token &stop);
+    void drainQueue();
+
+    SocBundle &socBundle(const std::string &soc_name);
+    const model::PccsModel &puModel(SocBundle &bundle,
+                                    std::size_t pu_index);
+
+    ModelRegistry &registry_;
+    Metrics &metrics_;
+    runner::SweepEngine *engine_;
+    DispatchOptions options_;
+
+    std::mutex socMutex_;
+    std::map<std::string, std::unique_ptr<SocBundle>> socs_;
+
+    std::mutex batchMutex_;
+    std::condition_variable_any batchCv_;
+    std::deque<PredictJob *> queue_;
+    /** Declared last: joins before the members it uses die. */
+    std::jthread batchThread_;
+};
+
+} // namespace pccs::serve
+
+#endif // PCCS_SERVE_PROTOCOL_HH

@@ -1,0 +1,107 @@
+#include "registry.hh"
+
+#include <mutex>
+
+#include "pccs/serialize.hh"
+
+namespace pccs::serve {
+
+std::string
+ModelRegistry::addFromFile(const std::string &name,
+                           const std::string &path)
+{
+    const model::ParamsLoad load = model::tryLoadParams(path);
+    if (!load.ok())
+        return load.error;
+    std::unique_lock lock(mutex_);
+    Slot &slot = slots_[name];
+    const std::uint64_t version =
+        slot.entry ? slot.entry->version + 1 : 1;
+    slot.path = path;
+    slot.entry = std::make_shared<const ModelEntry>(
+        name, version, "file:" + path, *load.params);
+    return "";
+}
+
+void
+ModelRegistry::addFromParams(const std::string &name,
+                             const model::PccsParams &params,
+                             const std::string &source)
+{
+    std::unique_lock lock(mutex_);
+    Slot &slot = slots_[name];
+    const std::uint64_t version =
+        slot.entry ? slot.entry->version + 1 : 1;
+    slot.path.clear();
+    slot.entry = std::make_shared<const ModelEntry>(name, version,
+                                                    source, params);
+}
+
+std::shared_ptr<const ModelEntry>
+ModelRegistry::find(const std::string &name) const
+{
+    std::shared_lock lock(mutex_);
+    auto it = slots_.find(name);
+    return it != slots_.end() ? it->second.entry : nullptr;
+}
+
+ModelRegistry::Reloaded
+ModelRegistry::reload(const std::string &name,
+                      const std::string &path_override)
+{
+    std::string path = path_override;
+    std::uint64_t current = 0;
+    {
+        std::shared_lock lock(mutex_);
+        auto it = slots_.find(name);
+        if (it == slots_.end() && path.empty())
+            return {false, "unknown model '" + name + "'", 0};
+        if (it != slots_.end()) {
+            current = it->second.entry ? it->second.entry->version : 0;
+            if (path.empty())
+                path = it->second.path;
+        }
+        if (path.empty()) {
+            return {false,
+                    "model '" + name +
+                        "' has no backing file (give a path)",
+                    current};
+        }
+    }
+
+    // Load outside the lock: file I/O must not stall readers.
+    const model::ParamsLoad load = model::tryLoadParams(path);
+    if (!load.ok())
+        return {false, load.error, current};
+
+    std::unique_lock lock(mutex_);
+    Slot &slot = slots_[name];
+    const std::uint64_t version =
+        slot.entry ? slot.entry->version + 1 : 1;
+    slot.path = path;
+    slot.entry = std::make_shared<const ModelEntry>(
+        name, version, "file:" + path, *load.params);
+    return {true, "", version};
+}
+
+std::vector<std::shared_ptr<const ModelEntry>>
+ModelRegistry::list() const
+{
+    std::shared_lock lock(mutex_);
+    std::vector<std::shared_ptr<const ModelEntry>> out;
+    out.reserve(slots_.size());
+    for (const auto &[name, slot] : slots_) {
+        if (slot.entry)
+            out.push_back(slot.entry);
+    }
+    return out;
+}
+
+std::size_t
+ModelRegistry::size() const
+{
+    std::shared_lock lock(mutex_);
+    return slots_.size();
+}
+
+} // namespace pccs::serve

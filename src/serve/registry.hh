@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The versioned model registry of the prediction service.
+ *
+ * The paper's calibrate-once / predict-forever workflow meets a
+ * long-running daemon here: models are loaded from serialized
+ * parameter files (or calibrated in-process at startup) under stable
+ * names, and a `reload` request re-reads a model's backing file and
+ * atomically publishes the new version. Readers hold
+ * `shared_ptr<const ModelEntry>` snapshots, so a reload never
+ * invalidates an in-flight request — predictions started against
+ * version N complete against version N while new requests see N+1.
+ *
+ * A failed reload (missing file, malformed or out-of-range
+ * parameters) reports a diagnostic and leaves the registered version
+ * untouched; the service never serves a half-loaded model.
+ */
+
+#ifndef PCCS_SERVE_REGISTRY_HH
+#define PCCS_SERVE_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "pccs/model.hh"
+
+namespace pccs::serve {
+
+/** One immutable published model version. */
+struct ModelEntry
+{
+    ModelEntry(std::string entry_name, std::uint64_t entry_version,
+               std::string entry_source,
+               const model::PccsParams &entry_params)
+        : name(std::move(entry_name)), version(entry_version),
+          source(std::move(entry_source)), params(entry_params),
+          model(entry_params)
+    {
+    }
+
+    std::string name;
+    std::uint64_t version;
+    /** Provenance: "file:<path>" or "calibrated:<soc>:<pu>". */
+    std::string source;
+    model::PccsParams params;
+    model::PccsModel model;
+};
+
+/** Thread-safe name -> (versioned model, backing path) table. */
+class ModelRegistry
+{
+  public:
+    /**
+     * Load `path` and register/replace `name` backed by that file.
+     * @return empty string on success, else the load diagnostic (the
+     *         previously registered version, if any, is kept)
+     */
+    std::string addFromFile(const std::string &name,
+                            const std::string &path);
+
+    /**
+     * Register/replace `name` from in-memory parameters (no backing
+     * file; `reload` without an explicit path will fail for it).
+     */
+    void addFromParams(const std::string &name,
+                       const model::PccsParams &params,
+                       const std::string &source);
+
+    /** @return the current version of `name`, or nullptr. */
+    std::shared_ptr<const ModelEntry>
+    find(const std::string &name) const;
+
+    /** Outcome of a reload request. */
+    struct Reloaded
+    {
+        bool ok = false;
+        /** Diagnostic when !ok. */
+        std::string error;
+        /** The now-current version number. */
+        std::uint64_t version = 0;
+    };
+
+    /**
+     * Re-read `name`'s backing file (or `path_override`, which also
+     * becomes the new backing file on success) and publish the next
+     * version. On failure the current version stays published.
+     */
+    Reloaded reload(const std::string &name,
+                    const std::string &path_override = "");
+
+    /** Snapshot of all current entries, sorted by name. */
+    std::vector<std::shared_ptr<const ModelEntry>> list() const;
+
+    std::size_t size() const;
+
+  private:
+    struct Slot
+    {
+        /** Backing file; empty for in-memory registrations. */
+        std::string path;
+        std::shared_ptr<const ModelEntry> entry;
+    };
+
+    mutable std::shared_mutex mutex_;
+    std::map<std::string, Slot> slots_;
+};
+
+} // namespace pccs::serve
+
+#endif // PCCS_SERVE_REGISTRY_HH

@@ -1,0 +1,237 @@
+#include "server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace pccs::serve {
+
+namespace {
+
+/** write() the whole buffer; false when the peer went away. */
+bool
+sendAll(int fd, const char *data, std::size_t n)
+{
+    while (n > 0) {
+        const ssize_t sent = ::send(fd, data, n, MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += sent;
+        n -= static_cast<std::size_t>(sent);
+    }
+    return true;
+}
+
+} // namespace
+
+Server::Server(Dispatcher &dispatcher, ServerOptions options)
+    : dispatcher_(dispatcher), options_(std::move(options))
+{
+}
+
+Server::~Server()
+{
+    stop();
+    if (wakePipe_[0] >= 0)
+        ::close(wakePipe_[0]);
+    if (wakePipe_[1] >= 0)
+        ::close(wakePipe_[1]);
+}
+
+bool
+Server::start(std::string *error)
+{
+    auto failWith = [&](const std::string &message) {
+        if (error != nullptr)
+            *error = message + ": " + std::strerror(errno);
+        if (listenFd_ >= 0) {
+            ::close(listenFd_);
+            listenFd_ = -1;
+        }
+        return false;
+    };
+
+    if (::pipe(wakePipe_) != 0)
+        return failWith("cannot create wake pipe");
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listenFd_ < 0)
+        return failWith("cannot create socket");
+
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.host.c_str(),
+                    &addr.sin_addr) != 1) {
+        errno = EINVAL;
+        return failWith("bad bind address '" + options_.host + "'");
+    }
+
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return failWith("cannot bind " + options_.host + ":" +
+                        std::to_string(options_.port));
+    if (::listen(listenFd_, options_.backlog) != 0)
+        return failWith("cannot listen");
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        return failWith("cannot read the bound address");
+    port_ = ntohs(addr.sin_port);
+
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+Server::requestStop()
+{
+    // Async-signal-safe: an atomic store and one pipe write.
+    stopping_.store(true);
+    if (wakePipe_[1] >= 0) {
+        const char byte = 's';
+        [[maybe_unused]] ssize_t n =
+            ::write(wakePipe_[1], &byte, 1);
+    }
+}
+
+bool
+Server::stopRequested() const
+{
+    return stopping_.load();
+}
+
+void
+Server::serveForever()
+{
+    char byte;
+    while (!stopping_.load()) {
+        const ssize_t n = ::read(wakePipe_[0], &byte, 1);
+        if (n < 0 && errno == EINTR)
+            continue;
+        break;
+    }
+    stop();
+}
+
+void
+Server::stop()
+{
+    stopping_.store(true);
+    if (listenFd_ >= 0) {
+        // Unblock accept(); the accept thread sees stopping_ and
+        // exits.
+        ::shutdown(listenFd_, SHUT_RDWR);
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+
+    std::lock_guard lock(connMutex_);
+    for (auto &conn : connections_) {
+        // Half-close: pending bytes are still processed and their
+        // responses written, then the connection loop sees EOF.
+        ::shutdown(conn->fd, SHUT_RD);
+    }
+    for (auto &conn : connections_) {
+        if (conn->thread.joinable())
+            conn->thread.join();
+        ::close(conn->fd);
+    }
+    connections_.clear();
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stopping_.load()) {
+        const int fd =
+            ::accept4(listenFd_, nullptr, nullptr, SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // listener closed (stop) or fatal accept error
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+        connectionsAccepted_.fetch_add(1);
+
+        std::lock_guard lock(connMutex_);
+        reapFinishedLocked();
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        Connection *raw = conn.get();
+        connections_.push_back(std::move(conn));
+        raw->thread = std::thread([this, raw] {
+            char buf[64 * 1024];
+            FrameBuffer frames(options_.maxFrameBytes);
+            std::vector<FrameBuffer::Frame> batch;
+            bool alive = true;
+            while (alive) {
+                const ssize_t n =
+                    ::recv(raw->fd, buf, sizeof(buf), 0);
+                if (n == 0)
+                    break;
+                if (n < 0) {
+                    if (errno == EINTR)
+                        continue;
+                    break;
+                }
+                frames.feed(buf, static_cast<std::size_t>(n));
+                batch.clear();
+                while (auto frame = frames.next())
+                    batch.push_back(std::move(*frame));
+                if (batch.empty())
+                    continue;
+                bool shutdown_requested = false;
+                std::string wire;
+                for (std::string &response : dispatcher_.handleFrames(
+                         batch, &shutdown_requested)) {
+                    wire += response;
+                    wire += '\n';
+                }
+                alive = sendAll(raw->fd, wire.data(), wire.size());
+                if (shutdown_requested)
+                    requestStop();
+            }
+            // The fd is closed by reap/stop after the join, so a
+            // racing stop() never touches a recycled descriptor.
+            raw->done.store(true);
+        });
+    }
+}
+
+void
+Server::reapFinishedLocked()
+{
+    for (std::size_t i = 0; i < connections_.size();) {
+        if (!connections_[i]->done.load()) {
+            ++i;
+            continue;
+        }
+        if (connections_[i]->thread.joinable())
+            connections_[i]->thread.join();
+        ::close(connections_[i]->fd);
+        connections_.erase(connections_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+    }
+}
+
+} // namespace pccs::serve

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The TCP front end of the prediction service.
+ *
+ * A plain BSD-socket loop: one accept thread, one thread per
+ * connection, newline-delimited JSON frames reassembled by
+ * `FrameBuffer` and executed by the shared `Dispatcher`. Binding to
+ * port 0 picks an ephemeral port (reported by `port()`), which the
+ * tests and the throughput bench rely on.
+ *
+ * Shutdown is graceful and race-free: `requestStop()` is
+ * async-signal-safe (a byte down a self-pipe), `serveForever()`
+ * returns once stop is requested, and `stop()` closes the listener,
+ * half-closes every connection (SHUT_RD), and joins — in-flight
+ * requests finish and their responses are written before the
+ * connection threads exit.
+ */
+
+#ifndef PCCS_SERVE_SERVER_HH
+#define PCCS_SERVE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hh"
+
+namespace pccs::serve {
+
+/** Listener configuration. */
+struct ServerOptions
+{
+    /** Bind address; loopback by default (the service is a local
+     *  sidecar, not an internet-facing daemon). */
+    std::string host = "127.0.0.1";
+    /** TCP port; 0 = let the kernel pick (see Server::port()). */
+    std::uint16_t port = 0;
+    /** Per-connection frame size limit, bytes. */
+    std::size_t maxFrameBytes = 1 << 20;
+    int backlog = 64;
+};
+
+/** Newline-delimited-JSON-over-TCP server around a Dispatcher. */
+class Server
+{
+  public:
+    explicit Server(Dispatcher &dispatcher, ServerOptions options = {});
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind, listen, and start accepting.
+     * @return true on success; else false with a diagnostic in *error
+     */
+    bool start(std::string *error = nullptr);
+
+    /** The bound port (resolves ephemeral binds); 0 before start(). */
+    std::uint16_t port() const { return port_; }
+
+    /** Ask the server to stop; safe from any thread and from signal
+     *  handlers. Returns immediately. */
+    void requestStop();
+
+    /** @return true once requestStop() was called. */
+    bool stopRequested() const;
+
+    /** Block until requestStop(), then tear everything down. */
+    void serveForever();
+
+    /** Stop accepting, drain connections, join all threads. */
+    void stop();
+
+    /** Connections accepted so far. */
+    std::uint64_t connectionsAccepted() const
+    {
+        return connectionsAccepted_.load();
+    }
+
+  private:
+    void acceptLoop();
+    void reapFinishedLocked();
+
+    struct Connection
+    {
+        int fd = -1;
+        std::atomic<bool> done{false};
+        std::thread thread;
+    };
+
+    Dispatcher &dispatcher_;
+    ServerOptions options_;
+    int listenFd_ = -1;
+    int wakePipe_[2] = {-1, -1};
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> connectionsAccepted_{0};
+
+    std::mutex connMutex_;
+    std::vector<std::unique_ptr<Connection>> connections_;
+    std::thread acceptThread_;
+};
+
+} // namespace pccs::serve
+
+#endif // PCCS_SERVE_SERVER_HH

@@ -121,6 +121,141 @@ TEST(SerializeDeath, MissingFileIsFatal)
                 ::testing::ExitedWithCode(1), "cannot open");
 }
 
+TEST(SerializeChecked, DiagnosticsNameTheProblem)
+{
+    // Truncated text: a missing key is called out by name.
+    std::string text = paramsToText(sample());
+    const auto pos = text.find("tbwdc");
+    text.erase(pos);
+    const ParamsLoad load = paramsFromTextChecked(text);
+    EXPECT_FALSE(load.ok());
+    EXPECT_NE(load.error.find("tbwdc"), std::string::npos)
+        << load.error;
+    EXPECT_NE(load.error.find("truncated"), std::string::npos)
+        << load.error;
+}
+
+TEST(SerializeChecked, WrongTypeNamesLineAndKey)
+{
+    const std::string text = "pccs-model v1\n"
+                             "normalBw 38.1\nintensiveBw 96.2\n"
+                             "mrmc 4.9\ncbp fast\n"
+                             "tbwdc 87.2\nrateN 1.11\npeakBw 137\n";
+    const ParamsLoad load = paramsFromTextChecked(text);
+    EXPECT_FALSE(load.ok());
+    EXPECT_NE(load.error.find("line 5"), std::string::npos)
+        << load.error;
+    EXPECT_NE(load.error.find("cbp"), std::string::npos) << load.error;
+}
+
+TEST(SerializeChecked, MoreMalformedInputs)
+{
+    const char *header = "pccs-model v1\n";
+    const char *body = "normalBw 38.1\nintensiveBw 96.2\nmrmc 4.9\n"
+                       "cbp 45.3\ntbwdc 87.2\nrateN 1.11\n"
+                       "peakBw 137\n";
+    // Each mutation must fail cleanly, never crash.
+    EXPECT_FALSE(
+        paramsFromTextChecked(std::string(header) + body + "cbp 1\n")
+            .ok()); // duplicate key
+    EXPECT_FALSE(paramsFromTextChecked(std::string(header) + body +
+                                       "bogus 3\n")
+                     .ok()); // unknown key
+    EXPECT_FALSE(paramsFromTextChecked(std::string(header) +
+                                       "normalBw 38.1 42\n")
+                     .ok()); // trailing token
+    EXPECT_FALSE(paramsFromTextChecked(std::string(header) +
+                                       "normalBw\n")
+                     .ok()); // key without a value
+    EXPECT_FALSE(paramsFromTextChecked(
+                     std::string("pccs-model v1 extra\n") + body)
+                     .ok()); // trailing token on the header
+    std::string na_cbp(body);
+    na_cbp.replace(na_cbp.find("cbp 45.3"), 8, "cbp NA");
+    EXPECT_FALSE(
+        paramsFromTextChecked(std::string(header) + na_cbp).ok());
+    std::string inf(body);
+    inf.replace(inf.find("cbp 45.3"), 8, "cbp inf");
+    EXPECT_FALSE(
+        paramsFromTextChecked(std::string(header) + inf).ok());
+}
+
+TEST(SerializeChecked, OutOfRangeValuesRejected)
+{
+    auto text_with = [](auto mutate) {
+        PccsParams p = sample();
+        mutate(p);
+        return paramsToText(p);
+    };
+    EXPECT_FALSE(paramsFromTextChecked(text_with([](PccsParams &p) {
+                     p.peakBw = 0.0;
+                 })).ok());
+    EXPECT_FALSE(paramsFromTextChecked(text_with([](PccsParams &p) {
+                     p.normalBw = -1.0;
+                 })).ok());
+    EXPECT_FALSE(paramsFromTextChecked(text_with([](PccsParams &p) {
+                     p.intensiveBw = p.normalBw - 1.0;
+                 })).ok());
+    EXPECT_FALSE(paramsFromTextChecked(text_with([](PccsParams &p) {
+                     p.cbp = 0.0;
+                 })).ok());
+    EXPECT_FALSE(paramsFromTextChecked(text_with([](PccsParams &p) {
+                     p.tbwdc = -0.5;
+                 })).ok());
+    EXPECT_FALSE(paramsFromTextChecked(text_with([](PccsParams &p) {
+                     p.rateN = -2.0;
+                 })).ok());
+    EXPECT_FALSE(paramsFromTextChecked(text_with([](PccsParams &p) {
+                     p.mrmc = -3.0;
+                 })).ok());
+}
+
+TEST(SerializeChecked, TryLoadReportsInsteadOfDying)
+{
+    const ParamsLoad missing =
+        tryLoadParams("/nonexistent/dir/model.txt");
+    EXPECT_FALSE(missing.ok());
+    EXPECT_NE(missing.error.find("cannot open"), std::string::npos);
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "pccs_serialize_truncated.model")
+            .string();
+    {
+        std::string text = paramsToText(sample());
+        text.resize(text.size() / 2); // truncate mid-file
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+    }
+    const ParamsLoad truncated = tryLoadParams(path);
+    EXPECT_FALSE(truncated.ok());
+    // The diagnostic names the offending file.
+    EXPECT_NE(truncated.error.find(path), std::string::npos)
+        << truncated.error;
+    std::remove(path.c_str());
+}
+
+TEST(SerializeChecked, SaveLoadSaveIsIdentity)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "pccs_serialize_identity.model")
+            .string();
+    for (bool with_na : {false, true}) {
+        PccsParams p = sample();
+        if (with_na) {
+            p.normalBw = 0.0;
+            p.mrmc = std::numeric_limits<double>::quiet_NaN();
+        }
+        saveParams(p, path);
+        const PccsParams loaded = loadParams(path);
+        EXPECT_EQ(paramsToText(loaded), paramsToText(p));
+    }
+    std::remove(path.c_str());
+}
+
 TEST(Serialize, LoadedModelPredictsLikeOriginal)
 {
     const PccsModel original(sample());

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * End-to-end tests of the TCP service: a real server on an ephemeral
+ * loopback port, driven through TcpClient.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pccs/model.hh"
+#include "pccs/serialize.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/registry.hh"
+#include "serve/server.hh"
+
+namespace pccs::serve {
+namespace {
+
+model::PccsParams
+sampleParams()
+{
+    model::PccsParams p;
+    p.normalBw = 38.1;
+    p.intensiveBw = 96.2;
+    p.mrmc = 4.9;
+    p.cbp = 45.3;
+    p.tbwdc = 87.2;
+    p.rateN = 1.11;
+    p.peakBw = 137.0;
+    return p;
+}
+
+/** A live server on an ephemeral port with one model, "m". */
+struct LiveServer
+{
+    ModelRegistry registry;
+    Metrics metrics;
+    Dispatcher dispatcher{registry, metrics};
+    Server server{dispatcher};
+
+    LiveServer()
+    {
+        registry.addFromParams("m", sampleParams(), "test");
+        std::string error;
+        if (!server.start(&error))
+            ADD_FAILURE() << "server failed to start: " << error;
+    }
+
+    ~LiveServer() { server.stop(); }
+
+    TcpClient connect()
+    {
+        TcpClient client;
+        std::string error;
+        EXPECT_TRUE(
+            client.connectTo("127.0.0.1", server.port(), &error))
+            << error;
+        return client;
+    }
+};
+
+Json
+makePredict(double demand, double external, int id)
+{
+    Json req = Json::object();
+    req.set("op", "predict");
+    req.set("id", id);
+    req.set("model", "m");
+    req.set("demand", demand);
+    req.set("external", external);
+    return req;
+}
+
+TEST(ServeServer, PredictOverTcpIsBitExact)
+{
+    LiveServer live;
+    TcpClient client = live.connect();
+    const model::PccsModel reference(sampleParams());
+
+    for (double x : {8.0, 45.0, 120.0}) {
+        for (double y : {0.0, 33.0, 80.0}) {
+            const Json resp = client.request(makePredict(x, y, 1));
+            ASSERT_TRUE(resp.find("ok")->asBool()) << resp.dump();
+            EXPECT_EQ(resp.find("result")
+                          ->find("relativeSpeed")
+                          ->asNumber(),
+                      reference.relativeSpeed(x, y));
+        }
+    }
+}
+
+TEST(ServeServer, PipelinedRequestsAnswerInOrder)
+{
+    LiveServer live;
+    TcpClient client = live.connect();
+
+    // Fire 50 requests without reading a single response; the server
+    // must answer all of them, in order, likely in few batches.
+    constexpr int kCount = 50;
+    for (int i = 0; i < kCount; ++i)
+        ASSERT_TRUE(
+            client.sendLine(makePredict(10.0 + i, 5.0, i).dump()));
+    for (int i = 0; i < kCount; ++i) {
+        const auto line = client.recvLine();
+        ASSERT_TRUE(line.has_value()) << "eof after " << i;
+        const JsonParse parsed = parseJson(*line);
+        ASSERT_TRUE(parsed.ok()) << *line;
+        EXPECT_DOUBLE_EQ(parsed.value->find("id")->asNumber(), i);
+        EXPECT_TRUE(parsed.value->find("ok")->asBool());
+    }
+}
+
+TEST(ServeServer, MalformedFrameKeepsTheConnectionUsable)
+{
+    LiveServer live;
+    TcpClient client = live.connect();
+
+    ASSERT_TRUE(client.sendLine("this is not json"));
+    auto line = client.recvLine();
+    ASSERT_TRUE(line.has_value());
+    EXPECT_FALSE(parseJson(*line).value->find("ok")->asBool());
+
+    // An oversized line (> 1 MiB) is rejected but not fatal either.
+    ASSERT_TRUE(client.sendLine(std::string(2u << 20, 'x')));
+    line = client.recvLine();
+    ASSERT_TRUE(line.has_value());
+    EXPECT_FALSE(parseJson(*line).value->find("ok")->asBool());
+
+    const Json resp = client.request(makePredict(20.0, 10.0, 9));
+    EXPECT_TRUE(resp.find("ok")->asBool()) << resp.dump();
+}
+
+TEST(ServeServer, ConcurrentClients)
+{
+    LiveServer live;
+    const model::PccsModel reference(sampleParams());
+    constexpr int kClients = 6, kRequests = 40;
+    std::vector<std::thread> threads;
+    std::vector<int> bad(kClients, 0);
+    for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+            TcpClient client;
+            std::string error;
+            if (!client.connectTo("127.0.0.1", live.server.port(),
+                                  &error)) {
+                bad[c] = kRequests;
+                return;
+            }
+            for (int i = 0; i < kRequests; ++i) {
+                const double x = 5.0 + (c * kRequests + i) % 130;
+                const Json resp =
+                    client.request(makePredict(x, 25.0, i));
+                const Json *ok = resp.find("ok");
+                if (ok == nullptr || !ok->asBool() ||
+                    resp.find("result")
+                            ->find("relativeSpeed")
+                            ->asNumber() !=
+                        reference.relativeSpeed(x, 25.0)) {
+                    ++bad[c];
+                }
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    for (int c = 0; c < kClients; ++c)
+        EXPECT_EQ(bad[c], 0) << "client " << c;
+    EXPECT_GE(live.server.connectionsAccepted(),
+              static_cast<std::uint64_t>(kClients));
+}
+
+TEST(ServeServer, ReloadSwapsTheServedModelVersion)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "pccs_serve_e2e_reload.model")
+            .string();
+    model::saveParams(sampleParams(), path);
+
+    LiveServer live;
+    ASSERT_EQ(live.registry.addFromFile("disk", path), "");
+    TcpClient client = live.connect();
+
+    Json predict = makePredict(90.0, 40.0, 1);
+    predict.set("model", "disk");
+    Json v1 = client.request(predict);
+    ASSERT_TRUE(v1.find("ok")->asBool()) << v1.dump();
+    EXPECT_DOUBLE_EQ(v1.find("result")->find("version")->asNumber(),
+                     1.0);
+
+    model::PccsParams changed = sampleParams();
+    changed.cbp = 70.0;
+    model::saveParams(changed, path);
+
+    Json reload = Json::object();
+    reload.set("op", "reload");
+    reload.set("model", "disk");
+    const Json reloaded = client.request(reload);
+    ASSERT_TRUE(reloaded.find("ok")->asBool()) << reloaded.dump();
+    EXPECT_DOUBLE_EQ(
+        reloaded.find("result")->find("version")->asNumber(), 2.0);
+
+    const Json v2 = client.request(predict);
+    EXPECT_DOUBLE_EQ(v2.find("result")->find("version")->asNumber(),
+                     2.0);
+    EXPECT_EQ(v2.find("result")->find("relativeSpeed")->asNumber(),
+              model::PccsModel(changed).relativeSpeed(90.0, 40.0));
+    std::remove(path.c_str());
+}
+
+TEST(ServeServer, StatsShutdownAndGracefulExit)
+{
+    LiveServer live;
+    TcpClient client = live.connect();
+
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(
+            client.request(makePredict(30.0, 10.0, i)).find("ok")
+                ->asBool());
+
+    Json statsReq = Json::object();
+    statsReq.set("op", "stats");
+    const Json stats = client.request(statsReq);
+    ASSERT_TRUE(stats.find("ok")->asBool());
+    const Json *predict =
+        stats.find("result")->find("endpoints")->find("predict");
+    ASSERT_NE(predict, nullptr);
+    EXPECT_DOUBLE_EQ(predict->find("requests")->asNumber(), 5.0);
+    EXPECT_GT(
+        predict->find("latency")->find("p95Us")->asNumber(), 0.0);
+
+    Json shutdownReq = Json::object();
+    shutdownReq.set("op", "shutdown");
+    const Json bye = client.request(shutdownReq);
+    EXPECT_TRUE(bye.find("ok")->asBool());
+    EXPECT_TRUE(
+        bye.find("result")->find("stopping")->asBool());
+
+    // The shutdown response arrived before the teardown; the server
+    // unblocks serveForever and joins cleanly.
+    std::thread waiter([&] { live.server.serveForever(); });
+    waiter.join();
+    EXPECT_TRUE(live.server.stopRequested());
+}
+
+} // namespace
+} // namespace pccs::serve

@@ -18,11 +18,19 @@
  *   sweep --soc S --pu P --bench NAME [--max-external Y] [--steps N]
  *       Sweep a kernel under external pressure through the parallel
  *       sweep engine and write JSON/CSV artifacts.
+ *   serve [--host H] [--port N] [--model NAME=FILE,...]
+ *         [--calibrate SOC:PU,...]
+ *       Run the prediction service: newline-delimited JSON over TCP
+ *       (see DESIGN.md section 9).
+ *   client --port N [--host H] (--send JSON | --op OP [fields])
+ *       Send one request to a running service and print the response.
  *
- * The global option --jobs N caps the sweep engine's worker threads
- * (equivalent to setting PCCS_JOBS=N).
+ * `pccs --version` prints the tool version. The global option
+ * --jobs N caps the sweep engine's worker threads (equivalent to
+ * setting PCCS_JOBS=N).
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,13 +50,23 @@
 #include "pccs/serialize.hh"
 #include "runner/run_spec.hh"
 #include "runner/sweep_engine.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/registry.hh"
+#include "serve/server.hh"
 #include "workloads/rodinia.hh"
+
+#ifndef PCCS_CLI_VERSION
+#define PCCS_CLI_VERSION "0.3.0"
+#endif
 
 using namespace pccs;
 
 namespace {
 
 using ArgMap = std::map<std::string, std::string>;
+
+void usage(std::FILE *to);
 
 ArgMap
 parseArgs(int argc, char **argv, int first)
@@ -69,8 +87,10 @@ const std::string &
 require(const ArgMap &args, const std::string &key)
 {
     auto it = args.find(key);
-    if (it == args.end())
+    if (it == args.end()) {
+        usage(stderr);
         fatal("missing required option --%s", key.c_str());
+    }
     return it->second;
 }
 
@@ -331,6 +351,165 @@ cmdSweep(const ArgMap &args)
     return 0;
 }
 
+/** Split "a,b,c" into its non-empty comma-separated pieces. */
+std::vector<std::string>
+splitCsv(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t comma = text.find(',', start);
+        if (comma == std::string::npos)
+            comma = text.size();
+        if (comma > start)
+            out.push_back(text.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+serve::Server *g_server = nullptr;
+
+extern "C" void
+handleStopSignal(int)
+{
+    // requestStop is async-signal-safe (atomic store + pipe write).
+    if (g_server != nullptr)
+        g_server->requestStop();
+}
+
+int
+cmdServe(const ArgMap &args)
+{
+    serve::ModelRegistry registry;
+
+    // --model NAME=FILE[,NAME=FILE...]: preload serialized models.
+    if (args.count("model")) {
+        for (const std::string &spec : splitCsv(args.at("model"))) {
+            const std::size_t eq = spec.find('=');
+            if (eq == std::string::npos || eq == 0 ||
+                eq + 1 >= spec.size()) {
+                fatal("--model wants NAME=FILE, got '%s'",
+                      spec.c_str());
+            }
+            const std::string name = spec.substr(0, eq);
+            const std::string path = spec.substr(eq + 1);
+            const std::string err = registry.addFromFile(name, path);
+            if (!err.empty())
+                fatal("cannot load model '%s': %s", name.c_str(),
+                      err.c_str());
+            inform("loaded model '%s' from %s", name.c_str(),
+                   path.c_str());
+        }
+    }
+
+    // --calibrate SOC:PU[,SOC:PU...]: build models from the
+    // simulator and register them as "<soc>.<pu>".
+    if (args.count("calibrate")) {
+        for (const std::string &spec :
+             splitCsv(args.at("calibrate"))) {
+            const std::size_t colon = spec.find(':');
+            if (colon == std::string::npos) {
+                fatal("--calibrate wants SOC:PU, got '%s'",
+                      spec.c_str());
+            }
+            const std::string soc_name = spec.substr(0, colon);
+            const std::string pu_name = spec.substr(colon + 1);
+            const soc::SocConfig soc = socByName(soc_name);
+            const int pu = soc.puIndex(puByName(pu_name));
+            if (pu < 0)
+                fatal("SoC '%s' has no %s", soc_name.c_str(),
+                      pu_name.c_str());
+            const soc::SocSimulator sim(soc);
+            const model::PccsParams p =
+                model::buildModel(sim, static_cast<std::size_t>(pu))
+                    .params();
+            const std::string name = soc_name + "." + pu_name;
+            registry.addFromParams(
+                name, p, "calibrated:" + soc_name + ":" + pu_name);
+            inform("calibrated model '%s'", name.c_str());
+        }
+    }
+
+    if (registry.size() == 0) {
+        warn("starting with an empty model registry; use "
+             "--model/--calibrate, or reload with a path later");
+    }
+
+    serve::Metrics metrics;
+    serve::Dispatcher dispatcher(registry, metrics);
+    serve::ServerOptions opts;
+    if (args.count("host"))
+        opts.host = args.at("host");
+    if (args.count("port"))
+        opts.port =
+            static_cast<std::uint16_t>(requireDouble(args, "port"));
+
+    serve::Server server(dispatcher, opts);
+    std::string err;
+    if (!server.start(&err))
+        fatal("%s", err.c_str());
+
+    g_server = &server;
+    std::signal(SIGINT, handleStopSignal);
+    std::signal(SIGTERM, handleStopSignal);
+
+    // The port line is machine-read by scripts; keep its shape.
+    std::printf("pccs serve: listening on %s:%u (%zu model(s))\n",
+                opts.host.c_str(), server.port(), registry.size());
+    std::fflush(stdout);
+
+    server.serveForever();
+    g_server = nullptr;
+    inform("pccs serve: stopped (%llu connection(s) served)",
+           static_cast<unsigned long long>(
+               server.connectionsAccepted()));
+    return 0;
+}
+
+int
+cmdClient(const ArgMap &args)
+{
+    const std::string host =
+        args.count("host") ? args.at("host") : "127.0.0.1";
+    const std::uint16_t port =
+        static_cast<std::uint16_t>(requireDouble(args, "port"));
+
+    serve::Json req;
+    if (args.count("send")) {
+        const serve::JsonParse parsed =
+            serve::parseJson(args.at("send"));
+        if (!parsed.ok())
+            fatal("--send is not valid JSON: %s",
+                  parsed.error.c_str());
+        req = *parsed.value;
+    } else {
+        req = serve::Json::object();
+        req.set("op", serve::Json(require(args, "op")));
+        req.set("id", serve::Json(1));
+        if (args.count("model"))
+            req.set("model", serve::Json(args.at("model")));
+        if (args.count("demand"))
+            req.set("demand",
+                    serve::Json(requireDouble(args, "demand")));
+        if (args.count("external"))
+            req.set("external",
+                    serve::Json(requireDouble(args, "external")));
+        if (args.count("path"))
+            req.set("path", serve::Json(args.at("path")));
+    }
+
+    serve::TcpClient client;
+    std::string err;
+    if (!client.connectTo(host, port, &err))
+        fatal("%s", err.c_str());
+
+    const serve::Json resp = client.request(req);
+    std::printf("%s\n", resp.dump().c_str());
+    const serve::Json *ok = resp.find("ok");
+    return (ok != nullptr && ok->isBool() && ok->asBool()) ? 0 : 1;
+}
+
 int
 cmdRegion(const ArgMap &args)
 {
@@ -342,9 +521,9 @@ cmdRegion(const ArgMap &args)
 }
 
 void
-usage()
+usage(std::FILE *to)
 {
-    std::printf(
+    std::fprintf(to,
         "pccs — processor-centric contention-aware slowdown modeling\n"
         "\n"
         "usage:\n"
@@ -360,9 +539,18 @@ usage()
         "  pccs sweep     --soc S --pu P --bench NAME "
         "[--max-external Y]\n"
         "                 [--steps N] [--out DIR]\n"
+        "  pccs serve     [--host H] [--port N] "
+        "[--model NAME=FILE,...]\n"
+        "                 [--calibrate SOC:PU,...]\n"
+        "  pccs client    --port N [--host H] (--send JSON | --op OP "
+        "[--model M]\n"
+        "                 [--demand X] [--external Y] [--path FILE])\n"
+        "  pccs --version\n"
         "\n"
         "  S: xavier | snapdragon      P: cpu | gpu | dla\n"
         "  NAME: a Rodinia benchmark (e.g. streamcluster)\n"
+        "  OP: predict | corun | place | explore | reload | stats | "
+        "health | shutdown\n"
         "\n"
         "global options:\n"
         "  --jobs N    cap the sweep engine's worker threads "
@@ -375,10 +563,18 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        usage();
+        usage(stderr);
         return 1;
     }
     const std::string cmd = argv[1];
+    if (cmd == "--version" || cmd == "version") {
+        std::printf("pccs %s\n", PCCS_CLI_VERSION);
+        return 0;
+    }
+    if (cmd == "--help" || cmd == "help") {
+        usage(stdout);
+        return 0;
+    }
     const ArgMap args = parseArgs(argc, argv, 2);
     if (args.count("jobs")) {
         // Must land before the first SweepEngine::global() call.
@@ -398,6 +594,10 @@ main(int argc, char **argv)
         return cmdPhases(args);
     if (cmd == "sweep")
         return cmdSweep(args);
-    usage();
+    if (cmd == "serve")
+        return cmdServe(args);
+    if (cmd == "client")
+        return cmdClient(args);
+    usage(stderr);
     fatal("unknown command '%s'", cmd.c_str());
 }
