@@ -72,6 +72,54 @@ BM_GablesPredict(benchmark::State &state)
 }
 BENCHMARK(BM_GablesPredict);
 
+/** Deterministic structure-of-arrays demand grid for batch benches. */
+void
+fillDemandGrid(std::vector<double> &xs, std::vector<double> &ys,
+               std::size_t n)
+{
+    xs.resize(n);
+    ys.resize(n);
+    double x = 10.0, y = 5.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        xs[i] = x;
+        ys[i] = y;
+        x = x < 120.0 ? x + 1.0 : 10.0;
+        y = y < 100.0 ? y + 1.0 : 5.0;
+    }
+}
+
+void
+BM_PccsPredictBatch(benchmark::State &state)
+{
+    const model::PccsModel &m = gpuModel();
+    std::vector<double> xs, ys;
+    fillDemandGrid(xs, ys, static_cast<std::size_t>(state.range(0)));
+    std::vector<double> speeds(xs.size());
+    for (auto _ : state) {
+        m.relativeSpeedBatch(xs, ys, speeds);
+        benchmark::DoNotOptimize(speeds.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(xs.size()));
+}
+BENCHMARK(BM_PccsPredictBatch)->Arg(4096)->ArgNames({"points"});
+
+void
+BM_GablesPredictBatch(benchmark::State &state)
+{
+    const gables::GablesModel g(137.0);
+    std::vector<double> xs, ys;
+    fillDemandGrid(xs, ys, static_cast<std::size_t>(state.range(0)));
+    std::vector<double> speeds(xs.size());
+    for (auto _ : state) {
+        g.relativeSpeedBatch(xs, ys, speeds);
+        benchmark::DoNotOptimize(speeds.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(xs.size()));
+}
+BENCHMARK(BM_GablesPredictBatch)->Arg(4096)->ArgNames({"points"});
+
 void
 BM_WaterFillAllocation(benchmark::State &state)
 {

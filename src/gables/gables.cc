@@ -29,6 +29,85 @@ GablesModel::relativeSpeed(GBps x, GBps y) const
     return 100.0 * effectiveBandwidth(x, y) / x;
 }
 
+namespace {
+
+/**
+ * The branchless Gables kernel: the effective-bandwidth cases of the
+ * scalar path become selects on precomputed values, with the same
+ * operations in the same order per point (bit-exact). Note the scalar
+ * path returns 100% for x <= 0 *before* validating y, so validation
+ * here is likewise skipped for those points.
+ */
+template <typename YAt>
+void
+gablesBatchKernel(GBps peak, std::span<const GBps> x, YAt y_at,
+                  std::span<double> speeds)
+{
+    const std::size_t n = x.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const double xi = x[i];
+        const double yi = y_at(i);
+        const double total = xi + yi;
+        const double eff =
+            total <= peak || total <= 0.0 ? xi : xi * peak / total;
+        speeds[i] = xi <= 0.0 ? 100.0 : 100.0 * eff / xi;
+    }
+}
+
+template <typename YAt>
+void
+checkGablesDemands(std::span<const GBps> x, YAt y_at)
+{
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        if (x[i] <= 0.0)
+            continue; // scalar path short-circuits before validating
+        PCCS_ASSERT(x[i] >= 0.0 && y_at(i) >= 0.0,
+                    "negative bandwidth demand");
+    }
+}
+
+/* Multiversioned entry points: the kernel template inlines into each
+ * clone (flatten), so the loop itself is compiled per ISA. */
+PCCS_KERNEL_MULTIVERSION void
+gablesBatchPairwise(GBps peak, std::span<const GBps> x,
+                    std::span<const GBps> y, std::span<double> speeds)
+{
+    gablesBatchKernel(peak, x, [y](std::size_t i) { return y[i]; },
+                      speeds);
+}
+
+PCCS_KERNEL_MULTIVERSION void
+gablesBatchBroadcast(GBps peak, std::span<const GBps> x, GBps y,
+                     std::span<double> speeds)
+{
+    gablesBatchKernel(peak, x, [y](std::size_t) { return y; }, speeds);
+}
+
+} // namespace
+
+void
+GablesModel::relativeSpeedBatch(std::span<const GBps> x,
+                                std::span<const GBps> y,
+                                std::span<double> speeds) const
+{
+    PCCS_ASSERT(x.size() == y.size() && x.size() == speeds.size(),
+                "batch span lengths differ (%zu, %zu, %zu)", x.size(),
+                y.size(), speeds.size());
+    checkGablesDemands(x, [y](std::size_t i) { return y[i]; });
+    gablesBatchPairwise(peak_, x, y, speeds);
+}
+
+void
+GablesModel::relativeSpeedBroadcast(std::span<const GBps> x, GBps y,
+                                    std::span<double> speeds) const
+{
+    PCCS_ASSERT(x.size() == speeds.size(),
+                "batch span lengths differ (%zu, %zu)", x.size(),
+                speeds.size());
+    checkGablesDemands(x, [y](std::size_t) { return y; });
+    gablesBatchBroadcast(peak_, x, y, speeds);
+}
+
 double
 rooflinePerformance(double compute_roof_gflops, double intensity,
                     GBps bandwidth)

@@ -16,6 +16,7 @@
 #ifndef PCCS_GABLES_GABLES_HH
 #define PCCS_GABLES_GABLES_HH
 
+#include "pccs/batch.hh"
 #include "pccs/predictor.hh"
 
 namespace pccs::gables {
@@ -23,7 +24,8 @@ namespace pccs::gables {
 /**
  * Gables' proportional-sharing slowdown model.
  */
-class GablesModel final : public model::SlowdownPredictor
+class GablesModel final : public model::SlowdownPredictor,
+                          public model::BatchPredictor
 {
   public:
     /** @param peak_bw the SoC's theoretical peak bandwidth, GB/s. */
@@ -36,6 +38,18 @@ class GablesModel final : public model::SlowdownPredictor
      * the pro-rated share 100 * peak / (x + y).
      */
     double relativeSpeed(GBps x, GBps y) const override;
+
+    /**
+     * Branchless structure-of-arrays evaluation, bit-exact with
+     * calling `relativeSpeed` per point (the saturation and zero-
+     * demand cases become arithmetic selects).
+     */
+    void relativeSpeedBatch(std::span<const GBps> x,
+                            std::span<const GBps> y,
+                            std::span<double> speeds) const override;
+
+    void relativeSpeedBroadcast(std::span<const GBps> x, GBps y,
+                                std::span<double> speeds) const override;
 
     /** Effective bandwidth granted to the processor, GB/s. */
     GBps effectiveBandwidth(GBps x, GBps y) const;

@@ -1,0 +1,54 @@
+#include "batch.hh"
+
+#include "common/logging.hh"
+
+namespace pccs::model {
+
+void
+BatchPredictor::relativeSpeedBroadcast(std::span<const GBps> x, GBps y,
+                                       std::span<double> speeds) const
+{
+    const std::vector<double> ys(x.size(), y);
+    relativeSpeedBatch(x, ys, speeds);
+}
+
+std::vector<double>
+BatchPredictor::relativeSpeeds(std::span<const GBps> x,
+                               std::span<const GBps> y) const
+{
+    std::vector<double> speeds(x.size(), 0.0);
+    relativeSpeedBatch(x, y, speeds);
+    return speeds;
+}
+
+void
+ScalarBatchAdapter::relativeSpeedBatch(std::span<const GBps> x,
+                                       std::span<const GBps> y,
+                                       std::span<double> speeds) const
+{
+    PCCS_ASSERT(x.size() == y.size() && x.size() == speeds.size(),
+                "batch span lengths differ (%zu, %zu, %zu)", x.size(),
+                y.size(), speeds.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        speeds[i] = scalar_->relativeSpeed(x[i], y[i]);
+}
+
+void
+ScalarBatchAdapter::relativeSpeedBroadcast(std::span<const GBps> x,
+                                           GBps y,
+                                           std::span<double> speeds) const
+{
+    PCCS_ASSERT(x.size() == speeds.size(),
+                "batch span lengths differ (%zu, %zu)", x.size(),
+                speeds.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        speeds[i] = scalar_->relativeSpeed(x[i], y);
+}
+
+const BatchPredictor *
+batchInterface(const SlowdownPredictor &predictor)
+{
+    return dynamic_cast<const BatchPredictor *>(&predictor);
+}
+
+} // namespace pccs::model

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Structure-of-arrays batch evaluation of slowdown predictors.
+ *
+ * Grid-shaped consumers — design-space exploration, the co-run
+ * fixed-point solver, placement enumeration, the serve predict
+ * batcher — issue millions of cheap model queries. Paying a virtual
+ * dispatch plus per-point region branching for each query dominates
+ * the cost of the arithmetic itself, so this layer adds a batch
+ * interface: spans of x/y demands in, a span of speeds out, evaluated
+ * by a branchless kernel (region selection via arithmetic select,
+ * parameters hoisted out of the loop) that compilers auto-vectorize.
+ *
+ * Contract: the batched path is bit-exact with the scalar path. For
+ * every i, `speeds[i]` has the same bit pattern as
+ * `relativeSpeed(x[i], y[i])` — the kernels perform the same
+ * operations in the same order per point, they only drop the
+ * per-point dispatch and branching. Tests enforce this with a
+ * scalar-vs-batch parity oracle (see tests/test_batch_predict.cc).
+ */
+
+#ifndef PCCS_MODEL_BATCH_HH
+#define PCCS_MODEL_BATCH_HH
+
+#include <span>
+#include <vector>
+
+#include "pccs/predictor.hh"
+
+/**
+ * Function multiversioning for the batch kernels: the annotated
+ * function is compiled once for the baseline ISA and once for AVX2
+ * (4-wide doubles), with the runtime resolver picking per host. AVX2
+ * deliberately excludes FMA, so no contraction can change results —
+ * every clone stays bit-exact with the scalar path. `flatten` forces
+ * the shared kernel template to inline into each clone so its loop is
+ * compiled under the clone's ISA.
+ */
+#if defined(__x86_64__) && defined(__GNUC__)
+#define PCCS_KERNEL_MULTIVERSION                                       \
+    __attribute__((target_clones("default", "avx2"), flatten))
+#else
+#define PCCS_KERNEL_MULTIVERSION
+#endif
+
+namespace pccs::model {
+
+/**
+ * Interface of batch-capable slowdown predictors. Implemented
+ * natively by `PccsModel` and `GablesModel`; any other
+ * `SlowdownPredictor` can be driven through `ScalarBatchAdapter`.
+ */
+class BatchPredictor
+{
+  public:
+    virtual ~BatchPredictor() = default;
+
+    /**
+     * Evaluate many points at once: speeds[i] = relativeSpeed(x[i],
+     * y[i]). All spans must have equal length. Bit-exact with the
+     * scalar path.
+     */
+    virtual void relativeSpeedBatch(std::span<const GBps> x,
+                                    std::span<const GBps> y,
+                                    std::span<double> speeds) const = 0;
+
+    /**
+     * Broadcast form: speeds[i] = relativeSpeed(x[i], y) for one
+     * shared external demand (a grid of kernels under one co-run
+     * pressure). The default materializes a constant y vector; native
+     * implementations override it with a strided kernel.
+     */
+    virtual void relativeSpeedBroadcast(std::span<const GBps> x, GBps y,
+                                        std::span<double> speeds) const;
+
+    /** Convenience: pairwise evaluation into a fresh vector. */
+    std::vector<double> relativeSpeeds(std::span<const GBps> x,
+                                       std::span<const GBps> y) const;
+};
+
+/**
+ * Drives any scalar `SlowdownPredictor` through the batch interface,
+ * one virtual call per point. The semantic fallback for predictors
+ * without a native kernel — correctness by construction, none of the
+ * throughput.
+ */
+class ScalarBatchAdapter final : public BatchPredictor
+{
+  public:
+    /** @param scalar the wrapped predictor (not owned). */
+    explicit ScalarBatchAdapter(const SlowdownPredictor &scalar)
+        : scalar_(&scalar)
+    {
+    }
+
+    void relativeSpeedBatch(std::span<const GBps> x,
+                            std::span<const GBps> y,
+                            std::span<double> speeds) const override;
+
+    void relativeSpeedBroadcast(std::span<const GBps> x, GBps y,
+                                std::span<double> speeds) const override;
+
+  private:
+    const SlowdownPredictor *scalar_;
+};
+
+/**
+ * @return the predictor's native batch interface, or nullptr when it
+ * only implements the scalar protocol (callers then fall back to
+ * `ScalarBatchAdapter`).
+ */
+const BatchPredictor *batchInterface(const SlowdownPredictor &predictor);
+
+} // namespace pccs::model
+
+#endif // PCCS_MODEL_BATCH_HH

@@ -80,31 +80,106 @@ DesignExplorer::selectLowest(
     PCCS_ASSERT(!grid.empty(), "selection grid is empty");
     std::vector<double> sorted = grid;
     std::sort(sorted.begin(), sorted.end());
+    const std::size_t n = sorted.size();
 
-    // Precompute every grid point's performance on the engine's pool
-    // (the points are independent; repeated selections over the same
-    // grid hit the engine cache), then scan serially — deterministic
-    // and identical to the serial early-exit loop.
-    std::vector<double> perfs(sorted.size(), 0.0);
-    engine_->parallelFor(sorted.size(), [&](std::size_t i) {
-        perfs[i] = perf_at(sorted[i]);
-    });
+    if (!pruneSelection_) {
+        // Full scan: every grid point's performance on the engine's
+        // pool (the points are independent; repeated selections over
+        // the same grid hit the engine cache), then a serial scan —
+        // deterministic and identical to the serial early-exit loop.
+        std::vector<double> perfs(n, 0.0);
+        engine_->parallelFor(n, [&](std::size_t i) {
+            perfs[i] = perf_at(sorted[i]);
+        });
+
+        DesignSelection sel;
+        sel.referencePerformance = perfs.back();
+        const double floor =
+            sel.referencePerformance * (1.0 - allowed_pct / 100.0);
+
+        sel.value = sorted.back();
+        sel.predictedPerformance = sel.referencePerformance;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (perfs[i] >= floor) {
+                sel.value = sorted[i];
+                sel.predictedPerformance = perfs[i];
+                break;
+            }
+        }
+        return sel;
+    }
+
+    // Pruned selection. Co-run performance is monotone non-decreasing
+    // in the knob (a higher clock or more cores never predicts slower
+    // co-run performance), so the acceptable set {i : perf(i) >=
+    // floor} is a suffix of the sorted grid and the full scan's
+    // "first acceptable point" is the suffix boundary. The reference
+    // is hoisted — computed once per query, not once per candidate —
+    // and the boundary is found by binary search: 1 + ceil(log2 n)
+    // evaluations instead of n.
+    std::vector<double> memo(n, 0.0);
+    std::vector<char> known(n, 0);
+    const auto eval = [&](std::size_t i) {
+        if (!known[i]) {
+            memo[i] = perf_at(sorted[i]);
+            known[i] = 1;
+        }
+        return memo[i];
+    };
 
     DesignSelection sel;
-    sel.referencePerformance = perfs.back();
+    sel.referencePerformance = eval(n - 1);
     const double floor =
         sel.referencePerformance * (1.0 - allowed_pct / 100.0);
 
-    sel.value = sorted.back();
-    sel.predictedPerformance = sel.referencePerformance;
-    for (std::size_t i = 0; i < sorted.size(); ++i) {
-        if (perfs[i] >= floor) {
-            sel.value = sorted[i];
-            sel.predictedPerformance = perfs[i];
-            break;
-        }
+    // Invariant: perf(hi) >= floor (the reference itself qualifies,
+    // since floor <= referencePerformance for allowed_pct >= 0).
+    std::size_t lo = 0, hi = n - 1;
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (eval(mid) >= floor)
+            hi = mid;
+        else
+            lo = mid + 1;
     }
+    sel.value = sorted[hi];
+    sel.predictedPerformance = eval(hi);
     return sel;
+}
+
+std::vector<double>
+DesignExplorer::corunPerformanceGrid(
+    std::size_t pu_index, const soc::KernelProfile &kernel,
+    const std::vector<MHz> &grid, GBps external,
+    const SlowdownPredictor &predictor) const
+{
+    const std::size_t n = grid.size();
+    // Stage 1: standalone profiles of every candidate configuration,
+    // in parallel and memoized (the expensive, simulator-backed part).
+    std::vector<soc::StandaloneProfile> solos(n);
+    engine_->parallelFor(n, [&](std::size_t i) {
+        const soc::SocSimulator sim(
+            configured(pu_index, grid[i], 0.0));
+        solos[i] = engine_->profile(sim, pu_index, kernel);
+    });
+
+    // Stage 2: the whole grid's slowdowns in one batch call over the
+    // structure-of-arrays demands.
+    std::vector<double> xs(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        xs[i] = solos[i].bandwidthDemand;
+    std::vector<double> speeds(n, 0.0);
+    if (const BatchPredictor *bp = batchInterface(predictor)) {
+        bp->relativeSpeedBroadcast(xs, external, speeds);
+    } else {
+        const ScalarBatchAdapter adapter(predictor);
+        adapter.relativeSpeedBroadcast(xs, external, speeds);
+    }
+
+    std::vector<double> perfs(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        perfs[i] = solos[i].rate * speeds[i] / 100.0;
+    return perfs;
 }
 
 DesignSelection

@@ -16,6 +16,7 @@
 #include <functional>
 #include <vector>
 
+#include "pccs/batch.hh"
 #include "pccs/predictor.hh"
 #include "runner/sweep_engine.hh"
 #include "soc/simulator.hh"
@@ -67,6 +68,32 @@ class DesignExplorer
                                   MHz frequency, GBps external) const;
 
     /**
+     * Predicted co-run performance at every frequency of `grid` in
+     * one pass: the standalone profiles are evaluated in parallel on
+     * the engine pool (memoized), and the whole grid's slowdowns come
+     * from a single `BatchPredictor` call (falling back to the scalar
+     * adapter for predictors without a native kernel). Element i is
+     * bit-exact with `corunPerformance(pu, kernel, grid[i], ...)`.
+     */
+    std::vector<double> corunPerformanceGrid(
+        std::size_t pu_index, const soc::KernelProfile &kernel,
+        const std::vector<MHz> &grid, GBps external,
+        const SlowdownPredictor &predictor) const;
+
+    /**
+     * Selection strategy knob. Pruned (the default) exploits the
+     * monotone co-run-performance-vs-knob structure: the reference
+     * (full-configuration) performance is hoisted and computed once,
+     * and the lowest acceptable candidate is found by binary search
+     * over the sorted grid — O(log n) evaluations — instead of a full
+     * scan. Identical selections to the full scan whenever the
+     * performance curve is monotone non-decreasing in the knob (which
+     * the simulator and both models guarantee; see DESIGN.md §10).
+     */
+    void setPruneSelection(bool on) { pruneSelection_ = on; }
+    bool pruneSelection() const { return pruneSelection_; }
+
+    /**
      * Select the lowest frequency in `grid` whose predicted co-run
      * performance stays within `allowed_slowdown_pct` percent of the
      * co-run performance at the maximum grid frequency.
@@ -113,6 +140,7 @@ class DesignExplorer
 
     soc::SocConfig config_;
     runner::SweepEngine *engine_;
+    bool pruneSelection_ = true;
 };
 
 } // namespace pccs::model

@@ -124,4 +124,123 @@ PccsModel::relativeSpeed(GBps x, GBps y) const
     return clamp(rs, 0.0, 100.0);
 }
 
+namespace {
+
+/**
+ * The branchless three-region kernel. Every expression mirrors the
+ * scalar member functions above operation for operation — only the
+ * control flow differs: all three region curves are evaluated and the
+ * per-point choices (region, normal-region piece, y-cap) are ternary
+ * selects on already-computed values, so selecting never changes what
+ * arithmetic produced the selected value. That is what makes the
+ * batched results bit-exact with the scalar path while leaving the
+ * loop body straight-line code the auto-vectorizer accepts.
+ *
+ * `YAt` abstracts the y access so the pairwise and broadcast entry
+ * points share one kernel without materializing a constant vector.
+ */
+template <typename YAt>
+void
+pccsBatchKernel(const PccsParams &p, std::span<const GBps> x, YAt y_at,
+                std::span<double> speeds)
+{
+    const double normal_bw = p.normalBw;
+    const double intensive_bw = p.intensiveBw;
+    const double cbp = p.cbp;
+    const double tbwdc = p.tbwdc;
+    const double rate_n = p.rateN;
+    const double peak_bw = p.peakBw;
+    const double mrmc = p.noMinorRegion() ? 0.0 : p.mrmc;
+
+    const std::size_t n = x.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const double xi = x[i];
+        const double yi = y_at(i);
+        // Equation 2 (minorSpeed): also the continuity envelope of
+        // the other two regions.
+        const double minor =
+            100.0 - mrmc * std::min(yi, peak_bw) / peak_bw;
+        // Equation 3 (normalSpeed): the y<=CBP / y>CBP pieces differ
+        // only in capping y at CBP, and the pre-contention piece is a
+        // select back to the minor line.
+        const double y_cap = yi <= cbp ? yi : cbp;
+        const double reduced_n = 100.0 - (xi + y_cap - tbwdc) * rate_n;
+        // Non-short-circuit conjunction: both comparisons are
+        // trap-free, and `&&` on two loop-varying operands is control
+        // flow the if-converter refuses to vectorize through.
+        const bool pre = (xi + yi <= tbwdc) & (yi <= cbp);
+        const double normal =
+            pre ? minor : std::min(minor, reduced_n);
+        // Equations 4 + 5 (rateI, intensiveSpeed).
+        const double rate_i =
+            rate_n * std::max(0.0, xi + cbp - tbwdc) / cbp;
+        const double reduced_i = 100.0 - std::min(yi, cbp) * rate_i;
+        const double intensive = std::min(minor, reduced_i);
+        // Equation 1: region classification as a two-level select.
+        const double rs =
+            xi <= normal_bw ? minor
+                            : (xi <= intensive_bw ? normal : intensive);
+        // pccs::clamp's exact arithmetic, inlined: the out-of-line
+        // call would block if-conversion of the whole loop body.
+        speeds[i] = std::min(std::max(rs, 0.0), 100.0);
+    }
+}
+
+/**
+ * Input validation, hoisted out of the arithmetic loop so the kernel
+ * body stays branch-free. Same condition and diagnostic as the scalar
+ * path's per-point assertion.
+ */
+template <typename YAt>
+void
+checkBatchDemands(std::span<const GBps> x, YAt y_at)
+{
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        PCCS_ASSERT(x[i] >= 0.0 && y_at(i) >= 0.0,
+                    "negative bandwidth demand (x=%f, y=%f)", x[i],
+                    y_at(i));
+    }
+}
+
+/* Multiversioned entry points: the kernel template inlines into each
+ * clone (flatten), so the loop itself is compiled per ISA. */
+PCCS_KERNEL_MULTIVERSION void
+pccsBatchPairwise(const PccsParams &p, std::span<const GBps> x,
+                  std::span<const GBps> y, std::span<double> speeds)
+{
+    pccsBatchKernel(p, x, [y](std::size_t i) { return y[i]; }, speeds);
+}
+
+PCCS_KERNEL_MULTIVERSION void
+pccsBatchBroadcast(const PccsParams &p, std::span<const GBps> x, GBps y,
+                   std::span<double> speeds)
+{
+    pccsBatchKernel(p, x, [y](std::size_t) { return y; }, speeds);
+}
+
+} // namespace
+
+void
+PccsModel::relativeSpeedBatch(std::span<const GBps> x,
+                              std::span<const GBps> y,
+                              std::span<double> speeds) const
+{
+    PCCS_ASSERT(x.size() == y.size() && x.size() == speeds.size(),
+                "batch span lengths differ (%zu, %zu, %zu)", x.size(),
+                y.size(), speeds.size());
+    checkBatchDemands(x, [y](std::size_t i) { return y[i]; });
+    pccsBatchPairwise(params_, x, y, speeds);
+}
+
+void
+PccsModel::relativeSpeedBroadcast(std::span<const GBps> x, GBps y,
+                                  std::span<double> speeds) const
+{
+    PCCS_ASSERT(x.size() == speeds.size(),
+                "batch span lengths differ (%zu, %zu)", x.size(),
+                speeds.size());
+    checkBatchDemands(x, [y](std::size_t) { return y; });
+    pccsBatchBroadcast(params_, x, y, speeds);
+}
+
 } // namespace pccs::model

@@ -23,6 +23,7 @@
 
 #include <string>
 
+#include "pccs/batch.hh"
 #include "pccs/predictor.hh"
 
 namespace pccs::model {
@@ -69,7 +70,7 @@ struct PccsParams
 /**
  * The three-region PCCS slowdown model of one PU on one SoC.
  */
-class PccsModel final : public SlowdownPredictor
+class PccsModel final : public SlowdownPredictor, public BatchPredictor
 {
   public:
     explicit PccsModel(const PccsParams &params,
@@ -88,6 +89,20 @@ class PccsModel final : public SlowdownPredictor
      * kernel with standalone demand x under external demand y.
      */
     double relativeSpeed(GBps x, GBps y) const override;
+
+    /**
+     * Branchless structure-of-arrays evaluation, bit-exact with
+     * calling `relativeSpeed` per point: all three region curves are
+     * computed with the parameters hoisted out of the loop, and the
+     * per-point region/piece choices reduce to arithmetic selects the
+     * compiler can turn into vector blends.
+     */
+    void relativeSpeedBatch(std::span<const GBps> x,
+                            std::span<const GBps> y,
+                            std::span<double> speeds) const override;
+
+    void relativeSpeedBroadcast(std::span<const GBps> x, GBps y,
+                                std::span<double> speeds) const override;
 
     const PccsParams &params() const { return params_; }
 

@@ -4,10 +4,8 @@
 
 namespace pccs::model {
 
-namespace {
-
 void
-checkPhases(const std::vector<PhaseDemand> &phases)
+validatePhases(const std::vector<PhaseDemand> &phases)
 {
     PCCS_ASSERT(!phases.empty(), "phase list is empty");
     double total = 0.0;
@@ -19,13 +17,11 @@ checkPhases(const std::vector<PhaseDemand> &phases)
     PCCS_ASSERT(total > 0.0, "phase time shares sum to zero");
 }
 
-} // namespace
-
 double
 predictPiecewise(const SlowdownPredictor &predictor,
                  const std::vector<PhaseDemand> &phases, GBps y)
 {
-    checkPhases(phases);
+    validatePhases(phases);
     double share_sum = 0.0;
     double corun_time = 0.0; // in units of standalone total time
     for (const auto &p : phases) {
@@ -43,7 +39,7 @@ double
 predictAverageBw(const SlowdownPredictor &predictor,
                  const std::vector<PhaseDemand> &phases, GBps y)
 {
-    checkPhases(phases);
+    validatePhases(phases);
     double share_sum = 0.0;
     double avg_demand = 0.0;
     for (const auto &p : phases) {

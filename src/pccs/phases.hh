@@ -33,6 +33,13 @@ struct PhaseDemand
 };
 
 /**
+ * Panic unless the phase list is non-empty with non-negative demands
+ * and shares and a positive total share (the precondition of every
+ * phase-aggregating predictor, scalar or batched).
+ */
+void validatePhases(const std::vector<PhaseDemand> &phases);
+
+/**
  * Piecewise (per-phase) prediction: predict each phase and aggregate
  * by standalone time share (the Figure 13(b) method).
  *

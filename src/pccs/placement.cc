@@ -23,11 +23,16 @@ characterize(const soc::SocSimulator &sim, std::size_t pu,
     TaskOnPu t;
     if (w.phases.empty())
         return t;
+    // One profile per phase, reused for both the total and the
+    // per-phase shares (profiling is the expensive simulator call).
+    std::vector<soc::StandaloneProfile> profs;
+    profs.reserve(w.phases.size());
     double total = 0.0;
-    for (const auto &ph : w.phases)
-        total += sim.profile(pu, ph).seconds;
     for (const auto &ph : w.phases) {
-        const auto prof = sim.profile(pu, ph);
+        profs.push_back(sim.profile(pu, ph));
+        total += profs.back().seconds;
+    }
+    for (const auto &prof : profs) {
         t.phases.push_back(
             {prof.bandwidthDemand, prof.seconds / total});
     }

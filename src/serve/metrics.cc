@@ -123,10 +123,28 @@ Metrics::toJson(const runner::CacheStats &cache) const
     Json sizes = Json::object();
     std::uint64_t passes = 0;
     std::size_t largest = 0;
+    // Geometric (powers-of-two) buckets of the achieved batch sizes:
+    // bucket k counts passes whose size fell in [2^k, 2^(k+1)), so
+    // the batching win of the flat-combining predict batcher stays
+    // observable in production without unbounded per-size cardinality.
+    std::map<std::size_t, std::uint64_t> histogram;
     for (const auto &[size, n] : batchSizes_) {
         sizes.set(std::to_string(size), n);
         passes += n;
         largest = std::max(largest, size);
+        std::size_t bucket = 0;
+        while ((std::size_t{2} << bucket) <= size)
+            ++bucket;
+        histogram[bucket] += n;
+    }
+    Json buckets = Json::object();
+    for (const auto &[bucket, n] : histogram) {
+        const std::size_t lo = std::size_t{1} << bucket;
+        const std::size_t hi = (std::size_t{2} << bucket) - 1;
+        const std::string label =
+            lo == hi ? std::to_string(lo)
+                     : std::to_string(lo) + "-" + std::to_string(hi);
+        buckets.set(label, n);
     }
     Json batches = Json::object();
     batches.set("passes", passes);
@@ -136,6 +154,7 @@ Metrics::toJson(const runner::CacheStats &cache) const
                 passes > 0 ? static_cast<double>(batchedRequests_) /
                                  static_cast<double>(passes)
                            : 0.0);
+    batches.set("histogram", std::move(buckets));
     batches.set("sizes", std::move(sizes));
 
     Json cacheJson = Json::object();

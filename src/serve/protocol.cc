@@ -330,20 +330,16 @@ Dispatcher::makePredictJob(const Json &request)
 }
 
 void
-Dispatcher::evaluatePredict(PredictJob &job)
+Dispatcher::finishPredict(PredictJob &job, double rs)
 {
     const model::PccsModel &m = job.entry->model;
     Json result = Json::object();
-    double rs, slowdown;
+    const double slowdown = rs > 0.0 ? 100.0 / rs : 1e9;
     if (job.phases.size() == 1) {
         const GBps x = job.phases.front().demand;
-        rs = m.relativeSpeed(x, job.external);
-        slowdown = m.slowdownFactor(x, job.external);
         result.set("region", model::regionName(m.classify(x)));
         result.set("demand", x);
     } else {
-        rs = model::predictPiecewise(m, job.phases, job.external);
-        slowdown = rs > 0.0 ? 100.0 / rs : 1e9;
         result.set("phases", job.phases.size());
     }
     result.set("model", job.entry->name);
@@ -352,6 +348,67 @@ Dispatcher::evaluatePredict(PredictJob &job)
     result.set("relativeSpeed", rs);
     result.set("slowdownFactor", slowdown);
     job.result = std::move(result);
+}
+
+void
+Dispatcher::evaluateJobs(const std::vector<PredictJob *> &batch)
+{
+    const std::size_t n = batch.size();
+    std::vector<double> rs(n, 0.0);
+
+    // Group the single-phase queries by model snapshot: one batch
+    // kernel call per distinct model instead of one scalar virtual
+    // call per request.
+    std::vector<const ModelEntry *> entries;
+    std::vector<std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (batch[i]->phases.size() != 1)
+            continue;
+        const ModelEntry *entry = batch[i]->entry.get();
+        std::size_t g = 0;
+        while (g < entries.size() && entries[g] != entry)
+            ++g;
+        if (g == entries.size()) {
+            entries.push_back(entry);
+            groups.emplace_back();
+        }
+        groups[g].push_back(i);
+    }
+    std::vector<double> gx, gy, gout;
+    for (std::size_t g = 0; g < entries.size(); ++g) {
+        const std::vector<std::size_t> &idx = groups[g];
+        gx.assign(idx.size(), 0.0);
+        gy.assign(idx.size(), 0.0);
+        gout.assign(idx.size(), 0.0);
+        for (std::size_t j = 0; j < idx.size(); ++j) {
+            gx[j] = batch[idx[j]]->phases.front().demand;
+            gy[j] = batch[idx[j]]->external;
+        }
+        entries[g]->model.relativeSpeedBatch(gx, gy, gout);
+        for (std::size_t j = 0; j < idx.size(); ++j)
+            rs[idx[j]] = gout[j];
+    }
+
+    // Multi-phase programs aggregate per phase (bit-exact with the
+    // scalar protocol; rare next to single-point queries).
+    for (std::size_t i = 0; i < n; ++i) {
+        if (batch[i]->phases.size() != 1) {
+            rs[i] = model::predictPiecewise(batch[i]->entry->model,
+                                            batch[i]->phases,
+                                            batch[i]->external);
+        }
+    }
+
+    // Response construction is the string-heavy part; build it on
+    // the engine pool when a real batch coalesced.
+    if (n > 1 && engine_->jobs() > 1) {
+        engine_->parallelFor(n, [&](std::size_t i) {
+            finishPredict(*batch[i], rs[i]);
+        });
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            finishPredict(*batch[i], rs[i]);
+    }
 }
 
 void
@@ -382,25 +439,21 @@ Dispatcher::batchLoop(const std::stop_token &stop)
         // One coalesced evaluation pass for however many queries
         // accumulated while the previous pass ran.
         metrics_.recordBatch(batch.size());
-        if (batch.size() > 1 && engine_->jobs() > 1) {
-            engine_->parallelFor(batch.size(), [&](std::size_t i) {
-                evaluatePredict(*batch[i]);
-            });
-        } else {
-            for (PredictJob *job : batch)
-                evaluatePredict(*job);
-        }
+        evaluateJobs(batch);
         for (PredictJob *job : batch)
             job->done.set_value();
 
         lock.lock();
     }
     // Graceful drain: finish whatever was queued when stop arrived.
-    for (PredictJob *job : queue_) {
-        evaluatePredict(*job);
-        job->done.set_value();
+    if (!queue_.empty()) {
+        const std::vector<PredictJob *> rest(queue_.begin(),
+                                             queue_.end());
+        evaluateJobs(rest);
+        for (PredictJob *job : rest)
+            job->done.set_value();
+        queue_.clear();
     }
-    queue_.clear();
 }
 
 Json

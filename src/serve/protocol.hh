@@ -16,9 +16,10 @@
  * The dispatcher is transport-agnostic (tests drive it without
  * sockets) and coalesces concurrent `predict` requests: instead of
  * evaluating one model query per caller, pending queries are drained
- * into a single batch evaluated in one `SweepEngine::parallelFor`
- * pass (smart batching: under load, batches form naturally; when
- * idle, a lone request flows through immediately).
+ * into a single batch fed through one `BatchPredictor` kernel call
+ * per distinct model, with responses built in parallel on the
+ * `SweepEngine` pool (smart batching: under load, batches form
+ * naturally; when idle, a lone request flows through immediately).
  */
 
 #ifndef PCCS_SERVE_PROTOCOL_HH
@@ -158,11 +159,21 @@ class Dispatcher
     Json doHealth() const;
 
     std::unique_ptr<PredictJob> makePredictJob(const Json &request);
-    static void evaluatePredict(PredictJob &job);
+
+    /** Build one job's wire result from its evaluated speed. */
+    static void finishPredict(PredictJob &job, double rs);
+
+    /**
+     * Evaluate one coalesced batch: single-phase queries are grouped
+     * by model snapshot and each distinct model's batch kernel runs
+     * once over the group's structure-of-arrays demands (multi-phase
+     * queries aggregate through the piecewise path). Wire results are
+     * bit-exact with per-job scalar evaluation.
+     */
+    void evaluateJobs(const std::vector<PredictJob *> &batch);
 
     void submitBatch(std::vector<std::unique_ptr<PredictJob>> &batch);
     void batchLoop(const std::stop_token &stop);
-    void drainQueue();
 
     SocBundle &socBundle(const std::string &soc_name);
     const model::PccsModel &puModel(SocBundle &bundle,

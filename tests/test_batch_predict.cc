@@ -1,0 +1,374 @@
+/**
+ * @file
+ * The scalar-vs-batch parity oracle: the structure-of-arrays kernels
+ * of PccsModel and GablesModel must be bit-exact with the scalar
+ * `relativeSpeed` path — same operations, same order per point — on
+ * dense grids, at the exact region boundaries, on the NaN-mrmc (DLA)
+ * parameterization, and under randomized parameters and inputs.
+ * Non-finite inputs must be rejected (or passed through) identically
+ * by both paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hh"
+#include "gables/gables.hh"
+#include "pccs/batch.hh"
+#include "pccs/corun.hh"
+#include "pccs/model.hh"
+#include "pccs/phases.hh"
+
+namespace pccs::model {
+namespace {
+
+PccsParams
+gpuLikeParams()
+{
+    // Roughly the paper's Table 7 Xavier GPU column.
+    PccsParams p;
+    p.normalBw = 38.1;
+    p.intensiveBw = 96.2;
+    p.mrmc = 4.9;
+    p.cbp = 45.3;
+    p.tbwdc = 87.2;
+    p.rateN = 1.0;
+    p.peakBw = 137.0;
+    return p;
+}
+
+PccsParams
+dlaLikeParams()
+{
+    // The paper's DLA case: no minor region (mrmc is NaN).
+    PccsParams p = gpuLikeParams();
+    p.normalBw = 0.0;
+    p.mrmc = std::numeric_limits<double>::quiet_NaN();
+    return p;
+}
+
+/** Bitwise equality: catches even sign-of-zero and NaN differences. */
+::testing::AssertionResult
+bitEqual(double a, double b)
+{
+    if (std::bit_cast<std::uint64_t>(a) ==
+        std::bit_cast<std::uint64_t>(b))
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << a << " and " << b << " differ bitwise";
+}
+
+/** Assert batch == scalar, pointwise and broadcast, on (xs, ys). */
+void
+expectParity(const SlowdownPredictor &scalar, const BatchPredictor &bp,
+             const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    ASSERT_EQ(xs.size(), ys.size());
+    std::vector<double> speeds(xs.size(), -1.0);
+    bp.relativeSpeedBatch(xs, ys, speeds);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        EXPECT_TRUE(bitEqual(speeds[i],
+                             scalar.relativeSpeed(xs[i], ys[i])))
+            << "x=" << xs[i] << " y=" << ys[i];
+    }
+}
+
+TEST(BatchParity, PccsDenseGrid)
+{
+    const PccsModel m(gpuLikeParams());
+    std::vector<double> xs, ys;
+    for (double x = 0.0; x <= 140.0; x += 0.7) {
+        for (double y = 0.0; y <= 150.0; y += 3.1) {
+            xs.push_back(x);
+            ys.push_back(y);
+        }
+    }
+    expectParity(m, m, xs, ys);
+}
+
+TEST(BatchParity, PccsRegionBoundariesExact)
+{
+    const PccsParams p = gpuLikeParams();
+    const PccsModel m(p);
+    // The exact classification boundaries (x == normalBw inclusive to
+    // Minor, x == intensiveBw inclusive to Normal) and their
+    // one-ulp-ish neighbors, against assorted external demands
+    // including the y-side boundaries (CBP, TBWDC - x, peak).
+    std::vector<double> xs, ys;
+    const double x_edges[] = {
+        p.normalBw, std::nextafter(p.normalBw, 1e300),
+        std::nextafter(p.normalBw, 0.0), p.intensiveBw,
+        std::nextafter(p.intensiveBw, 1e300),
+        std::nextafter(p.intensiveBw, 0.0)};
+    for (double x : x_edges) {
+        for (double y : {0.0, p.cbp, std::nextafter(p.cbp, 1e300),
+                         p.tbwdc - x, p.peakBw, p.peakBw + 10.0}) {
+            if (y < 0.0)
+                continue;
+            xs.push_back(x);
+            ys.push_back(y);
+        }
+    }
+    expectParity(m, m, xs, ys);
+    // The batched values at the boundaries follow the scalar
+    // classification: x == normalBw evaluates the minor curve,
+    // x == intensiveBw the normal curve.
+    std::vector<double> speeds(2, 0.0);
+    const std::vector<double> bx{p.normalBw, p.intensiveBw};
+    const std::vector<double> by{p.peakBw, p.peakBw};
+    m.relativeSpeedBatch(bx, by, speeds);
+    EXPECT_EQ(m.classify(p.normalBw), Region::Minor);
+    EXPECT_TRUE(
+        bitEqual(speeds[0], m.relativeSpeed(p.normalBw, p.peakBw)));
+    EXPECT_EQ(m.classify(p.intensiveBw), Region::Normal);
+    EXPECT_TRUE(
+        bitEqual(speeds[1], m.relativeSpeed(p.intensiveBw, p.peakBw)));
+}
+
+TEST(BatchParity, PccsNoMinorRegionDlaCase)
+{
+    const PccsModel m(dlaLikeParams());
+    std::vector<double> xs, ys;
+    for (double x : {0.0, 0.1, 10.0, 50.0, 96.2, 96.3, 120.0}) {
+        for (double y = 0.0; y <= 150.0; y += 2.3) {
+            xs.push_back(x);
+            ys.push_back(y);
+        }
+    }
+    expectParity(m, m, xs, ys);
+    // With no minor region the (empty) minor curve is flat at 100%.
+    std::vector<double> speed(1, 0.0);
+    m.relativeSpeedBatch(std::vector<double>{0.0},
+                         std::vector<double>{137.0}, speed);
+    EXPECT_TRUE(bitEqual(speed[0], 100.0));
+}
+
+TEST(BatchParity, PccsBroadcastMatchesPairwise)
+{
+    const PccsModel m(gpuLikeParams());
+    std::vector<double> xs;
+    for (double x = 0.0; x <= 140.0; x += 0.9)
+        xs.push_back(x);
+    const double y = 52.7;
+    std::vector<double> broadcast(xs.size(), 0.0);
+    m.relativeSpeedBroadcast(xs, y, broadcast);
+    const std::vector<double> ys(xs.size(), y);
+    std::vector<double> pairwise(xs.size(), 0.0);
+    m.relativeSpeedBatch(xs, ys, pairwise);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        EXPECT_TRUE(bitEqual(broadcast[i], pairwise[i]));
+}
+
+TEST(BatchParity, PropertyRandomParamsAndBatches)
+{
+    // Randomized models x randomized structure-of-arrays batches:
+    // scalar and batch must agree bitwise everywhere, including at
+    // demands snapped onto the region boundaries.
+    Rng rng(0xC0FFEEull);
+    for (int trial = 0; trial < 200; ++trial) {
+        PccsParams p;
+        p.peakBw = rng.uniform(50.0, 250.0);
+        p.normalBw = rng.uniform(0.0, 0.5 * p.peakBw);
+        p.intensiveBw =
+            p.normalBw + rng.uniform(0.0, 0.6 * p.peakBw);
+        p.cbp = rng.uniform(1.0, p.peakBw);
+        p.tbwdc = rng.uniform(0.0, 1.2 * p.peakBw);
+        p.rateN = rng.uniform(0.0, 3.0);
+        p.mrmc = rng.chance(0.25)
+                     ? std::numeric_limits<double>::quiet_NaN()
+                     : rng.uniform(0.0, 12.0);
+        if (p.noMinorRegion())
+            p.normalBw = 0.0;
+        ASSERT_TRUE(p.valid());
+        const PccsModel m(p);
+
+        std::vector<double> xs, ys;
+        for (int i = 0; i < 256; ++i) {
+            double x = rng.uniform(0.0, 1.5 * p.peakBw);
+            if (rng.chance(0.1))
+                x = p.normalBw; // boundary, exactly
+            else if (rng.chance(0.1))
+                x = p.intensiveBw;
+            double y = rng.uniform(0.0, 1.5 * p.peakBw);
+            if (rng.chance(0.1))
+                y = p.cbp;
+            xs.push_back(x);
+            ys.push_back(y);
+        }
+        expectParity(m, m, xs, ys);
+    }
+}
+
+TEST(BatchParity, InfiniteInputsBehaveLikeScalar)
+{
+    // +inf is accepted by both paths (it is >= 0) and must produce
+    // the same value; the parity oracle covers it like any input.
+    const PccsModel m(gpuLikeParams());
+    const double inf = std::numeric_limits<double>::infinity();
+    expectParity(m, m, {inf, 10.0, inf}, {5.0, inf, inf});
+    const gables::GablesModel g(137.0);
+    expectParity(g, g, {inf, 10.0}, {5.0, inf});
+}
+
+TEST(BatchParityDeath, NonFiniteInputsRejectedConsistently)
+{
+    const PccsModel m(gpuLikeParams());
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    // Scalar path panics on NaN (fails the >= 0 check)...
+    EXPECT_DEATH(m.relativeSpeed(nan, 1.0), "negative");
+    EXPECT_DEATH(m.relativeSpeed(1.0, nan), "negative");
+    // ...and the batch path panics identically, even when the bad
+    // point is buried in the middle of a batch.
+    const std::vector<double> xs{1.0, nan, 2.0};
+    const std::vector<double> ys{1.0, 1.0, 1.0};
+    std::vector<double> out(3, 0.0);
+    EXPECT_DEATH(m.relativeSpeedBatch(xs, ys, out), "negative");
+    const std::vector<double> ys_nan{1.0, 1.0, nan};
+    EXPECT_DEATH(m.relativeSpeedBatch(ys, ys_nan, out), "negative");
+    EXPECT_DEATH(m.relativeSpeedBroadcast(xs, 1.0, out), "negative");
+
+    const gables::GablesModel g(137.0);
+    EXPECT_DEATH(g.relativeSpeed(nan, 1.0), "negative");
+    EXPECT_DEATH(g.relativeSpeedBatch(xs, ys, out), "negative");
+    // Gables' scalar path short-circuits x <= 0 before validating y;
+    // the batch path must not reject what the scalar path accepts.
+    EXPECT_TRUE(bitEqual(g.relativeSpeed(0.0, nan), 100.0));
+    std::vector<double> one(1, 0.0);
+    g.relativeSpeedBatch(std::vector<double>{0.0},
+                         std::vector<double>{nan}, one);
+    EXPECT_TRUE(bitEqual(one[0], 100.0));
+}
+
+TEST(BatchParityDeath, MismatchedSpansPanic)
+{
+    const PccsModel m(gpuLikeParams());
+    const std::vector<double> xs{1.0, 2.0};
+    const std::vector<double> ys{1.0};
+    std::vector<double> out(2, 0.0);
+    EXPECT_DEATH(m.relativeSpeedBatch(xs, ys, out), "lengths");
+    std::vector<double> small(1, 0.0);
+    EXPECT_DEATH(m.relativeSpeedBroadcast(xs, 1.0, small), "lengths");
+}
+
+TEST(BatchParity, GablesDenseGridAndEdges)
+{
+    const gables::GablesModel g(137.0);
+    std::vector<double> xs, ys;
+    for (double x = 0.0; x <= 200.0; x += 1.7) {
+        for (double y : {0.0, 30.0, 136.9, 137.0,
+                         std::nextafter(137.0, 1e300), 200.0}) {
+            xs.push_back(x);
+            ys.push_back(y);
+        }
+    }
+    xs.push_back(0.0); // zero own demand: 100% by definition
+    ys.push_back(500.0);
+    expectParity(g, g, xs, ys);
+}
+
+TEST(BatchParity, ScalarAdapterMatchesNativeKernel)
+{
+    const PccsModel m(gpuLikeParams());
+    const ScalarBatchAdapter adapter(m);
+    std::vector<double> xs, ys;
+    Rng rng(42);
+    for (int i = 0; i < 512; ++i) {
+        xs.push_back(rng.uniform(0.0, 150.0));
+        ys.push_back(rng.uniform(0.0, 150.0));
+    }
+    const std::vector<double> native = m.relativeSpeeds(xs, ys);
+    const std::vector<double> adapted = adapter.relativeSpeeds(xs, ys);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        EXPECT_TRUE(bitEqual(native[i], adapted[i]));
+}
+
+TEST(BatchParity, BatchInterfaceDiscovery)
+{
+    const PccsModel m(gpuLikeParams());
+    const gables::GablesModel g(137.0);
+    EXPECT_NE(batchInterface(m), nullptr);
+    EXPECT_NE(batchInterface(g), nullptr);
+
+    // A scalar-only predictor exposes no native batch interface.
+    class ScalarOnly final : public SlowdownPredictor
+    {
+      public:
+        const char *name() const override { return "scalar-only"; }
+        double relativeSpeed(GBps, GBps y) const override
+        {
+            return y > 50.0 ? 50.0 : 100.0;
+        }
+    };
+    const ScalarOnly s;
+    EXPECT_EQ(batchInterface(s), nullptr);
+}
+
+/**
+ * The batched co-run solver must match the pre-batching algorithm:
+ * per round, y_i = sum of co-runners' pressures, rs_i =
+ * predictPiecewise(model_i, phases_i, y_i), then damped refinement.
+ */
+std::vector<double>
+referenceCorun(const std::vector<CorunInput> &inputs,
+               const CorunPredictOptions &opts)
+{
+    const std::size_t n = inputs.size();
+    std::vector<double> pressure(n);
+    for (std::size_t i = 0; i < n; ++i)
+        pressure[i] = inputs[i].meanDemand();
+    std::vector<double> rs(n, 100.0);
+    const unsigned rounds = 1 + opts.refinementIterations;
+    for (unsigned round = 0; round < rounds; ++round) {
+        for (std::size_t i = 0; i < n; ++i) {
+            double y = 0.0;
+            for (std::size_t j = 0; j < n; ++j)
+                if (j != i)
+                    y += pressure[j];
+            rs[i] = predictPiecewise(*inputs[i].model,
+                                     inputs[i].phases, y);
+        }
+        if (round + 1 < rounds) {
+            for (std::size_t i = 0; i < n; ++i) {
+                const double target =
+                    inputs[i].meanDemand() * rs[i] / 100.0;
+                pressure[i] += opts.damping * (target - pressure[i]);
+            }
+        }
+    }
+    return rs;
+}
+
+TEST(BatchParity, CorunSolverMatchesScalarReference)
+{
+    const PccsModel gpu(gpuLikeParams());
+    const PccsModel dla(dlaLikeParams());
+    const gables::GablesModel gab(137.0);
+
+    std::vector<CorunInput> inputs(3);
+    inputs[0].model = &gpu;
+    inputs[0].phases = {{70.0, 0.5}, {20.0, 0.3}, {110.0, 0.2}};
+    inputs[1].model = &dla;
+    inputs[1].phases = {{45.0, 1.0}};
+    inputs[2].model = &gab;
+    inputs[2].phases = {{30.0, 0.6}, {0.0, 0.0}, {60.0, 0.4}};
+
+    for (unsigned refine : {0u, 1u, 5u}) {
+        CorunPredictOptions opts;
+        opts.refinementIterations = refine;
+        const auto batched = predictCorun(inputs, opts);
+        const auto reference = referenceCorun(inputs, opts);
+        ASSERT_EQ(batched.size(), reference.size());
+        for (std::size_t i = 0; i < batched.size(); ++i) {
+            EXPECT_TRUE(bitEqual(batched[i], reference[i]))
+                << "refine=" << refine << " i=" << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace pccs::model

@@ -146,5 +146,83 @@ TEST_F(DesignTest, EmptyGridDies)
                  "grid");
 }
 
+TEST_F(DesignTest, GridEvaluationMatchesScalarLoop)
+{
+    // corunPerformanceGrid is documented bit-exact with calling
+    // corunPerformance per grid point.
+    const soc::SocSimulator sim(soc);
+    const PccsModel pccs = buildModel(sim, gpu);
+    const auto grid = frequencyGrid();
+    const std::vector<double> batched =
+        explorer.corunPerformanceGrid(gpu, sc, grid, 40.0, pccs);
+    ASSERT_EQ(batched.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_EQ(batched[i],
+                  explorer.corunPerformance(gpu, sc, grid[i], 40.0,
+                                            pccs))
+            << "f=" << grid[i];
+    }
+}
+
+TEST_F(DesignTest, PrunedSelectionMatchesFullScan)
+{
+    // The binary-searched (pruned) selection must pick the same knob
+    // value, predicted performance, and reference performance as the
+    // exhaustive scan, for every consumer and several contention and
+    // slack levels.
+    const soc::SocSimulator sim(soc);
+    const PccsModel pccs = buildModel(sim, gpu);
+    const gables::GablesModel gab(soc.memory.peakBandwidth);
+    const auto grid = frequencyGrid();
+    const std::vector<double> scales{0.25, 0.5, 0.75, 1.0};
+
+    ASSERT_TRUE(explorer.pruneSelection());
+    for (double y : {20.0, 60.0}) {
+        for (double allowed : {0.0, 5.0, 20.0}) {
+            explorer.setPruneSelection(true);
+            const auto p_pccs =
+                explorer.selectFrequency(gpu, sc, y, allowed, pccs,
+                                         grid);
+            const auto p_gab = explorer.selectFrequency(gpu, sc, y,
+                                                        allowed, gab,
+                                                        grid);
+            const auto p_act = explorer.selectFrequencyActual(
+                gpu, sc, y, allowed, grid);
+            const auto p_core = explorer.selectCoreScale(
+                gpu, sc, y, allowed, pccs, scales);
+
+            explorer.setPruneSelection(false);
+            const auto s_pccs =
+                explorer.selectFrequency(gpu, sc, y, allowed, pccs,
+                                         grid);
+            const auto s_gab = explorer.selectFrequency(gpu, sc, y,
+                                                        allowed, gab,
+                                                        grid);
+            const auto s_act = explorer.selectFrequencyActual(
+                gpu, sc, y, allowed, grid);
+            const auto s_core = explorer.selectCoreScale(
+                gpu, sc, y, allowed, pccs, scales);
+            explorer.setPruneSelection(true);
+
+            const auto same = [&](const DesignSelection &a,
+                                  const DesignSelection &b,
+                                  const char *what) {
+                EXPECT_EQ(a.value, b.value)
+                    << what << " y=" << y << " allowed=" << allowed;
+                EXPECT_EQ(a.predictedPerformance,
+                          b.predictedPerformance)
+                    << what;
+                EXPECT_EQ(a.referencePerformance,
+                          b.referencePerformance)
+                    << what;
+            };
+            same(p_pccs, s_pccs, "pccs");
+            same(p_gab, s_gab, "gables");
+            same(p_act, s_act, "actual");
+            same(p_core, s_core, "core-scale");
+        }
+    }
+}
+
 } // namespace
 } // namespace pccs::model

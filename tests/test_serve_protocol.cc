@@ -183,6 +183,20 @@ TEST(Dispatcher, BatchedFramesAnswerInOrder)
     ASSERT_NE(batches, nullptr);
     EXPECT_GE(batches->find("requests")->asNumber(), 24.0);
     EXPECT_GT(batches->find("largest")->asNumber(), 1.0);
+    // The achieved batch sizes are also exposed as powers-of-two
+    // histogram buckets; the bucket counts add up to the pass count,
+    // and a multi-request pass lands in a bucket past "1".
+    const Json *histogram = batches->find("histogram");
+    ASSERT_NE(histogram, nullptr);
+    double bucketed = 0.0;
+    double beyond_one = 0.0;
+    for (const auto &[label, count] : histogram->asObject()) {
+        bucketed += count.asNumber();
+        if (label != "1")
+            beyond_one += count.asNumber();
+    }
+    EXPECT_DOUBLE_EQ(bucketed, batches->find("passes")->asNumber());
+    EXPECT_GE(beyond_one, 1.0);
 }
 
 TEST(Dispatcher, ConcurrentCallersAreCoalescedSafely)
