@@ -16,9 +16,12 @@ applyDramRunFlags(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--dram-reference") == 0) {
             dram::setDefaultDramRunMode(dram::DramRunMode::Reference);
+            dram::setDefaultMcRunMode(dram::McRunMode::Lockstep);
+        } else if (std::strcmp(argv[i], "--mc-parallel") == 0) {
+            dram::setDefaultMcRunMode(dram::McRunMode::Sharded);
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--dram-reference]\n"
+                         "usage: %s [--dram-reference] [--mc-parallel]\n"
                          "unknown argument '%s'\n",
                          argv[0], argv[i]);
             std::exit(2);

@@ -8,9 +8,11 @@
  * partitioning isolates sources that live in different slices.
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench/common.hh"
+#include "calib/calibrator.hh"
 #include "common/table.hh"
 #include "dram/multi_mc.hh"
 
@@ -81,14 +83,33 @@ study(unsigned num_mcs, McMapping mapping)
     return corun;
 }
 
+/** Wall-time of one multi-MC calibration sweep in a given run mode. */
+double
+sweepSeconds(McRunMode mode, calib::CalibrationMatrix &out)
+{
+    calib::McSweepSpec spec;
+    spec.perMcConfig = perMcConfig(1);
+    spec.numMcs = 4;
+    spec.policy = SchedulerKind::Atlas;
+    spec.mapping = McMapping::RangePartitioned;
+    spec.runMode = mode;
+    const auto t0 = std::chrono::steady_clock::now();
+    out = calib::calibrateMultiMc(spec);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyDramRunFlags(argc, argv);
     bench::banner("Multi-MC organizations and address mappings under "
                   "co-location",
                   "Section 5 extension (multi-MC / address mapping)");
+    std::printf("Multi-MC run mode: %s\n",
+                mcRunModeName(defaultMcRunMode()));
 
     std::printf("One 30 GB/s victim vs three 25 GB/s aggressors; "
                 "same aggregate capacity (4 x DDR4-3200 channels, "
@@ -115,6 +136,28 @@ main()
     }
     std::printf("%s\n", t.str().c_str());
 
+    // The accelerated calibration sweep: identical matrices from
+    // every run mode (the equivalence tests enforce it bit-exactly),
+    // so the only thing that changes with the mode is the wall time.
+    std::printf("Multi-MC calibration sweep (4 MC x 1 ch, "
+                "range-partitioned, ATLAS; 4 victims x 4+1 external "
+                "steps):\n\n");
+    Table sweep_t({"run mode", "wall time (s)", "speedup vs lockstep",
+                   "rela[last][last] (%)"});
+    calib::CalibrationMatrix matrix;
+    const double lockstep_s = sweepSeconds(McRunMode::Lockstep, matrix);
+    const double last = matrix.rela.back().back();
+    sweep_t.addRow({"lockstep", fmtDouble(lockstep_s, 3), "1.0",
+                    fmtDouble(last, 1)});
+    for (McRunMode mode :
+         {McRunMode::EventDriven, McRunMode::Sharded}) {
+        const double s = sweepSeconds(mode, matrix);
+        sweep_t.addRow({mcRunModeName(mode), fmtDouble(s, 3),
+                        fmtDouble(lockstep_s / s, 1),
+                        fmtDouble(matrix.rela.back().back(), 1)});
+    }
+    std::printf("%s\n", sweep_t.str().c_str());
+
     runner::RunResult artifact = bench::makeArtifact(
         "ext_multimc",
         "Multi-MC organizations and address mappings under "
@@ -122,6 +165,8 @@ main()
         "Section 5 extension (multi-MC / address mapping)",
         "table1-ddr4", "victim");
     artifact.addTable("victim RS / aggregate BW / RBH", t);
+    artifact.addTable("calibration sweep wall time by run mode",
+                      sweep_t);
     bench::writeArtifact(std::move(artifact));
 
     std::printf(

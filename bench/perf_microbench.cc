@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "calib/calibrator.hh"
+#include "dram/multi_mc.hh"
 #include "dram/system.hh"
 #include "gables/gables.hh"
 #include "pccs/builder.hh"
@@ -273,6 +274,100 @@ BM_DramCyclesSaturated4EventDriven(benchmark::State &state)
     dramCyclesSaturated4(state, dram::DramRunMode::EventDriven);
 }
 BENCHMARK(BM_DramCyclesSaturated4EventDriven)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Simulated-cycles-per-second of the three multi-MC run loops
+ * (4 MCs x 1 channel, range-partitioned). Idle/mixed case: two
+ * low-demand cores in two slices, so two controllers are completely
+ * idle — the lockstep loop still ticks all four every cycle, the
+ * event-driven loop jumps over the quiet stretches, and the sharded
+ * loop runs the four whole-run-independent shards on pool threads.
+ */
+void
+multiMcCycles(benchmark::State &state, dram::McRunMode mode,
+              bool saturated)
+{
+    dram::DramConfig cfg = dram::table1Config();
+    cfg.channels = 1;
+    cfg.requestBufferEntries = 64;
+    dram::MultiMcSystem sys(cfg, 4, dram::SchedulerKind::FrFcfs,
+                            dram::McMapping::RangePartitioned,
+                            dram::SchedulerParams{}, mode);
+    const unsigned sources = saturated ? 4 : 2;
+    for (unsigned c = 0; c < sources; ++c) {
+        dram::TrafficParams p;
+        p.source = c * 16; // one source slice per controller
+        // Saturated: 30 GB/s against 25.6 GB/s per MC. Idle: a
+        // trickle (~1 line every ~240 cycles) on half the MCs.
+        p.demand = saturated ? 30.0 : 0.8;
+        p.mlp = saturated ? 64 : 8;
+        p.seed = 20 + c;
+        sys.addGenerator(p);
+    }
+    sys.run(10000);
+    for (auto _ : state)
+        sys.run(static_cast<Cycles>(state.range(0)));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_MultiMcCyclesIdleLockstep(benchmark::State &state)
+{
+    multiMcCycles(state, dram::McRunMode::Lockstep, false);
+}
+BENCHMARK(BM_MultiMcCyclesIdleLockstep)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_MultiMcCyclesIdleEventDriven(benchmark::State &state)
+{
+    multiMcCycles(state, dram::McRunMode::EventDriven, false);
+}
+BENCHMARK(BM_MultiMcCyclesIdleEventDriven)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_MultiMcCyclesIdleSharded(benchmark::State &state)
+{
+    multiMcCycles(state, dram::McRunMode::Sharded, false);
+}
+BENCHMARK(BM_MultiMcCyclesIdleSharded)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Saturated case: one 30 GB/s core per 25.6 GB/s controller, so every
+ * controller is active nearly every cycle. Skipping buys little here;
+ * the sharded loop's four parallel shards carry the win.
+ */
+void
+BM_MultiMcCyclesSaturatedLockstep(benchmark::State &state)
+{
+    multiMcCycles(state, dram::McRunMode::Lockstep, true);
+}
+BENCHMARK(BM_MultiMcCyclesSaturatedLockstep)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_MultiMcCyclesSaturatedEventDriven(benchmark::State &state)
+{
+    multiMcCycles(state, dram::McRunMode::EventDriven, true);
+}
+BENCHMARK(BM_MultiMcCyclesSaturatedEventDriven)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_MultiMcCyclesSaturatedSharded(benchmark::State &state)
+{
+    multiMcCycles(state, dram::McRunMode::Sharded, true);
+}
+BENCHMARK(BM_MultiMcCyclesSaturatedSharded)
     ->Arg(20000)
     ->Unit(benchmark::kMillisecond);
 

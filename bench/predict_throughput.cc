@@ -22,8 +22,8 @@
  *
  * Flags: --points N (grid points per repetition, default 1M),
  * --reps N (repetitions, best-of, default 5), --smoke (shrink to
- * 4k points / 1 query and skip nothing), --json PATH (snapshot,
- * default BENCH_predict.json).
+ * 4k points / 1 query and skip nothing), --json PATH / --json=PATH
+ * (snapshot, default BENCH_predict.json).
  */
 
 #include <algorithm>
@@ -206,6 +206,8 @@ main(int argc, char **argv)
             smoke = true;
         else if (arg == "--json")
             json_path = value();
+        else if (arg.rfind("--json=", 0) == 0)
+            json_path = arg.substr(7);
         else
             fatal("unknown flag '%s'", arg.c_str());
     }

@@ -6,7 +6,7 @@
  *
  * Flags: --seconds N (measurement window, default 3), --clients N
  * (default 6), --pipeline N (in-flight requests per client, default
- * 64), --json PATH (machine-readable snapshot, default
+ * 64), --json PATH / --json=PATH (machine-readable snapshot, default
  * BENCH_serve.json). The JSON records client-side throughput plus the
  * server's own latency percentiles and batch-size distribution, so a
  * regression in either the transport or the batcher shows up in CI.
@@ -125,6 +125,8 @@ main(int argc, char **argv)
                 std::atoi(value().c_str()));
         else if (arg == "--json")
             json_path = value();
+        else if (arg.rfind("--json=", 0) == 0)
+            json_path = arg.substr(7);
         else
             fatal("unknown flag '%s'", arg.c_str());
     }

@@ -108,4 +108,108 @@ calibrate(const soc::SocSimulator &sim, std::size_t pu_index,
     return m;
 }
 
+namespace {
+
+/**
+ * One (victim demand, external demand) sweep point on the multi-MC
+ * subsystem: the victim's achieved bandwidth over the window. The
+ * aggressor sources are spread across the 64 source slices so the
+ * external pressure lands on every partition.
+ */
+GBps
+evalMcPoint(const McSweepSpec &spec, GBps victim_demand,
+            GBps external_demand)
+{
+    dram::MultiMcSystem sys(spec.perMcConfig, spec.numMcs, spec.policy,
+                            spec.mapping, dram::SchedulerParams{},
+                            spec.runMode);
+    dram::TrafficParams v;
+    v.source = 0;
+    v.demand = victim_demand;
+    v.seed = spec.seed * 131;
+    const std::size_t victim = sys.addGenerator(v);
+    if (external_demand > 0.0) {
+        const unsigned stride =
+            dram::Scheduler::maxSources / (spec.numAggressors + 1);
+        for (unsigned a = 0; a < spec.numAggressors; ++a) {
+            dram::TrafficParams p;
+            p.source = (a + 1) * stride;
+            p.demand = external_demand /
+                       static_cast<double>(spec.numAggressors);
+            p.rowLocality = 0.85;
+            p.seed = spec.seed * 131 + p.source;
+            sys.addGenerator(p);
+        }
+    }
+    sys.run(spec.warmup);
+    sys.resetMeasurement();
+    sys.run(spec.window);
+    return sys.achievedBandwidth(victim);
+}
+
+} // namespace
+
+CalibrationMatrix
+calibrateMultiMc(const McSweepSpec &spec, runner::SweepEngine *engine)
+{
+    PCCS_ASSERT(spec.numMcs >= 1, "need at least one controller");
+    PCCS_ASSERT(spec.numKernels >= 2 && spec.numExternal >= 1,
+                "sweep needs at least 2x1 points");
+    PCCS_ASSERT(spec.numAggressors >= 1 &&
+                    spec.numAggressors < dram::Scheduler::maxSources,
+                "bad aggressor count %u", spec.numAggressors);
+
+    runner::SweepEngine &eng =
+        engine ? *engine : runner::SweepEngine::global();
+    const GBps per_mc_peak = spec.perMcConfig.peakBandwidth();
+    const GBps peak = per_mc_peak * spec.numMcs;
+
+    CalibrationMatrix m;
+    for (unsigned i = 0; i < spec.numKernels; ++i) {
+        const double frac =
+            spec.minDemandFraction +
+            (spec.maxDemandFraction - spec.minDemandFraction) *
+                static_cast<double>(i) /
+                static_cast<double>(spec.numKernels - 1);
+        m.standaloneBw.push_back(frac * per_mc_peak);
+    }
+    for (unsigned j = 1; j <= spec.numExternal; ++j) {
+        m.externalBw.push_back(spec.maxExternalFraction * peak *
+                               static_cast<double>(j) /
+                               static_cast<double>(spec.numExternal));
+    }
+
+    // Column 0 of each row is the standalone run (the rela
+    // denominator); the rest are the co-runs. All points are
+    // independent simulations. The single-threaded run modes fan out
+    // over the engine; sharded systems parallelize internally, and the
+    // pool's batches do not nest, so their points stay serial.
+    const std::size_t cols = m.numExternal() + 1;
+    std::vector<GBps> bw(m.numKernels() * cols, 0.0);
+    auto point = [&](std::size_t idx) {
+        const std::size_t i = idx / cols;
+        const std::size_t j = idx % cols;
+        bw[idx] = evalMcPoint(spec, m.standaloneBw[i],
+                              j == 0 ? 0.0 : m.externalBw[j - 1]);
+    };
+    if (spec.runMode == dram::McRunMode::Sharded) {
+        for (std::size_t idx = 0; idx < bw.size(); ++idx)
+            point(idx);
+    } else {
+        eng.parallelFor(bw.size(), point);
+    }
+
+    m.rela.assign(m.numKernels(),
+                  std::vector<double>(m.numExternal(), 0.0));
+    for (std::size_t i = 0; i < m.numKernels(); ++i) {
+        const GBps solo = bw[i * cols];
+        m.standaloneBw[i] = solo;
+        for (std::size_t j = 0; j < m.numExternal(); ++j) {
+            m.rela[i][j] =
+                solo > 0.0 ? 100.0 * bw[i * cols + j + 1] / solo : 0.0;
+        }
+    }
+    return m;
+}
+
 } // namespace pccs::calib

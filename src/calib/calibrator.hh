@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "dram/multi_mc.hh"
 #include "runner/sweep_engine.hh"
 #include "soc/simulator.hh"
 
@@ -92,6 +93,60 @@ CalibrationMatrix calibrate(const soc::SocSimulator &sim,
                             std::size_t pu_index,
                             const SweepSpec &spec = {},
                             runner::SweepEngine *engine = nullptr);
+
+/**
+ * Parameters of a multi-controller DRAM-substrate calibration sweep
+ * (the Section 5 extension: calibrating against the cycle-accurate
+ * multi-MC subsystem instead of the analytic SoC model, so the rela
+ * matrix reflects the address mapping and per-MC scheduling).
+ */
+struct McSweepSpec
+{
+    /** Per-controller DRAM configuration. */
+    dram::DramConfig perMcConfig = dram::table1Config();
+    /** Number of memory controllers. */
+    unsigned numMcs = 2;
+    /** Scheduling policy (one instance per MC). */
+    dram::SchedulerKind policy = dram::SchedulerKind::FrFcfs;
+    /** Address-to-MC mapping under calibration. */
+    dram::McMapping mapping = dram::McMapping::LineInterleaved;
+    /** Run loop for the per-point simulations. */
+    dram::McRunMode runMode = dram::defaultMcRunMode();
+    /** Number of victim-demand steps (rows). */
+    unsigned numKernels = 4;
+    /** Smallest victim demand as a fraction of one MC's peak. */
+    double minDemandFraction = 0.2;
+    /** Largest victim demand as a fraction of one MC's peak. */
+    double maxDemandFraction = 0.8;
+    /** Number of external-demand steps (columns). */
+    unsigned numExternal = 4;
+    /** Largest aggregate external demand as a fraction of peak. */
+    double maxExternalFraction = 0.6;
+    /** Aggressor cores supplying the external demand. */
+    unsigned numAggressors = 3;
+    /** Warmup cycles before each measurement window. */
+    Cycles warmup = 6000;
+    /** Measurement window in bus cycles. */
+    Cycles window = 30000;
+    /** Base RNG seed for the synthetic address streams. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Calibrate a victim core against aggressor cores on the multi-MC
+ * DRAM subsystem: rela[i][j] is the victim's achieved bandwidth under
+ * the j-th external demand as a percentage of its standalone achieved
+ * bandwidth, at the i-th victim demand. standaloneBw holds the
+ * measured standalone bandwidths, externalBw the aggregate aggressor
+ * demand ladder.
+ *
+ * Points run in parallel on `engine` (global when null) for the
+ * single-threaded run modes; with McRunMode::Sharded each point's
+ * system parallelizes internally, so points run serially (the pool's
+ * batches do not nest). Results are bit-identical either way.
+ */
+CalibrationMatrix calibrateMultiMc(const McSweepSpec &spec = {},
+                                   runner::SweepEngine *engine = nullptr);
 
 } // namespace pccs::calib
 

@@ -15,6 +15,15 @@
  *    space (sources whose footprints land in different slices do not
  *    interfere at all — the isolation/coordination case the paper
  *    says PCCS can be extended to by considering the mapping).
+ *
+ * Three run loops advance the subsystem (McRunMode): the lockstep
+ * reference oracle, a cycle-skipping event-driven loop fusing every
+ * controller's and generator's wake bound into one min-scan, and an
+ * opt-in sharded-parallel loop that spreads controllers over
+ * runner::SweepEngine worker threads — whole-run independent shards
+ * when the mapping provably decomposes, one-cycle epoch barriers
+ * otherwise. All three are bit-exact against one another
+ * (tests/test_multimc_equivalence.cc).
  */
 
 #ifndef PCCS_DRAM_MULTI_MC_HH
@@ -24,6 +33,7 @@
 #include <vector>
 
 #include "dram/controller.hh"
+#include "dram/run_mode.hh"
 #include "dram/traffic.hh"
 
 namespace pccs::dram {
@@ -51,10 +61,12 @@ class MultiMcSystem : public MemoryPort
      * @param policy scheduling policy (one instance per MC — MCs do
      *        not share scheduler state, the coordination question the
      *        paper raises)
+     * @param mode which run loop advances the subsystem
      */
     MultiMcSystem(const DramConfig &per_mc_cfg, unsigned num_mcs,
                   SchedulerKind policy, McMapping mapping,
-                  const SchedulerParams &sched_params = {});
+                  const SchedulerParams &sched_params = {},
+                  McRunMode mode = defaultMcRunMode());
 
     // MemoryPort
     bool enqueue(unsigned source, Addr addr, bool is_write,
@@ -68,6 +80,16 @@ class MultiMcSystem : public MemoryPort
 
     /** Advance the whole subsystem by `cycles` bus cycles. */
     void run(Cycles cycles);
+
+    /**
+     * Switch run loops. Safe at any cycle boundary (between run()
+     * calls): all modes leave identical state behind. Also toggles the
+     * controllers' lazy channel scan (on for the fast modes, off for
+     * the lockstep specification).
+     */
+    void setRunMode(McRunMode mode);
+
+    McRunMode runMode() const { return mode_; }
 
     /** Start a fresh measurement window. */
     void resetMeasurement();
@@ -90,6 +112,8 @@ class MultiMcSystem : public MemoryPort
         return *generators_[i];
     }
 
+    std::size_t numGenerators() const { return generators_.size(); }
+
     /** Achieved bandwidth of generator i over the window, GB/s. */
     GBps achievedBandwidth(std::size_t i) const;
 
@@ -109,14 +133,49 @@ class MultiMcSystem : public MemoryPort
     Addr localAddress(Addr addr) const;
 
   private:
+    /** One lockstep cycle at now_; @return true when anything moved. */
+    bool stepCycle();
+    /** The original per-cycle loop (the equivalence oracle). */
+    void runLockstep(Cycles end);
+    /** Single-threaded cycle-skipping loop (fused wake min-scan). */
+    void runEventDriven(Cycles end);
+    /** Dispatch to the independent-shard or epoch-barrier path. */
+    void runSharded(Cycles end);
+    /** Whole-run independent shards (clean RangePartitioned only). */
+    void runIndependentShards(
+        Cycles end,
+        const std::vector<std::vector<std::size_t>> &shard_gens);
+    /** One-cycle-epoch barrier team (LineInterleaved / straddling). */
+    void runEpochSharded(Cycles end, unsigned team);
+    /**
+     * Try to split generators into per-MC shards with no cross-MC
+     * interaction: every generator's whole address region must route
+     * to one controller. On success `out[mc]` holds that MC's
+     * generator indices in ascending order.
+     */
+    bool independentShards(
+        std::vector<std::vector<std::size_t>> &out) const;
+    /** Hand a completed request back to its source's generator. */
+    void deliver(const Request &req);
+
     DramConfig perMcCfg_;
     McMapping mapping_;
+    McRunMode mode_;
     std::vector<std::unique_ptr<MemoryController>> mcs_;
     std::vector<std::unique_ptr<CoreTrafficGenerator>> generators_;
     std::vector<CoreTrafficGenerator *> bySource_;
     Addr perMcSpan_;
     Cycles now_ = 0;
     Cycles windowStart_ = 0;
+    /**
+     * While the epoch loop's parallel controller phase runs,
+     * completions are buffered per MC instead of delivered inline
+     * (two controllers may complete lines of the same source in the
+     * same cycle); the serial phase drains the buffers in controller
+     * index order — exactly the lockstep delivery order.
+     */
+    bool deferCompletions_ = false;
+    std::vector<std::vector<Request>> deferred_;
 };
 
 } // namespace pccs::dram

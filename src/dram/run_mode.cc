@@ -25,6 +25,36 @@ defaultMode()
     return mode;
 }
 
+unsigned
+envShards()
+{
+    const char *env = std::getenv("PCCS_MC_SHARDS");
+    if (!env || !*env)
+        return 0;
+    return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+}
+
+McRunMode
+envMcDefault()
+{
+    // PCCS_DRAM_REFERENCE selects the reference oracle everywhere,
+    // including the multi-MC loop; PCCS_MC_SHARDS opts into the
+    // parallel path. Reference wins when both are set.
+    const char *ref = std::getenv("PCCS_DRAM_REFERENCE");
+    if (ref && *ref && std::strcmp(ref, "0") != 0)
+        return McRunMode::Lockstep;
+    if (std::getenv("PCCS_MC_SHARDS"))
+        return McRunMode::Sharded;
+    return McRunMode::EventDriven;
+}
+
+McRunMode &
+defaultMcMode()
+{
+    static McRunMode mode = envMcDefault();
+    return mode;
+}
+
 } // namespace
 
 const char *
@@ -49,6 +79,39 @@ void
 setDefaultDramRunMode(DramRunMode mode)
 {
     defaultMode() = mode;
+}
+
+const char *
+mcRunModeName(McRunMode mode)
+{
+    switch (mode) {
+      case McRunMode::EventDriven:
+        return "event-driven";
+      case McRunMode::Sharded:
+        return "sharded";
+      case McRunMode::Lockstep:
+        return "lockstep";
+    }
+    panic("unknown McRunMode %d", static_cast<int>(mode));
+}
+
+McRunMode
+defaultMcRunMode()
+{
+    return defaultMcMode();
+}
+
+void
+setDefaultMcRunMode(McRunMode mode)
+{
+    defaultMcMode() = mode;
+}
+
+unsigned
+mcShardWorkers()
+{
+    static unsigned shards = envShards();
+    return shards;
 }
 
 } // namespace pccs::dram

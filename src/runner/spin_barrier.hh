@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A reusable sense-free spin barrier for tightly coupled worker
+ * teams.
+ *
+ * The sweep engine's ThreadPool hands out coarse independent work
+ * items; cyclic simulations that parallelize *within* a timestep (the
+ * sharded multi-MC DRAM loop) instead need all workers to rendezvous
+ * once or twice per simulated cycle. A mutex/condvar rendezvous costs
+ * microseconds per crossing — more than the simulated cycle itself —
+ * so this barrier spins, with a bounded busy phase before yielding to
+ * stay polite on oversubscribed CI runners.
+ *
+ * Correctness: arrivals are acq_rel RMWs on `arrived_`, so the last
+ * arriver's release-store of `phase_` happens-after every earlier
+ * arriver's preceding writes (release sequence through the RMW
+ * chain), and each waiter's acquire-load of `phase_` synchronizes
+ * with it. Everything written before arriveAndWait() is therefore
+ * visible to every thread after it returns.
+ */
+
+#ifndef PCCS_RUNNER_SPIN_BARRIER_HH
+#define PCCS_RUNNER_SPIN_BARRIER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace pccs::runner {
+
+/** One CPU-friendly busy-wait pause. */
+inline void
+spinPause()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/**
+ * Phase-counting barrier for a fixed party count. Reusable: each
+ * arriveAndWait() crossing releases exactly when all parties arrive,
+ * and the monotonically increasing phase counter (rather than a
+ * flipping sense flag) makes back-to-back crossings race-free — a
+ * thread sprinting ahead to the next crossing observes a fresh phase
+ * value, never a stale reset.
+ */
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(unsigned parties) : parties_(parties) {}
+
+    SpinBarrier(const SpinBarrier &) = delete;
+    SpinBarrier &operator=(const SpinBarrier &) = delete;
+
+    /** Block (spinning) until all parties have arrived. */
+    void arriveAndWait()
+    {
+        const std::uint64_t phase =
+            phase_.load(std::memory_order_acquire);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            parties_) {
+            // Reset before publishing the new phase: a waiter released
+            // by the phase store acquires it, so it sees the reset
+            // before its own next arrival increments the counter.
+            arrived_.store(0, std::memory_order_relaxed);
+            phase_.store(phase + 1, std::memory_order_release);
+            return;
+        }
+        unsigned spins = 0;
+        while (phase_.load(std::memory_order_acquire) == phase) {
+            if (++spins < kSpinsBeforeYield)
+                spinPause();
+            else
+                std::this_thread::yield();
+        }
+    }
+
+    unsigned parties() const { return parties_; }
+
+  private:
+    static constexpr unsigned kSpinsBeforeYield = 4096;
+
+    const unsigned parties_;
+    std::atomic<unsigned> arrived_{0};
+    std::atomic<std::uint64_t> phase_{0};
+};
+
+} // namespace pccs::runner
+
+#endif // PCCS_RUNNER_SPIN_BARRIER_HH

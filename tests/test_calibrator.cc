@@ -137,5 +137,78 @@ TEST_F(CalibratorTest, TooSmallSweepDies)
     EXPECT_DEATH(calibrate(sim, 0, spec), "2x2");
 }
 
+McSweepSpec
+smallMcSpec()
+{
+    // A deliberately small sweep: 2 MCs x 1 channel, short windows,
+    // few points — enough to exercise shape, monotony, and run-mode
+    // invariance without dominating the test suite's runtime.
+    McSweepSpec spec;
+    spec.perMcConfig.channels = 1;
+    spec.perMcConfig.requestBufferEntries = 64;
+    spec.numKernels = 3;
+    spec.numExternal = 2;
+    spec.warmup = 3000;
+    spec.window = 12000;
+    return spec;
+}
+
+TEST(CalibrateMultiMc, ShapeAndSaneValues)
+{
+    const CalibrationMatrix m = calibrateMultiMc(smallMcSpec());
+    ASSERT_EQ(m.numKernels(), 3u);
+    ASSERT_EQ(m.numExternal(), 2u);
+    for (std::size_t i = 0; i < m.numKernels(); ++i) {
+        EXPECT_GT(m.standaloneBw[i], 0.0);
+        if (i)
+            EXPECT_GT(m.standaloneBw[i], m.standaloneBw[i - 1]);
+        for (double r : m.rela[i]) {
+            EXPECT_GT(r, 0.0);
+            EXPECT_LT(r, 110.0);
+        }
+    }
+    EXPECT_GT(m.externalBw[1], m.externalBw[0]);
+}
+
+TEST(CalibrateMultiMc, RunModesAgreeBitExactly)
+{
+    // The sweep is a pure function of the spec: every run mode (and
+    // the serial-points sharded path) must produce the identical
+    // matrix, doubles included.
+    McSweepSpec spec = smallMcSpec();
+    spec.runMode = dram::McRunMode::Lockstep;
+    const CalibrationMatrix ref = calibrateMultiMc(spec);
+    for (dram::McRunMode mode : {dram::McRunMode::EventDriven,
+                                 dram::McRunMode::Sharded}) {
+        SCOPED_TRACE(dram::mcRunModeName(mode));
+        spec.runMode = mode;
+        const CalibrationMatrix got = calibrateMultiMc(spec);
+        ASSERT_EQ(got.numKernels(), ref.numKernels());
+        ASSERT_EQ(got.numExternal(), ref.numExternal());
+        for (std::size_t i = 0; i < ref.numKernels(); ++i) {
+            EXPECT_EQ(got.standaloneBw[i], ref.standaloneBw[i]);
+            for (std::size_t j = 0; j < ref.numExternal(); ++j)
+                EXPECT_EQ(got.rela[i][j], ref.rela[i][j]);
+        }
+    }
+}
+
+TEST(CalibrateMultiMc, PartitionedVictimShruggedOffWhenIsolated)
+{
+    // Under RangePartitioned, the victim (source 0, bottom slice)
+    // shares its controller with at most the aggressors whose slices
+    // land there; with interleaving every aggressor lands on every
+    // controller. Contention at the top external step must therefore
+    // be no worse under partitioning.
+    McSweepSpec spec = smallMcSpec();
+    spec.mapping = dram::McMapping::RangePartitioned;
+    const CalibrationMatrix part = calibrateMultiMc(spec);
+    spec.mapping = dram::McMapping::LineInterleaved;
+    const CalibrationMatrix inter = calibrateMultiMc(spec);
+    const std::size_t last = part.numExternal() - 1;
+    const std::size_t big = part.numKernels() - 1;
+    EXPECT_GE(part.rela[big][last], inter.rela[big][last] - 2.0);
+}
+
 } // namespace
 } // namespace pccs::calib

@@ -25,11 +25,21 @@
  *   client --port N [--host H] (--send JSON | --op OP [fields])
  *       Send one request to a running service and print the response.
  *
- * `pccs --version` prints the tool version. The global option
+ *   multimc [--mcs N] [--channels N]
+ *           [--mapping interleaved|partitioned] [--policy NAME]
+ *           [--kernels N] [--external N]
+ *       Calibrate a victim against aggressors on the cycle-accurate
+ *       multi-controller DRAM subsystem and print the rela matrix.
+ *
+ * `pccs --version` prints the tool version. Global options:
  * --jobs N caps the sweep engine's worker threads (equivalent to
- * setting PCCS_JOBS=N).
+ * setting PCCS_JOBS=N); --dram-reference selects the per-cycle
+ * reference DRAM loops (single-MC reference core + multi-MC
+ * lockstep); --mc-parallel selects the sharded-parallel multi-MC run
+ * mode (PCCS_MC_SHARDS sizes the worker team).
  */
 
+#include <cctype>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -520,6 +530,80 @@ cmdRegion(const ArgMap &args)
     return 0;
 }
 
+int
+cmdMultimc(const ArgMap &args)
+{
+    calib::McSweepSpec spec;
+    if (args.count("mcs"))
+        spec.numMcs =
+            static_cast<unsigned>(std::atoi(args.at("mcs").c_str()));
+    if (args.count("channels"))
+        spec.perMcConfig.channels = static_cast<unsigned>(
+            std::atoi(args.at("channels").c_str()));
+    spec.perMcConfig.requestBufferEntries =
+        64 * spec.perMcConfig.channels;
+    if (args.count("mapping")) {
+        const std::string &m = args.at("mapping");
+        if (m == "interleaved")
+            spec.mapping = dram::McMapping::LineInterleaved;
+        else if (m == "partitioned")
+            spec.mapping = dram::McMapping::RangePartitioned;
+        else
+            fatal("--mapping must be interleaved or partitioned");
+    }
+    if (args.count("policy")) {
+        std::string p = args.at("policy");
+        for (char &c : p)
+            c = static_cast<char>(std::toupper(
+                static_cast<unsigned char>(c)));
+        bool found = false;
+        for (auto kind :
+             {dram::SchedulerKind::Fcfs, dram::SchedulerKind::FrFcfs,
+              dram::SchedulerKind::Atlas, dram::SchedulerKind::Tcm,
+              dram::SchedulerKind::Sms}) {
+            if (p == dram::schedulerName(kind)) {
+                spec.policy = kind;
+                found = true;
+            }
+        }
+        if (!found)
+            fatal("unknown scheduling policy '%s' (want FCFS, "
+                  "FR-FCFS, ATLAS, TCM, or SMS)",
+                  args.at("policy").c_str());
+    }
+    if (args.count("kernels"))
+        spec.numKernels = static_cast<unsigned>(
+            std::atoi(args.at("kernels").c_str()));
+    if (args.count("external"))
+        spec.numExternal = static_cast<unsigned>(
+            std::atoi(args.at("external").c_str()));
+
+    std::printf("multi-MC calibration sweep: %u MC x %u ch, %s, %s, "
+                "%s run mode\n\n",
+                spec.numMcs, spec.perMcConfig.channels,
+                dram::schedulerName(spec.policy),
+                dram::mcMappingName(spec.mapping),
+                dram::mcRunModeName(spec.runMode));
+    const calib::CalibrationMatrix m = calib::calibrateMultiMc(spec);
+
+    std::vector<std::string> header{"standalone (GB/s)"};
+    for (GBps y : m.externalBw) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "ext %.1f", y);
+        header.push_back(buf);
+    }
+    Table t(header);
+    for (std::size_t i = 0; i < m.numKernels(); ++i) {
+        std::vector<std::string> row{fmtDouble(m.standaloneBw[i], 2)};
+        for (double r : m.rela[i])
+            row.push_back(fmtDouble(r, 1));
+        t.addRow(row);
+    }
+    std::printf("%s\nrela[i][j]: victim relative speed (%%)\n",
+                t.str().c_str());
+    return 0;
+}
+
 void
 usage(std::FILE *to)
 {
@@ -545,6 +629,10 @@ usage(std::FILE *to)
         "  pccs client    --port N [--host H] (--send JSON | --op OP "
         "[--model M]\n"
         "                 [--demand X] [--external Y] [--path FILE])\n"
+        "  pccs multimc   [--mcs N] [--channels N] "
+        "[--mapping interleaved|partitioned]\n"
+        "                 [--policy NAME] [--kernels N] "
+        "[--external N]\n"
         "  pccs --version\n"
         "\n"
         "  S: xavier | snapdragon      P: cpu | gpu | dla\n"
@@ -553,8 +641,16 @@ usage(std::FILE *to)
         "health | shutdown\n"
         "\n"
         "global options:\n"
-        "  --jobs N    cap the sweep engine's worker threads "
-        "(PCCS_JOBS)\n");
+        "  --jobs N           cap the sweep engine's worker threads "
+        "(PCCS_JOBS)\n"
+        "  --dram-reference   per-cycle reference DRAM loops "
+        "(PCCS_DRAM_REFERENCE=1):\n"
+        "                     the single-MC reference core and the "
+        "multi-MC lockstep loop\n"
+        "  --mc-parallel      sharded-parallel multi-MC run mode "
+        "(PCCS_MC_SHARDS sizes\n"
+        "                     the worker team; bit-exact vs the "
+        "default event-driven loop)\n");
 }
 
 } // namespace
@@ -562,6 +658,20 @@ usage(std::FILE *to)
 int
 main(int argc, char **argv)
 {
+    // Strip the value-less global run-mode flags before parseArgs
+    // (which pairs every --option with a value).
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--dram-reference") == 0) {
+            dram::setDefaultDramRunMode(dram::DramRunMode::Reference);
+            dram::setDefaultMcRunMode(dram::McRunMode::Lockstep);
+        } else if (std::strcmp(argv[i], "--mc-parallel") == 0) {
+            dram::setDefaultMcRunMode(dram::McRunMode::Sharded);
+        } else {
+            argv[kept++] = argv[i];
+        }
+    }
+    argc = kept;
     if (argc < 2) {
         usage(stderr);
         return 1;
@@ -598,6 +708,8 @@ main(int argc, char **argv)
         return cmdServe(args);
     if (cmd == "client")
         return cmdClient(args);
+    if (cmd == "multimc")
+        return cmdMultimc(args);
     usage(stderr);
     fatal("unknown command '%s'", cmd.c_str());
 }
