@@ -10,9 +10,10 @@
 
 namespace pccs::bench {
 
-void
-applyDramRunFlags(int argc, char **argv)
+std::vector<std::string>
+consumeDramRunFlags(int argc, char **argv)
 {
+    std::vector<std::string> leftover;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--dram-reference") == 0) {
             dram::setDefaultDramRunMode(dram::DramRunMode::Reference);
@@ -20,12 +21,23 @@ applyDramRunFlags(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--mc-parallel") == 0) {
             dram::setDefaultMcRunMode(dram::McRunMode::Sharded);
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [--dram-reference] [--mc-parallel]\n"
-                         "unknown argument '%s'\n",
-                         argv[0], argv[i]);
-            std::exit(2);
+            leftover.push_back(argv[i]);
         }
+    }
+    return leftover;
+}
+
+void
+applyDramRunFlags(int argc, char **argv)
+{
+    const std::vector<std::string> leftover =
+        consumeDramRunFlags(argc, argv);
+    if (!leftover.empty()) {
+        std::fprintf(stderr,
+                     "usage: %s [--dram-reference] [--mc-parallel]\n"
+                     "unknown argument '%s'\n",
+                     argv[0], leftover.front().c_str());
+        std::exit(2);
     }
 }
 

@@ -41,6 +41,13 @@ void banner(const std::string &title, const std::string &paper_ref);
  */
 void applyDramRunFlags(int argc, char **argv);
 
+/**
+ * Like applyDramRunFlags(), but returns the arguments it did not
+ * consume (for benches with flags of their own) instead of treating
+ * them as fatal. argv[0] is not included in the result.
+ */
+std::vector<std::string> consumeDramRunFlags(int argc, char **argv);
+
 /** The external-pressure ladder the paper sweeps (10%..100% of max). */
 std::vector<GBps> externalLadder(GBps max_external, unsigned steps = 10);
 

@@ -46,7 +46,7 @@ study(unsigned num_mcs, McMapping mapping)
     const unsigned channels = 4 / num_mcs;
     auto run = [&](bool with_aggressors) {
         MultiMcSystem sys(perMcConfig(channels), num_mcs,
-                          SchedulerKind::Atlas, mapping);
+                          "ATLAS", mapping);
         TrafficParams victim;
         victim.source = 0; // bottom address slice
         victim.demand = 30.0;
@@ -90,7 +90,7 @@ sweepSeconds(McRunMode mode, calib::CalibrationMatrix &out)
     calib::McSweepSpec spec;
     spec.perMcConfig = perMcConfig(1);
     spec.numMcs = 4;
-    spec.policy = SchedulerKind::Atlas;
+    spec.policy = "ATLAS";
     spec.mapping = McMapping::RangePartitioned;
     spec.runMode = mode;
     const auto t0 = std::chrono::steady_clock::now();

@@ -178,7 +178,7 @@ BM_DramCyclesUnderLoad(benchmark::State &state)
 {
     // Cost of one simulated bus cycle with 16 active cores.
     dram::DramSystem sys(dram::table1Config(),
-                         dram::SchedulerKind::FrFcfs);
+                         "FR-FCFS");
     for (unsigned c = 0; c < 16; ++c) {
         dram::TrafficParams p;
         p.source = c;
@@ -203,7 +203,7 @@ void
 dramCyclesIdleSingle(benchmark::State &state, dram::DramRunMode mode)
 {
     dram::DramSystem sys(dram::table1Config(),
-                         dram::SchedulerKind::FrFcfs,
+                         "FR-FCFS",
                          dram::SchedulerParams{}, mode);
     dram::TrafficParams p;
     p.source = 0;
@@ -244,7 +244,7 @@ void
 dramCyclesSaturated4(benchmark::State &state, dram::DramRunMode mode)
 {
     dram::DramSystem sys(dram::table1Config(),
-                         dram::SchedulerKind::FrFcfs,
+                         "FR-FCFS",
                          dram::SchedulerParams{}, mode);
     for (unsigned c = 0; c < 4; ++c) {
         dram::TrafficParams p;
@@ -292,7 +292,7 @@ multiMcCycles(benchmark::State &state, dram::McRunMode mode,
     dram::DramConfig cfg = dram::table1Config();
     cfg.channels = 1;
     cfg.requestBufferEntries = 64;
-    dram::MultiMcSystem sys(cfg, 4, dram::SchedulerKind::FrFcfs,
+    dram::MultiMcSystem sys(cfg, 4, "FR-FCFS",
                             dram::McMapping::RangePartitioned,
                             dram::SchedulerParams{}, mode);
     const unsigned sources = saturated ? 4 : 2;
@@ -374,10 +374,14 @@ BENCHMARK(BM_MultiMcCyclesSaturatedSharded)
 void
 BM_SchedulerPick(benchmark::State &state)
 {
-    // Raw policy-decision cost on a synthetic 32-entry queue.
-    const auto kind =
-        static_cast<dram::SchedulerKind>(state.range(0));
-    auto sched = dram::makeScheduler(kind);
+    // Raw policy-decision cost on a synthetic 32-entry queue. The
+    // argument indexes the registry, so new registrations are
+    // benchmarked automatically.
+    const auto &policies = dram::schedulerPolicies();
+    const auto &info =
+        policies[static_cast<std::size_t>(state.range(0))];
+    state.SetLabel(info.name);
+    auto sched = info.factory(dram::SchedulerParams{});
     std::vector<dram::Request> reqs(32);
     std::vector<dram::QueueEntryView> entries(32);
     for (unsigned i = 0; i < 32; ++i) {
@@ -391,7 +395,11 @@ BM_SchedulerPick(benchmark::State &state)
         benchmark::DoNotOptimize(sched->pick(0, entries, 1000));
 }
 BENCHMARK(BM_SchedulerPick)
-    ->DenseRange(0, 4)
+    ->Apply([](benchmark::internal::Benchmark *b) {
+        const auto n = static_cast<long>(
+            dram::schedulerPolicies().size());
+        b->DenseRange(0, n - 1);
+    })
     ->ArgNames({"policy"});
 
 /** A 64-point sweep batch (8 kernels x 8 external-BW steps). */

@@ -1,12 +1,13 @@
 /**
  * @file
  * A memory-controller scheduling study on the cycle-level DRAM
- * simulator (the Section 2.3 methodology as a reusable tool): how do
- * the five policies of Table 2 trade bandwidth against fairness for a
+ * simulator (the Section 2.3 methodology as a reusable tool): how does
+ * each registered policy trade bandwidth against fairness for a
  * latency-sensitive core co-located with streaming traffic?
  */
 
 #include <cstdio>
+#include <string>
 
 #include "dram/system.hh"
 
@@ -23,7 +24,7 @@ struct Outcome
 };
 
 Outcome
-study(SchedulerKind policy)
+study(const std::string &policy)
 {
     constexpr Cycles warmup = 15000;
     constexpr Cycles window = 60000;
@@ -74,12 +75,10 @@ main()
                 "DDR4-3200 system (102.4 GB/s peak):\n\n");
     std::printf("%-10s %18s %18s %14s\n", "policy", "victim speed (%)",
                 "total BW (GB/s)", "row hits (%)");
-    for (auto policy : {SchedulerKind::Fcfs, SchedulerKind::FrFcfs,
-                        SchedulerKind::Atlas, SchedulerKind::Tcm,
-                        SchedulerKind::Sms}) {
+    for (const std::string &policy : schedulerNames()) {
         const Outcome o = study(policy);
         std::printf("%-10s %18.1f %18.1f %14.1f\n",
-                    schedulerName(policy), o.victimSpeed,
+                    policy.c_str(), o.victimSpeed,
                     o.totalBandwidth, o.hitRate);
     }
     std::printf("\nReading: FR-FCFS maximizes bandwidth and row hits "

@@ -15,6 +15,7 @@
 #ifndef PCCS_CALIB_CALIBRATOR_HH
 #define PCCS_CALIB_CALIBRATOR_HH
 
+#include <string>
 #include <vector>
 
 #include "dram/multi_mc.hh"
@@ -106,8 +107,8 @@ struct McSweepSpec
     dram::DramConfig perMcConfig = dram::table1Config();
     /** Number of memory controllers. */
     unsigned numMcs = 2;
-    /** Scheduling policy (one instance per MC). */
-    dram::SchedulerKind policy = dram::SchedulerKind::FrFcfs;
+    /** Registered scheduler-policy name (one instance per MC). */
+    std::string policy = "FR-FCFS";
     /** Address-to-MC mapping under calibration. */
     dram::McMapping mapping = dram::McMapping::LineInterleaved;
     /** Run loop for the per-point simulations. */

@@ -22,7 +22,7 @@ mcMappingName(McMapping mapping)
 }
 
 MultiMcSystem::MultiMcSystem(const DramConfig &per_mc_cfg,
-                             unsigned num_mcs, SchedulerKind policy,
+                             unsigned num_mcs, std::string_view policy,
                              McMapping mapping,
                              const SchedulerParams &sched_params,
                              McRunMode mode)

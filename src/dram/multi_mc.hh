@@ -30,6 +30,7 @@
 #define PCCS_DRAM_MULTI_MC_HH
 
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "dram/controller.hh"
@@ -58,13 +59,13 @@ class MultiMcSystem : public MemoryPort
      * @param per_mc_cfg configuration of each controller (so total
      *        capacity = num_mcs x per_mc_cfg.peakBandwidth())
      * @param num_mcs number of controllers
-     * @param policy scheduling policy (one instance per MC — MCs do
-     *        not share scheduler state, the coordination question the
-     *        paper raises)
+     * @param policy registered scheduler-policy name (one instance
+     *        per MC — MCs do not share scheduler state, the
+     *        coordination question the paper raises)
      * @param mode which run loop advances the subsystem
      */
     MultiMcSystem(const DramConfig &per_mc_cfg, unsigned num_mcs,
-                  SchedulerKind policy, McMapping mapping,
+                  std::string_view policy, McMapping mapping,
                   const SchedulerParams &sched_params = {},
                   McRunMode mode = defaultMcRunMode());
 

@@ -81,4 +81,20 @@ AtlasScheduler::pick(unsigned channel,
     return best;
 }
 
+void
+registerAtlasPolicy()
+{
+    registerSchedulerPolicy({
+        .name = "ATLAS",
+        .aliases = {},
+        .factory =
+            [](const SchedulerParams &p) {
+                return std::make_unique<AtlasScheduler>(p);
+            },
+        .pickIsPure = true,
+        .preservesRowHits = true,
+        .needsTickEvents = true,
+    });
+}
+
 } // namespace pccs::dram

@@ -48,6 +48,9 @@ class AtlasScheduler : public Scheduler
     Cycles nextQuantum_;
 };
 
+/** Register ATLAS with the policy registry. */
+void registerAtlasPolicy();
+
 } // namespace pccs::dram
 
 #endif // PCCS_DRAM_SCHED_ATLAS_HH

@@ -1,0 +1,92 @@
+#include "sched_bliss.hh"
+
+#include "common/logging.hh"
+
+// Event-driven audit: pick() reads the blacklist and mutates nothing,
+// so every skipped no-issuable cycle is a pure no-op. The two state
+// mutators are onService() — driven by CAS issues, which both cores
+// process on identical cycles — and the periodic blacklist clear in
+// tick(). The clear is the one time-triggered change and is exported
+// through nextTickEvent(), so the event core wakes on the precise
+// boundary cycle and the `nextClear_ = now + interval` rearm chain
+// advances identically in both modes.
+namespace pccs::dram {
+
+BlissScheduler::BlissScheduler(const SchedulerParams &params)
+    : params_(params), nextClear_(params.blissClearInterval)
+{
+}
+
+void
+BlissScheduler::tick(Cycles now)
+{
+    if (now < nextClear_)
+        return;
+    // Periodic forgiveness: every source gets a clean slate, so a
+    // blacklisted source is deprioritized for at most one interval.
+    blacklist_.fill(false);
+    lastSource_ = -1;
+    streak_ = 0;
+    nextClear_ = now + params_.blissClearInterval;
+}
+
+void
+BlissScheduler::onService(const Request &req, Cycles now, unsigned bytes)
+{
+    (void)now;
+    (void)bytes;
+    PCCS_ASSERT(req.source < maxSources, "source id %u out of range",
+                req.source);
+    if (static_cast<int>(req.source) == lastSource_) {
+        if (++streak_ >= params_.blissBlacklistThreshold)
+            blacklist_[req.source] = true;
+    } else {
+        lastSource_ = static_cast<int>(req.source);
+        streak_ = 1;
+    }
+}
+
+int
+BlissScheduler::pick(unsigned channel,
+                     std::span<const QueueEntryView> entries, Cycles now)
+{
+    (void)channel;
+    (void)now;
+    auto better = [&](const QueueEntryView &a,
+                      const QueueEntryView &b) -> bool {
+        const bool a_black = blacklist_[a.req->source];
+        const bool b_black = blacklist_[b.req->source];
+        if (a_black != b_black)
+            return !a_black;
+        if (a.rowHit != b.rowHit)
+            return a.rowHit;
+        return a.req->arrival < b.req->arrival;
+    };
+
+    int best = -1;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (!entries[i].issuable)
+            continue;
+        if (best < 0 || better(entries[i], entries[best]))
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+void
+registerBlissPolicy()
+{
+    registerSchedulerPolicy({
+        .name = "BLISS",
+        .aliases = {},
+        .factory =
+            [](const SchedulerParams &p) {
+                return std::make_unique<BlissScheduler>(p);
+            },
+        .pickIsPure = true,
+        .preservesRowHits = true,
+        .needsTickEvents = true,
+    });
+}
+
+} // namespace pccs::dram

@@ -76,4 +76,31 @@ FrFcfsScheduler::pick(unsigned channel,
     return best;
 }
 
+void
+registerFcfsPolicies()
+{
+    registerSchedulerPolicy({
+        .name = "FCFS",
+        .aliases = {},
+        .factory =
+            [](const SchedulerParams &) {
+                return std::make_unique<FcfsScheduler>();
+            },
+        .pickIsPure = true,
+        .preservesRowHits = false,
+        .needsTickEvents = false,
+    });
+    registerSchedulerPolicy({
+        .name = "FR-FCFS",
+        .aliases = {"frfcfs"},
+        .factory =
+            [](const SchedulerParams &) {
+                return std::make_unique<FrFcfsScheduler>();
+            },
+        .pickIsPure = true,
+        .preservesRowHits = true,
+        .needsTickEvents = false,
+    });
+}
+
 } // namespace pccs::dram

@@ -42,6 +42,9 @@ class FrFcfsScheduler : public Scheduler
              Cycles now) override;
 };
 
+/** Register FCFS and FR-FCFS with the policy registry. */
+void registerFcfsPolicies();
+
 } // namespace pccs::dram
 
 #endif // PCCS_DRAM_SCHED_FCFS_HH

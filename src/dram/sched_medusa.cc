@@ -1,0 +1,102 @@
+#include "sched_medusa.hh"
+
+// Event-driven audit: pick() is a pure function of (entries, state) —
+// it reads the per-channel turn mask and mutates nothing, consumes no
+// RNG, and ignores `now` — so skipped no-issuable cycles are pure
+// no-ops and the lazy pure-pick channel scan is safe. The only state
+// mutation is the turn-mask rotation in onService(), which runs on
+// CAS-issue cycles; both cores process every CAS on identical cycles,
+// so the masks advance in lockstep. tick() is the default no-op and
+// nextTickEvent() stays kNoEvent.
+namespace pccs::dram {
+
+MedusaScheduler::MedusaScheduler(const SchedulerParams &params)
+    : params_(params)
+{
+}
+
+std::uint32_t &
+MedusaScheduler::channelMask(unsigned channel)
+{
+    if (channel >= rrMask_.size())
+        rrMask_.resize(channel + 1, params_.medusaReservedBankMask);
+    return rrMask_[channel];
+}
+
+void
+MedusaScheduler::onService(const Request &req, Cycles now, unsigned bytes)
+{
+    (void)now;
+    (void)bytes;
+    const std::uint32_t reserved = params_.medusaReservedBankMask;
+    const std::uint32_t bank_bit = std::uint32_t{1} << req.loc.bank;
+    if (!(bank_bit & reserved))
+        return;
+    // The serviced bank spends its turn; once every reserved bank has
+    // spent one, the round restarts with the full reserved set.
+    std::uint32_t &mask = channelMask(req.loc.channel);
+    mask &= ~bank_bit;
+    if (mask == 0)
+        mask = reserved;
+}
+
+int
+MedusaScheduler::pick(unsigned channel,
+                      std::span<const QueueEntryView> entries, Cycles now)
+{
+    (void)now;
+    const std::uint32_t reserved = params_.medusaReservedBankMask;
+    const std::uint32_t turns = channelMask(channel);
+
+    // Priority tier per entry: 0 = reserved bank holding its turn,
+    // 1 = reserved bank out of turn, 2 = non-reserved.
+    auto tier = [&](const QueueEntryView &e) -> int {
+        const std::uint32_t bit = std::uint32_t{1} << e.req->loc.bank;
+        if (!(bit & reserved))
+            return 2;
+        return (bit & turns) ? 0 : 1;
+    };
+
+    auto better = [&](const QueueEntryView &a,
+                      const QueueEntryView &b) -> bool {
+        const int ta = tier(a);
+        const int tb = tier(b);
+        if (ta != tb)
+            return ta < tb;
+        if (ta == 0 && a.req->loc.bank != b.req->loc.bank) {
+            // In-turn reserved banks are taken in bank order so the
+            // round-robin sequence is deterministic.
+            return a.req->loc.bank < b.req->loc.bank;
+        }
+        if (a.rowHit != b.rowHit)
+            return a.rowHit;
+        return a.req->arrival < b.req->arrival;
+    };
+
+    int best = -1;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (!entries[i].issuable)
+            continue;
+        if (best < 0 || better(entries[i], entries[best]))
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+void
+registerMedusaPolicy()
+{
+    registerSchedulerPolicy({
+        .name = "MEDUSA",
+        .aliases = {},
+        .factory =
+            [](const SchedulerParams &p) {
+                return std::make_unique<MedusaScheduler>(p);
+            },
+        .pickIsPure = true,
+        .preservesRowHits = true,
+        .needsTickEvents = false,
+    });
+}
+
+} // namespace pccs::dram

@@ -1,0 +1,158 @@
+#include "sched_parbs.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+// Event-driven audit: PARBS's pick() mutates state (batch formation),
+// so like SMS it reports pickIsPure() == false and the event core
+// evaluates it on every post-change cycle. A new batch forms — the
+// only mutation inside pick() — exactly when no marked request is
+// visible in the queue snapshot, and that condition changes solely on
+// queue-content changes: a CAS unmarking via onService(), or an
+// enqueue into a channel with an exhausted batch. The event core
+// always processes the cycle *after* any issue/enqueue/completion,
+// which is precisely when the reference loop would re-form; on every
+// later skipped cycle the marked set is unchanged and non-empty, so
+// pick() reads state without touching it (and PARBS uses no RNG).
+// Hence batch boundaries and rankings are cycle-for-cycle identical
+// across the two cores.
+namespace pccs::dram {
+
+ParbsScheduler::ParbsScheduler(const SchedulerParams &params)
+    : params_(params)
+{
+}
+
+ParbsScheduler::ChannelState &
+ParbsScheduler::channelState(unsigned channel)
+{
+    if (channel >= channels_.size())
+        channels_.resize(channel + 1);
+    return channels_[channel];
+}
+
+void
+ParbsScheduler::onService(const Request &req, Cycles now, unsigned bytes)
+{
+    (void)now;
+    (void)bytes;
+    channelState(req.loc.channel).marked.erase(req.id);
+}
+
+int
+ParbsScheduler::pick(unsigned channel,
+                     std::span<const QueueEntryView> entries, Cycles now)
+{
+    (void)now;
+    ChannelState &st = channelState(channel);
+
+    bool any_marked_visible = false;
+    for (const auto &e : entries) {
+        if (st.marked.count(e.req->id)) {
+            any_marked_visible = true;
+            break;
+        }
+    }
+
+    if (!any_marked_visible && !entries.empty()) {
+        // Batch formation: mark up to parbsBatchCap of each source's
+        // oldest requests, then rank the sources shortest-job first so
+        // light sources finish their batch quickly while each source's
+        // marked requests stay under one consistent ranking (the
+        // "parallelism-aware" part — its bank-level parallel accesses
+        // are not interleaved apart by rank churn).
+        st.marked.clear();
+
+        std::array<std::vector<const Request *>, maxSources> per_source;
+        for (const auto &e : entries) {
+            PCCS_ASSERT(e.req->source < maxSources,
+                        "source id %u out of range", e.req->source);
+            per_source[e.req->source].push_back(e.req);
+        }
+
+        std::array<unsigned, maxSources> marked_count{};
+        std::array<Cycles, maxSources> oldest{};
+        for (unsigned s = 0; s < maxSources; ++s) {
+            auto &reqs = per_source[s];
+            if (reqs.empty())
+                continue;
+            std::sort(reqs.begin(), reqs.end(),
+                      [](const Request *a, const Request *b) {
+                          return a->arrival < b->arrival;
+                      });
+            const unsigned take = std::min(
+                params_.parbsBatchCap,
+                static_cast<unsigned>(reqs.size()));
+            for (unsigned i = 0; i < take; ++i)
+                st.marked.insert(reqs[i]->id);
+            marked_count[s] = take;
+            oldest[s] = reqs.front()->arrival;
+        }
+
+        std::array<unsigned, maxSources> order;
+        std::iota(order.begin(), order.end(), 0u);
+        std::sort(order.begin(), order.end(),
+                  [&](unsigned a, unsigned b) {
+                      // Sources outside the batch sort last; among
+                      // batch members, fewest marked requests first
+                      // (shortest job), ties by older work then id.
+                      const bool a_in = marked_count[a] > 0;
+                      const bool b_in = marked_count[b] > 0;
+                      if (a_in != b_in)
+                          return a_in;
+                      if (marked_count[a] != marked_count[b])
+                          return marked_count[a] < marked_count[b];
+                      if (a_in && oldest[a] != oldest[b])
+                          return oldest[a] < oldest[b];
+                      return a < b;
+                  });
+        for (unsigned r = 0; r < maxSources; ++r)
+            st.rank[order[r]] = r;
+    }
+
+    auto better = [&](const QueueEntryView &a,
+                      const QueueEntryView &b) -> bool {
+        const bool a_marked = st.marked.count(a.req->id) != 0;
+        const bool b_marked = st.marked.count(b.req->id) != 0;
+        if (a_marked != b_marked)
+            return a_marked;
+        if (a_marked) {
+            const unsigned ra = st.rank[a.req->source];
+            const unsigned rb = st.rank[b.req->source];
+            if (ra != rb)
+                return ra < rb;
+        }
+        if (a.rowHit != b.rowHit)
+            return a.rowHit;
+        return a.req->arrival < b.req->arrival;
+    };
+
+    int best = -1;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (!entries[i].issuable)
+            continue;
+        if (best < 0 || better(entries[i], entries[best]))
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+void
+registerParbsPolicy()
+{
+    registerSchedulerPolicy({
+        .name = "PARBS",
+        .aliases = {"par-bs"},
+        .factory =
+            [](const SchedulerParams &p) {
+                return std::make_unique<ParbsScheduler>(p);
+            },
+        .pickIsPure = false,
+        .preservesRowHits = true,
+        .needsTickEvents = false,
+    });
+}
+
+} // namespace pccs::dram

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * PARBS: Parallelism-Aware Batch Scheduling (Mutlu & Moscibroda,
+ * ISCA 2008).
+ *
+ * Requests are grouped into batches: when no marked requests remain
+ * visible on a channel, the scheduler marks up to `parbsBatchCap` of
+ * each source's oldest requests and ranks the sources shortest-job
+ * first (fewest marked requests = highest rank), preserving each
+ * source's bank-level parallelism by serving all of its marked
+ * requests under one consistent ranking. Prioritization order:
+ *   1) marked (current-batch) requests,
+ *   2) higher-ranked source within the batch,
+ *   3) row-hit requests,
+ *   4) oldest requests.
+ * Batching bounds unfairness: no source can be deprioritized for
+ * longer than one batch.
+ */
+
+#ifndef PCCS_DRAM_SCHED_PARBS_HH
+#define PCCS_DRAM_SCHED_PARBS_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "dram/scheduler.hh"
+
+namespace pccs::dram {
+
+class ParbsScheduler : public Scheduler
+{
+  public:
+    explicit ParbsScheduler(const SchedulerParams &params);
+
+    const char *name() const override { return "PARBS"; }
+    /** pick() forms a new batch (state mutation) after queue changes. */
+    bool pickIsPure() const override { return false; }
+    void onService(const Request &req, Cycles now, unsigned bytes) override;
+    int pick(unsigned channel, std::span<const QueueEntryView> entries,
+             Cycles now) override;
+
+    /** @return marked requests outstanding on a channel (for tests). */
+    std::size_t markedCount(unsigned channel) const
+    {
+        return channel < channels_.size() ? channels_[channel].marked.size()
+                                          : 0;
+    }
+
+  private:
+    /** Per-channel batch state (channels schedule independently). */
+    struct ChannelState
+    {
+        /** Request ids marked as members of the current batch. */
+        std::unordered_set<std::uint64_t> marked;
+        /** Source rank for the current batch (lower = higher priority). */
+        std::array<unsigned, maxSources> rank{};
+    };
+
+    ChannelState &channelState(unsigned channel);
+
+    SchedulerParams params_;
+    std::vector<ChannelState> channels_;
+};
+
+/** Register PARBS with the policy registry. */
+void registerParbsPolicy();
+
+} // namespace pccs::dram
+
+#endif // PCCS_DRAM_SCHED_PARBS_HH

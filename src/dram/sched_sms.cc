@@ -155,4 +155,20 @@ SmsScheduler::pick(unsigned channel,
     return idx;
 }
 
+void
+registerSmsPolicy()
+{
+    registerSchedulerPolicy({
+        .name = "SMS",
+        .aliases = {},
+        .factory =
+            [](const SchedulerParams &p) {
+                return std::make_unique<SmsScheduler>(p);
+            },
+        .pickIsPure = false,
+        .preservesRowHits = true,
+        .needsTickEvents = false,
+    });
+}
+
 } // namespace pccs::dram

@@ -55,6 +55,9 @@ class SmsScheduler : public Scheduler
     std::vector<ChannelState> channels_;
 };
 
+/** Register SMS with the policy registry. */
+void registerSmsPolicy();
+
 } // namespace pccs::dram
 
 #endif // PCCS_DRAM_SCHED_SMS_HH

@@ -130,4 +130,20 @@ TcmScheduler::pick(unsigned channel,
     return best;
 }
 
+void
+registerTcmPolicy()
+{
+    registerSchedulerPolicy({
+        .name = "TCM",
+        .aliases = {},
+        .factory =
+            [](const SchedulerParams &p) {
+                return std::make_unique<TcmScheduler>(p);
+            },
+        .pickIsPure = true,
+        .preservesRowHits = true,
+        .needsTickEvents = true,
+    });
+}
+
 } // namespace pccs::dram

@@ -63,6 +63,9 @@ class TcmScheduler : public Scheduler
     unsigned shuffleOffset_ = 0;
 };
 
+/** Register TCM with the policy registry. */
+void registerTcmPolicy();
+
 } // namespace pccs::dram
 
 #endif // PCCS_DRAM_SCHED_TCM_HH

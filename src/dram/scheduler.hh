@@ -1,20 +1,33 @@
 /**
  * @file
- * Memory-controller scheduling policy interface and factory.
+ * Memory-controller scheduling policy interface and registry.
  *
  * The controller presents the scheduler with the per-channel request
  * queue each time a command slot is free; the scheduler returns the
- * index of the request to advance. The five concrete policies are the
- * ones the paper evaluates in Section 2.3 (Table 2): FCFS, FR-FCFS,
- * ATLAS, TCM, and SMS.
+ * index of the request to advance. The concrete policies register
+ * themselves with a name-keyed registry (PolicyInfo): the five the
+ * paper evaluates in Section 2.3 (Table 2) — FCFS, FR-FCFS, ATLAS,
+ * TCM, SMS — plus the extension policies BLISS, PARBS, and MEDUSA.
+ *
+ * Adding a policy is a one-file affair: implement Scheduler in a new
+ * sched_<name>.cc, describe it with a PolicyInfo, and register it (for
+ * archive-linked builtins, through a register hook listed in
+ * scheduler.cc's builtin table; external code can call
+ * registerSchedulerPolicy() directly at any time before the first
+ * lookup). Every consumer — systems, calibration, benches, the CLI,
+ * the equivalence tests — enumerates schedulerNames() instead of a
+ * hard-coded list, so the new policy flows through all of them.
  */
 
 #ifndef PCCS_DRAM_SCHEDULER_HH
 #define PCCS_DRAM_SCHEDULER_HH
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "dram/request.hh"
 
@@ -22,22 +35,6 @@ namespace pccs::dram {
 
 /** Sentinel "no pending event" cycle for the event-driven core. */
 inline constexpr Cycles kNoEvent = ~Cycles{0};
-
-/** The scheduling policies of Table 2. */
-enum class SchedulerKind
-{
-    Fcfs,    //!< first-come-first-serve
-    FrFcfs,  //!< first-ready FCFS (row hits prioritized)
-    Atlas,   //!< adaptive per-thread least-attained-service
-    Tcm,     //!< thread cluster memory scheduling
-    Sms,     //!< staged memory scheduling
-};
-
-/** @return the canonical display name of a policy. */
-const char *schedulerName(SchedulerKind kind);
-
-/** Parse a policy name ("fcfs", "fr-fcfs", "atlas", "tcm", "sms"). */
-SchedulerKind schedulerFromName(const std::string &name);
 
 /** One schedulable request as the policy sees it. */
 struct QueueEntryView
@@ -53,8 +50,9 @@ struct QueueEntryView
  * Abstract scheduling policy.
  *
  * One scheduler instance serves all channels; policy state that is
- * logically per-source (attained service, clusters, batches) is global,
- * which mirrors how ATLAS coordinates across memory controllers.
+ * logically per-source (attained service, clusters, batches,
+ * blacklists) is global, which mirrors how ATLAS coordinates across
+ * memory controllers.
  */
 class Scheduler
 {
@@ -75,20 +73,21 @@ class Scheduler
 
     /**
      * Called before any pick on every *simulated* cycle the controller
-     * processes; policies use it to run quantum updates (ATLAS/TCM) or
-     * shuffles. The event-driven core skips cycles wholesale, so a
-     * policy whose tick() is not a no-op at some future cycle must
-     * report that cycle through nextTickEvent() — otherwise the skip
-     * would jump over the state update the reference core performs.
+     * processes; policies use it to run quantum updates (ATLAS/TCM),
+     * shuffles, or blacklist clears (BLISS). The event-driven core
+     * skips cycles wholesale, so a policy whose tick() is not a no-op
+     * at some future cycle must report that cycle through
+     * nextTickEvent() — otherwise the skip would jump over the state
+     * update the reference core performs.
      */
     virtual void tick(Cycles now) { (void)now; }
 
     /**
      * Earliest future cycle at which tick() stops being a no-op
-     * (quantum boundary, shuffle deadline, ...), or kNoEvent when
-     * tick() never does anything. The event-driven core includes this
-     * in its next-event computation so tick() fires on exactly the
-     * same cycles as under the per-cycle reference loop.
+     * (quantum boundary, shuffle deadline, blacklist clear, ...), or
+     * kNoEvent when tick() never does anything. The event-driven core
+     * includes this in its next-event computation so tick() fires on
+     * exactly the same cycles as under the per-cycle reference loop.
      */
     virtual Cycles nextTickEvent() const { return kNoEvent; }
 
@@ -110,9 +109,9 @@ class Scheduler
      * The event-driven core then drops pick() calls on *every* cycle
      * it can prove unproductive — including the cycle right after a
      * command issue or an enqueue — and wakes a channel only at its
-     * next command-legality bound. SMS returns false: its pick()
-     * rebatches (mutating state and drawing RNG) on exactly those
-     * post-change cycles, so they must be evaluated.
+     * next command-legality bound. SMS and PARBS return false: their
+     * pick() rebatches (mutating state, and for SMS drawing RNG) on
+     * exactly those post-change cycles, so they must be evaluated.
      */
     virtual bool pickIsPure() const { return true; }
 
@@ -127,8 +126,8 @@ class Scheduler
      * command becomes timing-legal. A policy is compatible iff every
      * pick() call on a skipped cycle — queue contents unchanged and no
      * entry issuable — would have been a pure no-op (returns -1, no
-     * state or RNG consumption). All five policies satisfy this; the
-     * per-policy audits live at the top of each sched_*.cc.
+     * state or RNG consumption). All registered policies satisfy this;
+     * the per-policy audits live at the top of each sched_*.cc.
      *
      * @param channel index of the channel being scheduled
      * @param entries snapshot of the channel's queued requests
@@ -161,12 +160,79 @@ struct SchedulerParams
     unsigned smsBatchCap = 16;
     /** SMS: probability of shortest-job-first batch selection. */
     double smsShortestFirstProb = 0.9;
+    /** BLISS: consecutive-service streak that blacklists a source. */
+    unsigned blissBlacklistThreshold = 4;
+    /** BLISS: blacklist clearing interval in cycles. */
+    Cycles blissClearInterval = 10000;
+    /** PARBS: per-source marking cap when a batch forms. */
+    unsigned parbsBatchCap = 5;
+    /** MEDUSA: bitmask of reserved (round-robin) banks per channel. */
+    std::uint32_t medusaReservedBankMask = 0xF;
     /** Seed for any stochastic choices (SMS). */
     std::uint64_t seed = 0xC0FFEEull;
 };
 
-/** Create a scheduler of the given kind. */
-std::unique_ptr<Scheduler> makeScheduler(SchedulerKind kind,
+/**
+ * Descriptor of one registered scheduling policy.
+ *
+ * The capability flags mirror the corresponding Scheduler virtuals so
+ * tooling (`pccs policies`, CI matrices) can inspect a policy without
+ * instantiating it; the registry self-check in tests asserts that the
+ * descriptor and a fresh instance agree.
+ */
+struct PolicyInfo
+{
+    /** Canonical display name ("FR-FCFS"). */
+    std::string name;
+    /**
+     * Accepted lowercase aliases ("frfcfs"). The canonical name is
+     * always accepted case-insensitively as well.
+     */
+    std::vector<std::string> aliases;
+    /** Factory over the shared parameter block. */
+    std::function<std::unique_ptr<Scheduler>(const SchedulerParams &)>
+        factory;
+    /** Scheduler::pickIsPure() of instances of this policy. */
+    bool pickIsPure = true;
+    /** Scheduler::preservesRowHits() of instances of this policy. */
+    bool preservesRowHits = true;
+    /** True when nextTickEvent() is ever != kNoEvent (ATLAS/TCM/BLISS). */
+    bool needsTickEvents = false;
+};
+
+/**
+ * Register a policy. Registration order defines enumeration order;
+ * re-registering an already-known canonical name (case-insensitively)
+ * is a fatal user error. Builtin policies are installed first, in
+ * Table-2 order followed by the extension policies, no matter how
+ * early this is called — external policies always enumerate after
+ * them.
+ */
+void registerSchedulerPolicy(PolicyInfo info);
+
+/** All registered policies, in registration order. */
+const std::vector<PolicyInfo> &schedulerPolicies();
+
+/** Canonical names of all registered policies, in order. */
+std::vector<std::string> schedulerNames();
+
+/**
+ * Look up a policy by canonical name or alias (case-insensitive).
+ * @return nullptr when the name is unknown.
+ */
+const PolicyInfo *findSchedulerPolicy(std::string_view name);
+
+/**
+ * Look up a policy by name; unknown names are a fatal user error
+ * whose message enumerates the valid policy names.
+ */
+const PolicyInfo &schedulerFromName(std::string_view name);
+
+/** Comma-separated canonical policy names (for error messages). */
+std::string schedulerNameList();
+
+/** Create a scheduler by policy name (fatal on unknown names). */
+std::unique_ptr<Scheduler> makeScheduler(std::string_view name,
                                          const SchedulerParams &params = {});
 
 } // namespace pccs::dram

@@ -4,7 +4,7 @@
 
 namespace pccs::dram {
 
-DramSystem::DramSystem(const DramConfig &cfg, SchedulerKind policy,
+DramSystem::DramSystem(const DramConfig &cfg, std::string_view policy,
                        const SchedulerParams &sched_params,
                        DramRunMode mode)
     : mode_(mode),

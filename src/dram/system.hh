@@ -4,15 +4,17 @@
  * synthetic core traffic generators, with warmup/measure windows.
  *
  * This is the substrate for the paper's Section 2.3 validation: the
- * five scheduling policies are run against a 16-core configuration
- * (Table 1) and per-group achieved relative speeds, row-buffer hit
- * rates, and effective bandwidths are extracted (Figure 5, Table 3).
+ * registered scheduling policies are run against a 16-core
+ * configuration (Table 1) and per-group achieved relative speeds,
+ * row-buffer hit rates, and effective bandwidths are extracted
+ * (Figure 5, Table 3).
  */
 
 #ifndef PCCS_DRAM_SYSTEM_HH
 #define PCCS_DRAM_SYSTEM_HH
 
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "dram/controller.hh"
@@ -26,7 +28,8 @@ namespace pccs::dram {
 class DramSystem
 {
   public:
-    DramSystem(const DramConfig &cfg, SchedulerKind policy,
+    /** @param policy registered scheduler-policy name or alias. */
+    DramSystem(const DramConfig &cfg, std::string_view policy,
                const SchedulerParams &sched_params = {},
                DramRunMode mode = defaultDramRunMode());
 

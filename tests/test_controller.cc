@@ -18,7 +18,7 @@ class ControllerTest : public ::testing::Test
 {
   protected:
     ControllerTest()
-        : ctrl(table1Config(), makeScheduler(SchedulerKind::FrFcfs))
+        : ctrl(table1Config(), makeScheduler("FR-FCFS"))
     {
     }
 
@@ -184,7 +184,7 @@ TEST(ControllerConfig, PeakBandwidthMatchesTable1)
 TEST(ControllerStatsPrint, Gem5StyleDump)
 {
     MemoryController ctrl(table1Config(),
-                          makeScheduler(SchedulerKind::FrFcfs));
+                          makeScheduler("FR-FCFS"));
     Cycles now = 0;
     ASSERT_TRUE(ctrl.enqueue(0, 0x0, false, now));
     for (; now < 300; ++now)

@@ -14,14 +14,20 @@
  *  2. Cross-mode equivalence: reference and event-driven runs of the
  *     same system must agree on every ControllerStats field, every
  *     per-source counter, the exact achieved-bandwidth doubles, and
- *     the final cycle — across all five scheduling policies, channel
- *     counts, demand scales, and seeds, including configurations that
- *     exercise scheduler quantum/shuffle tick events.
+ *     the final cycle — across every registered scheduling policy,
+ *     channel counts, demand scales, and seeds, including
+ *     configurations that exercise scheduler quantum/shuffle tick
+ *     events. The policy axis enumerates the registry, so a newly
+ *     registered policy is equivalence-tested automatically;
+ *     PCCS_POLICY_FILTER=A,B restricts the run to a subset (CI runs
+ *     one job per policy).
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.hh"
@@ -31,12 +37,38 @@ namespace pccs::dram {
 namespace {
 
 /**
+ * Registered policy names, restricted by PCCS_POLICY_FILTER
+ * (comma-separated names or aliases) when set.
+ */
+std::vector<std::string>
+testPolicies()
+{
+    const char *env = std::getenv("PCCS_POLICY_FILTER");
+    if (!env || !*env)
+        return schedulerNames();
+    std::vector<std::string> out;
+    std::string list(env);
+    std::size_t pos = 0;
+    while (pos != std::string::npos) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string tok =
+            list.substr(pos, comma == std::string::npos
+                                 ? std::string::npos
+                                 : comma - pos);
+        if (!tok.empty())
+            out.push_back(schedulerFromName(tok).name);
+        pos = comma == std::string::npos ? comma : comma + 1;
+    }
+    return out;
+}
+
+/**
  * FROZEN: this exact construction produced the golden numbers below
  * from the pre-refactor simulator. Do not change it; add new cases to
  * the cross-mode matrix instead.
  */
 std::unique_ptr<DramSystem>
-buildSystem(SchedulerKind policy, unsigned channels, double scale,
+buildSystem(std::string_view policy, unsigned channels, double scale,
             std::uint64_t seed, DramRunMode mode,
             const SchedulerParams &sched_params = {})
 {
@@ -93,12 +125,6 @@ runWindow(DramSystem &sys)
     sys.run(kWindow);
 }
 
-const SchedulerKind kPolicies[] = {SchedulerKind::Fcfs,
-                                   SchedulerKind::FrFcfs,
-                                   SchedulerKind::Atlas,
-                                   SchedulerKind::Tcm,
-                                   SchedulerKind::Sms};
-
 /** Compare every observable of two runs of the same configuration. */
 void
 expectIdentical(DramSystem &a, DramSystem &b)
@@ -143,14 +169,17 @@ expectIdentical(DramSystem &a, DramSystem &b)
 }
 
 /**
- * Golden statistics captured from the pre-refactor per-cycle simulator
+ * Golden statistics captured from the per-cycle reference simulator
  * (channels = 4, seed = 1, default SchedulerParams, warmup 3000 +
- * window 20000). Any drift here means the rework changed simulated
- * behavior, not just its speed.
+ * window 20000). The five Table 2 policies' rows predate the event
+ * core (pre-refactor capture); the extension policies' rows were
+ * pinned from the same reference loop when each policy landed. Any
+ * drift here means a rework changed simulated behavior, not just its
+ * speed.
  */
 struct GoldenRow
 {
-    SchedulerKind policy;
+    const char *policy;
     double scale;
     struct
     {
@@ -160,26 +189,38 @@ struct GoldenRow
 };
 
 const GoldenRow kGolden[] = {
-    {SchedulerKind::Fcfs, 0.25,
+    {"FCFS", 0.25,
      {1837u, 506u, 609u, 1734u, 4u, 149952u, 2344u, 207366u}},
-    {SchedulerKind::Fcfs, 2.50,
+    {"FCFS", 2.50,
      {6147u, 1161u, 2239u, 5069u, 4u, 467712u, 7305u, 3672390u}},
-    {SchedulerKind::FrFcfs, 0.25,
+    {"FR-FCFS", 0.25,
      {1837u, 506u, 617u, 1726u, 4u, 149952u, 2344u, 204290u}},
-    {SchedulerKind::FrFcfs, 2.50,
+    {"FR-FCFS", 2.50,
      {7535u, 1445u, 3340u, 5640u, 4u, 574720u, 8979u, 3588863u}},
-    {SchedulerKind::Atlas, 0.25,
+    {"ATLAS", 0.25,
      {1837u, 506u, 615u, 1728u, 4u, 149952u, 2344u, 206079u}},
-    {SchedulerKind::Atlas, 2.50,
+    {"ATLAS", 2.50,
      {6693u, 1416u, 2639u, 5470u, 4u, 518976u, 8108u, 3421097u}},
-    {SchedulerKind::Tcm, 0.25,
+    {"TCM", 0.25,
      {1837u, 506u, 617u, 1726u, 4u, 149952u, 2344u, 204290u}},
-    {SchedulerKind::Tcm, 2.50,
+    {"TCM", 2.50,
      {7535u, 1445u, 3340u, 5640u, 4u, 574720u, 8979u, 3588863u}},
-    {SchedulerKind::Sms, 0.25,
+    {"SMS", 0.25,
      {1837u, 506u, 617u, 1726u, 4u, 149952u, 2344u, 204610u}},
-    {SchedulerKind::Sms, 2.50,
+    {"SMS", 2.50,
      {7519u, 1438u, 3314u, 5643u, 4u, 573248u, 8964u, 3622229u}},
+    {"BLISS", 0.25,
+     {1837u, 506u, 621u, 1722u, 4u, 149952u, 2344u, 204308u}},
+    {"BLISS", 2.50,
+     {7414u, 1438u, 3227u, 5625u, 4u, 566528u, 8853u, 3587850u}},
+    {"PARBS", 0.25,
+     {1837u, 506u, 616u, 1727u, 4u, 149952u, 2344u, 203872u}},
+    {"PARBS", 2.50,
+     {7473u, 1444u, 3301u, 5616u, 4u, 570688u, 8923u, 3570163u}},
+    {"MEDUSA", 0.25,
+     {1837u, 506u, 617u, 1726u, 4u, 149952u, 2345u, 204033u}},
+    {"MEDUSA", 2.50,
+     {7073u, 1370u, 3041u, 5402u, 4u, 540352u, 8457u, 3606726u}},
 };
 
 class GoldenPinning : public ::testing::TestWithParam<DramRunMode>
@@ -188,13 +229,21 @@ class GoldenPinning : public ::testing::TestWithParam<DramRunMode>
 
 TEST_P(GoldenPinning, MatchesPreRefactorStats)
 {
+    const std::vector<std::string> policies = testPolicies();
+    auto selected = [&](const char *policy) {
+        for (const std::string &p : policies)
+            if (p == policy)
+                return true;
+        return false;
+    };
     for (const GoldenRow &row : kGolden) {
+        if (!selected(row.policy))
+            continue;
         auto sys = buildSystem(row.policy, 4, row.scale, 1, GetParam());
         runWindow(*sys);
         const ControllerStats &st = sys->controller().stats();
         SCOPED_TRACE(testing::Message()
-                     << schedulerName(row.policy) << " scale "
-                     << row.scale);
+                     << row.policy << " scale " << row.scale);
         EXPECT_EQ(st.reads, row.want.reads);
         EXPECT_EQ(st.writes, row.want.writes);
         EXPECT_EQ(st.rowHits, row.want.rowHits);
@@ -217,12 +266,12 @@ INSTANTIATE_TEST_SUITE_P(BothModes, GoldenPinning,
 
 TEST(DramEquivalence, CrossModeMatrix)
 {
-    for (SchedulerKind policy : kPolicies) {
+    for (const std::string &policy : testPolicies()) {
         for (unsigned channels : {1u, 4u}) {
             for (double scale : {0.25, 1.0, 2.5}) {
                 for (std::uint64_t seed : {1u, 2u}) {
                     SCOPED_TRACE(testing::Message()
-                                 << schedulerName(policy) << " ch="
+                                 << policy << " ch="
                                  << channels << " scale=" << scale
                                  << " seed=" << seed);
                     auto ref = buildSystem(policy, channels, scale,
@@ -242,20 +291,20 @@ TEST(DramEquivalence, CrossModeMatrix)
 
 TEST(DramEquivalence, SchedulerTickEventsUnderQuietTraffic)
 {
-    // Small quanta + low demand: ATLAS quantum folds and TCM
-    // recluster/shuffle boundaries land inside long quiet stretches,
-    // so the event core must wake on the exact boundary cycles to keep
-    // the `next = now + interval` rearm chains — and with them every
-    // later scheduling decision — identical.
+    // Small quanta + low demand: ATLAS quantum folds, TCM
+    // recluster/shuffle boundaries, and BLISS blacklist clears land
+    // inside long quiet stretches, so the event core must wake on the
+    // exact boundary cycles to keep the `next = now + interval` rearm
+    // chains — and with them every later scheduling decision —
+    // identical.
     SchedulerParams sp;
     sp.quantum = 1700;
     sp.tcmShuffleInterval = 430;
-    for (SchedulerKind policy :
-         {SchedulerKind::Atlas, SchedulerKind::Tcm}) {
+    sp.blissClearInterval = 790;
+    for (const char *policy : {"ATLAS", "TCM", "BLISS"}) {
         for (double scale : {0.05, 1.0}) {
             SCOPED_TRACE(testing::Message()
-                         << schedulerName(policy) << " scale "
-                         << scale);
+                         << policy << " scale " << scale);
             auto ref = buildSystem(policy, 4, scale, 3,
                                    DramRunMode::Reference, sp);
             auto evt = buildSystem(policy, 4, scale, 3,
@@ -272,9 +321,9 @@ TEST(DramEquivalence, ModeSwitchMidRun)
     // A system may flip modes between run() calls; state carried
     // across the switch (open rows, tokens, inflight, refresh phase)
     // must line up bit-for-bit with a single-mode run.
-    auto ref = buildSystem(SchedulerKind::FrFcfs, 4, 1.0, 5,
+    auto ref = buildSystem("FR-FCFS", 4, 1.0, 5,
                            DramRunMode::Reference);
-    auto mixed = buildSystem(SchedulerKind::FrFcfs, 4, 1.0, 5,
+    auto mixed = buildSystem("FR-FCFS", 4, 1.0, 5,
                              DramRunMode::EventDriven);
     ref->run(9000);
     mixed->run(4000);

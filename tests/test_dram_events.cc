@@ -19,7 +19,7 @@ namespace {
 /** A small system whose refreshes are dense enough to collide with
  *  completions and token crossings many times per window. */
 std::unique_ptr<DramSystem>
-buildDense(SchedulerKind policy, double demand, DramRunMode mode)
+buildDense(std::string_view policy, double demand, DramRunMode mode)
 {
     DramConfig cfg = table1Config();
     cfg.channels = 2;
@@ -66,16 +66,10 @@ TEST(DramEvents, CoincidingEventsResolveInCycleOrder)
     // land on the same cycle; the skipping core must replay exactly
     // the per-cycle order (controller: scheduler tick, completions,
     // refresh-before-schedule per channel; then generators).
-    const SchedulerKind policies[] = {SchedulerKind::Fcfs,
-                                      SchedulerKind::FrFcfs,
-                                      SchedulerKind::Atlas,
-                                      SchedulerKind::Tcm,
-                                      SchedulerKind::Sms};
-    for (SchedulerKind policy : policies) {
+    for (const std::string &policy : schedulerNames()) {
         for (double demand : {0.5, 4.0, 25.0}) {
             SCOPED_TRACE(testing::Message()
-                         << schedulerName(policy) << " demand "
-                         << demand);
+                         << policy << " demand " << demand);
             auto ref =
                 buildDense(policy, demand, DramRunMode::Reference);
             auto evt =
@@ -94,11 +88,11 @@ TEST(DramEvents, RunChunkingIsUnobservable)
     // core called 15000 times with run(1), ~2143 times with run(7),
     // and once with run(15000) must agree bit-for-bit.
     auto whole =
-        buildDense(SchedulerKind::FrFcfs, 2.0, DramRunMode::EventDriven);
+        buildDense("FR-FCFS", 2.0, DramRunMode::EventDriven);
     auto by7 =
-        buildDense(SchedulerKind::FrFcfs, 2.0, DramRunMode::EventDriven);
+        buildDense("FR-FCFS", 2.0, DramRunMode::EventDriven);
     auto by1 =
-        buildDense(SchedulerKind::FrFcfs, 2.0, DramRunMode::EventDriven);
+        buildDense("FR-FCFS", 2.0, DramRunMode::EventDriven);
     whole->run(15000);
     for (int i = 0; i < 15000 / 7; ++i)
         by7->run(7);
@@ -112,7 +106,7 @@ TEST(DramEvents, RunChunkingIsUnobservable)
 TEST(DramEvents, IdleControllerHasNoEvents)
 {
     DramConfig cfg = table1Config();
-    MemoryController mc(cfg, makeScheduler(SchedulerKind::FrFcfs));
+    MemoryController mc(cfg, makeScheduler("FR-FCFS"));
     EXPECT_FALSE(mc.tick(0));
     // No queued requests, nothing inflight, no scheduler tick events:
     // a fully idle controller never needs to wake.
@@ -127,7 +121,7 @@ TEST(DramEvents, SingleRequestWakesThroughActCasCompletion)
     // productive (the woken cycle is active) and tight against the
     // DDR timing parameters.
     DramConfig cfg = table1Config();
-    MemoryController mc(cfg, makeScheduler(SchedulerKind::FrFcfs));
+    MemoryController mc(cfg, makeScheduler("FR-FCFS"));
     ASSERT_TRUE(mc.enqueue(0, 0x40, false, 0));
     const DecodedAddr loc = mc.mapper().decode(0x40);
 
@@ -162,7 +156,7 @@ TEST(DramEvents, LowDemandTokenAccrualMatchesReference)
         DramConfig cfg = table1Config();
         auto make = [&](DramRunMode mode) {
             auto sys = std::make_unique<DramSystem>(
-                cfg, SchedulerKind::FrFcfs, SchedulerParams{}, mode);
+                cfg, "FR-FCFS", SchedulerParams{}, mode);
             TrafficParams p;
             p.source = 0;
             p.demand = demand;

@@ -44,7 +44,7 @@ class RefreshTest : public ::testing::Test
         cfg.timing.tREFI = trefi;
         cfg.timing.tRFC = trfc;
         auto sys = std::make_unique<DramSystem>(
-            cfg, SchedulerKind::FrFcfs);
+            cfg, "FR-FCFS");
         TrafficParams p;
         p.source = 0;
         p.demand = 60.0;
@@ -106,7 +106,7 @@ TEST_F(RefreshTest, MixedReadWriteSlowerThanPureRead)
     // Write-to-read turnarounds cost bandwidth at saturation.
     DramConfig cfg = table1Config();
     auto measure = [&](double write_fraction) {
-        DramSystem sys(cfg, SchedulerKind::FrFcfs);
+        DramSystem sys(cfg, "FR-FCFS");
         for (unsigned c = 0; c < 4; ++c) {
             TrafficParams p;
             p.source = c;

@@ -21,7 +21,7 @@ struct FuzzCase
 {
     unsigned channels;
     unsigned banks;
-    SchedulerKind policy;
+    std::string policy;
     std::uint64_t seed;
 };
 
@@ -95,13 +95,10 @@ std::vector<FuzzCase>
 fuzzCases()
 {
     std::vector<FuzzCase> cases;
-    const SchedulerKind policies[] = {
-        SchedulerKind::Fcfs, SchedulerKind::FrFcfs,
-        SchedulerKind::Atlas, SchedulerKind::Tcm, SchedulerKind::Sms};
     std::uint64_t seed = 1;
     for (unsigned channels : {1u, 2u, 4u}) {
         for (unsigned banks : {4u, 8u, 16u}) {
-            for (SchedulerKind policy : policies) {
+            for (const std::string &policy : schedulerNames()) {
                 cases.push_back({channels, banks, policy, seed++});
             }
         }
@@ -112,7 +109,7 @@ fuzzCases()
 INSTANTIATE_TEST_SUITE_P(
     Matrix, DramFuzz, ::testing::ValuesIn(fuzzCases()),
     [](const ::testing::TestParamInfo<FuzzCase> &param_info) {
-        std::string name = schedulerName(param_info.param.policy);
+        std::string name = param_info.param.policy;
         name.erase(std::remove(name.begin(), name.end(), '-'),
                    name.end());
         return name + "_ch" + std::to_string(param_info.param.channels) +
@@ -124,7 +121,7 @@ TEST(DramDrain, AllRequestsEventuallyComplete)
     // Enqueue a burst of conflicting requests directly and tick until
     // the controller drains: nothing may get stuck.
     MemoryController ctrl(table1Config(),
-                          makeScheduler(SchedulerKind::Atlas));
+                          makeScheduler("ATLAS"));
     Rng rng(55);
     unsigned accepted = 0;
     std::uint64_t completed = 0;

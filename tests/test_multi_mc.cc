@@ -24,7 +24,7 @@ halfConfig()
 
 TEST(MultiMcRouting, InterleavedRotatesLines)
 {
-    MultiMcSystem sys(halfConfig(), 2, SchedulerKind::FrFcfs,
+    MultiMcSystem sys(halfConfig(), 2, "FR-FCFS",
                       McMapping::LineInterleaved);
     const unsigned line = halfConfig().lineBytes;
     for (unsigned i = 0; i < 8; ++i)
@@ -33,7 +33,7 @@ TEST(MultiMcRouting, InterleavedRotatesLines)
 
 TEST(MultiMcRouting, PartitionedSplitsRanges)
 {
-    MultiMcSystem sys(halfConfig(), 2, SchedulerKind::FrFcfs,
+    MultiMcSystem sys(halfConfig(), 2, "FR-FCFS",
                       McMapping::RangePartitioned);
     const Addr half = sys.addressSpan() / 2;
     EXPECT_EQ(sys.route(0), 0u);
@@ -46,7 +46,7 @@ TEST(MultiMcRouting, LocalAddressesStayInLocalSpan)
 {
     for (auto mapping : {McMapping::LineInterleaved,
                          McMapping::RangePartitioned}) {
-        MultiMcSystem sys(halfConfig(), 4, SchedulerKind::FrFcfs,
+        MultiMcSystem sys(halfConfig(), 4, "FR-FCFS",
                           mapping);
         const Addr local_span = sys.addressSpan() / 4;
         for (Addr a = 0; a < sys.addressSpan();
@@ -59,7 +59,7 @@ TEST(MultiMcRouting, LocalAddressesStayInLocalSpan)
 
 TEST(MultiMcRouting, InterleavedTranslationIsInjective)
 {
-    MultiMcSystem sys(halfConfig(), 2, SchedulerKind::FrFcfs,
+    MultiMcSystem sys(halfConfig(), 2, "FR-FCFS",
                       McMapping::LineInterleaved);
     // Distinct global lines must map to distinct (mc, local) pairs.
     const unsigned line = halfConfig().lineBytes;
@@ -74,7 +74,7 @@ TEST(MultiMcRouting, InterleavedTranslationIsInjective)
 
 TEST(MultiMc, AggregateSpanAndNames)
 {
-    MultiMcSystem sys(halfConfig(), 2, SchedulerKind::FrFcfs,
+    MultiMcSystem sys(halfConfig(), 2, "FR-FCFS",
                       McMapping::LineInterleaved);
     EXPECT_EQ(sys.numControllers(), 2u);
     EXPECT_EQ(sys.addressSpan(),
@@ -89,7 +89,7 @@ TEST(MultiMc, InterleavedAggregatesBandwidth)
 {
     // One streaming core should draw from both controllers and exceed
     // a single controller's capacity (2 channels = 51.2 GB/s).
-    MultiMcSystem sys(halfConfig(), 2, SchedulerKind::FrFcfs,
+    MultiMcSystem sys(halfConfig(), 2, "FR-FCFS",
                       McMapping::LineInterleaved);
     TrafficParams p;
     p.source = 0;
@@ -111,7 +111,7 @@ TEST(MultiMc, PartitionedConfinesASource)
     // A source whose private region lies in MC0's range must never
     // touch MC1. (Source regions are address-space slices; source 0's
     // slice is at the bottom.)
-    MultiMcSystem sys(halfConfig(), 2, SchedulerKind::FrFcfs,
+    MultiMcSystem sys(halfConfig(), 2, "FR-FCFS",
                       McMapping::RangePartitioned);
     TrafficParams p;
     p.source = 0;
@@ -132,7 +132,7 @@ TEST(MultiMc, PartitionedIsolatesInterference)
         // Source 0 -> bottom partition; source 40 -> top partition
         // (64 source slices, so slice 40 is in the upper half).
         auto solo = [&](bool with_aggressor) {
-            MultiMcSystem sys(halfConfig(), 2, SchedulerKind::FrFcfs,
+            MultiMcSystem sys(halfConfig(), 2, "FR-FCFS",
                               mapping);
             TrafficParams v;
             v.source = 0;
@@ -178,7 +178,7 @@ TEST(MultiMc, PartitionedDisjointSlicesZeroMutualSlowdown)
         auto run = [&](bool with_other, unsigned keep_source,
                        std::uint64_t &issued, std::uint64_t &completed,
                        GBps &bw) {
-            MultiMcSystem sys(halfConfig(), 2, SchedulerKind::FrFcfs,
+            MultiMcSystem sys(halfConfig(), 2, "FR-FCFS",
                               McMapping::RangePartitioned,
                               SchedulerParams{}, mode);
             TrafficParams v;
@@ -230,7 +230,7 @@ TEST(MultiMc, InterleavedAggregateBandwidthScalesWithMcs)
     // saturating cores on 4 MCs (102.4 GB/s nominal) must clear twice
     // a single 2-channel controller's 51.2 GB/s ceiling, and the load
     // must spread near-evenly across the controllers.
-    MultiMcSystem sys(halfConfig(), 4, SchedulerKind::FrFcfs,
+    MultiMcSystem sys(halfConfig(), 4, "FR-FCFS",
                       McMapping::LineInterleaved);
     for (unsigned s = 0; s < 4; ++s) {
         TrafficParams p;
@@ -260,7 +260,7 @@ TEST(MultiMc, InterleavedAggregateBandwidthScalesWithMcs)
 
 TEST(MultiMc, SingleControllerDegeneratesToPlainSystem)
 {
-    MultiMcSystem sys(table1Config(), 1, SchedulerKind::FrFcfs,
+    MultiMcSystem sys(table1Config(), 1, "FR-FCFS",
                       McMapping::LineInterleaved);
     TrafficParams p;
     p.source = 0;
@@ -275,7 +275,7 @@ TEST(MultiMc, SingleControllerDegeneratesToPlainSystem)
 
 TEST(MultiMcDeath, ZeroControllersPanics)
 {
-    EXPECT_DEATH(MultiMcSystem(halfConfig(), 0, SchedulerKind::FrFcfs,
+    EXPECT_DEATH(MultiMcSystem(halfConfig(), 0, "FR-FCFS",
                                McMapping::LineInterleaved),
                  "at least one");
 }

@@ -1,15 +1,21 @@
 /**
  * @file
- * Unit tests for the five memory-controller scheduling policies
- * (Table 2 of the paper).
+ * Unit tests for the memory-controller scheduling policies (the five
+ * of Table 2 plus the BLISS/PARBS/MEDUSA extensions) and for the
+ * name-keyed policy registry they live in.
  */
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "dram/sched_atlas.hh"
+#include "dram/sched_bliss.hh"
 #include "dram/sched_fcfs.hh"
+#include "dram/sched_medusa.hh"
+#include "dram/sched_parbs.hh"
 #include "dram/sched_sms.hh"
 #include "dram/sched_tcm.hh"
 #include "dram/scheduler.hh"
@@ -19,38 +25,127 @@ namespace {
 
 Request
 makeReq(std::uint64_t id, unsigned source, Cycles arrival,
-        std::uint32_t row = 0)
+        std::uint32_t row = 0, std::uint32_t bank = 0,
+        std::uint32_t channel = 0)
 {
     Request r;
     r.id = id;
     r.source = source;
     r.arrival = arrival;
     r.loc.row = row;
+    r.loc.bank = bank;
+    r.loc.channel = channel;
     return r;
 }
 
-TEST(SchedulerFactory, NamesRoundTrip)
+TEST(SchedulerRegistry, EnumeratesBuiltinsInRegistrationOrder)
 {
-    for (auto kind : {SchedulerKind::Fcfs, SchedulerKind::FrFcfs,
-                      SchedulerKind::Atlas, SchedulerKind::Tcm,
-                      SchedulerKind::Sms}) {
-        auto sched = makeScheduler(kind);
-        EXPECT_EQ(schedulerFromName(sched->name()), kind);
-        EXPECT_STREQ(sched->name(), schedulerName(kind));
+    const std::vector<std::string> expect{"FCFS", "FR-FCFS", "ATLAS",
+                                          "TCM",  "SMS",     "BLISS",
+                                          "PARBS", "MEDUSA"};
+    EXPECT_EQ(schedulerNames(), expect);
+}
+
+TEST(SchedulerRegistry, NamesRoundTrip)
+{
+    for (const std::string &name : schedulerNames()) {
+        EXPECT_EQ(schedulerFromName(name).name, name);
+        auto sched = makeScheduler(name);
+        ASSERT_NE(sched, nullptr);
+        EXPECT_EQ(sched->name(), name);
     }
 }
 
-TEST(SchedulerFactory, ParseAliases)
+TEST(SchedulerRegistry, DescriptorAgreesWithInstance)
 {
-    EXPECT_EQ(schedulerFromName("frfcfs"), SchedulerKind::FrFcfs);
-    EXPECT_EQ(schedulerFromName("FR-FCFS"), SchedulerKind::FrFcfs);
-    EXPECT_EQ(schedulerFromName("atlas"), SchedulerKind::Atlas);
+    // The capability flags exist so tooling can inspect a policy
+    // without instantiating it; they must never drift from what a
+    // fresh instance actually reports.
+    for (const PolicyInfo &info : schedulerPolicies()) {
+        SCOPED_TRACE(info.name);
+        auto sched = info.factory(SchedulerParams{});
+        ASSERT_NE(sched, nullptr);
+        EXPECT_EQ(sched->name(), info.name);
+        EXPECT_EQ(sched->pickIsPure(), info.pickIsPure);
+        EXPECT_EQ(sched->preservesRowHits(), info.preservesRowHits);
+        EXPECT_EQ(sched->nextTickEvent() != kNoEvent,
+                  info.needsTickEvents);
+    }
 }
 
-TEST(SchedulerFactoryDeath, UnknownNameIsFatal)
+TEST(SchedulerRegistry, ParseAliasesAndCase)
 {
+    EXPECT_EQ(schedulerFromName("frfcfs").name, "FR-FCFS");
+    EXPECT_EQ(schedulerFromName("FR-FCFS").name, "FR-FCFS");
+    EXPECT_EQ(schedulerFromName("fr-fcfs").name, "FR-FCFS");
+    EXPECT_EQ(schedulerFromName("atlas").name, "ATLAS");
+    EXPECT_EQ(schedulerFromName("par-bs").name, "PARBS");
+    EXPECT_EQ(schedulerFromName("parbs").name, "PARBS");
+    EXPECT_EQ(schedulerFromName("bliss").name, "BLISS");
+    EXPECT_EQ(schedulerFromName("Medusa").name, "MEDUSA");
+    EXPECT_EQ(findSchedulerPolicy("not-a-policy"), nullptr);
+}
+
+TEST(SchedulerRegistryDeath, UnknownNameIsFatal)
+{
+    // The error must enumerate the valid names so a CLI user can
+    // self-correct.
     EXPECT_EXIT(schedulerFromName("lru"),
-                ::testing::ExitedWithCode(1), "unknown scheduler");
+                ::testing::ExitedWithCode(1),
+                "unknown scheduler.*FR-FCFS.*BLISS.*PARBS.*MEDUSA");
+}
+
+TEST(SchedulerRegistryDeath, DuplicateRegistrationIsFatal)
+{
+    PolicyInfo dup;
+    dup.name = "fcfs"; // collides case-insensitively with "FCFS"
+    dup.factory = [](const SchedulerParams &) {
+        return std::make_unique<FcfsScheduler>();
+    };
+    EXPECT_EXIT(registerSchedulerPolicy(std::move(dup)),
+                ::testing::ExitedWithCode(1), "registered twice");
+}
+
+/** A minimal external policy to prove third-party registration. */
+class RoundRobinTestScheduler : public Scheduler
+{
+  public:
+    const char *name() const override { return "TEST-RR"; }
+    int
+    pick(unsigned channel, std::span<const QueueEntryView> entries,
+         Cycles now) override
+    {
+        (void)channel;
+        (void)now;
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            if (entries[i].issuable)
+                return static_cast<int>(i);
+        }
+        return -1;
+    }
+};
+
+TEST(SchedulerRegistry, ExternalRegistrationFlowsThroughLookup)
+{
+    registerSchedulerPolicy({
+        .name = "TEST-RR",
+        .aliases = {"rr"},
+        .factory =
+            [](const SchedulerParams &) {
+                return std::make_unique<RoundRobinTestScheduler>();
+            },
+        .pickIsPure = true,
+        .preservesRowHits = true,
+        .needsTickEvents = false,
+    });
+    const PolicyInfo *info = findSchedulerPolicy("rr");
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->name, "TEST-RR");
+    auto sched = makeScheduler("test-rr");
+    ASSERT_NE(sched, nullptr);
+    EXPECT_STREQ(sched->name(), "TEST-RR");
+    const std::vector<std::string> names = schedulerNames();
+    EXPECT_EQ(names.back(), "TEST-RR");
 }
 
 TEST(Fcfs, PicksOldestWhenIssuable)
@@ -282,6 +377,227 @@ TEST(Sms, PerChannelBatchesAreIndependent)
     EXPECT_EQ(s.pick(0, q, 10), 0);
     // ...while channel 1's state is untouched and makes its own pick.
     EXPECT_EQ(s.pick(1, q, 10), 0);
+}
+
+TEST(Bliss, BlacklistsAfterConsecutiveServices)
+{
+    SchedulerParams p;
+    p.blissBlacklistThreshold = 3;
+    BlissScheduler s(p);
+    Request r = makeReq(1, 0, 0);
+    s.onService(r, 0, 64);
+    s.onService(r, 1, 64);
+    EXPECT_FALSE(s.blacklisted(0)) << "two consecutive services";
+    s.onService(r, 2, 64);
+    EXPECT_TRUE(s.blacklisted(0)) << "third consecutive service";
+}
+
+TEST(Bliss, InterleavedServiceResetsStreak)
+{
+    SchedulerParams p;
+    p.blissBlacklistThreshold = 3;
+    BlissScheduler s(p);
+    Request a = makeReq(1, 0, 0);
+    Request b = makeReq(2, 1, 0);
+    // Sources alternating never build a streak; nobody is blacklisted.
+    for (Cycles c = 0; c < 12; ++c)
+        s.onService(c % 2 ? b : a, c, 64);
+    EXPECT_FALSE(s.blacklisted(0));
+    EXPECT_FALSE(s.blacklisted(1));
+}
+
+TEST(Bliss, BlacklistedSourceLosesPick)
+{
+    SchedulerParams p;
+    p.blissBlacklistThreshold = 2;
+    BlissScheduler s(p);
+    Request hog = makeReq(1, 0, 0);
+    s.onService(hog, 0, 64);
+    s.onService(hog, 1, 64);
+    ASSERT_TRUE(s.blacklisted(0));
+    // Blacklisted source 0 is older and a row hit; clean source 1
+    // still wins.
+    Request young = makeReq(2, 1, 10);
+    std::vector<QueueEntryView> q{{&hog, true, true},
+                                  {&young, true, false}};
+    EXPECT_EQ(s.pick(0, q, 20), 1);
+    // A blacklisted source is deprioritized, not starved: alone in the
+    // queue it is still served.
+    std::vector<QueueEntryView> q2{{&hog, true, false}};
+    EXPECT_EQ(s.pick(0, q2, 21), 0);
+}
+
+TEST(Bliss, ClearIntervalGrantsCleanSlate)
+{
+    SchedulerParams p;
+    p.blissBlacklistThreshold = 2;
+    p.blissClearInterval = 1000;
+    BlissScheduler s(p);
+    Request hog = makeReq(1, 0, 0);
+    s.onService(hog, 0, 64);
+    s.onService(hog, 1, 64);
+    ASSERT_TRUE(s.blacklisted(0));
+    EXPECT_EQ(s.nextTickEvent(), 1000u);
+    s.tick(999);
+    EXPECT_TRUE(s.blacklisted(0)) << "tick before the boundary";
+    s.tick(1000);
+    EXPECT_FALSE(s.blacklisted(0)) << "boundary clears the blacklist";
+    EXPECT_EQ(s.nextTickEvent(), 2000u) << "rearmed one interval out";
+}
+
+TEST(Parbs, BatchRanksShortestSourceFirst)
+{
+    SchedulerParams p;
+    p.parbsBatchCap = 2;
+    ParbsScheduler s(p);
+    Request a1 = makeReq(1, 0, 0);
+    Request a2 = makeReq(2, 0, 1);
+    Request a3 = makeReq(3, 0, 2);
+    Request b1 = makeReq(4, 1, 3);
+    std::vector<QueueEntryView> q{{&a1, true, false},
+                                  {&a2, true, false},
+                                  {&a3, true, false},
+                                  {&b1, true, false}};
+    // First pick forms the batch: two oldest of source 0 plus source
+    // 1's only request; source 1 (shortest job) ranks first, so its
+    // request wins despite being the youngest.
+    EXPECT_EQ(s.pick(0, q, 10), 3);
+    EXPECT_EQ(s.markedCount(0), 3u);
+}
+
+TEST(Parbs, MarkedRequestsBeatUnmarkedRowHits)
+{
+    SchedulerParams p;
+    p.parbsBatchCap = 1;
+    ParbsScheduler s(p);
+    Request a1 = makeReq(1, 0, 0);
+    Request a2 = makeReq(2, 0, 1, /*row=*/7);
+    std::vector<QueueEntryView> q{{&a1, true, false},
+                                  {&a2, true, false}};
+    // Batch = {a1} (cap 1). a2 later turns into a row hit; the marked
+    // a1 still goes first — batch membership outranks row locality.
+    EXPECT_EQ(s.pick(0, q, 10), 0);
+    std::vector<QueueEntryView> q2{{&a1, true, false},
+                                   {&a2, true, true}};
+    EXPECT_EQ(s.pick(0, q2, 11), 0);
+}
+
+TEST(Parbs, BatchCompletionTriggersReformation)
+{
+    SchedulerParams p;
+    p.parbsBatchCap = 2;
+    ParbsScheduler s(p);
+    Request a1 = makeReq(1, 0, 0);
+    Request a2 = makeReq(2, 0, 1);
+    Request a3 = makeReq(3, 0, 2);
+    std::vector<QueueEntryView> q{{&a1, true, false},
+                                  {&a2, true, false},
+                                  {&a3, true, false}};
+    EXPECT_EQ(s.pick(0, q, 10), 0);
+    EXPECT_EQ(s.markedCount(0), 2u) << "a1 and a2 marked";
+    // Servicing drains the batch; ids leave the marked set.
+    s.onService(a1, 10, 64);
+    EXPECT_EQ(s.markedCount(0), 1u);
+    std::vector<QueueEntryView> q2{{&a2, true, false},
+                                   {&a3, true, false}};
+    EXPECT_EQ(s.pick(0, q2, 11), 0) << "a2 is the marked survivor";
+    s.onService(a2, 11, 64);
+    EXPECT_EQ(s.markedCount(0), 0u);
+    // With the batch complete, the next pick re-forms around a3.
+    std::vector<QueueEntryView> q3{{&a3, true, false}};
+    EXPECT_EQ(s.pick(0, q3, 12), 0);
+    EXPECT_EQ(s.markedCount(0), 1u) << "new batch marked a3";
+}
+
+TEST(Parbs, ChannelsBatchIndependently)
+{
+    SchedulerParams p;
+    p.parbsBatchCap = 2;
+    ParbsScheduler s(p);
+    Request a = makeReq(1, 0, 0, 0, 0, /*channel=*/0);
+    Request b = makeReq(2, 1, 1, 0, 0, /*channel=*/1);
+    std::vector<QueueEntryView> q0{{&a, true, false}};
+    std::vector<QueueEntryView> q1{{&b, true, false}};
+    EXPECT_EQ(s.pick(0, q0, 10), 0);
+    EXPECT_EQ(s.pick(1, q1, 10), 0);
+    EXPECT_EQ(s.markedCount(0), 1u);
+    EXPECT_EQ(s.markedCount(1), 1u);
+    // Service on channel 0 must not disturb channel 1's batch.
+    s.onService(a, 10, 64);
+    EXPECT_EQ(s.markedCount(0), 0u);
+    EXPECT_EQ(s.markedCount(1), 1u);
+}
+
+TEST(Medusa, ReservedBankBeatsNonReserved)
+{
+    SchedulerParams p;
+    p.medusaReservedBankMask = 0x3; // banks 0 and 1 reserved
+    MedusaScheduler s(p);
+    // Non-reserved bank 2 is older and a row hit; reserved bank 1
+    // still wins its slot.
+    Request stream = makeReq(1, 0, 0, /*row=*/5, /*bank=*/2);
+    Request isolated = makeReq(2, 1, 10, /*row=*/9, /*bank=*/1);
+    std::vector<QueueEntryView> q{{&stream, true, true},
+                                  {&isolated, true, false}};
+    EXPECT_EQ(s.pick(0, q, 20), 1);
+}
+
+TEST(Medusa, ReservedBanksTakeRoundRobinTurns)
+{
+    SchedulerParams p;
+    p.medusaReservedBankMask = 0x3;
+    MedusaScheduler s(p);
+    Request r0 = makeReq(1, 0, 0, 0, /*bank=*/0);
+    Request r1 = makeReq(2, 1, 1, 0, /*bank=*/1);
+    std::vector<QueueEntryView> q{{&r0, true, false},
+                                  {&r1, true, false}};
+    // Both reserved banks hold a turn: lowest bank index goes first.
+    EXPECT_EQ(s.pick(0, q, 10), 0);
+    s.onService(r0, 10, 64);
+    EXPECT_EQ(s.turnMask(0), 0x2u) << "bank 0 spent its turn";
+    // Bank 0 is now out of turn; bank 1 wins even though bank 0's
+    // request is older.
+    EXPECT_EQ(s.pick(0, q, 11), 1);
+    s.onService(r1, 11, 64);
+    EXPECT_EQ(s.turnMask(0), 0x3u) << "round exhausted, mask resets";
+}
+
+TEST(Medusa, NonReservedServiceLeavesTurnsUntouched)
+{
+    SchedulerParams p;
+    p.medusaReservedBankMask = 0x3;
+    MedusaScheduler s(p);
+    Request stream = makeReq(1, 0, 0, 0, /*bank=*/3);
+    s.onService(stream, 10, 64);
+    EXPECT_EQ(s.turnMask(0), 0x3u);
+}
+
+TEST(Medusa, OutOfTurnReservedStillBeatsNonReserved)
+{
+    SchedulerParams p;
+    p.medusaReservedBankMask = 0x3;
+    MedusaScheduler s(p);
+    Request r0 = makeReq(1, 0, 0, 0, /*bank=*/0);
+    s.onService(r0, 10, 64); // bank 0 spends its turn
+    ASSERT_EQ(s.turnMask(0), 0x2u);
+    // An out-of-turn reserved bank still outranks the non-reserved
+    // tier (younger, no row hit, still wins).
+    Request again = makeReq(2, 0, 12, 0, /*bank=*/0);
+    Request stream = makeReq(3, 1, 2, /*row=*/5, /*bank=*/3);
+    std::vector<QueueEntryView> q{{&again, true, false},
+                                  {&stream, true, true}};
+    EXPECT_EQ(s.pick(0, q, 20), 0);
+}
+
+TEST(Medusa, PerChannelTurnMasksAreIndependent)
+{
+    SchedulerParams p;
+    p.medusaReservedBankMask = 0x3;
+    MedusaScheduler s(p);
+    Request r0 = makeReq(1, 0, 0, 0, /*bank=*/0, /*channel=*/0);
+    s.onService(r0, 10, 64);
+    EXPECT_EQ(s.turnMask(0), 0x2u);
+    EXPECT_EQ(s.turnMask(1), 0x3u) << "other channel keeps full mask";
 }
 
 } // namespace

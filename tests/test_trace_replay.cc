@@ -76,7 +76,7 @@ sequentialTrace(unsigned lines, unsigned line_bytes = 64)
 
 TEST(TraceReplay, LoopingReplayAchievesDemand)
 {
-    DramSystem sys(table1Config(), SchedulerKind::FrFcfs);
+    DramSystem sys(table1Config(), "FR-FCFS");
     ReplayParams p;
     p.source = 0;
     p.demand = 25.0;
@@ -92,7 +92,7 @@ TEST(TraceReplay, LoopingReplayAchievesDemand)
 
 TEST(TraceReplay, NonLoopingStopsAtTraceEnd)
 {
-    DramSystem sys(table1Config(), SchedulerKind::FrFcfs);
+    DramSystem sys(table1Config(), "FR-FCFS");
     ReplayParams p;
     p.source = 0;
     p.demand = 50.0;
@@ -106,7 +106,7 @@ TEST(TraceReplay, NonLoopingStopsAtTraceEnd)
 
 TEST(TraceReplay, SequentialTraceGetsHighRowHitRate)
 {
-    DramSystem sys(table1Config(), SchedulerKind::FrFcfs);
+    DramSystem sys(table1Config(), "FR-FCFS");
     ReplayParams p;
     p.source = 0;
     p.demand = 40.0;
@@ -117,7 +117,7 @@ TEST(TraceReplay, SequentialTraceGetsHighRowHitRate)
 
 TEST(TraceReplay, CoexistsWithSyntheticTraffic)
 {
-    DramSystem sys(table1Config(), SchedulerKind::Atlas);
+    DramSystem sys(table1Config(), "ATLAS");
     ReplayParams rp;
     rp.source = 0;
     rp.demand = 20.0;
@@ -134,7 +134,7 @@ TEST(TraceReplay, CoexistsWithSyntheticTraffic)
 TEST(TraceReplay, AddressesWrappedIntoSpan)
 {
     // Addresses beyond the port's space must be folded, not crash.
-    DramSystem sys(table1Config(), SchedulerKind::FrFcfs);
+    DramSystem sys(table1Config(), "FR-FCFS");
     std::vector<TraceEntry> t{{~Addr{0}, false}, {Addr{1} << 60, true}};
     ReplayParams p;
     p.source = 0;
@@ -146,7 +146,7 @@ TEST(TraceReplay, AddressesWrappedIntoSpan)
 
 TEST(TraceReplayDeath, DuplicateSourceAcrossKindsDies)
 {
-    DramSystem sys(table1Config(), SchedulerKind::FrFcfs);
+    DramSystem sys(table1Config(), "FR-FCFS");
     TrafficParams tp;
     tp.source = 0;
     tp.demand = 10.0;
@@ -159,7 +159,7 @@ TEST(TraceReplayDeath, DuplicateSourceAcrossKindsDies)
 
 TEST(TraceReplayDeath, EmptyTraceDies)
 {
-    DramSystem sys(table1Config(), SchedulerKind::FrFcfs);
+    DramSystem sys(table1Config(), "FR-FCFS");
     ReplayParams p;
     p.source = 0;
     EXPECT_DEATH(sys.addReplay(p, {}), "non-empty");

@@ -30,6 +30,10 @@
  *           [--kernels N] [--external N]
  *       Calibrate a victim against aggressors on the cycle-accurate
  *       multi-controller DRAM subsystem and print the rela matrix.
+ *   policies [--format names|table]
+ *       List the registered scheduling policies with their
+ *       capability flags (or one name per line for scripts).
+ *
  *
  * `pccs --version` prints the tool version. Global options:
  * --jobs N caps the sweep engine's worker threads (equivalent to
@@ -531,6 +535,39 @@ cmdRegion(const ArgMap &args)
 }
 
 int
+cmdPolicies(const ArgMap &args)
+{
+    // `--format names` emits one canonical name per line for shell
+    // loops (CI iterates the equivalence matrix with it).
+    if (args.count("format")) {
+        const std::string &f = args.at("format");
+        if (f != "names" && f != "table")
+            fatal("--format must be names or table");
+        if (f == "names") {
+            for (const auto &p : dram::schedulerPolicies())
+                std::printf("%s\n", p.name.c_str());
+            return 0;
+        }
+    }
+    Table t({"policy", "aliases", "pure pick", "row-hit preserving",
+             "tick events"});
+    for (const auto &p : dram::schedulerPolicies()) {
+        std::string aliases;
+        for (const std::string &a : p.aliases) {
+            if (!aliases.empty())
+                aliases += ",";
+            aliases += a;
+        }
+        t.addRow({p.name, aliases.empty() ? "-" : aliases,
+                  p.pickIsPure ? "yes" : "no",
+                  p.preservesRowHits ? "yes" : "no",
+                  p.needsTickEvents ? "yes" : "no"});
+    }
+    std::printf("%s", t.str().c_str());
+    return 0;
+}
+
+int
 cmdMultimc(const ArgMap &args)
 {
     calib::McSweepSpec spec;
@@ -552,24 +589,9 @@ cmdMultimc(const ArgMap &args)
             fatal("--mapping must be interleaved or partitioned");
     }
     if (args.count("policy")) {
-        std::string p = args.at("policy");
-        for (char &c : p)
-            c = static_cast<char>(std::toupper(
-                static_cast<unsigned char>(c)));
-        bool found = false;
-        for (auto kind :
-             {dram::SchedulerKind::Fcfs, dram::SchedulerKind::FrFcfs,
-              dram::SchedulerKind::Atlas, dram::SchedulerKind::Tcm,
-              dram::SchedulerKind::Sms}) {
-            if (p == dram::schedulerName(kind)) {
-                spec.policy = kind;
-                found = true;
-            }
-        }
-        if (!found)
-            fatal("unknown scheduling policy '%s' (want FCFS, "
-                  "FR-FCFS, ATLAS, TCM, or SMS)",
-                  args.at("policy").c_str());
+        // Resolve through the registry (case-insensitive, aliases);
+        // schedulerFromName enumerates the valid names on error.
+        spec.policy = dram::schedulerFromName(args.at("policy")).name;
     }
     if (args.count("kernels"))
         spec.numKernels = static_cast<unsigned>(
@@ -581,7 +603,7 @@ cmdMultimc(const ArgMap &args)
     std::printf("multi-MC calibration sweep: %u MC x %u ch, %s, %s, "
                 "%s run mode\n\n",
                 spec.numMcs, spec.perMcConfig.channels,
-                dram::schedulerName(spec.policy),
+                spec.policy.c_str(),
                 dram::mcMappingName(spec.mapping),
                 dram::mcRunModeName(spec.runMode));
     const calib::CalibrationMatrix m = calib::calibrateMultiMc(spec);
@@ -633,6 +655,7 @@ usage(std::FILE *to)
         "[--mapping interleaved|partitioned]\n"
         "                 [--policy NAME] [--kernels N] "
         "[--external N]\n"
+        "  pccs policies  [--format names|table]\n"
         "  pccs --version\n"
         "\n"
         "  S: xavier | snapdragon      P: cpu | gpu | dla\n"
@@ -710,6 +733,8 @@ main(int argc, char **argv)
         return cmdClient(args);
     if (cmd == "multimc")
         return cmdMultimc(args);
+    if (cmd == "policies")
+        return cmdPolicies(args);
     usage(stderr);
     fatal("unknown command '%s'", cmd.c_str());
 }
