@@ -4,14 +4,30 @@
  * `serve::Server` on an ephemeral loopback port, drives it from
  * pipelined TCP clients, and reports sustained predict throughput.
  *
- * Flags: --seconds N (measurement window, default 3), --clients N
- * (default 6), --pipeline N (in-flight requests per client, default
- * 64), --json PATH / --json=PATH (machine-readable snapshot, default
- * BENCH_serve.json). The JSON records client-side throughput plus the
- * server's own latency percentiles and batch-size distribution, so a
- * regression in either the transport or the batcher shows up in CI.
+ * The client is deliberately cheap so the server stays the bottleneck:
+ * each client prebuilds one burst of `pipeline` frames and sends it
+ * with a single write, then counts response newlines straight out of
+ * the receive buffer — no per-request formatting, parsing, or
+ * allocation in the measurement loop.
+ *
+ * Modes:
+ *  - default: one (clients × pipeline) cell for --seconds, written to
+ *    --json (BENCH_serve.json), same shape the repo has always kept;
+ *  - --smoke: a short self-check cell; with --min-throughput N the
+ *    exit status enforces a throughput floor (CI regression gate);
+ *  - --sweep: a clients × pipeline saturation grid, then a
+ *    latency-under-load table — a closed-loop latency probe runs
+ *    beside the load generator while the load is paced to 25/50/75/
+ *    100% of the measured peak (see DESIGN.md section 13).
+ *
+ * Flags: --seconds N, --clients N, --pipeline N, --shards N,
+ * --json PATH / --json=PATH, --smoke, --min-throughput N, --sweep.
  */
 
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +47,8 @@ using namespace pccs;
 using namespace pccs::serve;
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 model::PccsParams
 xavierGpuLikeParams()
@@ -54,10 +72,35 @@ struct ClientTally
     std::uint64_t failed = 0;
 };
 
+/** One prebuilt burst of `pipeline` predict frames. */
+std::string
+buildBurst(unsigned pipeline)
+{
+    std::string burst;
+    burst.reserve(pipeline * 96);
+    double demand = 5.0;
+    for (unsigned i = 0; i < pipeline; ++i) {
+        char frame[160];
+        std::snprintf(frame, sizeof(frame),
+                      "{\"op\":\"predict\",\"id\":%u,"
+                      "\"model\":\"xavier.gpu\",\"demand\":%.17g,"
+                      "\"external\":25}\n",
+                      i, demand);
+        demand = demand < 130.0 ? demand + 1.0 : 5.0;
+        burst += frame;
+    }
+    return burst;
+}
+
+/**
+ * Closed-loop pipelined load client. When perClientRps > 0 the burst
+ * cadence is paced to that rate (the latency-under-load fractions);
+ * otherwise it runs flat out.
+ */
 void
-clientLoop(std::uint16_t port, unsigned pipeline,
-           std::chrono::steady_clock::time_point deadline,
-           ClientTally &tally)
+burstLoop(std::uint16_t port, unsigned pipeline,
+          Clock::time_point deadline, double per_client_rps,
+          ClientTally &tally)
 {
     TcpClient client;
     std::string error;
@@ -66,37 +109,173 @@ clientLoop(std::uint16_t port, unsigned pipeline,
         tally.failed = 1;
         return;
     }
-    std::uint64_t id = 0;
-    double demand = 5.0;
-    while (std::chrono::steady_clock::now() < deadline) {
-        for (unsigned i = 0; i < pipeline; ++i) {
-            char frame[160];
-            std::snprintf(frame, sizeof(frame),
-                          "{\"op\":\"predict\",\"id\":%llu,"
-                          "\"model\":\"xavier.gpu\",\"demand\":%.17g,"
-                          "\"external\":25}",
-                          static_cast<unsigned long long>(id++),
-                          demand);
-            demand = demand < 130.0 ? demand + 1.0 : 5.0;
-            if (!client.sendLine(frame)) {
-                ++tally.failed;
-                return;
-            }
+    const std::string burst = buildBurst(pipeline);
+    // Boundary-safe "ok":false detector: responses can split across
+    // recv() chunks, so keep a small carry tail between chunks.
+    const std::string_view kFalse = "\"ok\":false";
+    std::string carry;
+    char buf[256 * 1024];
+
+    const auto interval =
+        per_client_rps > 0.0
+            ? std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(pipeline /
+                                                per_client_rps))
+            : Clock::duration::zero();
+    auto next = Clock::now();
+
+    while (Clock::now() < deadline) {
+        if (!client.sendRaw(burst.data(), burst.size())) {
+            ++tally.failed;
+            return;
         }
-        for (unsigned i = 0; i < pipeline; ++i) {
-            const auto line = client.recvLine();
-            if (!line.has_value()) {
+        unsigned seen = 0;
+        while (seen < pipeline) {
+            const ssize_t n =
+                ::recv(client.fd(), buf, sizeof(buf), 0);
+            if (n == 0) {
                 ++tally.failed;
                 return;
             }
-            // Responses are one JSON object per line; the cheap check
-            // keeps the generator out of the measurement's way.
-            if (line->find("\"ok\":true") != std::string::npos)
-                ++tally.ok;
-            else
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
                 ++tally.failed;
+                return;
+            }
+            const char *p = buf;
+            const char *end = buf + n;
+            while (const char *nl = static_cast<const char *>(
+                       std::memchr(p, '\n',
+                                   static_cast<std::size_t>(end -
+                                                            p)))) {
+                ++seen;
+                ++tally.ok;
+                p = nl + 1;
+            }
+            carry.append(buf, static_cast<std::size_t>(n));
+            std::size_t at = 0;
+            while ((at = carry.find(kFalse, at)) !=
+                   std::string::npos) {
+                ++tally.failed;
+                --tally.ok;
+                at += kFalse.size();
+            }
+            if (carry.size() > kFalse.size())
+                carry.erase(0, carry.size() - kFalse.size());
+        }
+        if (interval != Clock::duration::zero()) {
+            next += interval;
+            const auto now = Clock::now();
+            if (next > now)
+                std::this_thread::sleep_until(next);
+            else
+                next = now;
         }
     }
+}
+
+/** One request at a time; records round-trip microseconds. */
+void
+latencyLoop(std::uint16_t port, Clock::time_point deadline,
+            std::vector<double> &rtts)
+{
+    TcpClient client;
+    if (!client.connectTo("127.0.0.1", port))
+        return;
+    const std::string frame =
+        "{\"op\":\"predict\",\"id\":0,\"model\":\"xavier.gpu\","
+        "\"demand\":42,\"external\":25}\n";
+    while (Clock::now() < deadline) {
+        const auto t0 = Clock::now();
+        if (!client.sendRaw(frame.data(), frame.size()))
+            return;
+        if (!client.recvLine().has_value())
+            return;
+        rtts.push_back(
+            std::chrono::duration<double, std::micro>(
+                Clock::now() - t0)
+                .count());
+    }
+}
+
+struct CellResult
+{
+    unsigned clients = 0;
+    unsigned pipeline = 0;
+    double seconds = 0.0;
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+    double throughput = 0.0;
+};
+
+CellResult
+runCell(std::uint16_t port, unsigned clients, unsigned pipeline,
+        double seconds, double total_rps = 0.0,
+        std::vector<double> *latencies = nullptr)
+{
+    const auto start = Clock::now();
+    const auto deadline =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(seconds));
+    std::vector<ClientTally> tallies(clients);
+    std::vector<std::thread> threads;
+    const double per_client =
+        total_rps > 0.0 ? total_rps / clients : 0.0;
+    for (unsigned c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            burstLoop(port, pipeline, deadline, per_client,
+                      tallies[c]);
+        });
+    }
+    std::thread probe;
+    if (latencies != nullptr) {
+        probe = std::thread(
+            [&] { latencyLoop(port, deadline, *latencies); });
+    }
+    for (auto &t : threads)
+        t.join();
+    if (probe.joinable())
+        probe.join();
+
+    CellResult r;
+    r.clients = clients;
+    r.pipeline = pipeline;
+    r.seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    for (const ClientTally &t : tallies) {
+        r.ok += t.ok;
+        r.failed += t.failed;
+    }
+    r.throughput = r.seconds > 0.0 ? r.ok / r.seconds : 0.0;
+    return r;
+}
+
+double
+percentile(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank = p / 100.0 * (sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - lo;
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+Json
+fetchServerStats(std::uint16_t port)
+{
+    TcpClient probe;
+    Json stats;
+    if (probe.connectTo("127.0.0.1", port)) {
+        Json req = Json::object();
+        req.set("op", "stats");
+        const Json resp = probe.request(req);
+        if (const Json *result = resp.find("result"))
+            stats = *result;
+    }
+    return stats;
 }
 
 } // namespace
@@ -107,6 +286,10 @@ main(int argc, char **argv)
     double seconds = 3.0;
     unsigned clients = 6;
     unsigned pipeline = 64;
+    unsigned shards = 0;
+    bool smoke = false;
+    bool sweep = false;
+    double min_throughput = 0.0;
     std::string json_path = "BENCH_serve.json";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -123,12 +306,28 @@ main(int argc, char **argv)
         else if (arg == "--pipeline")
             pipeline = static_cast<unsigned>(
                 std::atoi(value().c_str()));
+        else if (arg == "--shards")
+            shards = static_cast<unsigned>(
+                std::atoi(value().c_str()));
+        else if (arg == "--smoke")
+            smoke = true;
+        else if (arg == "--sweep")
+            sweep = true;
+        else if (arg == "--min-throughput")
+            min_throughput = std::atof(value().c_str());
         else if (arg == "--json")
             json_path = value();
         else if (arg.rfind("--json=", 0) == 0)
             json_path = arg.substr(7);
         else
             fatal("unknown flag '%s'", arg.c_str());
+    }
+    if (smoke) {
+        // A quick self-check cell: small, but big enough to exercise
+        // batching across concurrent connections.
+        seconds = 1.0;
+        clients = 2;
+        pipeline = 32;
     }
     if (seconds <= 0.0 || clients == 0 || pipeline == 0)
         fatal("--seconds, --clients, and --pipeline must be > 0");
@@ -138,58 +337,140 @@ main(int argc, char **argv)
                            "bench:fixed");
     Metrics metrics;
     Dispatcher dispatcher(registry, metrics);
-    Server server(dispatcher);
+    ServerOptions opts;
+    opts.shards = shards;
+    Server server(dispatcher, opts);
     std::string error;
     if (!server.start(&error))
         fatal("%s", error.c_str());
 
-    std::printf("serve_throughput: %u client(s), pipeline %u, "
-                "%.1f s window, port %u\n",
-                clients, pipeline, seconds, server.port());
+    Json out = Json::object();
+    out.set("benchmark", "serve_throughput");
+    out.set("shards", server.shardCount());
+    int exit_code = 0;
 
-    const auto start = std::chrono::steady_clock::now();
-    const auto deadline =
-        start + std::chrono::duration_cast<
-                    std::chrono::steady_clock::duration>(
-                    std::chrono::duration<double>(seconds));
-    std::vector<ClientTally> tallies(clients);
-    std::vector<std::thread> threads;
-    for (unsigned c = 0; c < clients; ++c) {
-        threads.emplace_back([&, c] {
-            clientLoop(server.port(), pipeline, deadline,
-                       tallies[c]);
-        });
+    if (sweep) {
+        static const unsigned kClients[] = {1, 2, 4, 8, 16};
+        static const unsigned kPipelines[] = {1, 16, 64, 256};
+        std::printf("serve_throughput sweep: %u shard(s)\n",
+                    server.shardCount());
+        std::printf("%8s %9s %14s\n", "clients", "pipeline",
+                    "req/s");
+        Json grid = Json::array();
+        CellResult peak;
+        std::uint64_t failed = 0;
+        for (const unsigned c : kClients) {
+            for (const unsigned p : kPipelines) {
+                const CellResult r =
+                    runCell(server.port(), c, p, 1.2);
+                failed += r.failed;
+                std::printf("%8u %9u %14.0f\n", c, p,
+                            r.throughput);
+                Json cell = Json::object();
+                cell.set("clients", c);
+                cell.set("pipeline", p);
+                cell.set("throughputPerSecond", r.throughput);
+                grid.push(std::move(cell));
+                if (r.throughput > peak.throughput)
+                    peak = r;
+            }
+        }
+        out.set("sweep", std::move(grid));
+
+        Json peak_json = Json::object();
+        peak_json.set("clients", peak.clients);
+        peak_json.set("pipeline", peak.pipeline);
+        peak_json.set("throughputPerSecond", peak.throughput);
+        out.set("peak", std::move(peak_json));
+        std::printf("peak: %.0f req/s at %u client(s) × pipeline "
+                    "%u\n",
+                    peak.throughput, peak.clients, peak.pipeline);
+
+        // Latency under load: a closed-loop probe beside the load
+        // generator, paced to fractions of the measured peak.
+        std::printf("%8s %12s %9s %9s %9s %9s\n", "load", "req/s",
+                    "p50us", "p95us", "p99us", "maxus");
+        Json lat_table = Json::array();
+        for (const double frac : {0.25, 0.50, 0.75, 1.0}) {
+            std::vector<double> rtts;
+            const CellResult r = runCell(
+                server.port(), peak.clients, peak.pipeline, 2.0,
+                frac < 1.0 ? frac * peak.throughput : 0.0, &rtts);
+            failed += r.failed;
+            std::sort(rtts.begin(), rtts.end());
+            const double p50 = percentile(rtts, 50.0);
+            const double p95 = percentile(rtts, 95.0);
+            const double p99 = percentile(rtts, 99.0);
+            const double mx = rtts.empty() ? 0.0 : rtts.back();
+            std::printf("%7.0f%% %12.0f %9.0f %9.0f %9.0f %9.0f\n",
+                        frac * 100.0, r.throughput, p50, p95, p99,
+                        mx);
+            Json row = Json::object();
+            row.set("loadFraction", frac);
+            row.set("throughputPerSecond", r.throughput);
+            row.set("probeRequests", rtts.size());
+            row.set("p50Us", p50);
+            row.set("p95Us", p95);
+            row.set("p99Us", p99);
+            row.set("maxUs", mx);
+            lat_table.push(std::move(row));
+        }
+        out.set("latencyUnderLoad", std::move(lat_table));
+
+        // Legacy top-level fields point at the peak cell, so older
+        // readers of BENCH_serve.json keep working.
+        out.set("clients", peak.clients);
+        out.set("pipeline", peak.pipeline);
+        out.set("requestsOk", peak.ok);
+        out.set("requestsFailed", failed);
+        out.set("throughputPerSecond", peak.throughput);
+        if (failed > 0)
+            exit_code = 1;
+        if (min_throughput > 0.0 &&
+            peak.throughput < min_throughput) {
+            std::fprintf(stderr,
+                         "FAIL: peak %.0f req/s below the floor "
+                         "%.0f req/s\n",
+                         peak.throughput, min_throughput);
+            exit_code = 1;
+        }
+    } else {
+        std::printf("serve_throughput: %u client(s), pipeline %u, "
+                    "%.1f s window, %u shard(s), port %u\n",
+                    clients, pipeline, seconds,
+                    server.shardCount(), server.port());
+        const CellResult r = runCell(server.port(), clients,
+                                     pipeline, seconds);
+        std::printf(
+            "predict responses: %llu ok, %llu failed in %.2f s\n",
+            static_cast<unsigned long long>(r.ok),
+            static_cast<unsigned long long>(r.failed), r.seconds);
+        std::printf("throughput: %.0f predict req/s\n",
+                    r.throughput);
+        out.set("clients", clients);
+        out.set("pipeline", pipeline);
+        out.set("elapsedSeconds", r.seconds);
+        out.set("requestsOk", r.ok);
+        out.set("requestsFailed", r.failed);
+        out.set("throughputPerSecond", r.throughput);
+        if (r.failed > 0) {
+            std::fprintf(
+                stderr, "serve_throughput: %llu failed request(s)\n",
+                static_cast<unsigned long long>(r.failed));
+            exit_code = 1;
+        }
+        if (min_throughput > 0.0 && r.throughput < min_throughput) {
+            std::fprintf(stderr,
+                         "FAIL: %.0f req/s below the floor %.0f "
+                         "req/s\n",
+                         r.throughput, min_throughput);
+            exit_code = 1;
+        }
     }
-    for (auto &t : threads)
-        t.join();
-    const double elapsed =
-        std::chrono::duration<double>(
-            std::chrono::steady_clock::now() - start)
-            .count();
 
-    std::uint64_t ok = 0, failed = 0;
-    for (const ClientTally &t : tallies) {
-        ok += t.ok;
-        failed += t.failed;
-    }
-    const double throughput = elapsed > 0.0 ? ok / elapsed : 0.0;
-
-    // Pull the server's own view before stopping it.
-    TcpClient probe;
-    Json server_stats;
-    if (probe.connectTo("127.0.0.1", server.port())) {
-        Json req = Json::object();
-        req.set("op", "stats");
-        const Json resp = probe.request(req);
-        if (const Json *result = resp.find("result"))
-            server_stats = *result;
-    }
-    server.stop();
-
-    std::printf("predict responses: %llu ok, %llu failed in %.2f s\n",
-                static_cast<unsigned long long>(ok),
-                static_cast<unsigned long long>(failed), elapsed);
-    std::printf("throughput: %.0f predict req/s\n", throughput);
+    // The server's own view (latency histograms, batch sizes, cache
+    // counters) rides along in the artifact.
+    Json server_stats = fetchServerStats(server.port());
     if (const Json *batches = server_stats.find("batches")) {
         std::printf("batches: %.0f passes, mean size %.1f, "
                     "largest %.0f\n",
@@ -197,16 +478,9 @@ main(int argc, char **argv)
                     batches->find("meanSize")->asNumber(),
                     batches->find("largest")->asNumber());
     }
-
-    Json out = Json::object();
-    out.set("benchmark", "serve_throughput");
-    out.set("clients", clients);
-    out.set("pipeline", pipeline);
-    out.set("elapsedSeconds", elapsed);
-    out.set("requestsOk", ok);
-    out.set("requestsFailed", failed);
-    out.set("throughputPerSecond", throughput);
     out.set("server", std::move(server_stats));
+    server.stop();
+
     if (std::FILE *f = std::fopen(json_path.c_str(), "w")) {
         const std::string text = out.dump();
         std::fwrite(text.data(), 1, text.size(), f);
@@ -216,12 +490,5 @@ main(int argc, char **argv)
     } else {
         fatal("cannot write %s", json_path.c_str());
     }
-
-    if (failed > 0) {
-        std::fprintf(stderr,
-                     "serve_throughput: %llu failed request(s)\n",
-                     static_cast<unsigned long long>(failed));
-        return 1;
-    }
-    return 0;
+    return exit_code;
 }

@@ -35,8 +35,14 @@
  * every clone stays bit-exact with the scalar path. `flatten` forces
  * the shared kernel template to inline into each clone so its loop is
  * compiled under the clone's ISA.
+ *
+ * Disabled under sanitizers: `target_clones` emits an IFUNC whose
+ * resolver runs during relocation, before the sanitizer runtime has
+ * initialized — an instant segfault under TSan/ASan. The baseline
+ * code path is what sanitizer builds should check anyway.
  */
-#if defined(__x86_64__) && defined(__GNUC__)
+#if defined(__x86_64__) && defined(__GNUC__) &&                        \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
 #define PCCS_KERNEL_MULTIVERSION                                       \
     __attribute__((target_clones("default", "avx2"), flatten))
 #else

@@ -76,12 +76,16 @@ TcpClient::close()
 bool
 TcpClient::sendLine(const std::string &line)
 {
-    if (fd_ < 0)
-        return false;
     std::string wire = line;
     wire += '\n';
-    const char *data = wire.data();
-    std::size_t n = wire.size();
+    return sendRaw(wire.data(), wire.size());
+}
+
+bool
+TcpClient::sendRaw(const char *data, std::size_t n)
+{
+    if (fd_ < 0)
+        return false;
     while (n > 0) {
         const ssize_t sent = ::send(fd_, data, n, MSG_NOSIGNAL);
         if (sent < 0) {

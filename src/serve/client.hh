@@ -53,6 +53,13 @@ class TcpClient
     /** Send one raw line (the newline is appended). */
     bool sendLine(const std::string &line);
 
+    /** Send raw bytes exactly as given — no newline appended. Lets
+     *  tests fragment frames across arbitrary write boundaries. */
+    bool sendRaw(const char *data, std::size_t n);
+
+    /** The underlying socket (tests tune sockopts); -1 if closed. */
+    int fd() const { return fd_; }
+
     /** @return the next response line, or nullopt on EOF/error. */
     std::optional<std::string> recvLine();
 

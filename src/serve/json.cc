@@ -468,8 +468,14 @@ std::string
 Json::dump() const
 {
     std::string out;
-    dumpTo(*this, out);
+    ::pccs::serve::dumpTo(*this, out);
     return out;
+}
+
+void
+Json::dumpTo(std::string &out) const
+{
+    ::pccs::serve::dumpTo(*this, out);
 }
 
 JsonParse

@@ -107,6 +107,13 @@ class Json
     /** Render compactly on one line (never emits raw newlines). */
     std::string dump() const;
 
+    /**
+     * Append the compact rendering to `out` (same bytes as dump()).
+     * The zero-allocation serve path reuses one output buffer per
+     * connection, so the writer must not allocate a fresh string.
+     */
+    void dumpTo(std::string &out) const;
+
     /** Structural deep equality (numbers compare by value). */
     bool operator==(const Json &other) const = default;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 namespace pccs::serve {
 
@@ -18,6 +19,17 @@ bucketIndex(double micros, std::size_t buckets)
                                  buckets - 1);
 }
 
+/** Relaxed-atomic running maximum of a double. */
+void
+atomicMax(std::atomic<double> &slot, double v)
+{
+    double seen = slot.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !slot.compare_exchange_weak(seen, v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
 } // namespace
 
 void
@@ -29,6 +41,31 @@ LatencyHistogram::record(double micros)
     ++count_;
     sumMicros_ += micros;
     maxMicros_ = std::max(maxMicros_, micros);
+}
+
+void
+LatencyHistogram::addBucket(std::size_t bucket, std::uint64_t n)
+{
+    if (bucket < kBuckets)
+        buckets_[bucket] += n;
+    count_ += n;
+}
+
+void
+LatencyHistogram::addSummary(double sum_micros, double max_micros)
+{
+    sumMicros_ += sum_micros;
+    maxMicros_ = std::max(maxMicros_, max_micros);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sumMicros_ += other.sumMicros_;
+    maxMicros_ = std::max(maxMicros_, other.maxMicros_);
 }
 
 double
@@ -60,11 +97,129 @@ LatencyHistogram::percentileMicros(double p) const
     return maxMicros_;
 }
 
-void
-Metrics::recordRequest(const std::string &op, bool ok, double micros)
+EndpointOp
+endpointOpFromName(std::string_view op)
 {
-    std::lock_guard lock(mutex_);
-    EndpointCounters &c = endpoints_[op];
+    switch (op.empty() ? '\0' : op.front()) {
+      case 'p':
+        if (op == "predict")
+            return EndpointOp::Predict;
+        if (op == "place")
+            return EndpointOp::Place;
+        break;
+      case 'c':
+        if (op == "corun")
+            return EndpointOp::Corun;
+        break;
+      case 'e':
+        if (op == "explore")
+            return EndpointOp::Explore;
+        break;
+      case 'r':
+        if (op == "reload")
+            return EndpointOp::Reload;
+        break;
+      case 's':
+        if (op == "stats")
+            return EndpointOp::Stats;
+        if (op == "shutdown")
+            return EndpointOp::Shutdown;
+        break;
+      case 'h':
+        if (op == "health")
+            return EndpointOp::Health;
+        break;
+      case '_':
+        if (op == "_frame")
+            return EndpointOp::Frame;
+        break;
+      default:
+        break;
+    }
+    return EndpointOp::kCount;
+}
+
+std::string_view
+endpointOpName(EndpointOp op)
+{
+    switch (op) {
+      case EndpointOp::Predict:
+        return "predict";
+      case EndpointOp::Corun:
+        return "corun";
+      case EndpointOp::Place:
+        return "place";
+      case EndpointOp::Explore:
+        return "explore";
+      case EndpointOp::Reload:
+        return "reload";
+      case EndpointOp::Stats:
+        return "stats";
+      case EndpointOp::Health:
+        return "health";
+      case EndpointOp::Shutdown:
+        return "shutdown";
+      case EndpointOp::Frame:
+      case EndpointOp::kCount:
+        break;
+    }
+    return "_frame";
+}
+
+Metrics::Metrics() : start_(std::chrono::steady_clock::now())
+{
+    const char *env = std::getenv("PCCS_SERVE_DEBUG_STATS");
+    if (env != nullptr && env[0] != '\0' && env[0] != '0')
+        debugSizes_.store(true);
+}
+
+Metrics::Shard &
+Metrics::localShard()
+{
+    // Each recording thread sticks to one shard for its lifetime;
+    // round-robin assignment spreads server shards across blocks.
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t mine =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return shards_[mine];
+}
+
+void
+Metrics::recordRequest(EndpointOp op, bool ok, double micros)
+{
+    if (op == EndpointOp::kCount)
+        op = EndpointOp::Frame;
+    if (!(micros >= 0.0) || !std::isfinite(micros))
+        micros = 0.0;
+    Shard &shard = localShard();
+    AtomicCounters &c = shard.ops[static_cast<std::size_t>(op)];
+    c.requests.fetch_add(1, std::memory_order_relaxed);
+    if (!ok)
+        c.errors.fetch_add(1, std::memory_order_relaxed);
+    c.latencyBuckets[bucketIndex(micros,
+                                 LatencyHistogram::kBuckets)]
+        .fetch_add(1, std::memory_order_relaxed);
+    c.latencySum.fetch_add(micros, std::memory_order_relaxed);
+    atomicMax(c.latencyMax, micros);
+}
+
+void
+Metrics::recordRequest(std::string_view op, bool ok, double micros)
+{
+    const EndpointOp fixed = endpointOpFromName(op);
+    if (fixed != EndpointOp::kCount) {
+        recordRequest(fixed, ok, micros);
+        return;
+    }
+    // Unknown op name (client typo): the cold mutex-guarded map.
+    Shard &shard = localShard();
+    std::lock_guard lock(shard.overflowMutex);
+    auto it = shard.overflow.find(op);
+    if (it == shard.overflow.end())
+        it = shard.overflow
+                 .emplace(std::string(op), EndpointCounters{})
+                 .first;
+    EndpointCounters &c = it->second;
     ++c.requests;
     if (!ok)
         ++c.errors;
@@ -76,18 +231,38 @@ Metrics::recordBatch(std::size_t size)
 {
     if (size == 0)
         return;
-    std::lock_guard lock(mutex_);
-    ++batchSizes_[size];
-    batchedRequests_ += size;
+    Shard &shard = localShard();
+    std::size_t bucket = 0;
+    while (bucket + 1 < kBatchBuckets &&
+           (std::size_t{2} << bucket) <= size)
+        ++bucket;
+    shard.batchBuckets[bucket].fetch_add(1,
+                                         std::memory_order_relaxed);
+    shard.batchPasses.fetch_add(1, std::memory_order_relaxed);
+    shard.batchRequests.fetch_add(size, std::memory_order_relaxed);
+    std::uint64_t seen =
+        shard.batchLargest.load(std::memory_order_relaxed);
+    while (size > seen &&
+           !shard.batchLargest.compare_exchange_weak(
+               seen, size, std::memory_order_relaxed)) {
+    }
+    if (debugSizes_.load(std::memory_order_relaxed)) {
+        std::lock_guard lock(shard.sizesMutex);
+        ++shard.sizes[size];
+    }
 }
 
 std::uint64_t
 Metrics::totalRequests() const
 {
-    std::lock_guard lock(mutex_);
     std::uint64_t total = 0;
-    for (const auto &[op, c] : endpoints_)
-        total += c.requests;
+    for (const Shard &shard : shards_) {
+        for (const AtomicCounters &c : shard.ops)
+            total += c.requests.load(std::memory_order_relaxed);
+        std::lock_guard lock(shard.overflowMutex);
+        for (const auto &[op, c] : shard.overflow)
+            total += c.requests;
+    }
     return total;
 }
 
@@ -102,10 +277,47 @@ Metrics::uptimeSeconds() const
 Json
 Metrics::toJson(const runner::CacheStats &cache) const
 {
-    std::lock_guard lock(mutex_);
+    // Aggregate the shards into plain snapshots first (insertion
+    // into the ordered map keeps the endpoint listing alphabetical,
+    // matching the pre-sharding wire shape).
+    std::map<std::string, EndpointCounters> endpointTotals;
+    for (const Shard &shard : shards_) {
+        for (std::size_t op = 0;
+             op < static_cast<std::size_t>(EndpointOp::kCount);
+             ++op) {
+            const AtomicCounters &c = shard.ops[op];
+            const std::uint64_t requests =
+                c.requests.load(std::memory_order_relaxed);
+            if (requests == 0)
+                continue;
+            EndpointCounters &total = endpointTotals[std::string(
+                endpointOpName(static_cast<EndpointOp>(op)))];
+            total.requests += requests;
+            total.errors +=
+                c.errors.load(std::memory_order_relaxed);
+            for (std::size_t b = 0;
+                 b < LatencyHistogram::kBuckets; ++b) {
+                const std::uint64_t n =
+                    c.latencyBuckets[b].load(
+                        std::memory_order_relaxed);
+                if (n > 0)
+                    total.latency.addBucket(b, n);
+            }
+            total.latency.addSummary(
+                c.latencySum.load(std::memory_order_relaxed),
+                c.latencyMax.load(std::memory_order_relaxed));
+        }
+        std::lock_guard lock(shard.overflowMutex);
+        for (const auto &[op, c] : shard.overflow) {
+            EndpointCounters &total = endpointTotals[op];
+            total.requests += c.requests;
+            total.errors += c.errors;
+            total.latency.merge(c.latency);
+        }
+    }
 
     Json endpoints = Json::object();
-    for (const auto &[op, c] : endpoints_) {
+    for (const auto &[op, c] : endpointTotals) {
         Json latency = Json::object();
         latency.set("meanUs", c.latency.meanMicros());
         latency.set("p50Us", c.latency.percentileMicros(50.0));
@@ -120,42 +332,56 @@ Metrics::toJson(const runner::CacheStats &cache) const
         endpoints.set(op, std::move(entry));
     }
 
-    Json sizes = Json::object();
-    std::uint64_t passes = 0;
-    std::size_t largest = 0;
-    // Geometric (powers-of-two) buckets of the achieved batch sizes:
-    // bucket k counts passes whose size fell in [2^k, 2^(k+1)), so
-    // the batching win of the flat-combining predict batcher stays
-    // observable in production without unbounded per-size cardinality.
-    std::map<std::size_t, std::uint64_t> histogram;
-    for (const auto &[size, n] : batchSizes_) {
-        sizes.set(std::to_string(size), n);
-        passes += n;
-        largest = std::max(largest, size);
-        std::size_t bucket = 0;
-        while ((std::size_t{2} << bucket) <= size)
-            ++bucket;
-        histogram[bucket] += n;
+    // Batch-size distribution: powers-of-two buckets always; the raw
+    // per-size map only when debug stats are on (93 distinct sizes in
+    // a production run would bloat every stats response for data the
+    // histogram already carries).
+    std::uint64_t passes = 0, batched = 0, largest = 0;
+    std::array<std::uint64_t, kBatchBuckets> histogram{};
+    std::map<std::size_t, std::uint64_t> rawSizes;
+    for (const Shard &shard : shards_) {
+        passes += shard.batchPasses.load(std::memory_order_relaxed);
+        batched +=
+            shard.batchRequests.load(std::memory_order_relaxed);
+        largest = std::max(
+            largest,
+            shard.batchLargest.load(std::memory_order_relaxed));
+        for (std::size_t b = 0; b < kBatchBuckets; ++b)
+            histogram[b] +=
+                shard.batchBuckets[b].load(
+                    std::memory_order_relaxed);
+        if (debugSizes_.load(std::memory_order_relaxed)) {
+            std::lock_guard lock(shard.sizesMutex);
+            for (const auto &[size, n] : shard.sizes)
+                rawSizes[size] += n;
+        }
     }
     Json buckets = Json::object();
-    for (const auto &[bucket, n] : histogram) {
-        const std::size_t lo = std::size_t{1} << bucket;
-        const std::size_t hi = (std::size_t{2} << bucket) - 1;
+    for (std::size_t b = 0; b < kBatchBuckets; ++b) {
+        if (histogram[b] == 0)
+            continue;
+        const std::size_t lo = std::size_t{1} << b;
+        const std::size_t hi = (std::size_t{2} << b) - 1;
         const std::string label =
             lo == hi ? std::to_string(lo)
                      : std::to_string(lo) + "-" + std::to_string(hi);
-        buckets.set(label, n);
+        buckets.set(label, histogram[b]);
     }
     Json batches = Json::object();
     batches.set("passes", passes);
-    batches.set("requests", batchedRequests_);
+    batches.set("requests", batched);
     batches.set("largest", largest);
     batches.set("meanSize",
-                passes > 0 ? static_cast<double>(batchedRequests_) /
+                passes > 0 ? static_cast<double>(batched) /
                                  static_cast<double>(passes)
                            : 0.0);
     batches.set("histogram", std::move(buckets));
-    batches.set("sizes", std::move(sizes));
+    if (debugSizes_.load(std::memory_order_relaxed)) {
+        Json sizes = Json::object();
+        for (const auto &[size, n] : rawSizes)
+            sizes.set(std::to_string(size), n);
+        batches.set("sizes", std::move(sizes));
+    }
 
     Json cacheJson = Json::object();
     cacheJson.set("hits", cache.hits);

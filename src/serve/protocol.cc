@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "pccs/builder.hh"
 #include "pccs/corun.hh"
 #include "pccs/design.hh"
 #include "pccs/placement.hh"
+#include "runner/run_spec.hh"
 #include "workloads/nn.hh"
 #include "workloads/rodinia.hh"
 
@@ -16,22 +20,42 @@ namespace pccs::serve {
 void
 FrameBuffer::feed(const char *data, std::size_t n)
 {
+    // Compact the consumed prefix now, while no views are
+    // outstanding (feeding invalidates them by contract). Usually
+    // the whole buffer was consumed and this is a cheap clear.
+    if (pos_ > 0) {
+        buf_.erase(0, pos_);
+        scanned_ -= pos_;
+        pos_ = 0;
+    }
     buf_.append(data, n);
 }
 
-std::optional<FrameBuffer::Frame>
-FrameBuffer::next()
+void
+FrameBuffer::reset()
+{
+    buf_.clear();
+    pos_ = 0;
+    scanned_ = 0;
+    discarding_ = false;
+}
+
+std::optional<FrameBuffer::View>
+FrameBuffer::nextView()
 {
     while (true) {
-        const std::size_t nl = buf_.find('\n', scanned_);
+        const std::size_t from = std::max(scanned_, pos_);
+        const std::size_t nl = buf_.find('\n', from);
         if (discarding_) {
             if (nl == std::string::npos) {
-                buf_.clear();
-                scanned_ = 0;
+                // Consume (but keep until the next feed compacts)
+                // the rest of the oversized line.
+                pos_ = buf_.size();
+                scanned_ = buf_.size();
                 return std::nullopt;
             }
-            buf_.erase(0, nl + 1);
-            scanned_ = 0;
+            pos_ = nl + 1;
+            scanned_ = pos_;
             discarding_ = false;
             continue;
         }
@@ -39,28 +63,36 @@ FrameBuffer::next()
             // Remember how far we scanned so repeated feeds of a long
             // line stay linear.
             scanned_ = buf_.size();
-            if (buf_.size() > maxFrame_) {
-                buf_.clear();
-                scanned_ = 0;
+            if (buf_.size() - pos_ > maxFrame_) {
+                pos_ = buf_.size();
                 discarding_ = true;
-                return Frame{"", true};
+                return View{{}, true};
             }
             return std::nullopt;
         }
-        if (nl > maxFrame_) {
-            buf_.erase(0, nl + 1);
-            scanned_ = 0;
-            return Frame{"", true};
+        if (nl - pos_ > maxFrame_) {
+            pos_ = nl + 1;
+            scanned_ = pos_;
+            return View{{}, true};
         }
-        std::string text = buf_.substr(0, nl);
-        buf_.erase(0, nl + 1);
-        scanned_ = 0;
+        std::string_view text(buf_.data() + pos_, nl - pos_);
+        pos_ = nl + 1;
+        scanned_ = pos_;
         if (!text.empty() && text.back() == '\r')
-            text.pop_back();
+            text.remove_suffix(1);
         if (text.empty())
             continue; // tolerate blank lines between frames
-        return Frame{std::move(text), false};
+        return View{text, false};
     }
+}
+
+std::optional<FrameBuffer::Frame>
+FrameBuffer::next()
+{
+    std::optional<View> v = nextView();
+    if (!v)
+        return std::nullopt;
+    return Frame{std::string(v->text), v->oversized};
 }
 
 namespace {
@@ -179,6 +211,159 @@ nowMicros(std::chrono::steady_clock::time_point start)
         .count();
 }
 
+/** Append `v` rendered exactly like runner::jsonNumber, without
+ *  materializing a std::string (the %.17g worst case overflows SSO). */
+void
+appendNumber(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "null"; // JSON has no NaN/Inf
+        return;
+    }
+    char buf[40];
+    const int n = std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out.append(buf, n > 0 ? static_cast<std::size_t>(n) : 0);
+}
+
+/** Append `s` escaped exactly like runner::jsonEscape. */
+void
+appendEscaped(std::string &out, std::string_view s)
+{
+    for (const char raw : s) {
+        const unsigned char c = static_cast<unsigned char>(raw);
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += raw;
+            }
+        }
+    }
+}
+
+/**
+ * Cursor of the fast predict scanner. Whitespace and number rules
+ * mirror the strict Json parser exactly: anything the scanner
+ * accepts, the generic parser would accept with the same meaning —
+ * and anything suspicious makes the scanner bail so the generic
+ * parser produces its (byte-identical) diagnostic.
+ */
+struct FastScan
+{
+    std::string_view text;
+    std::size_t pos = 0;
+
+    void skipWs()
+    {
+        while (pos < text.size()) {
+            const char c = text[pos];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos;
+        }
+    }
+
+    bool eat(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    /** A string with no escapes or control bytes (view into text). */
+    bool scanSimpleString(std::string_view &out)
+    {
+        if (!eat('"'))
+            return false;
+        const std::size_t start = pos;
+        while (pos < text.size()) {
+            const unsigned char c =
+                static_cast<unsigned char>(text[pos]);
+            if (c == '"') {
+                out = text.substr(start, pos - start);
+                ++pos;
+                return true;
+            }
+            if (c == '\\' || c < 0x20)
+                return false; // escapes and errors: generic path
+            ++pos;
+        }
+        return false;
+    }
+
+    /** RFC 8259 number, same grammar as Parser::parseNumber. */
+    bool scanNumber(double &out)
+    {
+        const std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        if (pos >= text.size() || !isDigit(text[pos]))
+            return false;
+        if (text[pos] == '0') {
+            ++pos;
+        } else {
+            while (pos < text.size() && isDigit(text[pos]))
+                ++pos;
+        }
+        if (pos < text.size() && text[pos] == '.') {
+            ++pos;
+            if (pos >= text.size() || !isDigit(text[pos]))
+                return false;
+            while (pos < text.size() && isDigit(text[pos]))
+                ++pos;
+        }
+        if (pos < text.size() &&
+            (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            if (pos >= text.size() || !isDigit(text[pos]))
+                return false;
+            while (pos < text.size() && isDigit(text[pos]))
+                ++pos;
+        }
+        if (pos < text.size() && isDigit(text[pos]))
+            return false; // a leading zero: generic rejects it
+        const std::size_t len = pos - start;
+        char buf[64];
+        if (len >= sizeof(buf))
+            return false; // absurd token: let the generic path pay
+        std::memcpy(buf, text.data() + start, len);
+        buf[len] = '\0';
+        out = std::strtod(buf, nullptr);
+        return true;
+    }
+
+    static bool isDigit(char c) { return c >= '0' && c <= '9'; }
+};
+
 } // namespace
 
 Dispatcher::Dispatcher(ModelRegistry &registry, Metrics &metrics,
@@ -187,97 +372,347 @@ Dispatcher::Dispatcher(ModelRegistry &registry, Metrics &metrics,
     : registry_(registry), metrics_(metrics),
       engine_(engine != nullptr ? engine
                                 : &runner::SweepEngine::global()),
-      options_(options),
-      batchThread_([this](std::stop_token stop) { batchLoop(stop); })
+      options_(options)
 {
 }
 
-Dispatcher::~Dispatcher()
+Dispatcher::~Dispatcher() = default;
+
+bool
+Dispatcher::tryFastPredict(std::string_view text, Scratch &scratch,
+                           Scratch::Slot &slot)
 {
-    batchThread_.request_stop();
-    batchCv_.notify_all();
+    FastScan sc{text};
+    sc.skipWs();
+    if (!sc.eat('{'))
+        return false;
+    sc.skipWs();
+    if (sc.pos < text.size() && text[sc.pos] == '}')
+        return false; // empty object: generic emits "missing op"
+
+    bool haveOp = false, haveModel = false, haveDemand = false,
+         haveExternal = false, haveId = false;
+    std::string_view modelName;
+    double demand = 0.0, external = 0.0, idNumber = 0.0;
+
+    while (true) {
+        sc.skipWs();
+        std::string_view key;
+        if (!sc.scanSimpleString(key))
+            return false;
+        sc.skipWs();
+        if (!sc.eat(':'))
+            return false;
+        sc.skipWs();
+        if (key == "op") {
+            std::string_view v;
+            if (haveOp || !sc.scanSimpleString(v) || v != "predict")
+                return false;
+            haveOp = true;
+        } else if (key == "model") {
+            if (haveModel || !sc.scanSimpleString(modelName))
+                return false;
+            haveModel = true;
+        } else if (key == "demand") {
+            if (haveDemand || !sc.scanNumber(demand))
+                return false;
+            haveDemand = true;
+        } else if (key == "external") {
+            if (haveExternal || !sc.scanNumber(external))
+                return false;
+            haveExternal = true;
+        } else if (key == "id") {
+            // Only numeric ids take the fast path; anything else
+            // (strings, null, objects) falls back to the generic
+            // parser, which echoes arbitrary Json ids.
+            if (haveId || !sc.scanNumber(idNumber))
+                return false;
+            haveId = true;
+        } else {
+            return false; // "phases" and any unknown key
+        }
+        sc.skipWs();
+        if (sc.eat(','))
+            continue;
+        if (sc.eat('}'))
+            break;
+        return false;
+    }
+    sc.skipWs();
+    if (sc.pos != text.size())
+        return false; // trailing bytes: generic emits the diagnostic
+    if (!haveOp || !haveModel || !haveDemand || !haveExternal)
+        return false;
+    // Semantic bailouts, so every diagnostic ("unknown model",
+    // "must be >= 0") comes from the one generic code path.
+    if (!(demand >= 0.0) || !std::isfinite(demand))
+        return false;
+    if (!(external >= 0.0) || !std::isfinite(external))
+        return false;
+    std::shared_ptr<const ModelEntry> entry =
+        registry_.find(modelName);
+    if (!entry)
+        return false;
+
+    if (scratch.jobs.size() <= scratch.jobsUsed)
+        scratch.jobs.emplace_back();
+    PredictJob &job = scratch.jobs[scratch.jobsUsed];
+    job.entry = std::move(entry);
+    job.external = external;
+    job.phases.clear();
+    job.phases.push_back({demand, 1.0});
+
+    slot.op = EndpointOp::Predict;
+    slot.hasId = haveId;
+    slot.idIsNumber = haveId;
+    slot.idNumber = idNumber;
+    slot.jobIndex = static_cast<int>(scratch.jobsUsed++);
+    return true;
+}
+
+void
+Dispatcher::parseGeneric(std::string_view text, Scratch &scratch,
+                         Scratch::Slot &slot, bool *shutdown)
+{
+    JsonParse parsed = parseJson(text);
+    if (!parsed.ok()) {
+        slot.error = "parse error at offset " +
+                     std::to_string(parsed.offset) + ": " +
+                     parsed.error;
+        return;
+    }
+    slot.request = std::move(*parsed.value);
+    const Json &request = slot.request;
+    if (!request.isObject()) {
+        slot.error = "request must be a JSON object";
+        return;
+    }
+    if (const Json *id = request.find("id")) {
+        slot.hasId = true;
+        slot.idValue = id;
+    }
+    const Json *op = request.find("op");
+    if (op == nullptr || !op->isString()) {
+        slot.error = "missing string field 'op'";
+        return;
+    }
+    const std::string &opName = op->asString();
+    const EndpointOp fixed = endpointOpFromName(opName);
+    slot.op = fixed;
+    if (fixed == EndpointOp::kCount)
+        slot.opOther = opName;
+    try {
+        if (fixed == EndpointOp::Predict)
+            makePredictJob(request, scratch, slot);
+        else
+            slot.result = execute(opName, request, shutdown);
+    } catch (const ThrownRequestError &e) {
+        slot.error = e.message;
+    }
+}
+
+void
+Dispatcher::makePredictJob(const Json &request, Scratch &scratch,
+                           Scratch::Slot &slot)
+{
+    if (scratch.jobs.size() <= scratch.jobsUsed)
+        scratch.jobs.emplace_back();
+    PredictJob &job = scratch.jobs[scratch.jobsUsed];
+    const std::string name = requireString(request, "model");
+    job.entry = registry_.find(name);
+    if (!job.entry)
+        requestError("unknown model '" + name + "'");
+    job.external = requireNonNegative(request, "external");
+    job.phases = parsePhases(request);
+    slot.jobIndex = static_cast<int>(scratch.jobsUsed++);
+}
+
+void
+Dispatcher::appendPredictResult(const PredictJob &job, double rs,
+                                std::string &wire)
+{
+    const model::PccsModel &m = job.entry->model;
+    const double slowdown = rs > 0.0 ? 100.0 / rs : 1e9;
+    wire += "{\"";
+    if (job.phases.size() == 1) {
+        const GBps x = job.phases.front().demand;
+        wire += "region\":\"";
+        appendEscaped(wire, model::regionName(m.classify(x)));
+        wire += "\",\"demand\":";
+        appendNumber(wire, x);
+    } else {
+        wire += "phases\":";
+        appendNumber(wire,
+                     static_cast<double>(job.phases.size()));
+    }
+    wire += ",\"model\":\"";
+    appendEscaped(wire, job.entry->name);
+    wire += "\",\"version\":";
+    appendNumber(wire, static_cast<double>(job.entry->version));
+    wire += ",\"external\":";
+    appendNumber(wire, job.external);
+    wire += ",\"relativeSpeed\":";
+    appendNumber(wire, rs);
+    wire += ",\"slowdownFactor\":";
+    appendNumber(wire, slowdown);
+    wire += '}';
+}
+
+void
+Dispatcher::evaluateJobs(Scratch &scratch)
+{
+    const std::size_t n = scratch.jobsUsed;
+    scratch.rs.assign(n, 0.0);
+
+    // Group the single-phase queries by model snapshot: one batch
+    // kernel call per distinct model instead of one scalar virtual
+    // call per request.
+    scratch.groupEntries.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (scratch.jobs[i].phases.size() != 1)
+            continue;
+        const ModelEntry *entry = scratch.jobs[i].entry.get();
+        std::size_t g = 0;
+        while (g < scratch.groupEntries.size() &&
+               scratch.groupEntries[g] != entry)
+            ++g;
+        if (g == scratch.groupEntries.size()) {
+            scratch.groupEntries.push_back(entry);
+            if (scratch.groupMembers.size() <
+                scratch.groupEntries.size())
+                scratch.groupMembers.emplace_back();
+            else
+                scratch.groupMembers[g].clear();
+        }
+        scratch.groupMembers[g].push_back(i);
+    }
+    for (std::size_t g = 0; g < scratch.groupEntries.size(); ++g) {
+        const std::vector<std::size_t> &idx =
+            scratch.groupMembers[g];
+        scratch.gx.assign(idx.size(), 0.0);
+        scratch.gy.assign(idx.size(), 0.0);
+        scratch.gout.assign(idx.size(), 0.0);
+        for (std::size_t j = 0; j < idx.size(); ++j) {
+            scratch.gx[j] =
+                scratch.jobs[idx[j]].phases.front().demand;
+            scratch.gy[j] = scratch.jobs[idx[j]].external;
+        }
+        scratch.groupEntries[g]->model.relativeSpeedBatch(
+            scratch.gx, scratch.gy, scratch.gout);
+        for (std::size_t j = 0; j < idx.size(); ++j)
+            scratch.rs[idx[j]] = scratch.gout[j];
+    }
+
+    // Multi-phase programs aggregate per phase (bit-exact with the
+    // scalar protocol; rare next to single-point queries).
+    for (std::size_t i = 0; i < n; ++i) {
+        if (scratch.jobs[i].phases.size() != 1) {
+            scratch.rs[i] = model::predictPiecewise(
+                scratch.jobs[i].entry->model,
+                scratch.jobs[i].phases, scratch.jobs[i].external);
+        }
+    }
+}
+
+void
+Dispatcher::handleFrames(const FrameBuffer::View *frames,
+                         std::size_t count, Scratch &scratch,
+                         bool *shutdown)
+{
+    scratch.wire.clear();
+    scratch.spans.clear();
+    if (scratch.spans.capacity() < count)
+        scratch.spans.reserve(count);
+    if (scratch.slots.size() < count)
+        scratch.slots.resize(count);
+    scratch.jobsUsed = 0;
+
+    for (std::size_t i = 0; i < count; ++i) {
+        Scratch::Slot &s = scratch.slots[i];
+        s.start = std::chrono::steady_clock::now();
+        s.op = EndpointOp::Frame;
+        s.hasId = false;
+        s.idIsNumber = false;
+        s.idValue = nullptr;
+        s.error.clear();
+        s.jobIndex = -1;
+        if (frames[i].oversized) {
+            s.error = "frame exceeds the size limit";
+            continue;
+        }
+        if (!tryFastPredict(frames[i].text, scratch, s))
+            parseGeneric(frames[i].text, scratch, s, shutdown);
+    }
+
+    // One coalesced evaluation pass for the whole drain cycle.
+    if (scratch.jobsUsed > 0) {
+        metrics_.recordBatch(scratch.jobsUsed);
+        evaluateJobs(scratch);
+    }
+
+    for (std::size_t i = 0; i < count; ++i) {
+        Scratch::Slot &s = scratch.slots[i];
+        std::string &w = scratch.wire;
+        const std::size_t begin = w.size();
+        w += '{';
+        if (s.hasId) {
+            w += "\"id\":";
+            if (s.idIsNumber)
+                appendNumber(w, s.idNumber);
+            else if (s.idValue != nullptr)
+                s.idValue->dumpTo(w);
+            else
+                w += "null";
+            w += ',';
+        }
+        const bool ok = s.error.empty();
+        if (ok) {
+            w += "\"ok\":true,\"result\":";
+            if (s.jobIndex >= 0) {
+                appendPredictResult(
+                    scratch.jobs[static_cast<std::size_t>(
+                        s.jobIndex)],
+                    scratch.rs[static_cast<std::size_t>(s.jobIndex)],
+                    w);
+            } else {
+                s.result.dumpTo(w);
+            }
+        } else {
+            w += "\"ok\":false,\"error\":\"";
+            appendEscaped(w, s.error);
+            w += '"';
+        }
+        w += "}\n";
+        scratch.spans.push_back({begin, w.size() - begin});
+
+        const double micros = nowMicros(s.start);
+        if (s.op == EndpointOp::kCount)
+            metrics_.recordRequest(std::string_view(s.opOther), ok,
+                                   micros);
+        else
+            metrics_.recordRequest(s.op, ok, micros);
+        // The generic-path id points into s.request; both die
+        // together, but don't let a stale pointer outlive the slot's
+        // next reuse.
+        s.idValue = nullptr;
+    }
 }
 
 std::vector<std::string>
 Dispatcher::handleFrames(const std::vector<FrameBuffer::Frame> &frames,
                          bool *shutdown)
 {
-    struct Slot
-    {
-        std::string op = "_frame";
-        Json id;
-        bool hasId = false;
-        std::string error;
-        Json result;
-        PredictJob *job = nullptr;
-        std::chrono::steady_clock::time_point start;
-    };
-
-    std::vector<Slot> slots(frames.size());
-    std::vector<std::unique_ptr<PredictJob>> jobs;
-
-    for (std::size_t i = 0; i < frames.size(); ++i) {
-        Slot &s = slots[i];
-        s.start = std::chrono::steady_clock::now();
-        if (frames[i].oversized) {
-            s.error = "frame exceeds the size limit";
-            continue;
-        }
-        JsonParse parsed = parseJson(frames[i].text);
-        if (!parsed.ok()) {
-            s.error = "parse error at offset " +
-                      std::to_string(parsed.offset) + ": " +
-                      parsed.error;
-            continue;
-        }
-        const Json &request = *parsed.value;
-        if (!request.isObject()) {
-            s.error = "request must be a JSON object";
-            continue;
-        }
-        if (const Json *id = request.find("id")) {
-            s.id = *id;
-            s.hasId = true;
-        }
-        const Json *op = request.find("op");
-        if (op == nullptr || !op->isString()) {
-            s.error = "missing string field 'op'";
-            continue;
-        }
-        s.op = op->asString();
-        try {
-            if (s.op == "predict") {
-                jobs.push_back(makePredictJob(request));
-                s.job = jobs.back().get();
-            } else {
-                s.result = execute(s.op, request, shutdown);
-            }
-        } catch (const ThrownRequestError &e) {
-            s.error = e.message;
-        }
-    }
-
-    if (!jobs.empty())
-        submitBatch(jobs);
-
+    std::vector<FrameBuffer::View> views;
+    views.reserve(frames.size());
+    for (const FrameBuffer::Frame &frame : frames)
+        views.push_back({frame.text, frame.oversized});
+    Scratch scratch;
+    handleFrames(views.data(), views.size(), scratch, shutdown);
     std::vector<std::string> out;
     out.reserve(frames.size());
-    for (Slot &s : slots) {
-        if (s.job != nullptr) {
-            s.job->ready.wait();
-            s.result = std::move(s.job->result);
-        }
-        Json response = Json::object();
-        if (s.hasId)
-            response.set("id", std::move(s.id));
-        const bool ok = s.error.empty();
-        response.set("ok", ok);
-        if (ok)
-            response.set("result", std::move(s.result));
-        else
-            response.set("error", s.error);
-        metrics_.recordRequest(s.op, ok, nowMicros(s.start));
-        out.push_back(response.dump());
+    for (const WireSpan &span : scratch.spans) {
+        // Drop the trailing newline the wire form carries.
+        out.emplace_back(scratch.wire, span.offset, span.length - 1);
     }
     return out;
 }
@@ -313,147 +748,6 @@ Dispatcher::execute(const std::string &op, const Json &request,
         return result;
     }
     requestError("unknown op '" + op + "'");
-}
-
-std::unique_ptr<Dispatcher::PredictJob>
-Dispatcher::makePredictJob(const Json &request)
-{
-    auto job = std::make_unique<PredictJob>();
-    const std::string name = requireString(request, "model");
-    job->entry = registry_.find(name);
-    if (!job->entry)
-        requestError("unknown model '" + name + "'");
-    job->external = requireNonNegative(request, "external");
-    job->phases = parsePhases(request);
-    job->ready = job->done.get_future();
-    return job;
-}
-
-void
-Dispatcher::finishPredict(PredictJob &job, double rs)
-{
-    const model::PccsModel &m = job.entry->model;
-    Json result = Json::object();
-    const double slowdown = rs > 0.0 ? 100.0 / rs : 1e9;
-    if (job.phases.size() == 1) {
-        const GBps x = job.phases.front().demand;
-        result.set("region", model::regionName(m.classify(x)));
-        result.set("demand", x);
-    } else {
-        result.set("phases", job.phases.size());
-    }
-    result.set("model", job.entry->name);
-    result.set("version", job.entry->version);
-    result.set("external", job.external);
-    result.set("relativeSpeed", rs);
-    result.set("slowdownFactor", slowdown);
-    job.result = std::move(result);
-}
-
-void
-Dispatcher::evaluateJobs(const std::vector<PredictJob *> &batch)
-{
-    const std::size_t n = batch.size();
-    std::vector<double> rs(n, 0.0);
-
-    // Group the single-phase queries by model snapshot: one batch
-    // kernel call per distinct model instead of one scalar virtual
-    // call per request.
-    std::vector<const ModelEntry *> entries;
-    std::vector<std::vector<std::size_t>> groups;
-    for (std::size_t i = 0; i < n; ++i) {
-        if (batch[i]->phases.size() != 1)
-            continue;
-        const ModelEntry *entry = batch[i]->entry.get();
-        std::size_t g = 0;
-        while (g < entries.size() && entries[g] != entry)
-            ++g;
-        if (g == entries.size()) {
-            entries.push_back(entry);
-            groups.emplace_back();
-        }
-        groups[g].push_back(i);
-    }
-    std::vector<double> gx, gy, gout;
-    for (std::size_t g = 0; g < entries.size(); ++g) {
-        const std::vector<std::size_t> &idx = groups[g];
-        gx.assign(idx.size(), 0.0);
-        gy.assign(idx.size(), 0.0);
-        gout.assign(idx.size(), 0.0);
-        for (std::size_t j = 0; j < idx.size(); ++j) {
-            gx[j] = batch[idx[j]]->phases.front().demand;
-            gy[j] = batch[idx[j]]->external;
-        }
-        entries[g]->model.relativeSpeedBatch(gx, gy, gout);
-        for (std::size_t j = 0; j < idx.size(); ++j)
-            rs[idx[j]] = gout[j];
-    }
-
-    // Multi-phase programs aggregate per phase (bit-exact with the
-    // scalar protocol; rare next to single-point queries).
-    for (std::size_t i = 0; i < n; ++i) {
-        if (batch[i]->phases.size() != 1) {
-            rs[i] = model::predictPiecewise(batch[i]->entry->model,
-                                            batch[i]->phases,
-                                            batch[i]->external);
-        }
-    }
-
-    // Response construction is the string-heavy part; build it on
-    // the engine pool when a real batch coalesced.
-    if (n > 1 && engine_->jobs() > 1) {
-        engine_->parallelFor(n, [&](std::size_t i) {
-            finishPredict(*batch[i], rs[i]);
-        });
-    } else {
-        for (std::size_t i = 0; i < n; ++i)
-            finishPredict(*batch[i], rs[i]);
-    }
-}
-
-void
-Dispatcher::submitBatch(
-    std::vector<std::unique_ptr<PredictJob>> &batch)
-{
-    {
-        std::lock_guard lock(batchMutex_);
-        for (const auto &job : batch)
-            queue_.push_back(job.get());
-    }
-    batchCv_.notify_all();
-}
-
-void
-Dispatcher::batchLoop(const std::stop_token &stop)
-{
-    std::unique_lock lock(batchMutex_);
-    while (true) {
-        if (!batchCv_.wait(lock, stop,
-                           [&] { return !queue_.empty(); })) {
-            break; // stop requested while idle
-        }
-        std::vector<PredictJob *> batch(queue_.begin(), queue_.end());
-        queue_.clear();
-        lock.unlock();
-
-        // One coalesced evaluation pass for however many queries
-        // accumulated while the previous pass ran.
-        metrics_.recordBatch(batch.size());
-        evaluateJobs(batch);
-        for (PredictJob *job : batch)
-            job->done.set_value();
-
-        lock.lock();
-    }
-    // Graceful drain: finish whatever was queued when stop arrived.
-    if (!queue_.empty()) {
-        const std::vector<PredictJob *> rest(queue_.begin(),
-                                             queue_.end());
-        evaluateJobs(rest);
-        for (PredictJob *job : rest)
-            job->done.set_value();
-        queue_.clear();
-    }
 }
 
 Json

@@ -14,26 +14,31 @@
  * nothing a client sends can terminate the service.
  *
  * The dispatcher is transport-agnostic (tests drive it without
- * sockets) and coalesces concurrent `predict` requests: instead of
- * evaluating one model query per caller, pending queries are drained
- * into a single batch fed through one `BatchPredictor` kernel call
- * per distinct model, with responses built in parallel on the
- * `SweepEngine` pool (smart batching: under load, batches form
- * naturally; when idle, a lone request flows through immediately).
+ * sockets) and synchronous: a caller hands over the batch of frames
+ * one event-loop drain produced and gets wire-ready responses back.
+ * All `predict` frames of the batch are coalesced into one SoA
+ * kernel call per distinct model (flat combining happens at the
+ * server's shard level — every readable connection of a readiness
+ * cycle contributes frames to the same batch). The steady-state
+ * predict path allocates nothing: frames arrive as string_views, a
+ * specialized scanner extracts the fields without building Json
+ * values, job and group state lives in a caller-owned reusable
+ * Scratch, and responses are serialized straight into the scratch
+ * wire buffer (bit-identical to the generic Json-built rendering,
+ * which remains the fallback for every frame the scanner does not
+ * fully recognize).
  */
 
 #ifndef PCCS_SERVE_PROTOCOL_HH
 #define PCCS_SERVE_PROTOCOL_HH
 
-#include <condition_variable>
-#include <deque>
-#include <future>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
-#include <thread>
+#include <string_view>
 #include <vector>
 
 #include "pccs/phases.hh"
@@ -50,6 +55,11 @@ namespace pccs::serve {
  * configured maximum are reported once as oversized (so the peer gets
  * a diagnostic) and their remaining bytes are discarded until the
  * terminating newline, bounding memory per connection.
+ *
+ * The zero-copy interface is `nextView()`: frames are string_views
+ * into the internal buffer, valid until the next `feed()` or
+ * `reset()` (the buffer is compacted on feed, never while views are
+ * outstanding). `next()` is the copying convenience wrapper.
  */
 class FrameBuffer
 {
@@ -67,14 +77,33 @@ class FrameBuffer
         bool oversized = false;
     };
 
-    /** Append raw bytes from the stream. */
+    /** Zero-copy frame; text is valid until the next feed/reset. */
+    struct View
+    {
+        std::string_view text;
+        bool oversized = false;
+    };
+
+    /** Append raw bytes from the stream. Invalidates prior views. */
     void feed(const char *data, std::size_t n);
 
-    /** @return the next complete frame, if any. */
+    /** @return the next complete frame (copying), if any. */
     std::optional<Frame> next();
+
+    /** @return the next complete frame as a view, if any. */
+    std::optional<View> nextView();
+
+    /** Drop all buffered state (slab reuse for a new connection). */
+    void reset();
+
+    /** Buffered not-yet-consumed bytes. */
+    std::size_t pendingBytes() const { return buf_.size() - pos_; }
 
   private:
     std::string buf_;
+    /** Consumed prefix of buf_ (compacted away on the next feed). */
+    std::size_t pos_ = 0;
+    /** Newline scan cursor, so long partial lines stay linear. */
     std::size_t scanned_ = 0;
     std::size_t maxFrame_;
     bool discarding_ = false;
@@ -87,14 +116,72 @@ struct DispatchOptions
     unsigned exploreGridSteps = 64;
 };
 
+/** One response's byte range inside DispatchScratch::wire
+ *  (including the trailing newline). */
+struct WireSpan
+{
+    std::size_t offset = 0;
+    std::size_t length = 0;
+};
+
 /**
  * Parses, validates, and executes protocol requests against a model
- * registry, recording metrics. Thread-safe: connection handlers call
- * `handleFrames` concurrently.
+ * registry, recording metrics. Thread-safe: server shards call
+ * `handleFrames` concurrently, each with its own Scratch.
  */
 class Dispatcher
 {
   public:
+    /** One parsed, batchable predict query awaiting evaluation.
+     *  Lives in Scratch so its buffers are reused across batches. */
+    struct PredictJob
+    {
+        std::shared_ptr<const ModelEntry> entry;
+        GBps external = 0.0;
+        /** One entry with share 1.0 for single-point queries. */
+        std::vector<model::PhaseDemand> phases;
+    };
+
+    /**
+     * Caller-owned reusable working state: one per server shard (or
+     * per thread). After handleFrames returns, `wire` holds every
+     * response concatenated ('\n'-terminated) and `spans[i]` is the
+     * byte range answering input frame i. Everything else is
+     * internal scratch that keeps its capacity across calls — the
+     * reason the steady-state request path performs no allocation.
+     */
+    struct Scratch
+    {
+        std::string wire;
+        std::vector<WireSpan> spans;
+
+        /** @name internal (reused by the dispatcher) @{ */
+        struct Slot
+        {
+            EndpointOp op = EndpointOp::Frame;
+            /** Unknown op name (overflow metrics); cold. */
+            std::string opOther;
+            bool hasId = false;
+            /** Fast-path id: a plain number. */
+            bool idIsNumber = false;
+            double idNumber = 0.0;
+            /** Generic-path id: points into `request`. */
+            const Json *idValue = nullptr;
+            Json request;
+            Json result;
+            std::string error;
+            int jobIndex = -1;
+            std::chrono::steady_clock::time_point start;
+        };
+        std::vector<Slot> slots;
+        std::vector<PredictJob> jobs;
+        std::size_t jobsUsed = 0;
+        std::vector<const ModelEntry *> groupEntries;
+        std::vector<std::vector<std::size_t>> groupMembers;
+        std::vector<double> gx, gy, gout, rs;
+        /** @} */
+    };
+
     /**
      * @param engine evaluation engine for batched predicts and the
      *        simulator-backed endpoints; the process-wide engine
@@ -109,12 +196,22 @@ class Dispatcher
     Dispatcher &operator=(const Dispatcher &) = delete;
 
     /**
-     * Handle one batch of frames (typically: everything one read()
-     * returned). Returns exactly one response line per frame, in
-     * frame order, without trailing newlines. All `predict` frames of
-     * the batch are submitted to the shared batcher together.
+     * Handle one batch of frames (typically: everything one event
+     * loop readiness cycle produced, across all of a shard's ready
+     * connections). Responses land in scratch.wire / scratch.spans,
+     * exactly one per frame, in frame order. All well-formed
+     * `predict` frames of the batch are evaluated in one coalesced
+     * pass (one batch kernel call per distinct model).
      *
      * @param shutdown set to true when a frame requested shutdown
+     */
+    void handleFrames(const FrameBuffer::View *frames,
+                      std::size_t count, Scratch &scratch,
+                      bool *shutdown = nullptr);
+
+    /**
+     * Copying convenience wrapper: one response line per frame, in
+     * frame order, without trailing newlines.
      */
     std::vector<std::string>
     handleFrames(const std::vector<FrameBuffer::Frame> &frames,
@@ -129,17 +226,6 @@ class Dispatcher
     runner::SweepEngine &engine() { return *engine_; }
 
   private:
-    /** One parsed, batchable predict query awaiting evaluation. */
-    struct PredictJob
-    {
-        std::shared_ptr<const ModelEntry> entry;
-        std::vector<model::PhaseDemand> phases;
-        GBps external = 0.0;
-        Json result;
-        std::promise<void> done;
-        std::future<void> ready;
-    };
-
     /** Lazily built simulator + per-PU models of one named SoC. */
     struct SocBundle
     {
@@ -147,6 +233,21 @@ class Dispatcher
         std::unique_ptr<soc::SocSimulator> sim;
         std::vector<std::unique_ptr<model::PccsModel>> models;
     };
+
+    /**
+     * The zero-allocation predict scanner: recognizes exactly the
+     * strict-JSON single-point predict grammar (op/id/model/demand/
+     * external, any order, no duplicates, no escapes). On success
+     * fills the slot and appends a job; any deviation returns false
+     * and the generic parser takes over (producing byte-identical
+     * diagnostics for the malformed cases).
+     */
+    bool tryFastPredict(std::string_view text, Scratch &scratch,
+                        Scratch::Slot &slot);
+
+    /** Generic (Json-building) parse + execute of one frame. */
+    void parseGeneric(std::string_view text, Scratch &scratch,
+                      Scratch::Slot &slot, bool *shutdown);
 
     Json execute(const std::string &op, const Json &request,
                  bool *shutdown);
@@ -158,22 +259,23 @@ class Dispatcher
     Json doStats() const;
     Json doHealth() const;
 
-    std::unique_ptr<PredictJob> makePredictJob(const Json &request);
+    /** Parse a generic predict request into a scratch job slot. */
+    void makePredictJob(const Json &request, Scratch &scratch,
+                        Scratch::Slot &slot);
 
-    /** Build one job's wire result from its evaluated speed. */
-    static void finishPredict(PredictJob &job, double rs);
+    /** Append one job's wire result object ({"region":...}). */
+    static void appendPredictResult(const PredictJob &job, double rs,
+                                    std::string &wire);
 
     /**
-     * Evaluate one coalesced batch: single-phase queries are grouped
-     * by model snapshot and each distinct model's batch kernel runs
-     * once over the group's structure-of-arrays demands (multi-phase
-     * queries aggregate through the piecewise path). Wire results are
+     * Evaluate the batch in scratch.jobs[0..jobsUsed): single-point
+     * queries are grouped by model snapshot and each distinct
+     * model's batch kernel runs once over the group's
+     * structure-of-arrays demands (multi-phase queries aggregate
+     * through the piecewise path). Results land in scratch.rs,
      * bit-exact with per-job scalar evaluation.
      */
-    void evaluateJobs(const std::vector<PredictJob *> &batch);
-
-    void submitBatch(std::vector<std::unique_ptr<PredictJob>> &batch);
-    void batchLoop(const std::stop_token &stop);
+    void evaluateJobs(Scratch &scratch);
 
     SocBundle &socBundle(const std::string &soc_name);
     const model::PccsModel &puModel(SocBundle &bundle,
@@ -186,12 +288,6 @@ class Dispatcher
 
     std::mutex socMutex_;
     std::map<std::string, std::unique_ptr<SocBundle>> socs_;
-
-    std::mutex batchMutex_;
-    std::condition_variable_any batchCv_;
-    std::deque<PredictJob *> queue_;
-    /** Declared last: joins before the members it uses die. */
-    std::jthread batchThread_;
 };
 
 } // namespace pccs::serve

@@ -38,7 +38,7 @@ ModelRegistry::addFromParams(const std::string &name,
 }
 
 std::shared_ptr<const ModelEntry>
-ModelRegistry::find(const std::string &name) const
+ModelRegistry::find(std::string_view name) const
 {
     std::shared_lock lock(mutex_);
     auto it = slots_.find(name);

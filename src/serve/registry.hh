@@ -24,6 +24,7 @@
 #include <memory>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "pccs/model.hh"
@@ -70,9 +71,11 @@ class ModelRegistry
                        const model::PccsParams &params,
                        const std::string &source);
 
-    /** @return the current version of `name`, or nullptr. */
+    /** @return the current version of `name`, or nullptr. The
+     *  string_view overload exists for the zero-allocation predict
+     *  path: lookup never materializes a std::string. */
     std::shared_ptr<const ModelEntry>
-    find(const std::string &name) const;
+    find(std::string_view name) const;
 
     /** Outcome of a reload request. */
     struct Reloaded
@@ -106,7 +109,8 @@ class ModelRegistry
     };
 
     mutable std::shared_mutex mutex_;
-    std::map<std::string, Slot> slots_;
+    /** Transparent comparator: lookups by string_view don't allocate. */
+    std::map<std::string, Slot, std::less<>> slots_;
 };
 
 } // namespace pccs::serve

@@ -1,35 +1,49 @@
 #include "server.hh"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
-
-#include "common/logging.hh"
 
 namespace pccs::serve {
 
 namespace {
 
-/** write() the whole buffer; false when the peer went away. */
-bool
-sendAll(int fd, const char *data, std::size_t n)
+/** epoll tags of the two non-connection fds of a shard. */
+constexpr std::uint64_t kListenTag = ~std::uint64_t{0};
+constexpr std::uint64_t kWakeTag = ~std::uint64_t{0} - 1;
+
+/** Per-connection read budget of one drain cycle: a firehose peer
+ *  yields the shard to its neighbors after this many bytes. */
+constexpr std::size_t kReadBudget = 256u << 10;
+
+std::uint64_t
+connTag(std::uint32_t gen, std::uint32_t slot)
 {
-    while (n > 0) {
-        const ssize_t sent = ::send(fd, data, n, MSG_NOSIGNAL);
-        if (sent < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        data += sent;
-        n -= static_cast<std::size_t>(sent);
-    }
-    return true;
+    return (static_cast<std::uint64_t>(gen) << 32) | slot;
+}
+
+unsigned
+shardsFromEnv()
+{
+    const char *env = std::getenv("PCCS_SERVE_SHARDS");
+    if (env == nullptr || *env == '\0')
+        return 0;
+    const unsigned long n = std::strtoul(env, nullptr, 10);
+    if (n == 0 || n > 1000)
+        return 0;
+    return static_cast<unsigned>(n);
 }
 
 } // namespace
@@ -37,37 +51,57 @@ sendAll(int fd, const char *data, std::size_t n)
 Server::Server(Dispatcher &dispatcher, ServerOptions options)
     : dispatcher_(dispatcher), options_(std::move(options))
 {
+    wakeFds_.fill(-1);
 }
 
 Server::~Server()
 {
     stop();
-    if (wakePipe_[0] >= 0)
-        ::close(wakePipe_[0]);
-    if (wakePipe_[1] >= 0)
-        ::close(wakePipe_[1]);
 }
 
 bool
 Server::start(std::string *error)
 {
-    auto failWith = [&](const std::string &message) {
+    auto fail = [&](const std::string &what) {
         if (error != nullptr)
-            *error = message + ": " + std::strerror(errno);
+            *error = what + ": " + std::strerror(errno);
+        for (auto &shard : shards_) {
+            if (shard->epollFd >= 0)
+                ::close(shard->epollFd);
+            if (shard->wakeFd >= 0)
+                ::close(shard->wakeFd);
+        }
+        shards_.clear();
+        shardCount_ = 0;
+        wakeFds_.fill(-1);
         if (listenFd_ >= 0) {
             ::close(listenFd_);
             listenFd_ = -1;
         }
+        for (int &fd : stopPipe_) {
+            if (fd >= 0) {
+                ::close(fd);
+                fd = -1;
+            }
+        }
         return false;
     };
 
-    if (::pipe(wakePipe_) != 0)
-        return failWith("cannot create wake pipe");
+    unsigned shards = options_.shards;
+    if (shards == 0)
+        shards = shardsFromEnv();
+    if (shards == 0) {
+        shards = std::thread::hardware_concurrency();
+        if (shards == 0)
+            shards = 1;
+    }
+    if (shards > kMaxShards)
+        shards = static_cast<unsigned>(kMaxShards);
 
-    listenFd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    listenFd_ = ::socket(
+        AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
     if (listenFd_ < 0)
-        return failWith("cannot create socket");
-
+        return fail("cannot create socket");
     const int one = 1;
     ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
                  sizeof(one));
@@ -78,53 +112,103 @@ Server::start(std::string *error)
     if (::inet_pton(AF_INET, options_.host.c_str(),
                     &addr.sin_addr) != 1) {
         errno = EINVAL;
-        return failWith("bad bind address '" + options_.host + "'");
+        return fail("bad bind address '" + options_.host + "'");
     }
-
     if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
                sizeof(addr)) != 0)
-        return failWith("cannot bind " + options_.host + ":" +
-                        std::to_string(options_.port));
+        return fail("cannot bind " + options_.host + ":" +
+                    std::to_string(options_.port));
     if (::listen(listenFd_, options_.backlog) != 0)
-        return failWith("cannot listen");
+        return fail("cannot listen");
 
     socklen_t len = sizeof(addr);
-    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+    if (::getsockname(listenFd_,
+                      reinterpret_cast<sockaddr *>(&addr),
                       &len) != 0)
-        return failWith("cannot read the bound address");
+        return fail("cannot read the bound address");
     port_ = ntohs(addr.sin_port);
 
-    acceptThread_ = std::thread([this] { acceptLoop(); });
+    if (::pipe2(stopPipe_, O_CLOEXEC | O_NONBLOCK) != 0)
+        return fail("cannot create stop pipe");
+
+    for (unsigned i = 0; i < shards; ++i) {
+        auto shard = std::make_unique<Shard>();
+        shard->index = i;
+        shard->epollFd = ::epoll_create1(EPOLL_CLOEXEC);
+        if (shard->epollFd < 0) {
+            shards_.push_back(std::move(shard));
+            return fail("cannot create epoll instance");
+        }
+        shard->wakeFd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+        if (shard->wakeFd < 0) {
+            shards_.push_back(std::move(shard));
+            return fail("cannot create wake eventfd");
+        }
+        epoll_event wake{};
+        wake.events = EPOLLIN;
+        wake.data.u64 = kWakeTag;
+        if (::epoll_ctl(shard->epollFd, EPOLL_CTL_ADD,
+                        shard->wakeFd, &wake) != 0) {
+            shards_.push_back(std::move(shard));
+            return fail("cannot register the wake eventfd");
+        }
+        // EPOLLEXCLUSIVE: the kernel wakes (roughly) one shard per
+        // pending connection instead of the whole herd.
+        epoll_event lst{};
+        lst.events = EPOLLIN | EPOLLEXCLUSIVE;
+        lst.data.u64 = kListenTag;
+        if (::epoll_ctl(shard->epollFd, EPOLL_CTL_ADD, listenFd_,
+                        &lst) != 0) {
+            shards_.push_back(std::move(shard));
+            return fail("cannot register the listener");
+        }
+        wakeFds_[i] = shard->wakeFd;
+        shards_.push_back(std::move(shard));
+    }
+    shardCount_ = shards;
+
+    for (auto &shard : shards_) {
+        Shard *s = shard.get();
+        shard->thread = std::thread([this, s] { shardLoop(*s); });
+    }
     return true;
 }
 
 void
 Server::requestStop()
 {
-    // Async-signal-safe: an atomic store and one pipe write.
-    stopping_.store(true);
-    if (wakePipe_[1] >= 0) {
+    // Async-signal-safe: an atomic store and plain write()s.
+    stopping_.store(true, std::memory_order_release);
+    if (stopPipe_[1] >= 0) {
         const char byte = 's';
-        [[maybe_unused]] ssize_t n =
-            ::write(wakePipe_[1], &byte, 1);
+        [[maybe_unused]] ssize_t r =
+            ::write(stopPipe_[1], &byte, 1);
+    }
+    const std::uint64_t tick = 1;
+    for (std::size_t i = 0; i < shardCount_; ++i) {
+        if (wakeFds_[i] >= 0) {
+            [[maybe_unused]] ssize_t r =
+                ::write(wakeFds_[i], &tick, sizeof(tick));
+        }
     }
 }
 
 bool
 Server::stopRequested() const
 {
-    return stopping_.load();
+    return stopping_.load(std::memory_order_acquire);
 }
 
 void
 Server::serveForever()
 {
-    char byte;
-    while (!stopping_.load()) {
-        const ssize_t n = ::read(wakePipe_[0], &byte, 1);
-        if (n < 0 && errno == EINTR)
-            continue;
-        break;
+    while (!stopRequested()) {
+        pollfd p{stopPipe_[0], POLLIN, 0};
+        const int r = ::poll(&p, 1, 1000);
+        if (r < 0 && errno != EINTR)
+            break;
+        if (r > 0)
+            break;
     }
     stop();
 }
@@ -132,105 +216,462 @@ Server::serveForever()
 void
 Server::stop()
 {
-    stopping_.store(true);
+    requestStop();
+    std::lock_guard lock(stopMutex_);
+    if (stopped_)
+        return;
+    stopped_ = true;
+    for (auto &shard : shards_) {
+        if (shard->thread.joinable())
+            shard->thread.join();
+    }
+    for (auto &shard : shards_) {
+        if (shard->epollFd >= 0) {
+            ::close(shard->epollFd);
+            shard->epollFd = -1;
+        }
+        if (shard->wakeFd >= 0) {
+            ::close(shard->wakeFd);
+            shard->wakeFd = -1;
+        }
+    }
     if (listenFd_ >= 0) {
-        // Unblock accept(); the accept thread sees stopping_ and
-        // exits.
-        ::shutdown(listenFd_, SHUT_RDWR);
         ::close(listenFd_);
         listenFd_ = -1;
     }
-    if (acceptThread_.joinable())
-        acceptThread_.join();
+    for (int &fd : stopPipe_) {
+        if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+}
 
-    std::lock_guard lock(connMutex_);
-    for (auto &conn : connections_) {
-        // Half-close: pending bytes are still processed and their
-        // responses written, then the connection loop sees EOF.
-        ::shutdown(conn->fd, SHUT_RD);
+Server::Conn &
+Server::connAt(Shard &shard, std::uint32_t slot)
+{
+    return (*shard.chunks[slot / kChunk])[slot % kChunk];
+}
+
+std::uint32_t
+Server::allocSlot(Shard &shard)
+{
+    if (shard.freeSlots.empty()) {
+        const std::uint32_t base = static_cast<std::uint32_t>(
+            shard.chunks.size() * kChunk);
+        auto chunk = std::make_unique<std::vector<Conn>>();
+        chunk->reserve(kChunk);
+        for (std::size_t i = 0; i < kChunk; ++i)
+            chunk->emplace_back(options_.maxFrameBytes);
+        shard.chunks.push_back(std::move(chunk));
+        // Low slots first, so steady-state churn reuses warm slots.
+        for (std::size_t i = kChunk; i > 0; --i)
+            shard.freeSlots.push_back(
+                base + static_cast<std::uint32_t>(i) - 1);
     }
-    for (auto &conn : connections_) {
-        if (conn->thread.joinable())
-            conn->thread.join();
-        ::close(conn->fd);
-    }
-    connections_.clear();
+    const std::uint32_t slot = shard.freeSlots.back();
+    shard.freeSlots.pop_back();
+    return slot;
 }
 
 void
-Server::acceptLoop()
+Server::closeConn(Shard &shard, std::uint32_t slot)
 {
-    while (!stopping_.load()) {
-        const int fd =
-            ::accept4(listenFd_, nullptr, nullptr, SOCK_CLOEXEC);
+    Conn &c = connAt(shard, slot);
+    if (!c.inUse)
+        return;
+    ::close(c.fd); // also deregisters the fd from epoll
+    c.fd = -1;
+    c.inUse = false;
+    ++c.gen; // invalidates in-flight epoll tags and batch sources
+    shard.deadSlots.push_back(slot);
+}
+
+void
+Server::acceptReady(Shard &shard)
+{
+    for (;;) {
+        const int fd = ::accept4(listenFd_, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
         if (fd < 0) {
             if (errno == EINTR)
                 continue;
-            break; // listener closed (stop) or fatal accept error
+            return; // EAGAIN: a sibling shard won the race
         }
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
                      sizeof(one));
-        connectionsAccepted_.fetch_add(1);
+        connectionsAccepted_.fetch_add(1,
+                                       std::memory_order_relaxed);
 
-        std::lock_guard lock(connMutex_);
-        reapFinishedLocked();
-        auto conn = std::make_unique<Connection>();
-        conn->fd = fd;
-        Connection *raw = conn.get();
-        connections_.push_back(std::move(conn));
-        raw->thread = std::thread([this, raw] {
-            char buf[64 * 1024];
-            FrameBuffer frames(options_.maxFrameBytes);
-            std::vector<FrameBuffer::Frame> batch;
-            bool alive = true;
-            while (alive) {
-                const ssize_t n =
-                    ::recv(raw->fd, buf, sizeof(buf), 0);
-                if (n == 0)
-                    break;
-                if (n < 0) {
-                    if (errno == EINTR)
-                        continue;
-                    break;
-                }
-                frames.feed(buf, static_cast<std::size_t>(n));
-                batch.clear();
-                while (auto frame = frames.next())
-                    batch.push_back(std::move(*frame));
-                if (batch.empty())
-                    continue;
-                bool shutdown_requested = false;
-                std::string wire;
-                for (std::string &response : dispatcher_.handleFrames(
-                         batch, &shutdown_requested)) {
-                    wire += response;
-                    wire += '\n';
-                }
-                alive = sendAll(raw->fd, wire.data(), wire.size());
-                if (shutdown_requested)
-                    requestStop();
-            }
-            // The fd is closed by reap/stop after the join, so a
-            // racing stop() never touches a recycled descriptor.
-            raw->done.store(true);
-        });
+        const std::uint32_t slot = allocSlot(shard);
+        Conn &c = connAt(shard, slot);
+        c.fd = fd;
+        c.inUse = true;
+
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
+        ev.data.u64 = connTag(c.gen, slot);
+        if (::epoll_ctl(shard.epollFd, EPOLL_CTL_ADD, fd, &ev) !=
+            0) {
+            ::close(fd);
+            c.fd = -1;
+            c.inUse = false;
+            ++c.gen;
+            shard.freeSlots.push_back(slot);
+        }
     }
 }
 
 void
-Server::reapFinishedLocked()
+Server::queueRead(Shard &shard, std::uint32_t slot)
 {
-    for (std::size_t i = 0; i < connections_.size();) {
-        if (!connections_[i]->done.load()) {
-            ++i;
+    Conn &c = connAt(shard, slot);
+    if (c.queuedRead)
+        return;
+    c.queuedRead = true;
+    shard.pendingReads.push_back(slot);
+}
+
+std::uint32_t
+Server::gatherFrames(Shard &shard, std::uint32_t slot)
+{
+    Conn &c = connAt(shard, slot);
+    std::uint32_t count = 0;
+    while (std::optional<FrameBuffer::View> v =
+               c.frames.nextView()) {
+        shard.views.push_back(*v);
+        ++count;
+    }
+    if (count > 0)
+        shard.sources.push_back({slot, c.gen, count});
+    return count;
+}
+
+void
+Server::readReady(Shard &shard, std::uint32_t slot)
+{
+    Conn &c = connAt(shard, slot);
+    if (c.lastRead == shard.cycle)
+        return; // already drained this cycle; a second feed would
+                // invalidate the views gathered the first time
+    c.lastRead = shard.cycle;
+
+    char buf[65536];
+    std::size_t budget = kReadBudget;
+    bool more = false;
+    for (;;) {
+        const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+        if (n > 0) {
+            c.frames.feed(buf, static_cast<std::size_t>(n));
+            if (budget <= static_cast<std::size_t>(n)) {
+                // Out of budget: revisit next cycle ourselves —
+                // edge-triggered epoll won't renotify for these
+                // bytes.
+                more = true;
+                break;
+            }
+            budget -= static_cast<std::size_t>(n);
             continue;
         }
-        if (connections_[i]->thread.joinable())
-            connections_[i]->thread.join();
-        ::close(connections_[i]->fd);
-        connections_.erase(connections_.begin() +
-                           static_cast<std::ptrdiff_t>(i));
+        if (n == 0) {
+            c.eof = true;
+            break;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        closeConn(shard, slot);
+        return;
+    }
+
+    const std::uint32_t count = gatherFrames(shard, slot);
+    if (c.eof && count == 0) {
+        // Nothing left to answer (a trailing partial line, if any,
+        // dies with the connection, as it always has).
+        if (c.outPos == c.out.size())
+            closeConn(shard, slot);
+        else
+            c.closing = true;
+        return;
+    }
+    if (more && !c.eof)
+        queueRead(shard, slot);
+}
+
+void
+Server::updateInterest(Shard &shard, std::uint32_t slot)
+{
+    Conn &c = connAt(shard, slot);
+    const bool want = c.outPos < c.out.size();
+    if (want == c.wantWrite)
+        return;
+    c.wantWrite = want;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET |
+                (want ? EPOLLOUT : 0u);
+    ev.data.u64 = connTag(c.gen, slot);
+    ::epoll_ctl(shard.epollFd, EPOLL_CTL_MOD, c.fd, &ev);
+}
+
+void
+Server::sendOrPark(Shard &shard, std::uint32_t slot,
+                   const char *data, std::size_t len)
+{
+    Conn &c = connAt(shard, slot);
+    std::size_t off = 0;
+    if (c.outPos == c.out.size()) {
+        // Nothing parked: write straight from the batch wire.
+        while (off < len) {
+            const ssize_t n = ::send(c.fd, data + off, len - off,
+                                     MSG_NOSIGNAL);
+            if (n > 0) {
+                off += static_cast<std::size_t>(n);
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n < 0 &&
+                (errno == EAGAIN || errno == EWOULDBLOCK))
+                break;
+            closeConn(shard, slot);
+            return;
+        }
+        if (off == len)
+            return;
+        c.out.clear();
+        c.outPos = 0;
+    }
+    c.out.append(data + off, len - off);
+    if (c.out.size() - c.outPos > options_.maxPendingWriteBytes)
+        c.paused = true; // stop reading until the peer drains
+    updateInterest(shard, slot);
+}
+
+void
+Server::flushParked(Shard &shard, std::uint32_t slot)
+{
+    Conn &c = connAt(shard, slot);
+    while (c.outPos < c.out.size()) {
+        const ssize_t n =
+            ::send(c.fd, c.out.data() + c.outPos,
+                   c.out.size() - c.outPos, MSG_NOSIGNAL);
+        if (n > 0) {
+            c.outPos += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+        closeConn(shard, slot);
+        return;
+    }
+    if (c.outPos == c.out.size()) {
+        c.out.clear(); // capacity stays for the next burst
+        c.outPos = 0;
+        if (c.closing) {
+            closeConn(shard, slot);
+            return;
+        }
+        updateInterest(shard, slot);
+        if (c.paused) {
+            c.paused = false;
+            queueRead(shard, slot);
+        }
+    } else if (c.paused && c.out.size() - c.outPos <=
+                               options_.maxPendingWriteBytes / 2) {
+        c.paused = false;
+        queueRead(shard, slot);
+    }
+}
+
+void
+Server::dispatchCycle(Shard &shard)
+{
+    if (!shard.views.empty()) {
+        bool shutdown = false;
+        dispatcher_.handleFrames(shard.views.data(),
+                                 shard.views.size(), shard.scratch,
+                                 &shutdown);
+        std::size_t frame = 0;
+        for (const Shard::Source &src : shard.sources) {
+            const WireSpan &first = shard.scratch.spans[frame];
+            const WireSpan &last =
+                shard.scratch.spans[frame + src.frames - 1];
+            frame += src.frames;
+            Conn &c = connAt(shard, src.slot);
+            if (!c.inUse || c.gen != src.gen)
+                continue; // closed mid-cycle
+            sendOrPark(shard, src.slot,
+                       shard.scratch.wire.data() + first.offset,
+                       last.offset + last.length - first.offset);
+            if (c.inUse && c.gen == src.gen && c.eof) {
+                if (c.outPos == c.out.size())
+                    closeConn(shard, src.slot);
+                else
+                    c.closing = true;
+            }
+        }
+        shard.views.clear();
+        shard.sources.clear();
+        if (shutdown)
+            requestStop();
+    }
+    // Recycle closed slots only now: gathered views may have pointed
+    // into their frame buffers until the batch was dispatched.
+    for (const std::uint32_t slot : shard.deadSlots) {
+        Conn &c = connAt(shard, slot);
+        c.frames.reset();
+        c.out.clear();
+        c.outPos = 0;
+        c.wantWrite = false;
+        c.paused = false;
+        c.closing = false;
+        c.eof = false;
+        c.queuedRead = false;
+        c.lastRead = 0;
+        shard.freeSlots.push_back(slot);
+    }
+    shard.deadSlots.clear();
+}
+
+void
+Server::shardLoop(Shard &shard)
+{
+    std::array<epoll_event, 256> events;
+    while (!stopping_.load(std::memory_order_acquire)) {
+        const int timeout = shard.pendingReads.empty() ? -1 : 0;
+        const int n = ::epoll_wait(shard.epollFd, events.data(),
+                                   static_cast<int>(events.size()),
+                                   timeout);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        ++shard.cycle;
+
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t tag = events[i].data.u64;
+            const std::uint32_t ev = events[i].events;
+            if (tag == kListenTag) {
+                acceptReady(shard);
+                continue;
+            }
+            if (tag == kWakeTag) {
+                std::uint64_t v;
+                [[maybe_unused]] ssize_t r =
+                    ::read(shard.wakeFd, &v, sizeof(v));
+                continue;
+            }
+            const std::uint32_t slot =
+                static_cast<std::uint32_t>(tag & 0xffffffffu);
+            const std::uint32_t gen =
+                static_cast<std::uint32_t>(tag >> 32);
+            {
+                Conn &c = connAt(shard, slot);
+                if (!c.inUse || c.gen != gen)
+                    continue; // stale event for a recycled slot
+                if ((ev & EPOLLERR) != 0) {
+                    closeConn(shard, slot);
+                    continue;
+                }
+                if ((ev & EPOLLOUT) != 0)
+                    flushParked(shard, slot);
+            }
+            // flushParked may close; re-validate before reading.
+            Conn &c = connAt(shard, slot);
+            if (!c.inUse || c.gen != gen)
+                continue;
+            if ((ev & (EPOLLIN | EPOLLRDHUP | EPOLLHUP)) != 0 &&
+                !c.paused)
+                readReady(shard, slot);
+        }
+
+        // Budget-capped / just-unpaused connections from earlier
+        // cycles (edge-triggered epoll won't renotify for bytes
+        // that already arrived).
+        const std::size_t pending = shard.pendingReads.size();
+        for (std::size_t i = 0; i < pending; ++i) {
+            const std::uint32_t slot = shard.pendingReads[i];
+            Conn &c = connAt(shard, slot);
+            if (!c.inUse || c.paused) {
+                // Paused conns are re-queued by flushParked when the
+                // peer drains; dead ones are gone.
+                c.queuedRead = false;
+                continue;
+            }
+            if (c.lastRead == shard.cycle) {
+                // A fresh epoll event already read this conn in the
+                // current cycle (one feed per cycle, or the gathered
+                // views would dangle). Its leftover bytes still need
+                // a revisit: carry the entry to the next cycle
+                // instead of swallowing it — the peer may never send
+                // again, so no edge would come to save us.
+                shard.pendingReads.push_back(slot);
+                continue;
+            }
+            c.queuedRead = false;
+            readReady(shard, slot);
+        }
+        shard.pendingReads.erase(
+            shard.pendingReads.begin(),
+            shard.pendingReads.begin() +
+                static_cast<std::ptrdiff_t>(pending));
+
+        // Flat combining: everything every ready connection sent
+        // this cycle becomes ONE dispatcher batch.
+        dispatchCycle(shard);
+    }
+    drainAtExit(shard);
+}
+
+void
+Server::drainAtExit(Shard &shard)
+{
+    // Give parked responses (e.g. the shutdown acknowledgment) a
+    // bounded chance to reach their peers, then close everything.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(3);
+    for (auto &chunk : shard.chunks) {
+        for (Conn &c : *chunk) {
+            if (!c.inUse)
+                continue;
+            while (c.outPos < c.out.size()) {
+                const auto left =
+                    deadline - std::chrono::steady_clock::now();
+                if (left <= std::chrono::milliseconds(0))
+                    break;
+                pollfd p{c.fd, POLLOUT, 0};
+                const int ms = static_cast<int>(
+                    std::chrono::duration_cast<
+                        std::chrono::milliseconds>(left)
+                        .count());
+                const int r = ::poll(&p, 1, std::max(1, ms));
+                if (r < 0 && errno == EINTR)
+                    continue;
+                if (r <= 0)
+                    break;
+                const ssize_t n =
+                    ::send(c.fd, c.out.data() + c.outPos,
+                           c.out.size() - c.outPos, MSG_NOSIGNAL);
+                if (n > 0) {
+                    c.outPos += static_cast<std::size_t>(n);
+                    continue;
+                }
+                if (n < 0 &&
+                    (errno == EINTR || errno == EAGAIN ||
+                     errno == EWOULDBLOCK))
+                    continue;
+                break;
+            }
+            ::close(c.fd);
+            c.fd = -1;
+            c.inUse = false;
+            ++c.gen;
+        }
     }
 }
 

@@ -1,24 +1,47 @@
 /**
  * @file
- * The TCP front end of the prediction service.
+ * The TCP front end of the prediction service: a sharded,
+ * nonblocking epoll event loop.
  *
- * A plain BSD-socket loop: one accept thread, one thread per
- * connection, newline-delimited JSON frames reassembled by
- * `FrameBuffer` and executed by the shared `Dispatcher`. Binding to
- * port 0 picks an ephemeral port (reported by `port()`), which the
- * tests and the throughput bench rely on.
+ * `PCCS_SERVE_SHARDS` (or ServerOptions::shards) worker shards each
+ * run an independent epoll loop. The one listening socket is
+ * registered in every shard's epoll with EPOLLEXCLUSIVE, so the
+ * kernel spreads accepted connections across shards; a connection
+ * then lives on its shard for its whole life (no cross-shard
+ * handoff, no locks on the request path).
+ *
+ * Connections are slots in a per-shard slab (chunked, address-stable,
+ * O(1) alloc/free with a free list); each slot's FrameBuffer and
+ * output buffer keep their capacity across connections, so the
+ * steady-state request path — readiness, read, frame reassembly,
+ * dispatch, response write — allocates nothing. Each epoll drain
+ * cycle gathers every complete frame from every ready connection
+ * into ONE dispatcher batch (flat combining), so concurrent clients
+ * coalesce into single SoA model-kernel calls.
+ *
+ * Backpressure and robustness rules (DESIGN.md section 13):
+ *  - reads are edge-triggered with a per-cycle budget; connections
+ *    with possibly-more-data are revisited next cycle, so one
+ *    firehose client cannot starve the shard;
+ *  - a partial write parks the remainder in the connection's output
+ *    buffer and arms EPOLLOUT; once the parked output exceeds
+ *    ServerOptions::maxPendingWriteBytes, reads from that connection
+ *    pause until the peer drains — memory per connection is bounded
+ *    by the frame limit plus the output cap;
+ *  - oversized lines are discarded as they stream in (bounded input
+ *    buffer) and answered with one error frame.
  *
  * Shutdown is graceful and race-free: `requestStop()` is
- * async-signal-safe (a byte down a self-pipe), `serveForever()`
- * returns once stop is requested, and `stop()` closes the listener,
- * half-closes every connection (SHUT_RD), and joins — in-flight
- * requests finish and their responses are written before the
- * connection threads exit.
+ * async-signal-safe (an eventfd write per shard), `serveForever()`
+ * returns once stop is requested, and `stop()` finishes in-flight
+ * batches, flushes parked responses (with a deadline), closes every
+ * connection, and joins the shard threads.
  */
 
 #ifndef PCCS_SERVE_SERVER_HH
 #define PCCS_SERVE_SERVER_HH
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -42,6 +65,12 @@ struct ServerOptions
     /** Per-connection frame size limit, bytes. */
     std::size_t maxFrameBytes = 1 << 20;
     int backlog = 64;
+    /** Event-loop shards; 0 = $PCCS_SERVE_SHARDS, else the hardware
+     *  concurrency. */
+    unsigned shards = 0;
+    /** Parked-output cap per connection: beyond this, reads from the
+     *  (slow, pipelining) peer pause until it drains responses. */
+    std::size_t maxPendingWriteBytes = 4u << 20;
 };
 
 /** Newline-delimited-JSON-over-TCP server around a Dispatcher. */
@@ -55,7 +84,7 @@ class Server
     Server &operator=(const Server &) = delete;
 
     /**
-     * Bind, listen, and start accepting.
+     * Bind, listen, and start the shard event loops.
      * @return true on success; else false with a diagnostic in *error
      */
     bool start(std::string *error = nullptr);
@@ -73,7 +102,7 @@ class Server
     /** Block until requestStop(), then tear everything down. */
     void serveForever();
 
-    /** Stop accepting, drain connections, join all threads. */
+    /** Stop accepting, drain in-flight work, join all shards. */
     void stop();
 
     /** Connections accepted so far. */
@@ -82,28 +111,120 @@ class Server
         return connectionsAccepted_.load();
     }
 
-  private:
-    void acceptLoop();
-    void reapFinishedLocked();
+    /** The number of event-loop shards actually running. */
+    unsigned shardCount() const
+    {
+        return static_cast<unsigned>(shardCount_);
+    }
 
-    struct Connection
+  private:
+    /** One connection slot of a shard's slab. */
+    struct Conn
     {
         int fd = -1;
-        std::atomic<bool> done{false};
-        std::thread thread;
+        /** Bumped on close; stale epoll events carry the old one. */
+        std::uint32_t gen = 0;
+        bool inUse = false;
+        /** EPOLLOUT armed (output parked). */
+        bool wantWrite = false;
+        /** Reads paused: parked output exceeded the cap. */
+        bool paused = false;
+        /** Close once the parked output drains. */
+        bool closing = false;
+        /** Peer half-closed; finish responses, then close. */
+        bool eof = false;
+        /** Queued in pendingReads (dedup flag). */
+        bool queuedRead = false;
+        /** Last cycle this conn was drained (one read per cycle, so
+         *  a second feed can't invalidate already-gathered views). */
+        std::uint64_t lastRead = 0;
+        FrameBuffer frames;
+        /** Parked output: [outPos, out.size()) awaits the socket. */
+        std::string out;
+        std::size_t outPos = 0;
+
+        explicit Conn(std::size_t max_frame)
+            : frames(max_frame)
+        {
+        }
     };
+
+    /** Slab chunk size: slot i lives in chunks[i / 256][i % 256]. */
+    static constexpr std::size_t kChunk = 256;
+
+    /** One event loop: epoll instance, wake eventfd, connection
+     *  slab, and the per-cycle batch state. */
+    struct Shard
+    {
+        std::size_t index = 0;
+        int epollFd = -1;
+        int wakeFd = -1;
+        std::thread thread;
+
+        std::vector<std::unique_ptr<std::vector<Conn>>> chunks;
+        std::vector<std::uint32_t> freeSlots;
+
+        /** @name per-cycle state (capacity reused forever) @{ */
+        Dispatcher::Scratch scratch;
+        std::vector<FrameBuffer::View> views;
+        /** (slot, gen, frame count) per contributing connection. */
+        struct Source
+        {
+            std::uint32_t slot;
+            std::uint32_t gen;
+            std::uint32_t frames;
+        };
+        std::vector<Source> sources;
+        /** Budget-capped connections to re-read next cycle. */
+        std::vector<std::uint32_t> pendingReads;
+        /** Slots closed this cycle; recycled only after dispatch,
+         *  because gathered views may point into their buffers. */
+        std::vector<std::uint32_t> deadSlots;
+        /** Drain-cycle counter (pairs with Conn::lastRead). */
+        std::uint64_t cycle = 0;
+        /** @} */
+    };
+
+    void shardLoop(Shard &shard);
+    void acceptReady(Shard &shard);
+    Conn &connAt(Shard &shard, std::uint32_t slot);
+    std::uint32_t allocSlot(Shard &shard);
+    void closeConn(Shard &shard, std::uint32_t slot);
+    /** Read until EAGAIN or budget; gather complete frames. */
+    void readReady(Shard &shard, std::uint32_t slot);
+    /** Collect the slot's complete frames into the cycle batch.
+     *  @return how many frames this slot contributed */
+    std::uint32_t gatherFrames(Shard &shard, std::uint32_t slot);
+    /** Run the cycle's batch and route responses to their conns. */
+    void dispatchCycle(Shard &shard);
+    /** Write (direct first, then park + arm EPOLLOUT). */
+    void sendOrPark(Shard &shard, std::uint32_t slot,
+                    const char *data, std::size_t len);
+    /** Drain parked output; disarm/close/unpause as it empties. */
+    void flushParked(Shard &shard, std::uint32_t slot);
+    void updateInterest(Shard &shard, std::uint32_t slot);
+    void queueRead(Shard &shard, std::uint32_t slot);
+    /** Best-effort blocking flush of parked output at shutdown. */
+    void drainAtExit(Shard &shard);
 
     Dispatcher &dispatcher_;
     ServerOptions options_;
     int listenFd_ = -1;
-    int wakePipe_[2] = {-1, -1};
+    /** Self-pipe for serveForever(); written by requestStop(). */
+    int stopPipe_[2] = {-1, -1};
     std::uint16_t port_ = 0;
     std::atomic<bool> stopping_{false};
     std::atomic<std::uint64_t> connectionsAccepted_{0};
 
-    std::mutex connMutex_;
-    std::vector<std::unique_ptr<Connection>> connections_;
-    std::thread acceptThread_;
+    static constexpr std::size_t kMaxShards = 64;
+    std::size_t shardCount_ = 0;
+    /** Shard wake eventfds, fixed storage so requestStop() can walk
+     *  it from a signal handler. */
+    std::array<int, kMaxShards> wakeFds_{};
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    std::mutex stopMutex_;
+    bool stopped_ = false;
 };
 
 } // namespace pccs::serve

@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -247,6 +251,253 @@ TEST(ServeServer, StatsShutdownAndGracefulExit)
     std::thread waiter([&] { live.server.serveForever(); });
     waiter.join();
     EXPECT_TRUE(live.server.stopRequested());
+}
+
+TEST(ServeServer, FragmentedFramesAcrossArbitraryBoundaries)
+{
+    LiveServer live;
+    TcpClient client = live.connect();
+
+    // One frame dripped in byte-sized writes: the server must not
+    // answer until the newline lands, then answer exactly once.
+    const std::string frame = makePredict(42.0, 25.0, 7).dump() + "\n";
+    for (char c : frame)
+        ASSERT_TRUE(client.sendRaw(&c, 1));
+    auto line = client.recvLine();
+    ASSERT_TRUE(line.has_value());
+    const JsonParse one = parseJson(*line);
+    ASSERT_TRUE(one.ok()) << *line;
+    EXPECT_TRUE(one.value->find("ok")->asBool());
+    EXPECT_DOUBLE_EQ(one.value->find("id")->asNumber(), 7.0);
+
+    // Two frames split at an awkward boundary: the tail of the first
+    // and the head of the second arrive in the same write.
+    const std::string a = makePredict(10.0, 5.0, 1).dump() + "\n";
+    const std::string b = makePredict(20.0, 5.0, 2).dump() + "\n";
+    const std::string glued = a + b;
+    const std::size_t cut = a.size() - 4;
+    ASSERT_TRUE(client.sendRaw(glued.data(), cut));
+    ASSERT_TRUE(
+        client.sendRaw(glued.data() + cut, glued.size() - cut));
+    for (int id = 1; id <= 2; ++id) {
+        line = client.recvLine();
+        ASSERT_TRUE(line.has_value());
+        const JsonParse parsed = parseJson(*line);
+        ASSERT_TRUE(parsed.ok()) << *line;
+        EXPECT_TRUE(parsed.value->find("ok")->asBool());
+        EXPECT_DOUBLE_EQ(parsed.value->find("id")->asNumber(), id);
+    }
+}
+
+TEST(ServeServer, SlowReaderParksOutputAndRecovers)
+{
+    // A tiny parked-output cap plus a shrunken client receive window
+    // forces the whole backpressure path: partial send() parks the
+    // remainder, EPOLLOUT re-arms, reads pause at the cap and resume
+    // once the peer drains. Every response must still arrive, in
+    // order, byte-intact.
+    ModelRegistry registry;
+    Metrics metrics;
+    Dispatcher dispatcher{registry, metrics};
+    ServerOptions opts;
+    opts.maxPendingWriteBytes = 32u << 10;
+    Server server{dispatcher, opts};
+    registry.addFromParams("m", sampleParams(), "test");
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    TcpClient client;
+    ASSERT_TRUE(client.connectTo("127.0.0.1", server.port(), &error))
+        << error;
+    const int rcvbuf = 4096;
+    ::setsockopt(client.fd(), SOL_SOCKET, SO_RCVBUF, &rcvbuf,
+                 sizeof(rcvbuf));
+
+    // ~250 KiB of responses against a 32 KiB cap and a 4 KiB peer
+    // window: parking is certain, and the delayed-ACK-throttled
+    // drain (~100 KiB/s) keeps the test a few seconds, not minutes.
+    constexpr int kCount = 1200;
+    std::string all;
+    for (int i = 0; i < kCount; ++i)
+        all += makePredict(5.0 + i % 130, 25.0, i).dump() + "\n";
+
+    // Writer and reader must overlap: once the server hits the cap it
+    // stops reading until responses drain, so a send-everything-first
+    // client would deadlock against itself.
+    std::thread writer([&] {
+        EXPECT_TRUE(client.sendRaw(all.data(), all.size()));
+    });
+    for (int i = 0; i < kCount; ++i) {
+        const auto line = client.recvLine();
+        ASSERT_TRUE(line.has_value()) << "eof after " << i;
+        const JsonParse parsed = parseJson(*line);
+        ASSERT_TRUE(parsed.ok()) << *line;
+        ASSERT_TRUE(parsed.value->find("ok")->asBool()) << *line;
+        ASSERT_DOUBLE_EQ(parsed.value->find("id")->asNumber(), i);
+    }
+    writer.join();
+    server.stop();
+}
+
+TEST(ServeServer, OversizedLineDiscardedAcrossManyReads)
+{
+    LiveServer live;
+    TcpClient client = live.connect();
+
+    // 2.5 MiB of garbage (limit: 1 MiB) dripped in 64 KiB chunks, so
+    // the server crosses into discard mode mid-line and has to keep
+    // discarding across multiple edge-triggered read cycles.
+    const std::string chunk(64u << 10, 'x');
+    for (int i = 0; i < 40; ++i)
+        ASSERT_TRUE(client.sendRaw(chunk.data(), chunk.size()));
+    ASSERT_TRUE(client.sendRaw("\n", 1));
+
+    auto line = client.recvLine();
+    ASSERT_TRUE(line.has_value());
+    const JsonParse rejected = parseJson(*line);
+    ASSERT_TRUE(rejected.ok()) << *line;
+    EXPECT_FALSE(rejected.value->find("ok")->asBool());
+    EXPECT_NE(rejected.value->find("error")->asString().find(
+                  "size limit"),
+              std::string::npos);
+
+    // The connection survives and the framing is back in sync.
+    const Json resp = client.request(makePredict(20.0, 10.0, 3));
+    EXPECT_TRUE(resp.find("ok")->asBool()) << resp.dump();
+}
+
+TEST(ServeServer, HotReloadUnderConcurrentLoad)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "pccs_serve_e2e_reload_load.model")
+            .string();
+    model::saveParams(sampleParams(), path);
+
+    LiveServer live;
+    ASSERT_EQ(live.registry.addFromFile("disk", path), "");
+
+    constexpr int kWorkers = 3, kRequests = 200, kReloads = 10;
+    std::vector<std::thread> workers;
+    std::vector<int> bad(kWorkers, 0);
+    for (int w = 0; w < kWorkers; ++w) {
+        workers.emplace_back([&, w] {
+            TcpClient client;
+            if (!client.connectTo("127.0.0.1", live.server.port())) {
+                bad[w] = kRequests;
+                return;
+            }
+            for (int i = 0; i < kRequests; ++i) {
+                Json req = makePredict(5.0 + i % 130, 25.0, i);
+                req.set("model", "disk");
+                const Json resp = client.request(req);
+                const Json *ok = resp.find("ok");
+                if (ok == nullptr || !ok->asBool()) {
+                    ++bad[w];
+                    continue;
+                }
+                const double version =
+                    resp.find("result")->find("version")->asNumber();
+                if (version < 1.0 || version > kReloads + 1.0)
+                    ++bad[w];
+            }
+        });
+    }
+
+    TcpClient admin = live.connect();
+    for (int r = 0; r < kReloads; ++r) {
+        model::PccsParams changed = sampleParams();
+        changed.cbp = 45.3 + r;
+        model::saveParams(changed, path);
+        Json reload = Json::object();
+        reload.set("op", "reload");
+        reload.set("model", "disk");
+        const Json resp = admin.request(reload);
+        ASSERT_TRUE(resp.find("ok")->asBool()) << resp.dump();
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    for (auto &t : workers)
+        t.join();
+    for (int w = 0; w < kWorkers; ++w)
+        EXPECT_EQ(bad[w], 0) << "worker " << w;
+    std::remove(path.c_str());
+}
+
+TEST(ServeServer, ConnectionChurnReusesSlots)
+{
+    LiveServer live;
+    // Far more connections than one slab chunk (256): slots must be
+    // recycled through the free list with their generation bumped, so
+    // stale epoll events can't reach a reused connection.
+    constexpr int kChurn = 300;
+    for (int i = 0; i < kChurn; ++i) {
+        TcpClient client = live.connect();
+        const Json resp =
+            client.request(makePredict(5.0 + i % 130, 25.0, i));
+        ASSERT_TRUE(resp.find("ok")->asBool()) << resp.dump();
+        ASSERT_DOUBLE_EQ(resp.find("id")->asNumber(), i);
+    }
+    EXPECT_GE(live.server.connectionsAccepted(),
+              static_cast<std::uint64_t>(kChurn));
+}
+
+TEST(ServeServer, ShardCountFromOptionsAndEnvironment)
+{
+    ModelRegistry registry;
+    registry.addFromParams("m", sampleParams(), "test");
+    Metrics metrics;
+    Dispatcher dispatcher{registry, metrics};
+
+    {
+        ServerOptions opts;
+        opts.shards = 4;
+        Server server{dispatcher, opts};
+        std::string error;
+        ASSERT_TRUE(server.start(&error)) << error;
+        EXPECT_EQ(server.shardCount(), 4u);
+
+        // All shards accept from the same listener; a burst of
+        // clients spread across them still gets correct answers.
+        const model::PccsModel reference(sampleParams());
+        std::vector<std::thread> threads;
+        std::vector<int> bad(8, 0);
+        for (int c = 0; c < 8; ++c) {
+            threads.emplace_back([&, c] {
+                TcpClient client;
+                if (!client.connectTo("127.0.0.1", server.port())) {
+                    bad[c] = 1;
+                    return;
+                }
+                for (int i = 0; i < 25; ++i) {
+                    const double x = 5.0 + (c * 25 + i) % 130;
+                    const Json resp =
+                        client.request(makePredict(x, 25.0, i));
+                    const Json *ok = resp.find("ok");
+                    if (ok == nullptr || !ok->asBool() ||
+                        resp.find("result")
+                                ->find("relativeSpeed")
+                                ->asNumber() !=
+                            reference.relativeSpeed(x, 25.0))
+                        ++bad[c];
+                }
+            });
+        }
+        for (auto &t : threads)
+            t.join();
+        for (int c = 0; c < 8; ++c)
+            EXPECT_EQ(bad[c], 0) << "client " << c;
+        server.stop();
+    }
+
+    {
+        ::setenv("PCCS_SERVE_SHARDS", "3", 1);
+        Server server{dispatcher};
+        std::string error;
+        ASSERT_TRUE(server.start(&error)) << error;
+        EXPECT_EQ(server.shardCount(), 3u);
+        server.stop();
+        ::unsetenv("PCCS_SERVE_SHARDS");
+    }
 }
 
 } // namespace

@@ -18,10 +18,12 @@
  *   sweep --soc S --pu P --bench NAME [--max-external Y] [--steps N]
  *       Sweep a kernel under external pressure through the parallel
  *       sweep engine and write JSON/CSV artifacts.
- *   serve [--host H] [--port N] [--model NAME=FILE,...]
- *         [--calibrate SOC:PU,...]
+ *   serve [--host H] [--port N] [--shards N]
+ *         [--model NAME=FILE,...] [--calibrate SOC:PU,...]
  *       Run the prediction service: newline-delimited JSON over TCP
- *       (see DESIGN.md section 9).
+ *       (see DESIGN.md sections 9 and 13). --shards (or
+ *       PCCS_SERVE_SHARDS) sets the event-loop shard count;
+ *       default = hardware concurrency.
  *   client --port N [--host H] (--send JSON | --op OP [fields])
  *       Send one request to a running service and print the response.
  *
@@ -458,6 +460,9 @@ cmdServe(const ArgMap &args)
     if (args.count("port"))
         opts.port =
             static_cast<std::uint16_t>(requireDouble(args, "port"));
+    if (args.count("shards"))
+        opts.shards =
+            static_cast<unsigned>(requireDouble(args, "shards"));
 
     serve::Server server(dispatcher, opts);
     std::string err;
@@ -645,7 +650,7 @@ usage(std::FILE *to)
         "  pccs sweep     --soc S --pu P --bench NAME "
         "[--max-external Y]\n"
         "                 [--steps N] [--out DIR]\n"
-        "  pccs serve     [--host H] [--port N] "
+        "  pccs serve     [--host H] [--port N] [--shards N] "
         "[--model NAME=FILE,...]\n"
         "                 [--calibrate SOC:PU,...]\n"
         "  pccs client    --port N [--host H] (--send JSON | --op OP "
