@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Throughput and quality of the QoS scheduler (src/sched/).
+ *
+ * Two measurements:
+ *
+ *  1. decision throughput: admission decisions per second on the
+ *     steady-state batched path — interned kernel classes, warm
+ *     frequency grids, no event recording — driven by a pinned
+ *     submit/submit/complete/complete loop across the Xavier-like
+ *     GPU and CPU. The floor the CI smoke job enforces lives here.
+ *
+ *  2. SLO attainment vs load: a pinned random arrival/departure
+ *     process at increasing arrival intensities, under both strict
+ *     and best-effort admission. Every accepted schedule is replayed
+ *     through the SoC simulator oracle; the curve records admission
+ *     rate and *simulated* SLO attainment per (load, policy) point —
+ *     the closed-loop story: strict trades admissions for a flat
+ *     100% attainment line, best-effort admits more and lets
+ *     attainment sag as load grows.
+ *
+ * Flags: --seconds S (phase-1 measurement window, default 2),
+ * --events N (phase-2 events per curve point, default 400),
+ * --min-throughput N (fail unless phase 1 reaches N decisions/s),
+ * --smoke (shrink both phases for CI), --json PATH / --json=PATH
+ * (snapshot, default BENCH_sched.json).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "sched/oracle.hh"
+#include "sched/qos.hh"
+#include "serve/json.hh"
+#include "soc/soc_config.hh"
+#include "workloads/rodinia.hh"
+
+using namespace pccs;
+using serve::Json;
+
+namespace {
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** A memory-bound kernel for the hot decision loop. */
+soc::KernelProfile
+memBound(const char *name, double intensity)
+{
+    soc::KernelProfile k{name};
+    k.intensity = intensity;
+    k.locality = 0.9;
+    return k;
+}
+
+/** Phase 1: steady-state decisions per second (no event log). */
+struct ThroughputResult
+{
+    double decisionsPerSecond = 0.0;
+    std::uint64_t decisions = 0;
+    std::uint64_t modelPoints = 0;
+};
+
+ThroughputResult
+measureDecisions(const soc::SocConfig &soc, double seconds)
+{
+    sched::SchedOptions opts;
+    opts.recordEvents = false;
+    sched::QosController ctl(soc, nullptr, opts);
+
+    const int gpu = soc.puIndex(soc::PuKind::Gpu);
+    const int cpu = soc.puIndex(soc::PuKind::Cpu);
+
+    sched::JobRequest on_gpu;
+    on_gpu.kernel = memBound("stream-a", 0.01);
+    on_gpu.sloSlowdown = 2.0;
+    on_gpu.puIndex = gpu;
+    sched::JobRequest on_cpu;
+    on_cpu.kernel = memBound("stream-b", 0.02);
+    on_cpu.sloSlowdown = 2.0;
+    on_cpu.puIndex = cpu;
+
+    // Warm the kernel-class grids so the timed loop measures the
+    // steady-state batched path, not the one-time simulator sweeps.
+    ctl.complete(ctl.submit(on_gpu).handle);
+    ctl.complete(ctl.submit(on_cpu).handle);
+    const std::uint64_t warm = ctl.stats().decisions;
+
+    const double t0 = nowSeconds();
+    double t1 = t0;
+    do {
+        for (int i = 0; i < 64; ++i) {
+            const sched::Decision a = ctl.submit(on_gpu);
+            const sched::Decision b = ctl.submit(on_cpu);
+            ctl.complete(a.handle);
+            ctl.complete(b.handle);
+        }
+        t1 = nowSeconds();
+    } while (t1 - t0 < seconds);
+
+    ThroughputResult r;
+    r.decisions = ctl.stats().decisions - warm;
+    r.modelPoints = ctl.stats().modelPoints;
+    r.decisionsPerSecond =
+        t1 > t0 ? static_cast<double>(r.decisions) / (t1 - t0) : 0.0;
+    return r;
+}
+
+/** One point of the phase-2 curve. */
+struct LoadPoint
+{
+    double load = 0.0;
+    const char *policy = "";
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    double admissionRate = 0.0;
+    sched::OracleReport oracle;
+};
+
+/**
+ * Pinned random arrival/departure process: each step submits (with
+ * probability `load`) a random Rodinia benchmark with a random SLO,
+ * or completes a random resident. Same seed per (load, policy) pair,
+ * so the two policies face the identical arrival stream.
+ */
+LoadPoint
+measureLoad(const soc::SocConfig &soc, double load,
+            sched::AdmissionPolicy policy, std::size_t events)
+{
+    sched::SchedOptions opts;
+    opts.policy = policy;
+    opts.safetyMargin = 0.1;
+    opts.maxQueued = 8;
+    sched::QosController ctl(soc, nullptr, opts);
+
+    const std::vector<std::string> benches =
+        workloads::gpuBenchmarks();
+    std::vector<sched::JobHandle> live;
+    Rng rng(0xC0FFEEull + static_cast<std::uint64_t>(load * 1000.0));
+
+    const auto submitOne = [&]() {
+        sched::JobRequest req;
+        const std::string &bench = benches[rng.below(benches.size())];
+        req.name = bench;
+        req.sloSlowdown = 1.1 + rng.uniform() * 0.9;
+        for (const soc::PuParams &pu : soc.pus) {
+            if (pu.kind == soc::PuKind::Dla)
+                req.options.emplace_back(std::nullopt);
+            else
+                req.options.emplace_back(
+                    workloads::rodiniaKernel(bench, pu.kind));
+        }
+        const sched::Decision d = ctl.submit(req);
+        if (d.kind == sched::DecisionKind::Admitted)
+            live.push_back(d.handle);
+    };
+    const auto completeOne = [&]() {
+        if (live.empty())
+            return;
+        const std::size_t i = live.size() > 1
+                                  ? static_cast<std::size_t>(
+                                        rng.below(live.size()))
+                                  : 0;
+        const sched::Completion c = ctl.complete(live[i]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+        for (const sched::Decision &d : c.promoted)
+            live.push_back(d.handle);
+    };
+
+    for (std::size_t e = 0; e < events; ++e) {
+        if (live.empty() || rng.chance(load))
+            submitOne();
+        else
+            completeOne();
+    }
+    while (!live.empty())
+        completeOne();
+
+    LoadPoint p;
+    p.load = load;
+    p.policy = sched::admissionPolicyName(policy);
+    p.submitted = ctl.stats().submitted;
+    p.admitted = ctl.stats().admitted;
+    p.rejected = ctl.stats().rejected;
+    p.admissionRate =
+        p.submitted > 0
+            ? static_cast<double>(p.admitted) /
+                  static_cast<double>(p.submitted)
+            : 0.0;
+    p.oracle = sched::validateSchedule(soc, ctl.events());
+    return p;
+}
+
+Json
+loadPointJson(const LoadPoint &p)
+{
+    Json j = Json::object();
+    j.set("load", p.load);
+    j.set("policy", p.policy);
+    j.set("submitted", p.submitted);
+    j.set("admitted", p.admitted);
+    j.set("rejected", p.rejected);
+    j.set("admissionRate", p.admissionRate);
+    Json o = Json::object();
+    o.set("jobsChecked", p.oracle.jobsChecked);
+    o.set("checks", p.oracle.checks);
+    o.set("violations", p.oracle.violations);
+    o.set("attainment", p.oracle.attainment());
+    o.set("worstExcess", p.oracle.worstExcess);
+    j.set("oracle", std::move(o));
+    return j;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double seconds = 2.0;
+    std::size_t events = 400;
+    double min_throughput = 0.0;
+    bool smoke = false;
+    std::string json_path = "BENCH_sched.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("flag %s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--seconds")
+            seconds = std::atof(value().c_str());
+        else if (arg == "--events")
+            events = static_cast<std::size_t>(
+                std::atoll(value().c_str()));
+        else if (arg == "--min-throughput")
+            min_throughput = std::atof(value().c_str());
+        else if (arg == "--smoke")
+            smoke = true;
+        else if (arg == "--json")
+            json_path = value();
+        else if (arg.rfind("--json=", 0) == 0)
+            json_path = arg.substr(7);
+        else
+            fatal("unknown flag '%s'", arg.c_str());
+    }
+    if (smoke) {
+        seconds = std::min(seconds, 0.2);
+        events = std::min<std::size_t>(events, 60);
+    }
+    if (seconds <= 0.0 || events == 0)
+        fatal("--seconds and --events must be > 0");
+
+    const soc::SocConfig soc = soc::xavierLike();
+
+    const ThroughputResult tp = measureDecisions(soc, seconds);
+    std::printf("sched_throughput: %.2f M decisions/s "
+                "(%llu decisions, %llu model points, %.1fs window)\n",
+                tp.decisionsPerSecond / 1e6,
+                static_cast<unsigned long long>(tp.decisions),
+                static_cast<unsigned long long>(tp.modelPoints),
+                seconds);
+
+    const std::vector<double> loads =
+        smoke ? std::vector<double>{0.5, 0.9}
+              : std::vector<double>{0.3, 0.5, 0.7, 0.8, 0.9, 0.97};
+    std::vector<LoadPoint> curve;
+    std::printf("\n%-12s %-6s %-10s %-10s %-11s %s\n", "policy",
+                "load", "admitted", "rejected", "attainment",
+                "worst excess");
+    for (const sched::AdmissionPolicy policy :
+         {sched::AdmissionPolicy::StrictSlo,
+          sched::AdmissionPolicy::BestEffort}) {
+        for (const double load : loads) {
+            curve.push_back(measureLoad(soc, load, policy, events));
+            const LoadPoint &p = curve.back();
+            std::printf("%-12s %-6.2f %4llu/%-5llu %-10llu "
+                        "%-11.3f %+.1f%%\n",
+                        p.policy, p.load,
+                        static_cast<unsigned long long>(p.admitted),
+                        static_cast<unsigned long long>(p.submitted),
+                        static_cast<unsigned long long>(p.rejected),
+                        p.oracle.attainment(),
+                        100.0 * p.oracle.worstExcess);
+        }
+    }
+
+    // The closed loop's promise: strict admission keeps every
+    // simulated interval inside the SLOs at any load.
+    for (const LoadPoint &p : curve) {
+        if (std::string(p.policy) == "strict" &&
+            p.oracle.violations > 0)
+            fatal("strict policy violated %zu SLO(s) at load %.2f",
+                  p.oracle.violations, p.load);
+    }
+
+    Json out = Json::object();
+    out.set("benchmark", "sched_throughput");
+    out.set("smoke", smoke);
+    out.set("seconds", seconds);
+    out.set("eventsPerPoint", events);
+    out.set("decisionsPerSecond", tp.decisionsPerSecond);
+    out.set("decisions", tp.decisions);
+    Json slo_curve = Json::array();
+    for (const LoadPoint &p : curve)
+        slo_curve.push(loadPointJson(p));
+    out.set("sloCurve", std::move(slo_curve));
+    if (std::FILE *f = std::fopen(json_path.c_str(), "w")) {
+        const std::string text = out.dump();
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("artifact: %s\n", json_path.c_str());
+    } else {
+        fatal("cannot write %s", json_path.c_str());
+    }
+
+    if (min_throughput > 0.0 &&
+        tp.decisionsPerSecond < min_throughput) {
+        std::fprintf(stderr,
+                     "FAIL: %.0f decisions/s below the %.0f floor\n",
+                     tp.decisionsPerSecond, min_throughput);
+        return 1;
+    }
+    return 0;
+}

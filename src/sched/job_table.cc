@@ -1,0 +1,84 @@
+#include "job_table.hh"
+
+namespace pccs::sched {
+
+JobTable::Slot *
+JobTable::slotFor(JobHandle handle)
+{
+    const std::uint32_t index =
+        static_cast<std::uint32_t>(handle & 0xffffffffu);
+    const std::uint32_t gen =
+        static_cast<std::uint32_t>(handle >> 32);
+    if (gen == 0)
+        return nullptr;
+    const std::size_t chunk = index / kChunk;
+    if (chunk >= chunks_.size())
+        return nullptr;
+    Slot &slot = (*chunks_[chunk])[index % kChunk];
+    if (!slot.inUse || slot.gen != gen)
+        return nullptr;
+    return &slot;
+}
+
+const JobTable::Slot *
+JobTable::slotFor(JobHandle handle) const
+{
+    return const_cast<JobTable *>(this)->slotFor(handle);
+}
+
+JobHandle
+JobTable::acquire()
+{
+    if (freeSlots_.empty()) {
+        const std::uint32_t base =
+            static_cast<std::uint32_t>(chunks_.size() * kChunk);
+        chunks_.push_back(
+            std::make_unique<std::array<Slot, kChunk>>());
+        auto &chunk = *chunks_.back();
+        for (std::size_t i = kChunk; i-- > 0;) {
+            chunk[i].index = base + static_cast<std::uint32_t>(i);
+            freeSlots_.push_back(chunk[i].index);
+        }
+    }
+    const std::uint32_t index = freeSlots_.back();
+    freeSlots_.pop_back();
+    Slot &slot = (*chunks_[index / kChunk])[index % kChunk];
+    // Generation 0 is reserved for the null handle; skip it on wrap.
+    if (++slot.gen == 0)
+        ++slot.gen;
+    slot.inUse = true;
+    ++live_;
+    return makeHandle(slot.gen, index);
+}
+
+Job *
+JobTable::get(JobHandle handle)
+{
+    Slot *slot = slotFor(handle);
+    return slot != nullptr ? &slot->job : nullptr;
+}
+
+const Job *
+JobTable::get(JobHandle handle) const
+{
+    const Slot *slot = slotFor(handle);
+    return slot != nullptr ? &slot->job : nullptr;
+}
+
+bool
+JobTable::release(JobHandle handle)
+{
+    Slot *slot = slotFor(handle);
+    if (slot == nullptr)
+        return false;
+    slot->inUse = false;
+    // Bump now, not on reuse: every copy of the handle goes stale the
+    // moment the job completes.
+    if (++slot->gen == 0)
+        ++slot->gen;
+    freeSlots_.push_back(slot->index);
+    --live_;
+    return true;
+}
+
+} // namespace pccs::sched

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The job table of the QoS scheduler: an arena-backed slab of resident
+ * jobs addressed by generation-tagged handles.
+ *
+ * The design mirrors the serve event loop's connection slab (DESIGN.md
+ * section 13): jobs live in chunked, address-stable storage (no
+ * reallocation ever moves a live job), freed slots are recycled
+ * through a free list, and every recycle bumps the slot's generation
+ * so a stale handle — a client completing the same job twice, or
+ * completing a job whose slot was reused — fails the lookup instead
+ * of silently touching another job. A handle packs
+ * `(generation << 32) | slot`; generation 0 is never issued, so the
+ * zero handle is a universal "no job" sentinel.
+ */
+
+#ifndef PCCS_SCHED_JOB_TABLE_HH
+#define PCCS_SCHED_JOB_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "soc/kernel.hh"
+
+namespace pccs::sched {
+
+/** Generation-tagged job reference: (generation << 32) | slot. */
+using JobHandle = std::uint64_t;
+
+/** The never-issued handle (generation 0): "no job". */
+inline constexpr JobHandle kNoJob = 0;
+
+/** One admitted job resident on a PU of the managed SoC. */
+struct Job
+{
+    /** Client-supplied label (diagnostics only). */
+    std::string name;
+    /** Kernel-class index in the controller's class table. */
+    std::size_t classId = 0;
+    /** The kernel actually running (resolved for the assigned PU). */
+    soc::KernelProfile kernel;
+
+    /** Assigned PU (index into SocConfig::pus). */
+    std::size_t puIndex = 0;
+    /** Index of the selected frequency in the PU's grid. */
+    std::size_t freqIndex = 0;
+    /** Selected clock, MHz. */
+    MHz frequencyMhz = 0.0;
+
+    /** Standalone bandwidth demand at the selected clock, GB/s. */
+    GBps demand = 0.0;
+    /** Standalone execution rate at the selected clock, bytes/s. */
+    double rate = 0.0;
+    /** Standalone rate at the full clock (the SLO reference). */
+    double fullRate = 0.0;
+
+    /** Admitted slowdown budget (>= 1) vs the full-clock standalone. */
+    double sloSlowdown = 1.0;
+    /** Optional completion deadline, seconds (0 = none). */
+    double deadlineSeconds = 0.0;
+    /** Latest PCCS-predicted slowdown under the current co-run set. */
+    double predictedSlowdown = 1.0;
+
+    /** Admission sequence number (keys the oracle event log). */
+    std::uint64_t seq = 0;
+};
+
+/**
+ * Chunked, generation-tagged storage of resident jobs. Not
+ * thread-safe by itself — the controller (or the serve dispatcher's
+ * per-SoC mutex) serializes access, exactly like the per-shard
+ * connection slab.
+ */
+class JobTable
+{
+  public:
+    /** Slots per chunk (matches the serve connection slab). */
+    static constexpr std::size_t kChunk = 256;
+
+    /**
+     * Claim a slot and return its handle. The slot's Job keeps its
+     * capacity from previous occupants (strings and vectors are
+     * reused, not reallocated), so callers must overwrite every field
+     * they care about.
+     */
+    JobHandle acquire();
+
+    /** @return the live job behind `handle`, or nullptr when stale. */
+    Job *get(JobHandle handle);
+    const Job *get(JobHandle handle) const;
+
+    /**
+     * Release a live job's slot back to the free list, bumping its
+     * generation so the handle (and any copy of it) goes stale.
+     * @return false when the handle was already stale
+     */
+    bool release(JobHandle handle);
+
+    /** Live (resident) jobs. */
+    std::size_t size() const { return live_; }
+
+    /** Slots ever allocated (capacity high-water mark). */
+    std::size_t capacity() const { return chunks_.size() * kChunk; }
+
+    /** Visit every live job in slot order. */
+    template <typename Fn> void forEach(Fn &&fn) const
+    {
+        for (const auto &chunk : chunks_) {
+            for (const Slot &slot : *chunk) {
+                if (slot.inUse)
+                    fn(makeHandle(slot.gen, slot.index), slot.job);
+            }
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        Job job;
+        std::uint32_t gen = 0;
+        std::uint32_t index = 0;
+        bool inUse = false;
+    };
+
+    static JobHandle makeHandle(std::uint32_t gen, std::uint32_t slot)
+    {
+        return (static_cast<JobHandle>(gen) << 32) | slot;
+    }
+
+    Slot *slotFor(JobHandle handle);
+    const Slot *slotFor(JobHandle handle) const;
+
+    /** Address-stable storage: chunks never move once allocated. */
+    std::vector<std::unique_ptr<std::array<Slot, kChunk>>> chunks_;
+    std::vector<std::uint32_t> freeSlots_;
+    std::size_t live_ = 0;
+};
+
+} // namespace pccs::sched
+
+#endif // PCCS_SCHED_JOB_TABLE_HH

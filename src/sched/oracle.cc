@@ -1,0 +1,113 @@
+#include "oracle.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "soc/exec_model.hh"
+
+namespace pccs::sched {
+
+namespace {
+
+/** One resident job as the oracle sees it (model-recomputed). */
+struct Resident
+{
+    std::uint64_t seq = 0;
+    std::size_t puIndex = 0;
+    soc::PuParams pu;
+    soc::KernelProfile kernel;
+    GBps demand = 0.0;
+    double rate = 0.0;
+    double fullRate = 0.0;
+    double sloSlowdown = 1.0;
+    bool violated = false;
+};
+
+} // namespace
+
+OracleReport
+validateSchedule(const soc::SocConfig &config,
+                 std::span<const SchedEvent> events,
+                 const OracleOptions &options)
+{
+    const soc::ExecutionModel model(config.memory);
+    OracleReport report;
+
+    std::vector<Resident> residents;
+    // A job can violate in any of several intervals; remember which
+    // seqs already violated so each job counts once.
+    std::unordered_map<std::uint64_t, bool> violated;
+
+    std::vector<soc::BandwidthDemand> externals;
+    const auto evaluateInterval = [&]() {
+        if (residents.empty())
+            return;
+        // Even a lone resident is checked: the clock the controller
+        // assigned already costs fullRate / rate of slowdown.
+        ++report.intervals;
+        for (Resident &r : residents) {
+            externals.clear();
+            for (const Resident &other : residents) {
+                if (other.seq == r.seq)
+                    continue;
+                externals.push_back(soc::BandwidthDemand{
+                    other.demand, other.kernel.locality,
+                    other.pu.fairShareWeight});
+            }
+            const double rs =
+                model.relativeSpeed(r.pu, r.kernel, externals);
+            const double perf = r.rate * rs / 100.0;
+            const double slow = perf > 0.0 ? r.fullRate / perf : 1e300;
+            ++report.checks;
+            const double excess =
+                (slow - r.sloSlowdown) / r.sloSlowdown;
+            report.worstExcess = std::max(report.worstExcess, excess);
+            if (slow > r.sloSlowdown * (1.0 + options.tolerance)) {
+                r.violated = true;
+                violated[r.seq] = true;
+            }
+        }
+    };
+
+    for (const SchedEvent &ev : events) {
+        if (ev.kind == SchedEvent::Kind::Admit) {
+            PCCS_ASSERT(ev.puIndex < config.pus.size(),
+                        "event PU index %zu out of range", ev.puIndex);
+            Resident r;
+            r.seq = ev.seq;
+            r.puIndex = ev.puIndex;
+            r.pu = config.pus[ev.puIndex].atFrequency(ev.frequencyMhz);
+            r.kernel = ev.kernel;
+            // Recompute every standalone quantity from the execution
+            // model: the report must not trust controller numbers.
+            const soc::StandaloneProfile solo =
+                model.standalone(r.pu, r.kernel);
+            const soc::StandaloneProfile full = model.standalone(
+                config.pus[ev.puIndex], r.kernel);
+            r.demand = solo.bandwidthDemand;
+            r.rate = solo.rate;
+            r.fullRate = full.rate;
+            r.sloSlowdown = ev.sloSlowdown;
+            residents.push_back(std::move(r));
+            ++report.jobsChecked;
+            violated.emplace(ev.seq, false);
+        } else {
+            const auto it = std::find_if(
+                residents.begin(), residents.end(),
+                [&](const Resident &r) { return r.seq == ev.seq; });
+            PCCS_ASSERT(it != residents.end(),
+                        "complete event for unknown seq %llu",
+                        static_cast<unsigned long long>(ev.seq));
+            residents.erase(it);
+        }
+        evaluateInterval();
+    }
+
+    for (const auto &[seq, bad] : violated)
+        report.violations += bad ? 1 : 0;
+    return report;
+}
+
+} // namespace pccs::sched

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Oracle validation of accepted schedules: replay a controller's
+ * admit/complete event log through the SoC execution model — the same
+ * ground truth the paper scores PCCS against — and measure how often
+ * the admitted jobs' *simulated* slowdowns actually meet their SLOs.
+ *
+ * The co-run set is piecewise constant between events, so the replay
+ * walks the log, maintains the resident set, and after every change
+ * evaluates each resident's achieved relative speed under the other
+ * residents' bandwidth demands via `ExecutionModel::relativeSpeed`.
+ * All standalone quantities (demand, rate at the assigned clock, rate
+ * at the full clock) are recomputed from the execution model, not
+ * trusted from the controller, so the report is an independent check
+ * of the whole prediction chain.
+ */
+
+#ifndef PCCS_SCHED_ORACLE_HH
+#define PCCS_SCHED_ORACLE_HH
+
+#include <cstddef>
+#include <span>
+
+#include "sched/qos.hh"
+#include "soc/soc_config.hh"
+
+namespace pccs::sched {
+
+/** Knobs of the oracle replay. */
+struct OracleOptions
+{
+    /**
+     * Relative headroom on the SLO comparison: a job violates only
+     * when its simulated slowdown exceeds slo * (1 + tolerance).
+     * Zero demands exact attainment.
+     */
+    double tolerance = 0.0;
+};
+
+/** Outcome of replaying one schedule. */
+struct OracleReport
+{
+    /** Distinct co-run intervals evaluated. */
+    std::size_t intervals = 0;
+    /** Admitted jobs replayed. */
+    std::size_t jobsChecked = 0;
+    /** Per-(interval, resident) slowdown evaluations. */
+    std::size_t checks = 0;
+    /** Jobs whose simulated slowdown broke their SLO in any interval. */
+    std::size_t violations = 0;
+    /** Largest relative SLO excess seen, (slow - slo) / slo; >= 0. */
+    double worstExcess = 0.0;
+
+    /** Fraction of admitted jobs that met their SLO throughout. */
+    double attainment() const
+    {
+        return jobsChecked == 0
+                   ? 1.0
+                   : 1.0 - static_cast<double>(violations) /
+                               static_cast<double>(jobsChecked);
+    }
+};
+
+/**
+ * Replay `events` (a QosController's log, in order) on `config`'s
+ * execution model and score SLO attainment.
+ */
+OracleReport validateSchedule(const soc::SocConfig &config,
+                              std::span<const SchedEvent> events,
+                              const OracleOptions &options = {});
+
+} // namespace pccs::sched
+
+#endif // PCCS_SCHED_ORACLE_HH

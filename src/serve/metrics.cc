@@ -110,6 +110,8 @@ endpointOpFromName(std::string_view op)
       case 'c':
         if (op == "corun")
             return EndpointOp::Corun;
+        if (op == "complete")
+            return EndpointOp::Complete;
         break;
       case 'e':
         if (op == "explore")
@@ -124,6 +126,10 @@ endpointOpFromName(std::string_view op)
             return EndpointOp::Stats;
         if (op == "shutdown")
             return EndpointOp::Shutdown;
+        if (op == "schedule")
+            return EndpointOp::Schedule;
+        if (op == "sched_stats")
+            return EndpointOp::SchedStats;
         break;
       case 'h':
         if (op == "health")
@@ -159,6 +165,12 @@ endpointOpName(EndpointOp op)
         return "health";
       case EndpointOp::Shutdown:
         return "shutdown";
+      case EndpointOp::Schedule:
+        return "schedule";
+      case EndpointOp::Complete:
+        return "complete";
+      case EndpointOp::SchedStats:
+        return "sched_stats";
       case EndpointOp::Frame:
       case EndpointOp::kCount:
         break;
@@ -211,14 +223,23 @@ Metrics::recordRequest(std::string_view op, bool ok, double micros)
         recordRequest(fixed, ok, micros);
         return;
     }
-    // Unknown op name (client typo): the cold mutex-guarded map.
+    // Unknown op name (client typo): the cold mutex-guarded map,
+    // bounded at kMaxOverflowOps distinct names per shard — names
+    // beyond the cap share the "other" bucket, so a flood of random
+    // ops costs one map entry, not one per name.
     Shard &shard = localShard();
     std::lock_guard lock(shard.overflowMutex);
     auto it = shard.overflow.find(op);
-    if (it == shard.overflow.end())
-        it = shard.overflow
-                 .emplace(std::string(op), EndpointCounters{})
-                 .first;
+    if (it == shard.overflow.end()) {
+        if (shard.overflow.size() >= kMaxOverflowOps)
+            it = shard.overflow
+                     .emplace("other", EndpointCounters{})
+                     .first;
+        else
+            it = shard.overflow
+                     .emplace(std::string(op), EndpointCounters{})
+                     .first;
+    }
     EndpointCounters &c = it->second;
     ++c.requests;
     if (!ok)

@@ -96,6 +96,9 @@ enum class EndpointOp : unsigned {
     Stats,
     Health,
     Shutdown,
+    Schedule,
+    Complete,
+    SchedStats,
     /** Frames with no usable op (parse errors, oversized lines). */
     Frame,
     kCount
@@ -153,6 +156,13 @@ class Metrics
 
     /** Recording shards; fixed, independent of server shard count. */
     static constexpr std::size_t kShards = 16;
+
+    /**
+     * Cap on distinct unknown-op names tracked per shard. Beyond it,
+     * new names fold into one "other" bucket, so a client flooding
+     * random op names cannot grow the overflow map unboundedly.
+     */
+    static constexpr std::size_t kMaxOverflowOps = 16;
 
   private:
     /** One endpoint's lock-free accumulator. */

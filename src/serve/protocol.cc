@@ -12,6 +12,7 @@
 #include "pccs/design.hh"
 #include "pccs/placement.hh"
 #include "runner/run_spec.hh"
+#include "sched/qos.hh"
 #include "workloads/nn.hh"
 #include "workloads/rodinia.hh"
 
@@ -740,6 +741,12 @@ Dispatcher::execute(const std::string &op, const Json &request,
         return doPlace(request);
     if (op == "explore")
         return doExplore(request);
+    if (op == "schedule")
+        return doSchedule(request);
+    if (op == "complete")
+        return doComplete(request);
+    if (op == "sched_stats")
+        return doSchedStats(request);
     if (op == "shutdown") {
         if (shutdown != nullptr)
             *shutdown = true;
@@ -994,6 +1001,204 @@ Dispatcher::doHealth() const
     result.set("uptimeSeconds", metrics_.uptimeSeconds());
     result.set("models", registry_.size());
     result.set("protocol", 1);
+    return result;
+}
+
+namespace {
+
+/**
+ * Job handles travel as decimal strings: a handle packs a generation
+ * in its high 32 bits, so large values would lose low bits in a JSON
+ * double. Numeric input is accepted for small handles (exact
+ * integers below 2^53); the string form is always exact.
+ */
+sched::JobHandle
+parseJobHandle(const Json &v)
+{
+    if (v.isString()) {
+        const std::string &s = v.asString();
+        if (s.empty() || s.size() > 20 ||
+            s.find_first_not_of("0123456789") != std::string::npos)
+            requestError("field 'job' must be a decimal job handle");
+        return std::strtoull(s.c_str(), nullptr, 10);
+    }
+    if (v.isNumber()) {
+        const double n = v.asNumber();
+        if (!(n >= 0.0) || n != std::floor(n) || n > 9.0e15)
+            requestError("field 'job' must be a decimal job handle "
+                         "(string form is exact)");
+        return static_cast<sched::JobHandle>(n);
+    }
+    requestError("field 'job' must be a decimal job handle");
+}
+
+/** Render one scheduler decision as its wire object. */
+Json
+decisionJson(const sched::Decision &d, const soc::SocConfig &config)
+{
+    Json out = Json::object();
+    out.set("decision", sched::decisionKindName(d.kind));
+    if (d.kind == sched::DecisionKind::Admitted) {
+        out.set("job", std::to_string(d.handle));
+        out.set("pu", d.puIndex);
+        out.set("puName", config.pus[d.puIndex].name);
+        out.set("frequencyMhz", d.frequencyMhz);
+        out.set("predictedSlowdown", d.predictedSlowdown);
+        out.set("worstSlack", d.worstSlack);
+    } else {
+        out.set("reason", d.reason);
+    }
+    return out;
+}
+
+sched::AdmissionPolicy
+parsePolicy(const Json &request)
+{
+    const std::string name = requireString(request, "policy");
+    const std::optional<sched::AdmissionPolicy> policy =
+        sched::admissionPolicyFromName(name);
+    if (!policy)
+        requestError("unknown policy '" + name +
+                     "' (use strict, best-effort, or fairness)");
+    return *policy;
+}
+
+} // namespace
+
+Json
+Dispatcher::doSchedule(const Json &request)
+{
+    std::lock_guard lock(socMutex_);
+    SocBundle &bundle = socBundle(requireString(request, "soc"));
+
+    if (bundle.sched && request.find("policy") != nullptr &&
+        parsePolicy(request) != bundle.sched->options().policy) {
+        requestError(
+            std::string("scheduler policy is fixed at '") +
+            sched::admissionPolicyName(
+                bundle.sched->options().policy) +
+            "' for this SoC");
+    }
+
+    sched::JobRequest job;
+    if (request.find("name") != nullptr)
+        job.name = requireString(request, "name");
+    job.sloSlowdown = requireFinite(request, "slo");
+    if (job.sloSlowdown < 1.0)
+        requestError("field 'slo' must be >= 1");
+    if (request.find("deadline") != nullptr)
+        job.deadlineSeconds = requireNonNegative(request, "deadline");
+    if (request.find("pu") != nullptr) {
+        const soc::PuKind kind =
+            puKindByName(requireString(request, "pu"));
+        const int pi = bundle.config.puIndex(kind);
+        if (pi < 0)
+            requestError("that SoC has no such PU");
+        job.puIndex = pi;
+    }
+
+    if (request.find("bench") != nullptr) {
+        const std::string bench = requireString(request, "bench");
+        if (!isRodiniaBenchmark(bench))
+            requestError("unknown benchmark '" + bench + "'");
+        if (job.name.empty())
+            job.name = bench;
+        for (const auto &pu : bundle.config.pus) {
+            if (pu.kind == soc::PuKind::Dla)
+                job.options.emplace_back(std::nullopt);
+            else
+                job.options.emplace_back(
+                    workloads::rodiniaKernel(bench, pu.kind));
+        }
+    } else {
+        const Json &k = field(request, "kernel");
+        if (!k.isObject())
+            requestError("field 'kernel' must be an object");
+        job.kernel.name = job.name;
+        job.kernel.intensity = requireNonNegative(k, "intensity");
+        job.kernel.locality = requireFinite(k, "locality");
+        if (job.kernel.locality < 0.0 || job.kernel.locality > 1.0)
+            requestError("field 'locality' must be in [0, 1]");
+        if (k.find("workBytes") != nullptr) {
+            job.kernel.workBytes = requireFinite(k, "workBytes");
+            if (job.kernel.workBytes <= 0.0)
+                requestError("field 'workBytes' must be > 0");
+        }
+    }
+
+    // Create the controller only for a fully validated request, so a
+    // malformed frame can never fix the SoC's admission policy.
+    if (!bundle.sched) {
+        sched::SchedOptions opts;
+        if (request.find("policy") != nullptr)
+            opts.policy = parsePolicy(request);
+        if (request.find("margin") != nullptr)
+            opts.safetyMargin = requireNonNegative(request, "margin");
+        bundle.sched = std::make_unique<sched::QosController>(
+            bundle.config, engine_, opts);
+    }
+    return decisionJson(bundle.sched->submit(job), bundle.config);
+}
+
+Json
+Dispatcher::doComplete(const Json &request)
+{
+    std::lock_guard lock(socMutex_);
+    SocBundle &bundle = socBundle(requireString(request, "soc"));
+    if (!bundle.sched)
+        requestError("no scheduler on that SoC "
+                     "(nothing scheduled yet)");
+    const sched::JobHandle handle =
+        parseJobHandle(field(request, "job"));
+    const sched::Completion c = bundle.sched->complete(handle);
+    if (!c.ok)
+        requestError("stale or unknown job handle");
+    Json promoted = Json::array();
+    for (const sched::Decision &d : c.promoted)
+        promoted.push(decisionJson(d, bundle.config));
+    Json result = Json::object();
+    result.set("completed", true);
+    result.set("promoted", std::move(promoted));
+    return result;
+}
+
+Json
+Dispatcher::doSchedStats(const Json &request)
+{
+    std::lock_guard lock(socMutex_);
+    SocBundle &bundle = socBundle(requireString(request, "soc"));
+    Json result = Json::object();
+    if (!bundle.sched) {
+        result.set("scheduler", false);
+        return result;
+    }
+    const sched::QosController &ctl = *bundle.sched;
+    result.set("scheduler", true);
+    result.set("policy",
+               sched::admissionPolicyName(ctl.options().policy));
+    const sched::SchedStats &st = ctl.stats();
+    Json counters = Json::object();
+    counters.set("submitted", st.submitted);
+    counters.set("admitted", st.admitted);
+    counters.set("queued", st.queued);
+    counters.set("rejected", st.rejected);
+    counters.set("completed", st.completed);
+    counters.set("promoted", st.promoted);
+    counters.set("decisions", st.decisions);
+    counters.set("modelPoints", st.modelPoints);
+    counters.set("expectedViolations", st.expectedViolations);
+    result.set("counters", std::move(counters));
+    result.set("resident", ctl.residentCount());
+    result.set("queued", ctl.queuedCount());
+    result.set("totalDemandGBps", ctl.totalDemand());
+    Json pus = Json::array();
+    for (std::size_t p = 0; p < bundle.config.pus.size(); ++p) {
+        Json e = Json::object();
+        e.set("name", bundle.config.pus[p].name);
+        e.set("resident", ctl.residents(p).size());
+        pus.push(std::move(e));
+    }
+    result.set("pus", std::move(pus));
     return result;
 }
 

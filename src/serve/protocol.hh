@@ -47,6 +47,10 @@
 #include "serve/metrics.hh"
 #include "serve/registry.hh"
 
+namespace pccs::sched {
+class QosController;
+}
+
 namespace pccs::serve {
 
 /**
@@ -232,6 +236,9 @@ class Dispatcher
         soc::SocConfig config;
         std::unique_ptr<soc::SocSimulator> sim;
         std::vector<std::unique_ptr<model::PccsModel>> models;
+        /** QoS scheduler, created by the first `schedule` request
+         *  (its admission policy is fixed at that moment). */
+        std::unique_ptr<sched::QosController> sched;
     };
 
     /**
@@ -258,6 +265,9 @@ class Dispatcher
     Json doReload(const Json &request);
     Json doStats() const;
     Json doHealth() const;
+    Json doSchedule(const Json &request);
+    Json doComplete(const Json &request);
+    Json doSchedStats(const Json &request);
 
     /** Parse a generic predict request into a scratch job slot. */
     void makePredictJob(const Json &request, Scratch &scratch,

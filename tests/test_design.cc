@@ -224,5 +224,84 @@ TEST_F(DesignTest, PrunedSelectionMatchesFullScan)
     }
 }
 
+class TieBreakTest : public ::testing::Test
+{
+  protected:
+    /**
+     * A config whose GPU co-run performance is bit-exactly flat over
+     * high clocks: full compute/memory overlap plus a memory-bound
+     * kernel make the standalone rate min(drawBandwidth, memory)-
+     * limited, and drawBandwidth saturates at the interface cap for
+     * f >= fmax * interface / issue (~901 MHz on the Xavier-like
+     * GPU). Every grid point then scores identically, exposing the
+     * selector's tie-breaking.
+     */
+    TieBreakTest()
+    {
+        soc.pus[gpu].overlap = 1.0;
+        flat.intensity = 0.01;
+        flat.locality = 0.9;
+    }
+
+    soc::SocConfig soc = soc::xavierLike();
+    std::size_t gpu =
+        static_cast<std::size_t>(soc.puIndex(soc::PuKind::Gpu));
+    soc::KernelProfile flat{"flat"};
+};
+
+TEST_F(TieBreakTest, FrequencyTieBreaksToLowestValueBothPaths)
+{
+    DesignExplorer explorer{soc};
+    const soc::SocSimulator sim(soc);
+    const PccsModel pccs = buildModel(sim, gpu);
+    const std::vector<double> grid{950.0, 1050.0, 1150.0, 1377.0};
+
+    for (const bool prune : {true, false}) {
+        explorer.setPruneSelection(prune);
+        const auto sel =
+            explorer.selectFrequency(gpu, flat, 30.0, 0.0, pccs, grid);
+        EXPECT_EQ(sel.value, 950.0) << "prune=" << prune
+                                    << ": equal scores must break to "
+                                       "the lowest grid value";
+        // On a flat region the cheapest clock gives up nothing.
+        EXPECT_EQ(sel.predictedPerformance, sel.referencePerformance)
+            << "prune=" << prune;
+    }
+}
+
+TEST_F(TieBreakTest, GroundTruthFrequencyTieBreaksToLowestValue)
+{
+    DesignExplorer explorer{soc};
+    const std::vector<double> grid{950.0, 1050.0, 1150.0, 1377.0};
+
+    for (const bool prune : {true, false}) {
+        explorer.setPruneSelection(prune);
+        const auto sel =
+            explorer.selectFrequencyActual(gpu, flat, 30.0, 0.0, grid);
+        EXPECT_EQ(sel.value, 950.0) << "prune=" << prune;
+        EXPECT_EQ(sel.predictedPerformance, sel.referencePerformance)
+            << "prune=" << prune;
+    }
+}
+
+TEST_F(TieBreakTest, CoreScaleTieBreaksToLowestValueBothPaths)
+{
+    DesignExplorer explorer{soc};
+    const soc::SocSimulator sim(soc);
+    const PccsModel pccs = buildModel(sim, gpu);
+    // All scales past interface/issue (127/194 ~ 0.655) saturate the
+    // same way the clock does, so these four tie exactly.
+    const std::vector<double> scales{0.7, 0.8, 0.9, 1.0};
+
+    for (const bool prune : {true, false}) {
+        explorer.setPruneSelection(prune);
+        const auto sel = explorer.selectCoreScale(gpu, flat, 30.0, 0.0,
+                                                  pccs, scales);
+        EXPECT_EQ(sel.value, 0.7) << "prune=" << prune;
+        EXPECT_EQ(sel.predictedPerformance, sel.referencePerformance)
+            << "prune=" << prune;
+    }
+}
+
 } // namespace
 } // namespace pccs::model

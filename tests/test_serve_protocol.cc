@@ -472,5 +472,144 @@ TEST(Dispatcher, ShutdownOpSetsTheFlag)
     EXPECT_TRUE(shutdown);
 }
 
+TEST(Dispatcher, ScheduleAdmitCompletePromoteRoundTrip)
+{
+    Service svc;
+    const Json first = svc.roundTrip(
+        "{\"op\":\"schedule\",\"soc\":\"xavier\",\"pu\":\"gpu\","
+        "\"bench\":\"streamcluster\",\"slo\":1.5}");
+    ASSERT_TRUE(first.find("ok")->asBool()) << first.dump();
+    const Json &r1 = *first.find("result");
+    EXPECT_EQ(r1.find("decision")->asString(), "admitted");
+    ASSERT_NE(r1.find("job"), nullptr);
+    EXPECT_TRUE(r1.find("job")->isString())
+        << "handles travel as exact decimal strings";
+    EXPECT_GT(r1.find("frequencyMhz")->asNumber(), 0.0);
+    EXPECT_GE(r1.find("predictedSlowdown")->asNumber(), 1.0);
+    const std::string handle = r1.find("job")->asString();
+
+    // Same PU again: capacity 1, so the arrival waits.
+    const Json second = svc.roundTrip(
+        "{\"op\":\"schedule\",\"soc\":\"xavier\",\"pu\":\"gpu\","
+        "\"bench\":\"bfs\",\"slo\":1.5}");
+    const Json &r2 = *second.find("result");
+    EXPECT_EQ(r2.find("decision")->asString(), "queued");
+    EXPECT_FALSE(r2.find("reason")->asString().empty());
+
+    // Completing the resident promotes the waiter.
+    const Json done = svc.roundTrip(
+        "{\"op\":\"complete\",\"soc\":\"xavier\",\"job\":\"" + handle +
+        "\"}");
+    ASSERT_TRUE(done.find("ok")->asBool()) << done.dump();
+    const Json &r3 = *done.find("result");
+    EXPECT_TRUE(r3.find("completed")->asBool());
+    ASSERT_EQ(r3.find("promoted")->asArray().size(), 1u);
+    EXPECT_EQ(r3.find("promoted")
+                  ->asArray()[0]
+                  .find("decision")
+                  ->asString(),
+              "admitted");
+
+    // The same handle is now stale.
+    const Json stale = svc.roundTrip(
+        "{\"op\":\"complete\",\"soc\":\"xavier\",\"job\":\"" + handle +
+        "\"}");
+    EXPECT_FALSE(stale.find("ok")->asBool());
+
+    const Json stats = svc.roundTrip(
+        "{\"op\":\"sched_stats\",\"soc\":\"xavier\"}");
+    ASSERT_TRUE(stats.find("ok")->asBool());
+    const Json &rs = *stats.find("result");
+    EXPECT_TRUE(rs.find("scheduler")->asBool());
+    EXPECT_EQ(rs.find("policy")->asString(), "strict");
+    const Json &counters = *rs.find("counters");
+    EXPECT_DOUBLE_EQ(counters.find("submitted")->asNumber(), 2.0);
+    EXPECT_DOUBLE_EQ(counters.find("admitted")->asNumber(), 2.0);
+    EXPECT_DOUBLE_EQ(counters.find("promoted")->asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(rs.find("resident")->asNumber(), 1.0);
+    EXPECT_EQ(rs.find("pus")->asArray().size(), 3u);
+}
+
+TEST(Dispatcher, ScheduleValidatesRequests)
+{
+    Service svc;
+    // No scheduler yet: stats say so, complete errors.
+    const Json empty = svc.roundTrip(
+        "{\"op\":\"sched_stats\",\"soc\":\"xavier\"}");
+    EXPECT_FALSE(empty.find("result")->find("scheduler")->asBool());
+    EXPECT_FALSE(
+        svc.roundTrip("{\"op\":\"complete\",\"soc\":\"xavier\","
+                      "\"job\":\"7\"}")
+            .find("ok")
+            ->asBool());
+
+    // Field validation, each as its own error response.
+    for (const char *bad : {
+             "{\"op\":\"schedule\",\"soc\":\"xavier\","
+             "\"bench\":\"bfs\"}", // missing slo
+             "{\"op\":\"schedule\",\"soc\":\"xavier\","
+             "\"bench\":\"bfs\",\"slo\":0.5}", // slo < 1
+             "{\"op\":\"schedule\",\"soc\":\"xavier\","
+             "\"bench\":\"nope\",\"slo\":1.5}", // unknown bench
+             "{\"op\":\"schedule\",\"soc\":\"xavier\","
+             "\"slo\":1.5}", // neither bench nor kernel
+             "{\"op\":\"schedule\",\"soc\":\"xavier\",\"slo\":1.5,"
+             "\"kernel\":{\"intensity\":1,\"locality\":7}}",
+         }) {
+        const Json resp = svc.roundTrip(bad);
+        EXPECT_FALSE(resp.find("ok")->asBool()) << bad;
+    }
+
+    // A custom kernel works, and fixes the policy for the SoC ...
+    const Json ok = svc.roundTrip(
+        "{\"op\":\"schedule\",\"soc\":\"xavier\",\"slo\":2.0,"
+        "\"policy\":\"best-effort\",\"pu\":\"gpu\","
+        "\"kernel\":{\"intensity\":0.01,\"locality\":0.9}}");
+    ASSERT_TRUE(ok.find("ok")->asBool()) << ok.dump();
+    EXPECT_EQ(ok.find("result")->find("decision")->asString(),
+              "admitted");
+
+    // ... so asking for a different policy later is an error.
+    const Json clash = svc.roundTrip(
+        "{\"op\":\"schedule\",\"soc\":\"xavier\",\"slo\":2.0,"
+        "\"policy\":\"strict\",\"bench\":\"bfs\"}");
+    EXPECT_FALSE(clash.find("ok")->asBool());
+    EXPECT_NE(clash.find("error")->asString().find("fixed"),
+              std::string::npos);
+}
+
+TEST(Metrics, UnknownOpNamesAreBoundedPerShard)
+{
+    // A client flooding distinct bogus op names must not grow the
+    // overflow map without bound: past kMaxOverflowOps distinct names
+    // (per shard), everything folds into one "other" bucket. A
+    // single-threaded flood lands on a single shard, making the cap
+    // exact.
+    Service svc;
+    const std::size_t kFlood = 100;
+    for (std::size_t i = 0; i < kFlood; ++i)
+        svc.roundTrip("{\"op\":\"bogus" + std::to_string(i) + "\"}");
+
+    const Json stats = svc.roundTrip("{\"op\":\"stats\"}");
+    const Json &endpoints = *stats.find("result")->find("endpoints");
+    std::size_t bogus = 0, folded = 0;
+    for (const auto &[name, counters] : endpoints.asObject()) {
+        if (name.rfind("bogus", 0) == 0) {
+            ++bogus;
+            folded += static_cast<std::size_t>(
+                counters.find("requests")->asNumber());
+        } else if (name == "other") {
+            folded += static_cast<std::size_t>(
+                counters.find("requests")->asNumber());
+        }
+    }
+    EXPECT_LE(bogus, Metrics::kMaxOverflowOps);
+    const Json *other = endpoints.find("other");
+    ASSERT_NE(other, nullptr) << "the fold bucket must be reported";
+    EXPECT_GE(other->find("requests")->asNumber(), 1.0);
+    // No request lost to the cap: named + folded cover the flood.
+    EXPECT_EQ(folded, kFlood);
+}
+
 } // namespace
 } // namespace pccs::serve

@@ -27,6 +27,12 @@
  *   client --port N [--host H] (--send JSON | --op OP [fields])
  *       Send one request to a running service and print the response.
  *
+ *   schedule [--soc S] [--policy strict|best-effort|fairness]
+ *            [--trace FILE] [--capacity N] [--margin F]
+ *            [--grid-steps N]
+ *       Run the QoS admission controller over an offline arrival
+ *       trace (or a built-in demo), then replay the accepted schedule
+ *       through the SoC simulator oracle and report SLO attainment.
  *   multimc [--mcs N] [--channels N]
  *           [--mapping interleaved|partitioned] [--policy NAME]
  *           [--kernels N] [--external N]
@@ -51,6 +57,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -66,6 +73,8 @@
 #include "pccs/serialize.hh"
 #include "runner/run_spec.hh"
 #include "runner/sweep_engine.hh"
+#include "sched/oracle.hh"
+#include "sched/qos.hh"
 #include "serve/client.hh"
 #include "serve/protocol.hh"
 #include "serve/registry.hh"
@@ -631,42 +640,236 @@ cmdMultimc(const ArgMap &args)
     return 0;
 }
 
+int
+cmdSchedule(const ArgMap &args)
+{
+    const soc::SocConfig soc = socByName(
+        args.count("soc") ? args.at("soc") : "xavier");
+
+    sched::SchedOptions opts;
+    // Default margin absorbs the model's few-percent error against
+    // the simulator, so the demo trace validates clean under strict.
+    opts.safetyMargin = 0.1;
+    if (args.count("policy")) {
+        const auto p = sched::admissionPolicyFromName(args.at("policy"));
+        if (!p)
+            fatal("unknown policy '%s' (use strict, best-effort, or "
+                  "fairness)",
+                  args.at("policy").c_str());
+        opts.policy = *p;
+    }
+    if (args.count("margin"))
+        opts.safetyMargin = requireDouble(args, "margin");
+    if (args.count("capacity"))
+        opts.puCapacity = static_cast<std::size_t>(
+            std::atoi(args.at("capacity").c_str()));
+    if (args.count("grid-steps"))
+        opts.gridSteps = static_cast<unsigned>(
+            std::atoi(args.at("grid-steps").c_str()));
+
+    // The arrival trace: `submit BENCH SLO [cpu|gpu|dla|any]` and
+    // `complete N` (N indexes the admission-ordered job list,
+    // promotions included). '#' starts a comment.
+    std::vector<std::string> lines;
+    if (args.count("trace")) {
+        std::ifstream in(args.at("trace"));
+        if (!in)
+            fatal("cannot open trace '%s'", args.at("trace").c_str());
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    } else {
+        lines = {
+            "submit streamcluster 1.3 gpu", "submit hotspot 2.0 cpu",
+            "submit bfs 1.4 any",           "submit srad 1.2 any",
+            "complete 0",                   "submit pathfinder 1.5 any",
+            "complete 1",                   "complete 2",
+        };
+    }
+
+    sched::QosController ctl(soc, nullptr, opts);
+    std::vector<sched::JobHandle> jobs;
+
+    Table t({"line", "event", "decision", "pu", "MHz", "slowdown",
+             "slo"});
+    const auto decisionRow = [&](std::size_t lineno,
+                                 const std::string &event,
+                                 const sched::Decision &d, double slo) {
+        if (d.kind == sched::DecisionKind::Admitted) {
+            t.addRow({std::to_string(lineno), event,
+                      sched::decisionKindName(d.kind),
+                      soc.pus[d.puIndex].name,
+                      fmtDouble(d.frequencyMhz, 0),
+                      fmtDouble(d.predictedSlowdown, 3),
+                      fmtDouble(slo, 2)});
+            jobs.push_back(d.handle);
+        } else {
+            t.addRow({std::to_string(lineno), event,
+                      sched::decisionKindName(d.kind), "-", "-", "-",
+                      fmtDouble(slo, 2)});
+        }
+    };
+
+    std::size_t lineno = 0;
+    for (const std::string &line : lines) {
+        ++lineno;
+        std::istringstream is(line);
+        std::string verb;
+        if (!(is >> verb) || verb[0] == '#')
+            continue;
+        if (verb == "submit") {
+            std::string bench;
+            double slo = 0.0;
+            if (!(is >> bench >> slo))
+                fatal("trace line %zu: want 'submit BENCH SLO [PU]'",
+                      lineno);
+            std::string pu = "any";
+            is >> pu;
+            sched::JobRequest req;
+            req.name = bench;
+            req.sloSlowdown = slo;
+            for (const soc::PuParams &p : soc.pus) {
+                if (p.kind == soc::PuKind::Dla)
+                    req.options.emplace_back(std::nullopt);
+                else
+                    req.options.emplace_back(
+                        workloads::rodiniaKernel(bench, p.kind));
+            }
+            if (pu != "any") {
+                const int pi = soc.puIndex(puByName(pu));
+                if (pi < 0)
+                    fatal("trace line %zu: that SoC has no %s", lineno,
+                          pu.c_str());
+                req.puIndex = pi;
+            }
+            decisionRow(lineno, "submit " + bench, ctl.submit(req),
+                        slo);
+        } else if (verb == "complete") {
+            std::size_t idx = 0;
+            if (!(is >> idx))
+                fatal("trace line %zu: want 'complete INDEX'", lineno);
+            if (idx >= jobs.size())
+                fatal("trace line %zu: no admitted job %zu", lineno,
+                      idx);
+            const sched::Completion c = ctl.complete(jobs[idx]);
+            t.addRow({std::to_string(lineno),
+                      "complete #" + std::to_string(idx),
+                      c.ok ? "completed" : "stale", "-", "-", "-",
+                      "-"});
+            for (const sched::Decision &d : c.promoted)
+                decisionRow(lineno, "promoted",
+                            d, ctl.job(d.handle)->sloSlowdown);
+        } else {
+            fatal("trace line %zu: unknown verb '%s' (submit or "
+                  "complete)",
+                  lineno, verb.c_str());
+        }
+    }
+    std::printf("%s policy on %s, margin %.2f\n\n%s\n",
+                sched::admissionPolicyName(opts.policy),
+                soc.name.c_str(), opts.safetyMargin,
+                t.str().c_str());
+
+    const sched::SchedStats &st = ctl.stats();
+    std::printf("decisions %llu: %llu admitted, %llu queued, "
+                "%llu rejected, %llu promoted "
+                "(%llu model points)\n",
+                static_cast<unsigned long long>(st.decisions),
+                static_cast<unsigned long long>(st.admitted),
+                static_cast<unsigned long long>(st.queued),
+                static_cast<unsigned long long>(st.rejected),
+                static_cast<unsigned long long>(st.promoted),
+                static_cast<unsigned long long>(st.modelPoints));
+
+    // Replay the accepted schedule through the SoC simulator: every
+    // interval's true slowdowns vs the SLOs the controller promised.
+    const sched::OracleReport rep =
+        sched::validateSchedule(soc, ctl.events());
+    std::printf("oracle: %zu intervals, %zu checks, %zu of %zu jobs "
+                "violated, attainment %.1f%%, worst excess %+.1f%%\n",
+                rep.intervals, rep.checks, rep.violations,
+                rep.jobsChecked, 100.0 * rep.attainment(),
+                100.0 * rep.worstExcess);
+    // Under strict admission a violation means the controller broke
+    // its promise — fail the run so scripts and CI notice.
+    if (opts.policy == sched::AdmissionPolicy::StrictSlo &&
+        rep.violations > 0)
+        return 1;
+    return 0;
+}
+
+/** One `pccs` subcommand: dispatch entry plus its usage synopsis. */
+struct Command
+{
+    const char *name;
+    int (*run)(const ArgMap &args);
+    const char *synopsis;
+};
+
+/**
+ * The single source of truth for subcommands: main() dispatches by
+ * walking this table and usage() renders it, so the help text cannot
+ * drift from what actually dispatches.
+ */
+const Command kCommands[] = {
+    {"calibrate", cmdCalibrate,
+     "  pccs calibrate --soc S --pu P [--out FILE]\n"},
+    {"predict", cmdPredict,
+     "  pccs predict   (--model FILE | --soc S --pu P) --demand X "
+     "--external Y\n"},
+    {"scale", cmdScale,
+     "  pccs scale     --model FILE --ratio R [--out FILE]\n"},
+    {"explore", cmdExplore,
+     "  pccs explore   --soc S --pu P --bench NAME --external Y "
+     "--allowed PCT\n"},
+    {"region", cmdRegion,
+     "  pccs region    (--model FILE | --soc S --pu P) --demand X\n"},
+    {"phases", cmdPhases,
+     "  pccs phases    --trace FILE (--model FILE | --soc S --pu P) "
+     "--external Y\n"},
+    {"sweep", cmdSweep,
+     "  pccs sweep     --soc S --pu P --bench NAME "
+     "[--max-external Y]\n"
+     "                 [--steps N] [--out DIR]\n"},
+    {"schedule", cmdSchedule,
+     "  pccs schedule  [--soc S] "
+     "[--policy strict|best-effort|fairness]\n"
+     "                 [--trace FILE] [--margin F] [--capacity N] "
+     "[--grid-steps N]\n"},
+    {"serve", cmdServe,
+     "  pccs serve     [--host H] [--port N] [--shards N] "
+     "[--model NAME=FILE,...]\n"
+     "                 [--calibrate SOC:PU,...]\n"},
+    {"client", cmdClient,
+     "  pccs client    --port N [--host H] (--send JSON | --op OP "
+     "[--model M]\n"
+     "                 [--demand X] [--external Y] [--path FILE])\n"},
+    {"multimc", cmdMultimc,
+     "  pccs multimc   [--mcs N] [--channels N] "
+     "[--mapping interleaved|partitioned]\n"
+     "                 [--policy NAME] [--kernels N] "
+     "[--external N]\n"},
+    {"policies", cmdPolicies,
+     "  pccs policies  [--format names|table]\n"},
+};
+
 void
 usage(std::FILE *to)
 {
     std::fprintf(to,
         "pccs — processor-centric contention-aware slowdown modeling\n"
         "\n"
-        "usage:\n"
-        "  pccs calibrate --soc S --pu P [--out FILE]\n"
-        "  pccs predict   (--model FILE | --soc S --pu P) --demand X "
-        "--external Y\n"
-        "  pccs scale     --model FILE --ratio R [--out FILE]\n"
-        "  pccs explore   --soc S --pu P --bench NAME --external Y "
-        "--allowed PCT\n"
-        "  pccs region    (--model FILE | --soc S --pu P) --demand X\n"
-        "  pccs phases    --trace FILE (--model FILE | --soc S --pu P) "
-        "--external Y\n"
-        "  pccs sweep     --soc S --pu P --bench NAME "
-        "[--max-external Y]\n"
-        "                 [--steps N] [--out DIR]\n"
-        "  pccs serve     [--host H] [--port N] [--shards N] "
-        "[--model NAME=FILE,...]\n"
-        "                 [--calibrate SOC:PU,...]\n"
-        "  pccs client    --port N [--host H] (--send JSON | --op OP "
-        "[--model M]\n"
-        "                 [--demand X] [--external Y] [--path FILE])\n"
-        "  pccs multimc   [--mcs N] [--channels N] "
-        "[--mapping interleaved|partitioned]\n"
-        "                 [--policy NAME] [--kernels N] "
-        "[--external N]\n"
-        "  pccs policies  [--format names|table]\n"
+        "usage:\n");
+    for (const Command &c : kCommands)
+        std::fputs(c.synopsis, to);
+    std::fprintf(to,
         "  pccs --version\n"
         "\n"
         "  S: xavier | snapdragon      P: cpu | gpu | dla\n"
         "  NAME: a Rodinia benchmark (e.g. streamcluster)\n"
         "  OP: predict | corun | place | explore | reload | stats | "
-        "health | shutdown\n"
+        "health |\n"
+        "      schedule | complete | sched_stats | shutdown\n"
         "\n"
         "global options:\n"
         "  --jobs N           cap the sweep engine's worker threads "
@@ -718,28 +921,9 @@ main(int argc, char **argv)
         // Must land before the first SweepEngine::global() call.
         setenv("PCCS_JOBS", args.at("jobs").c_str(), 1);
     }
-    if (cmd == "calibrate")
-        return cmdCalibrate(args);
-    if (cmd == "predict")
-        return cmdPredict(args);
-    if (cmd == "scale")
-        return cmdScale(args);
-    if (cmd == "explore")
-        return cmdExplore(args);
-    if (cmd == "region")
-        return cmdRegion(args);
-    if (cmd == "phases")
-        return cmdPhases(args);
-    if (cmd == "sweep")
-        return cmdSweep(args);
-    if (cmd == "serve")
-        return cmdServe(args);
-    if (cmd == "client")
-        return cmdClient(args);
-    if (cmd == "multimc")
-        return cmdMultimc(args);
-    if (cmd == "policies")
-        return cmdPolicies(args);
+    for (const Command &c : kCommands)
+        if (cmd == c.name)
+            return c.run(args);
     usage(stderr);
     fatal("unknown command '%s'", cmd.c_str());
 }
