@@ -8,12 +8,16 @@
  *
  * Beyond the standard google-benchmark flags, `--json <path>` writes a
  * machine-readable snapshot ({benchmark, ns/op, items/s}) of every run
- * — CI stores it as the BENCH_dram.json artifact.
+ * — CI stores it as the BENCH_dram.json artifact — and
+ * `--min-cycles-per-sec <n>` exits nonzero unless the saturated
+ * event-driven DRAM benchmark sustained at least `n` simulated
+ * cycles/s (the CI perf-smoke floor for the fast issue engine).
  */
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -278,6 +282,46 @@ BENCHMARK(BM_DramCyclesSaturated4EventDriven)
     ->Unit(benchmark::kMillisecond);
 
 /**
+ * The same saturated workload once per registered policy (event-driven
+ * mode), so the fast-pick engine's coverage is visible: the eligible
+ * policies (FCFS, FR-FCFS, BLISS, MEDUSA) take the bank-mask issue
+ * path, the full-view policies (ATLAS, TCM, SMS, PARBS) the
+ * materialized one. The argument indexes the registry, so new
+ * registrations are benchmarked automatically.
+ */
+void
+BM_DramCyclesSaturatedPolicy(benchmark::State &state)
+{
+    const auto &policies = dram::schedulerPolicies();
+    const auto &info =
+        policies[static_cast<std::size_t>(state.range(0))];
+    state.SetLabel(info.name);
+    dram::DramSystem sys(dram::table1Config(), info.name,
+                         dram::SchedulerParams{},
+                         dram::DramRunMode::EventDriven);
+    for (unsigned c = 0; c < 4; ++c) {
+        dram::TrafficParams p;
+        p.source = c;
+        p.demand = 30.0;
+        p.seed = 20 + c;
+        sys.addGenerator(p);
+    }
+    sys.run(10000); // fill the queues
+    for (auto _ : state)
+        sys.run(static_cast<Cycles>(state.range(1)));
+    state.SetItemsProcessed(state.iterations() * state.range(1));
+}
+BENCHMARK(BM_DramCyclesSaturatedPolicy)
+    ->Apply([](benchmark::internal::Benchmark *b) {
+        const auto n = static_cast<long>(
+            dram::schedulerPolicies().size());
+        for (long i = 0; i < n; ++i)
+            b->Args({i, 20000});
+    })
+    ->ArgNames({"policy", "cycles"})
+    ->Unit(benchmark::kMillisecond);
+
+/**
  * Simulated-cycles-per-second of the three multi-MC run loops
  * (4 MCs x 1 channel, range-partitioned). Idle/mixed case: two
  * low-demand cores in two slices, so two controllers are completely
@@ -488,6 +532,37 @@ class JsonSnapshotReporter : public benchmark::ConsoleReporter
         benchmark::ConsoleReporter::ReportRuns(runs);
     }
 
+    /**
+     * Enforce a throughput floor on the saturated event-driven DRAM
+     * row (the fast issue engine's headline number; CI perf smoke).
+     * @return true when the row was found and met the floor.
+     */
+    bool checkSaturatedFloor(double min_cycles_per_sec) const
+    {
+        for (const Row &row : rows_) {
+            if (row.name.rfind("BM_DramCyclesSaturated4EventDriven",
+                               0) != 0) {
+                continue;
+            }
+            if (row.itemsPerSecond >= min_cycles_per_sec) {
+                std::printf("perf floor ok: %.0f >= %.0f cycles/s\n",
+                            row.itemsPerSecond, min_cycles_per_sec);
+                return true;
+            }
+            std::fprintf(stderr,
+                         "perf floor FAILED: %s ran %.0f cycles/s, "
+                         "floor %.0f\n",
+                         row.name.c_str(), row.itemsPerSecond,
+                         min_cycles_per_sec);
+            return false;
+        }
+        std::fprintf(stderr,
+                     "perf floor FAILED: "
+                     "BM_DramCyclesSaturated4EventDriven did not "
+                     "run (check --benchmark_filter)\n");
+        return false;
+    }
+
     /** Write the snapshot; fatal-free (a bench must not fail late). */
     void write(const std::string &path) const
     {
@@ -527,9 +602,11 @@ class JsonSnapshotReporter : public benchmark::ConsoleReporter
 int
 main(int argc, char **argv)
 {
-    // Peel off `--json <path>` / `--json=<path>` before benchmark's
-    // own flag parsing (it rejects unknown flags).
+    // Peel off `--json <path>` / `--json=<path>` and
+    // `--min-cycles-per-sec <n>` before benchmark's own flag parsing
+    // (it rejects unknown flags).
     std::string json_path;
+    double min_cycles_per_sec = 0.0;
     std::vector<char *> args;
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -537,6 +614,10 @@ main(int argc, char **argv)
             json_path = argv[++i];
         } else if (arg.rfind("--json=", 0) == 0) {
             json_path = arg.substr(7);
+        } else if (arg == "--min-cycles-per-sec" && i + 1 < argc) {
+            min_cycles_per_sec = std::atof(argv[++i]);
+        } else if (arg.rfind("--min-cycles-per-sec=", 0) == 0) {
+            min_cycles_per_sec = std::atof(arg.c_str() + 21);
         } else {
             args.push_back(argv[i]);
         }
@@ -550,5 +631,9 @@ main(int argc, char **argv)
     if (!json_path.empty())
         reporter.write(json_path);
     benchmark::Shutdown();
+    if (min_cycles_per_sec > 0.0 &&
+        !reporter.checkSaturatedFloor(min_cycles_per_sec)) {
+        return 1;
+    }
     return 0;
 }

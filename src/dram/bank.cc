@@ -1,6 +1,7 @@
 #include "bank.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.hh"
 
@@ -44,6 +45,33 @@ ChannelTiming::ChannelTiming(unsigned banks, const DramTimingParams &timing)
     : timing_(timing), banks_(banks)
 {
     PCCS_ASSERT(banks > 0, "channel needs at least one bank");
+    PCCS_ASSERT(banks <= 64, "open-row bitmask supports <= 64 banks");
+}
+
+void
+ChannelTiming::activateBank(unsigned b, Cycles now, std::uint32_t row)
+{
+    banks_[b].activate(now, row, timing_);
+    openRowMask_ |= std::uint64_t{1} << b;
+}
+
+void
+ChannelTiming::prechargeBank(unsigned b, Cycles now)
+{
+    banks_[b].precharge(now, timing_);
+    openRowMask_ &= ~(std::uint64_t{1} << b);
+}
+
+Cycles
+ChannelTiming::accessBank(unsigned b, Cycles now, bool is_write)
+{
+    return banks_[b].access(now, is_write, timing_);
+}
+
+int
+ChannelTiming::firstOpenBank() const
+{
+    return openRowMask_ ? std::countr_zero(openRowMask_) : -1;
 }
 
 bool

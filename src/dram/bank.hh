@@ -89,6 +89,26 @@ class ChannelTiming
     const Bank &bank(unsigned i) const { return banks_[i]; }
     unsigned numBanks() const { return static_cast<unsigned>(banks_.size()); }
 
+    /**
+     * Bank-state transitions, mask-maintaining: these wrap the Bank
+     * mutators and keep openRowMask() in sync, so "which banks hold an
+     * open row?" is one word instead of a bank scan. All command issue
+     * goes through them (the raw Bank mutators stay for unit tests).
+     */
+    void activateBank(unsigned b, Cycles now, std::uint32_t row);
+    void prechargeBank(unsigned b, Cycles now);
+    /** @return the cycle the data burst completes. */
+    Cycles accessBank(unsigned b, Cycles now, bool is_write);
+
+    /** Banks currently holding an open row, one bit per bank. */
+    std::uint64_t openRowMask() const { return openRowMask_; }
+
+    /**
+     * Lowest-indexed bank with an open row (the bank whose PRE gates
+     * refresh drain), or -1 when every bank is precharged.
+     */
+    int firstOpenBank() const;
+
     /** @return true when the rank-level ACT constraints allow an ACT. */
     bool canActivateRank(Cycles now) const;
 
@@ -130,6 +150,8 @@ class ChannelTiming
   private:
     const DramTimingParams &timing_;
     std::vector<Bank> banks_;
+    /** Banks with an open row (maintained by the *Bank wrappers). */
+    std::uint64_t openRowMask_ = 0;
     std::deque<Cycles> actWindow_;
     Cycles nextActRank_ = 0;
     Cycles busFreeAt_ = 0;

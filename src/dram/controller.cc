@@ -1,9 +1,11 @@
 #include "controller.hh"
 
 #include <algorithm>
+#include <bit>
 #include <ostream>
 
 #include "common/logging.hh"
+#include "dram/run_mode.hh"
 
 namespace pccs::dram {
 
@@ -15,14 +17,22 @@ MemoryController::MemoryController(const DramConfig &cfg,
     PCCS_ASSERT(cfg_.banksPerChannel <= 32,
                 "row-hit preservation bitmask supports <= 32 banks");
     purePick_ = scheduler_->pickIsPure();
+    fastEnabled_ = dramFastPathEnabled();
+    fastEligible_ = scheduler_->fastPickEligible();
+    PCCS_ASSERT(!fastEligible_ || purePick_,
+                "fast-pick policies must have pure picks");
     channels_.reserve(cfg_.channels);
     queues_.reserve(cfg_.channels);
     for (unsigned c = 0; c < cfg_.channels; ++c) {
         channels_.emplace_back(cfg_.banksPerChannel, cfg_.timing);
-        queues_.emplace_back(cfg_.queuePerChannel());
+        queues_.emplace_back(cfg_.queuePerChannel(),
+                             cfg_.banksPerChannel);
     }
-    rowHitPending_.assign(
-        static_cast<std::size_t>(cfg_.channels) * cfg_.banksPerChannel, 0);
+    // The gather path must never reallocate mid-run: a queue holds at
+    // most queuePerChannel() requests, so one up-front reservation
+    // covers every evaluation (scratchReallocations() stays 0).
+    scratchEntries_.reserve(cfg_.queuePerChannel());
+    scratchSlots_.reserve(cfg_.queuePerChannel());
     nextRefresh_.assign(cfg_.channels, cfg_.timing.tREFI);
     refreshUntil_.assign(cfg_.channels, 0);
     channelWake_.assign(cfg_.channels, 0);
@@ -63,12 +73,10 @@ MemoryController::enqueue(unsigned source, Addr addr, bool is_write,
     auto &queue = queues_[req.loc.channel];
     if (queue.full())
         return false;
-    const int slot = queue.push_back(req);
     const Bank &bank = channels_[req.loc.channel].bank(req.loc.bank);
-    if (bank.openRow() == static_cast<std::int64_t>(req.loc.row)) {
-        ++rowHitPending_[req.loc.channel * cfg_.banksPerChannel +
-                         req.loc.bank];
-    }
+    const bool row_hit =
+        bank.openRow() == static_cast<std::int64_t>(req.loc.row);
+    const int slot = queue.push_back(req, row_hit);
     if (lazyChannels_) {
         Cycles &wake = channelWake_[req.loc.channel];
         if (purePick_ && queue.size() > 1) {
@@ -126,10 +134,20 @@ MemoryController::drainCompletions(Cycles now)
     return drained;
 }
 
+int
+MemoryController::firstReadyBank(unsigned ch, Cycles now,
+                                 Cycles *pre_at) const
+{
+    const ChannelTiming &timing = channels_[ch];
+    const int b = timing.firstOpenBank();
+    if (b >= 0 && pre_at)
+        *pre_at = std::max(timing.bank(b).nextPrechargeAt(), now);
+    return b;
+}
+
 MemoryController::RefreshOutcome
 MemoryController::handleRefresh(unsigned ch, Cycles now)
 {
-    ChannelTiming &timing = channels_[ch];
     if (now < refreshUntil_[ch])
         return RefreshOutcome::Busy; // refresh in progress: blocked
     if (now < nextRefresh_[ch])
@@ -137,16 +155,14 @@ MemoryController::handleRefresh(unsigned ch, Cycles now)
 
     // Refresh due: close every open row, then hold the channel for
     // tRFC. Precharges obey their bank timing (one per command slot).
-    for (unsigned b = 0; b < timing.numBanks(); ++b) {
-        Bank &bank = timing.bank(b);
-        if (bank.openRow() == Bank::noRow)
-            continue;
-        if (bank.canPrecharge(now)) {
-            bank.precharge(now, cfg_.timing);
-            rowHitPending_[ch * cfg_.banksPerChannel + b] = 0;
-            return RefreshOutcome::Progressed;
-        }
-        return RefreshOutcome::Busy; // must wait for this PRE
+    Cycles pre_at = 0;
+    const int b = firstReadyBank(ch, now, &pre_at);
+    if (b >= 0) {
+        if (pre_at > now)
+            return RefreshOutcome::Busy; // must wait for this PRE
+        channels_[ch].prechargeBank(static_cast<unsigned>(b), now);
+        queues_[ch].clearHits(static_cast<unsigned>(b));
+        return RefreshOutcome::Progressed;
     }
     refreshUntil_[ch] = now + cfg_.timing.tRFC;
     // No catch-up storms after idle stretches: refresh debt from
@@ -155,22 +171,6 @@ MemoryController::handleRefresh(unsigned ch, Cycles now)
         std::max(nextRefresh_[ch] + cfg_.timing.tREFI, now + 1);
     ++stats_.refreshes;
     return RefreshOutcome::Progressed;
-}
-
-void
-MemoryController::recountRowHits(unsigned ch, unsigned bank)
-{
-    const Bank &b = channels_[ch].bank(bank);
-    std::uint32_t count = 0;
-    if (b.openRow() != Bank::noRow) {
-        for (const Request &r : queues_[ch]) {
-            if (r.loc.bank == bank &&
-                b.openRow() == static_cast<std::int64_t>(r.loc.row)) {
-                ++count;
-            }
-        }
-    }
-    rowHitPending_[ch * cfg_.banksPerChannel + bank] = count;
 }
 
 bool
@@ -191,6 +191,19 @@ MemoryController::scheduleChannel(unsigned ch, Cycles now, Cycles *wake)
         return true;
     }
 
+    // The fast issue engine serves the lazy (event-driven) scan for
+    // eligible policies; the reference core (wake == nullptr) always
+    // takes the materialized path — it is the executable
+    // specification the fast engine is measured and verified against.
+    if (wake && fastEnabled_ && fastEligible_)
+        return scheduleChannelFast(ch, now, wake);
+    return scheduleChannelSlow(ch, now, wake);
+}
+
+bool
+MemoryController::scheduleChannelSlow(unsigned ch, Cycles now,
+                                      Cycles *wake)
+{
     ChannelTiming &timing = channels_[ch];
     RequestQueue &queue = queues_[ch];
 
@@ -200,7 +213,7 @@ MemoryController::scheduleChannel(unsigned ch, Cycles now, Cycles *wake)
     // destroys every row chain (all policies would degenerate to
     // conflict-per-access behavior). The mask used to be rebuilt here
     // with a queue scan every cycle; it is now maintained
-    // incrementally on enqueue/CAS/PRE/ACT (rowHitPending_).
+    // incrementally by the queue's per-bank hit lists.
     const std::uint32_t pending_hits =
         scheduler_->preservesRowHits() ? pendingRowHitMask(ch) : 0;
 
@@ -211,10 +224,9 @@ MemoryController::scheduleChannel(unsigned ch, Cycles now, Cycles *wake)
     // the lazy scan, so no second queue scan is ever needed. The bank
     // accessors are exact (canX(now) == now >= nextXAt), so this is
     // the same predicate the per-cycle reference loop evaluates.
+    const std::size_t scratch_cap = scratchEntries_.capacity();
     scratchEntries_.clear();
-    scratchEntries_.reserve(queue.size());
     scratchSlots_.clear();
-    scratchSlots_.reserve(queue.size());
     const Cycles rank_ready = timing.rankActivateReadyAt();
     const Cycles bus_ready_rd = timing.busReadyAt(false);
     const Cycles bus_ready_wr = timing.busReadyAt(true);
@@ -254,6 +266,10 @@ MemoryController::scheduleChannel(unsigned ch, Cycles now, Cycles *wake)
         scratchEntries_.push_back(e);
         scratchSlots_.push_back(s);
     }
+    if (scratchEntries_.capacity() != scratch_cap)
+        ++scratchReallocs_;
+    PCCS_ASSERT(scratchReallocs_ == 0,
+                "scheduler-view gather reallocated mid-run");
 
     const int idx = scheduler_->pick(ch, scratchEntries_, now);
     if (idx < 0) {
@@ -271,20 +287,36 @@ MemoryController::scheduleChannel(unsigned ch, Cycles now, Cycles *wake)
                     scratchEntries_[idx].issuable,
                 "scheduler picked a non-issuable entry %d", idx);
 
-    const int slot = scratchSlots_[idx];
+    const bool row_hit = scratchEntries_[idx].rowHit;
+    const Cycles own = issueCommand(ch, scratchSlots_[idx], row_hit,
+                                    now, masked_banks);
+    if (wake) {
+        *wake = issuedWakeBound(ch, row_hit, ready_hit, ready_other,
+                                future, own, now);
+    }
+    return true;
+}
+
+Cycles
+MemoryController::issueCommand(unsigned ch, int slot, bool row_hit,
+                               Cycles now, std::uint64_t masked_banks)
+{
+    ChannelTiming &timing = channels_[ch];
+    RequestQueue &queue = queues_[ch];
     Request &req = queue.slot(slot);
-    Bank &bank = timing.bank(req.loc.bank);
+    const unsigned b = req.loc.bank;
 
     // Post-command legality of the *chosen* request's next command
     // (kNoEvent for a CAS: the request leaves the queue). Every other
-    // entry's pre-command bound in `future` can only be pushed later
-    // by the command, so reusing it wakes at worst early (a no-op
-    // evaluation that recomputes a fresh bound), never late.
+    // entry's pre-command bound in the caller's `future` can only be
+    // pushed later by the command, so reusing it wakes at worst early
+    // (a no-op evaluation that recomputes a fresh bound), never late.
     Cycles own = kNoEvent;
 
-    if (scratchEntries_[idx].rowHit) {
+    if (row_hit) {
         // CAS: the request completes after CL + burst.
-        const Cycles done = bank.access(now, req.isWrite, cfg_.timing);
+        PCCS_ASSERT(queue.isHit(slot), "row-hit CAS for a non-hit slot");
+        const Cycles done = timing.accessBank(b, now, req.isWrite);
         timing.reserveBus(now, req.isWrite);
         req.casIssued = now;
         req.completion = done;
@@ -300,57 +332,173 @@ MemoryController::scheduleChannel(unsigned ch, Cycles now, Cycles *wake)
         stats_.bytesPerSource[req.source] += cfg_.lineBytes;
         scheduler_->onService(req, now, cfg_.lineBytes);
         inflight_.push(Inflight{done, req});
-        std::uint32_t &hits =
-            rowHitPending_[ch * cfg_.banksPerChannel + req.loc.bank];
-        PCCS_ASSERT(hits > 0, "row-hit counter underflow");
-        --hits;
+        queue.erase(slot); // unlinks the bank and hit lists too
         // This CAS may have drained the open row's last pending hit,
         // unmasking a conflicting PRE that the build loop excluded
         // from `future`; its legality (post-CAS: access() pushed
         // nextPre_) must bound the wake or the PRE would issue late.
-        if (hits == 0 && (masked_banks & (1u << req.loc.bank)))
-            own = bank.nextPrechargeAt();
-        queue.erase(slot);
-    } else if (bank.openRow() != Bank::noRow) {
+        if (queue.hitCount(b) == 0 &&
+            (masked_banks & (std::uint64_t{1} << b))) {
+            own = timing.bank(b).nextPrechargeAt();
+        }
+    } else if (timing.bank(b).openRow() != Bank::noRow) {
         // Row conflict: close the current row first.
-        bank.precharge(now, cfg_.timing);
-        rowHitPending_[ch * cfg_.banksPerChannel + req.loc.bank] = 0;
-        own = std::max(bank.nextActivateAt(),
+        timing.prechargeBank(b, now);
+        queue.clearHits(b);
+        own = std::max(timing.bank(b).nextActivateAt(),
                        timing.rankActivateReadyAt());
     } else {
         // Row closed: open the request's row. Every request served
         // after this ACT without another ACT counts as a row hit;
         // this one is charged as a miss via neededActivate.
-        bank.activate(now, req.loc.row, cfg_.timing);
+        timing.activateBank(b, now, req.loc.row);
         timing.recordActivate(now);
         req.neededActivate = true;
-        recountRowHits(ch, req.loc.bank);
-        own = std::max(bank.nextAccessAt(),
+        queue.rebuildHits(b, req.loc.row);
+        own = std::max(timing.bank(b).nextAccessAt(),
                        timing.busReadyAt(req.isWrite));
     }
-    if (wake) {
-        if (!purePick_) {
-            // SMS must re-pick right after any queue change.
-            *wake = now + 1;
-        } else {
-            Cycles w = std::min({future, own, nextRefresh_[ch]});
-            if (scratchEntries_[idx].rowHit) {
-                // A CAS only delays other row hits through the data
-                // bus, which it just reserved: none of them can be
-                // legal again before busReadyAt (exactly now + tBURST;
-                // reads possibly later still). Pending PRE/ACT work is
-                // untouched by the bus and can issue next cycle.
-                if (ready_other > 0)
-                    w = now + 1;
-                else if (ready_hit > 1)
-                    w = std::min(w, timing.busReadyAt(true));
-            } else if (ready_hit + ready_other > 1) {
-                // A PRE/ACT leaves every other issuable entry legal.
-                w = now + 1;
+    return own;
+}
+
+Cycles
+MemoryController::issuedWakeBound(unsigned ch, bool row_hit,
+                                  unsigned ready_hit,
+                                  unsigned ready_other, Cycles future,
+                                  Cycles own, Cycles now) const
+{
+    if (!purePick_) {
+        // SMS must re-pick right after any queue change.
+        return now + 1;
+    }
+    Cycles w = std::min({future, own, nextRefresh_[ch]});
+    if (row_hit) {
+        // A CAS only delays other row hits through the data bus,
+        // which it just reserved: none of them can be legal again
+        // before busReadyAt (exactly now + tBURST; reads possibly
+        // later still). Pending PRE/ACT work is untouched by the bus
+        // and can issue next cycle.
+        if (ready_other > 0)
+            w = now + 1;
+        else if (ready_hit > 1)
+            w = std::min(w, channels_[ch].busReadyAt(true));
+    } else if (ready_hit + ready_other > 1) {
+        // A PRE/ACT leaves every other issuable entry legal.
+        w = now + 1;
+    }
+    return std::max(w, now + 1);
+}
+
+bool
+MemoryController::scheduleChannelFast(unsigned ch, Cycles now,
+                                      Cycles *wake)
+{
+    ChannelTiming &timing = channels_[ch];
+    RequestQueue &queue = queues_[ch];
+    const bool preserve = scheduler_->preservesRowHits();
+
+    // Classify each occupied bank once: every candidate class of a
+    // bank shares one legality bound (read hits: CAS + read bus;
+    // write hits: CAS + write bus; conflicts: PRE; closed: ACT + rank
+    // windows), so the per-entry walk of the materialized path
+    // collapses to an O(occupied banks) mask build over the queue's
+    // incrementally maintained candidate lists. The counts and
+    // `future` reproduce the materialized path's values exactly —
+    // they feed the same wake-bound formulas.
+    FastIssueView v;
+    v.queue = &queue;
+    v.numBanks = cfg_.banksPerChannel;
+    v.openRowMask = timing.openRowMask();
+    const Cycles rank_ready = timing.rankActivateReadyAt();
+    const Cycles bus_ready_rd = timing.busReadyAt(false);
+    const Cycles bus_ready_wr = timing.busReadyAt(true);
+    unsigned ready_hit = 0;    // issuable row-hit (CAS) entries
+    unsigned ready_other = 0;  // issuable PRE/ACT entries
+    Cycles future = kNoEvent;  // earliest not-yet-legal entry
+    std::uint64_t masked_banks = 0; // banks with a masked conflict PRE
+    for (std::uint64_t m = queue.occupiedMask(); m; m &= m - 1) {
+        const unsigned b =
+            static_cast<unsigned>(std::countr_zero(m));
+        const std::uint64_t bit = std::uint64_t{1} << b;
+        const Bank &bank = timing.bank(b);
+        if (v.openRowMask & bit) {
+            const unsigned nrd = queue.hitCountRead(b);
+            const unsigned nwr = queue.hitCountWrite(b);
+            if (nrd) {
+                const Cycles t =
+                    std::max(bank.nextAccessAt(), bus_ready_rd);
+                if (t <= now) {
+                    v.hitReadMask |= bit;
+                    ready_hit += nrd;
+                } else {
+                    future = std::min(future, t);
+                }
             }
-            *wake = std::max(w, now + 1);
+            if (nwr) {
+                const Cycles t =
+                    std::max(bank.nextAccessAt(), bus_ready_wr);
+                if (t <= now) {
+                    v.hitWriteMask |= bit;
+                    ready_hit += nwr;
+                } else {
+                    future = std::min(future, t);
+                }
+            }
+            const unsigned conflicts = queue.bankCount(b) - nrd - nwr;
+            if (conflicts) {
+                if (preserve && (nrd + nwr)) {
+                    masked_banks |= bit;
+                } else {
+                    const Cycles t = bank.nextPrechargeAt();
+                    if (t <= now) {
+                        v.preMask |= bit;
+                        ready_other += conflicts;
+                    } else {
+                        future = std::min(future, t);
+                    }
+                }
+            }
+        } else {
+            const Cycles t =
+                std::max(bank.nextActivateAt(), rank_ready);
+            if (t <= now) {
+                v.actMask |= bit;
+                ready_other += queue.bankCount(b);
+            } else {
+                future = std::min(future, t);
+            }
         }
     }
+
+    int slot = -1;
+    bool row_hit = false;
+    if (ready_hit + ready_other) {
+        const int r = scheduler_->fastPick(v, ch, now);
+        if (r == Scheduler::kFastPickFallback) {
+            // Policy state the masks cannot express (e.g. an active
+            // BLISS blacklist): materialize the full entry list.
+            return scheduleChannelSlow(ch, now, wake);
+        }
+        slot = r;
+        if (slot >= 0) {
+            row_hit = queue.isHit(slot);
+            PCCS_ASSERT(v.slotIssuable(slot),
+                        "fast pick chose a non-issuable slot %d", slot);
+        }
+    }
+    if (slot < 0) {
+        // Same wake rule as the materialized path: a declined
+        // issuable entry (FCFS's window) forces per-cycle stepping.
+        *wake = (ready_hit + ready_other)
+                    ? now + 1
+                    : std::max(std::min(future, nextRefresh_[ch]),
+                               now + 1);
+        return false;
+    }
+
+    const Cycles own = issueCommand(ch, slot, row_hit, now, masked_banks);
+    *wake = issuedWakeBound(ch, row_hit, ready_hit, ready_other, future,
+                            own, now);
     return true;
 }
 
@@ -367,8 +515,7 @@ MemoryController::requestIssueBound(const Request &r, Cycles now) const
         // pending hits; draining them is activity, which recomputes
         // the channel's wake anyway.
         if (scheduler_->preservesRowHits() &&
-            rowHitPending_[r.loc.channel * cfg_.banksPerChannel +
-                           r.loc.bank] > 0) {
+            queues_[r.loc.channel].hitCount(r.loc.bank) > 0) {
             return kNoEvent;
         }
         t = bank.nextPrechargeAt();
@@ -392,15 +539,14 @@ MemoryController::channelNextEvent(unsigned ch, Cycles now) const
     // cycle; the next step happens when the first open bank's PRE
     // becomes legal.
     if (nextRefresh_[ch] <= next) {
-        const ChannelTiming &timing = channels_[ch];
-        for (unsigned b = 0; b < timing.numBanks(); ++b) {
-            const Bank &bank = timing.bank(b);
-            if (bank.openRow() == Bank::noRow)
-                continue;
-            return std::max(next, bank.nextPrechargeAt());
-        }
-        return next; // all banks closed: refresh starts next tick
+        Cycles pre_at = 0;
+        if (firstReadyBank(ch, now, &pre_at) < 0)
+            return next; // all banks closed: refresh starts next tick
+        return std::max(next, pre_at);
     }
+
+    if (fastEnabled_)
+        return channelNextEventFast(ch, now);
 
     // Normal scheduling: the earliest cycle any queued request's next
     // command becomes legal, or the refresh deadline, whichever first.
@@ -419,11 +565,8 @@ MemoryController::channelNextEvent(unsigned ch, Cycles now) const
         } else if (bank.openRow() != Bank::noRow) {
             // A conflicting PRE stays masked until the pending row
             // hits drain; draining is activity, which wakes the core.
-            if (preserve &&
-                rowHitPending_[ch * cfg_.banksPerChannel + r.loc.bank] >
-                    0) {
+            if (preserve && queues_[ch].hitCount(r.loc.bank) > 0)
                 continue;
-            }
             t = bank.nextPrechargeAt();
         } else {
             t = std::max(bank.nextActivateAt(),
@@ -432,6 +575,52 @@ MemoryController::channelNextEvent(unsigned ch, Cycles now) const
         cand = std::min(cand, t);
     }
     return std::max(cand, next);
+}
+
+Cycles
+MemoryController::channelNextEventFast(unsigned ch, Cycles now) const
+{
+    // The bank-mask form of the queue walk above: per occupied bank,
+    // each candidate class shares one legality bound, so the min over
+    // entries equals the min over the (bank, class) pairs — valid for
+    // every policy (the bound depends only on bank state and the
+    // request's bank/row/direction, all mirrored in the queue's SoA).
+    // Both the single-controller event loop and the multi-MC
+    // event-driven/sharded loops fold this bound into their next-event
+    // min-scans.
+    const ChannelTiming &timing = channels_[ch];
+    const RequestQueue &queue = queues_[ch];
+    const bool preserve = scheduler_->preservesRowHits();
+    const std::uint64_t open = timing.openRowMask();
+    const Cycles rank_ready = timing.rankActivateReadyAt();
+    const Cycles bus_ready_rd = timing.busReadyAt(false);
+    const Cycles bus_ready_wr = timing.busReadyAt(true);
+    Cycles cand = nextRefresh_[ch];
+    for (std::uint64_t m = queue.occupiedMask(); m; m &= m - 1) {
+        const unsigned b =
+            static_cast<unsigned>(std::countr_zero(m));
+        const Bank &bank = timing.bank(b);
+        if (open & (std::uint64_t{1} << b)) {
+            const unsigned nrd = queue.hitCountRead(b);
+            const unsigned nwr = queue.hitCountWrite(b);
+            if (nrd) {
+                cand = std::min(
+                    cand, std::max(bank.nextAccessAt(), bus_ready_rd));
+            }
+            if (nwr) {
+                cand = std::min(
+                    cand, std::max(bank.nextAccessAt(), bus_ready_wr));
+            }
+            if (queue.bankCount(b) - nrd - nwr &&
+                !(preserve && (nrd + nwr))) {
+                cand = std::min(cand, bank.nextPrechargeAt());
+            }
+        } else {
+            cand = std::min(
+                cand, std::max(bank.nextActivateAt(), rank_ready));
+        }
+    }
+    return std::max(cand, now + 1);
 }
 
 Cycles

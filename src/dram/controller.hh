@@ -155,17 +155,20 @@ class MemoryController : public MemoryPort
 
     /**
      * Banks of `channel` whose open row has queued requests, as a
-     * bitmask (incrementally maintained; debug/tests).
+     * bitmask (incrementally maintained by the queue's per-bank hit
+     * lists; debug/tests).
      */
     std::uint32_t pendingRowHitMask(unsigned channel) const
     {
-        std::uint32_t mask = 0;
-        for (unsigned b = 0; b < cfg_.banksPerChannel; ++b) {
-            if (rowHitPending_[channel * cfg_.banksPerChannel + b] > 0)
-                mask |= 1u << b;
-        }
-        return mask;
+        return static_cast<std::uint32_t>(queues_[channel].hitMask());
     }
+
+    /**
+     * Times the scheduler-view scratch buffers grew after
+     * construction; stays 0 because they are reserved to the queue
+     * capacity up front (debug/tests).
+     */
+    std::size_t scratchReallocations() const { return scratchReallocs_; }
 
     /** Install the completion callback (may be empty). */
     void setCompletionCallback(CompletionCallback cb)
@@ -209,16 +212,52 @@ class MemoryController : public MemoryPort
      * When `wake` is non-null (lazy scan), it receives a conservative
      * lower bound on the channel's next interesting cycle, computed as
      * a byproduct of the scheduler-view build — no second queue scan.
+     * Dispatches to the fast issue engine (bank-mask evaluation over
+     * the queue's candidate lists) when the policy is eligible and
+     * PCCS_DRAM_FASTPATH is on; the materialized full-scan path is
+     * retained both as the escape hatch and for the remaining
+     * policies.
      */
     bool scheduleChannel(unsigned ch, Cycles now, Cycles *wake = nullptr);
+    /** The retained materialized evaluation (post-refresh-prologue). */
+    bool scheduleChannelSlow(unsigned ch, Cycles now, Cycles *wake);
+    /** The bank-mask fast issue engine (post-refresh-prologue). */
+    bool scheduleChannelFast(unsigned ch, Cycles now, Cycles *wake);
+    /**
+     * Issue the chosen command (CAS for a hit, else PRE/ACT) and apply
+     * every side effect: bank/bus timing, stats, scheduler
+     * notification, hit-list maintenance, dequeue. Shared by both
+     * evaluation paths so they cannot drift.
+     * @return the post-command legality bound of the *chosen*
+     *         request's next command (kNoEvent for a CAS, unless it
+     *         drained the last hit of a masked bank).
+     */
+    Cycles issueCommand(unsigned ch, int slot, bool row_hit, Cycles now,
+                        std::uint64_t masked_banks);
+    /** The post-issue lazy-wake bound shared by both paths. */
+    Cycles issuedWakeBound(unsigned ch, bool row_hit, unsigned ready_hit,
+                           unsigned ready_other, Cycles future,
+                           Cycles own, Cycles now) const;
     /** @return true when at least one completion drained. */
     bool drainCompletions(Cycles now);
     RefreshOutcome handleRefresh(unsigned ch, Cycles now);
+    /**
+     * Refresh-drain cursor shared by handleRefresh and
+     * channelNextEvent (the two bank scans this helper replaced with
+     * one open-row-mask lookup): the lowest-indexed open bank of `ch`
+     * — the bank whose PRE gates refresh progress — or -1 when every
+     * bank is closed. When a bank is returned, *pre_at receives the
+     * earliest cycle >= now its PRE is legal (== now when it can
+     * issue immediately).
+     */
+    int firstReadyBank(unsigned ch, Cycles now, Cycles *pre_at) const;
     /**
      * Earliest cycle >= now + 1 at which channel `ch` (which must have
      * queued requests) could issue a command or make refresh progress.
      */
     Cycles channelNextEvent(unsigned ch, Cycles now) const;
+    /** The O(occupied banks) bank-mask form of the same bound. */
+    Cycles channelNextEventFast(unsigned ch, Cycles now) const;
     /**
      * Earliest cycle >= now + 1 at which request `r` alone could have
      * its next command issued (kNoEvent when its PRE is masked by
@@ -226,8 +265,6 @@ class MemoryController : public MemoryPort
      * enqueue without rescanning the whole queue.
      */
     Cycles requestIssueBound(const Request &r, Cycles now) const;
-    /** Recount rowHitPending_ for one bank after its open row changed. */
-    void recountRowHits(unsigned ch, unsigned bank);
 
     DramConfig cfg_;
     AddressMapper mapper_;
@@ -243,13 +280,8 @@ class MemoryController : public MemoryPort
     std::vector<QueueEntryView> scratchEntries_;
     /** Queue slot ids parallel to scratchEntries_ (O(1) dequeue). */
     std::vector<int> scratchSlots_;
-    /**
-     * Per (channel, bank): queued requests targeting the bank's open
-     * row. Maintained incrementally: +1 on a matching enqueue, -1 when
-     * a CAS dequeues a row hit, reset on precharge, recounted on
-     * activate. Indexed ch * banksPerChannel + bank.
-     */
-    std::vector<std::uint32_t> rowHitPending_;
+    /** Scratch regrowths after construction (must stay 0). */
+    std::size_t scratchReallocs_ = 0;
     /** Per-channel next refresh deadline (tREFI cadence). */
     std::vector<Cycles> nextRefresh_;
     /** Per-channel cycle until which a refresh blocks the channel. */
@@ -269,6 +301,14 @@ class MemoryController : public MemoryPort
      * a re-evaluation on the following cycle.
      */
     bool purePick_ = false;
+    /**
+     * dramFastPathEnabled() sampled at construction: gates both the
+     * fast issue engine and the bank-mask next-event bound
+     * (PCCS_DRAM_FASTPATH=0 forces the retained full-scan paths).
+     */
+    bool fastEnabled_ = false;
+    /** Cached scheduler_->fastPickEligible(). */
+    bool fastEligible_ = false;
 };
 
 } // namespace pccs::dram

@@ -193,7 +193,10 @@ MultiMcSystem::runEventDriven(Cycles end)
         }
         // Every controller and every generator was quiet: jump to the
         // earliest cycle at which any of them could act. Idle channels
-        // contribute kNoEvent and drop out of the min entirely.
+        // contribute kNoEvent and drop out of the min entirely. Each
+        // controller's bound comes from its bank-mask next-event scan
+        // (O(occupied banks), not a queue walk) unless
+        // PCCS_DRAM_FASTPATH=0 forced the full-scan form.
         Cycles wake = kNoEvent;
         for (const auto &mc : mcs_)
             wake = std::min(wake, mc->nextEventCycle(now_));

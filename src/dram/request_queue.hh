@@ -1,7 +1,8 @@
 /**
  * @file
  * Fixed-capacity request queue with O(1) arrival-order-preserving
- * removal.
+ * removal, SoA mirrors of the hot request fields, and incrementally
+ * maintained per-bank candidate lists.
  *
  * The memory controller removes requests from the *middle* of a
  * channel queue (the scheduler picks by policy, not position), but
@@ -14,12 +15,31 @@
  * sequence a scheduler observes is exactly the sequence the old
  * vector produced, while slot addresses stay stable for the lifetime
  * of a request (QueueEntryView keeps raw pointers across a pick).
+ *
+ * The fast issue engine (PR 9) adds two layers on top of the arena:
+ *
+ *  - SoA mirrors: bank, row, is-write, and the global arrival serial
+ *    of each slot live in parallel arrays, so candidate classification
+ *    touches dense words instead of chasing next_[] through full
+ *    Request structs;
+ *  - per-bank lists: every slot is threaded onto its bank's
+ *    arrival-order FIFO, and slots targeting the bank's open row are
+ *    additionally threaded onto that bank's read or write hit list
+ *    (reads and writes have different CAS-legality bounds). The lists
+ *    change only on the events that change the candidate sets —
+ *    enqueue, CAS dequeue, PRE (clearHits), ACT (rebuildHits) — so the
+ *    issuable-set evaluation never re-derives them from a queue scan.
+ *
+ * Invariant: a slot is on bank b's hit list iff it is queued, targets
+ * bank b, and its row equals the bank's open row — the same predicate
+ * the retained full-scan path evaluates per entry per cycle.
  */
 
 #ifndef PCCS_DRAM_REQUEST_QUEUE_HH
 #define PCCS_DRAM_REQUEST_QUEUE_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <iterator>
 #include <vector>
 
@@ -32,10 +52,17 @@ namespace pccs::dram {
 class RequestQueue
 {
   public:
-    explicit RequestQueue(std::size_t capacity)
-        : slots_(capacity), next_(capacity, -1), prev_(capacity, -1)
+    RequestQueue(std::size_t capacity, unsigned banks)
+        : slots_(capacity), next_(capacity, -1), prev_(capacity, -1),
+          bankOf_(capacity, 0), rowOf_(capacity, 0),
+          writeOf_(capacity, 0), serialOf_(capacity, 0),
+          inHit_(capacity, 0), bankNext_(capacity, -1),
+          bankPrev_(capacity, -1), hitNext_(capacity, -1),
+          hitPrev_(capacity, -1), banks_(banks)
     {
         PCCS_ASSERT(capacity > 0, "request queue needs capacity");
+        PCCS_ASSERT(banks > 0 && banks <= 64,
+                    "per-bank lists support 1..64 banks");
         for (std::size_t i = 0; i + 1 < capacity; ++i)
             next_[i] = static_cast<int>(i + 1);
         freeHead_ = 0;
@@ -48,9 +75,11 @@ class RequestQueue
 
     /**
      * Append a request in arrival order (queue must not be full).
+     * @param row_hit the request targets its bank's currently open row
+     *        (links it onto the bank's read or write hit list)
      * @return the slot index holding it (stable until erase).
      */
-    int push_back(const Request &req)
+    int push_back(const Request &req, bool row_hit)
     {
         PCCS_ASSERT(!full(), "push_back on a full request queue");
         const int s = freeHead_;
@@ -64,6 +93,19 @@ class RequestQueue
             head_ = s;
         tail_ = s;
         ++size_;
+
+        const unsigned b = req.loc.bank;
+        bankOf_[s] = static_cast<std::uint16_t>(b);
+        rowOf_[s] = req.loc.row;
+        writeOf_[s] = req.isWrite ? 1 : 0;
+        serialOf_[s] = req.id;
+        BankLists &bl = banks_[b];
+        bankLink(bl, s);
+        occupiedMask_ |= std::uint64_t{1} << b;
+        if (row_hit)
+            hitLink(bl, s);
+        else
+            inHit_[s] = 0;
         return s;
     }
 
@@ -84,6 +126,46 @@ class RequestQueue
         prev_[s] = -1;
         freeHead_ = s;
         --size_;
+
+        const unsigned b = bankOf_[s];
+        BankLists &bl = banks_[b];
+        bankUnlink(bl, s);
+        if (bl.count == 0)
+            occupiedMask_ &= ~(std::uint64_t{1} << b);
+        if (inHit_[s])
+            hitUnlink(bl, s);
+    }
+
+    /**
+     * Drop bank `b`'s hit lists (its open row is being closed by a PRE
+     * or refresh drain); the bank FIFO is untouched.
+     */
+    void clearHits(unsigned b)
+    {
+        BankLists &bl = banks_[b];
+        for (int s = bl.hitHead[0]; s >= 0; s = hitNext_[s])
+            inHit_[s] = 0;
+        for (int s = bl.hitHead[1]; s >= 0; s = hitNext_[s])
+            inHit_[s] = 0;
+        bl.hitHead[0] = bl.hitHead[1] = -1;
+        bl.hitTail[0] = bl.hitTail[1] = -1;
+        bl.hitCount[0] = bl.hitCount[1] = 0;
+        hitMask_ &= ~(std::uint64_t{1} << b);
+    }
+
+    /**
+     * Rebuild bank `b`'s hit lists after an ACT opened `row`: every
+     * queued request of the bank targeting `row` becomes a hit, in
+     * arrival order (a walk of the bank FIFO, not the whole queue).
+     */
+    void rebuildHits(unsigned b, std::uint32_t row)
+    {
+        clearHits(b);
+        BankLists &bl = banks_[b];
+        for (int s = bl.head; s >= 0; s = bankNext_[s]) {
+            if (rowOf_[s] == row)
+                hitLink(bl, s);
+        }
     }
 
     Request &slot(int s) { return slots_[s]; }
@@ -94,6 +176,38 @@ class RequestQueue
 
     /** @return slot index following `s` in arrival order, or -1. */
     int next(int s) const { return next_[s]; }
+
+    /** SoA mirrors (valid while the slot is queued). */
+    unsigned bank(int s) const { return bankOf_[s]; }
+    std::uint32_t row(int s) const { return rowOf_[s]; }
+    bool isWrite(int s) const { return writeOf_[s] != 0; }
+    /** Global arrival serial (== Request::id, monotone with age). */
+    std::uint64_t serial(int s) const { return serialOf_[s]; }
+    /** True when the slot is on its bank's hit list (open-row match). */
+    bool isHit(int s) const { return inHit_[s] != 0; }
+
+    /** Banks with at least one queued request, one bit per bank. */
+    std::uint64_t occupiedMask() const { return occupiedMask_; }
+    /** Banks with at least one pending open-row hit. */
+    std::uint64_t hitMask() const { return hitMask_; }
+
+    /** Oldest queued request of bank `b` (-1 when none). */
+    int bankHead(unsigned b) const { return banks_[b].head; }
+    /** Queued requests of bank `b`. */
+    unsigned bankCount(unsigned b) const { return banks_[b].count; }
+    /** Next slot of the same bank in arrival order, or -1. */
+    int bankNext(int s) const { return bankNext_[s]; }
+
+    /** Oldest pending read / write hit of bank `b` (-1 when none). */
+    int hitHeadRead(unsigned b) const { return banks_[b].hitHead[0]; }
+    int hitHeadWrite(unsigned b) const { return banks_[b].hitHead[1]; }
+    /** Pending read / write / total hits of bank `b`. */
+    unsigned hitCountRead(unsigned b) const { return banks_[b].hitCount[0]; }
+    unsigned hitCountWrite(unsigned b) const { return banks_[b].hitCount[1]; }
+    unsigned hitCount(unsigned b) const
+    {
+        return banks_[b].hitCount[0] + banks_[b].hitCount[1];
+    }
 
     /** Arrival-order iteration (enables range-for). */
     class const_iterator
@@ -131,10 +245,97 @@ class RequestQueue
     const_iterator end() const { return {this, -1}; }
 
   private:
+    /** Intrusive list anchors of one bank ([0] = reads, [1] = writes). */
+    struct BankLists
+    {
+        int head = -1;
+        int tail = -1;
+        unsigned count = 0;
+        int hitHead[2] = {-1, -1};
+        int hitTail[2] = {-1, -1};
+        unsigned hitCount[2] = {0, 0};
+    };
+
+    void bankLink(BankLists &bl, int s)
+    {
+        bankNext_[s] = -1;
+        bankPrev_[s] = bl.tail;
+        if (bl.tail >= 0)
+            bankNext_[bl.tail] = s;
+        else
+            bl.head = s;
+        bl.tail = s;
+        ++bl.count;
+    }
+
+    void bankUnlink(BankLists &bl, int s)
+    {
+        const int p = bankPrev_[s];
+        const int n = bankNext_[s];
+        if (p >= 0)
+            bankNext_[p] = n;
+        else
+            bl.head = n;
+        if (n >= 0)
+            bankPrev_[n] = p;
+        else
+            bl.tail = p;
+        --bl.count;
+    }
+
+    void hitLink(BankLists &bl, int s)
+    {
+        const unsigned rw = writeOf_[s];
+        hitNext_[s] = -1;
+        hitPrev_[s] = bl.hitTail[rw];
+        if (bl.hitTail[rw] >= 0)
+            hitNext_[bl.hitTail[rw]] = s;
+        else
+            bl.hitHead[rw] = s;
+        bl.hitTail[rw] = s;
+        ++bl.hitCount[rw];
+        inHit_[s] = 1;
+        hitMask_ |= std::uint64_t{1} << bankOf_[s];
+    }
+
+    void hitUnlink(BankLists &bl, int s)
+    {
+        const unsigned rw = writeOf_[s];
+        const int p = hitPrev_[s];
+        const int n = hitNext_[s];
+        if (p >= 0)
+            hitNext_[p] = n;
+        else
+            bl.hitHead[rw] = n;
+        if (n >= 0)
+            hitPrev_[n] = p;
+        else
+            bl.hitTail[rw] = p;
+        --bl.hitCount[rw];
+        inHit_[s] = 0;
+        if (bl.hitCount[0] + bl.hitCount[1] == 0)
+            hitMask_ &= ~(std::uint64_t{1} << bankOf_[s]);
+    }
+
     std::vector<Request> slots_;
     /** Arrival-order successor per slot; doubles as free-list link. */
     std::vector<int> next_;
     std::vector<int> prev_;
+    /** SoA mirrors of the hot request fields, indexed by slot. */
+    std::vector<std::uint16_t> bankOf_;
+    std::vector<std::uint32_t> rowOf_;
+    std::vector<std::uint8_t> writeOf_;
+    std::vector<std::uint64_t> serialOf_;
+    std::vector<std::uint8_t> inHit_;
+    /** Per-bank arrival-order FIFO links, indexed by slot. */
+    std::vector<int> bankNext_;
+    std::vector<int> bankPrev_;
+    /** Hit-list links (a slot is on at most one hit list). */
+    std::vector<int> hitNext_;
+    std::vector<int> hitPrev_;
+    std::vector<BankLists> banks_;
+    std::uint64_t occupiedMask_ = 0;
+    std::uint64_t hitMask_ = 0;
     int head_ = -1;
     int tail_ = -1;
     int freeHead_ = -1;

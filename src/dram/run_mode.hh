@@ -87,6 +87,20 @@ void setDefaultMcRunMode(McRunMode mode);
  */
 unsigned mcShardWorkers();
 
+/**
+ * Whether event-driven controllers use the saturated-path fast issue
+ * engine (bank-state bitmasks + SoA queue mirrors + per-bank candidate
+ * lists with branch-light fast picks for the eligible pure policies).
+ * On by default; PCCS_DRAM_FASTPATH=0 forces the original
+ * full-queue-scan evaluation path for differential testing. Sampled
+ * once per MemoryController at construction; the reference (lockstep)
+ * core never uses the fast engine either way.
+ */
+bool dramFastPathEnabled();
+
+/** Override the fast-path default (tests; affects new controllers). */
+void setDramFastPathEnabled(bool on);
+
 } // namespace pccs::dram
 
 #endif // PCCS_DRAM_RUN_MODE_HH

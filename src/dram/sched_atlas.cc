@@ -94,6 +94,10 @@ registerAtlasPolicy()
         .pickIsPure = true,
         .preservesRowHits = true,
         .needsTickEvents = true,
+        // Per-source rank ordering is not representable in the
+        // bank-mask fast view; ATLAS always takes the materialized
+        // evaluation.
+        .fastPickEligible = false,
     });
 }
 

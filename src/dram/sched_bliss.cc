@@ -10,6 +10,13 @@
 // through nextTickEvent(), so the event core wakes on the precise
 // boundary cycle and the `nextClear_ = now + interval` rearm chain
 // advances identically in both modes.
+//
+// Fast-pick audit: with an empty blacklist the comparator degenerates
+// to FR-FCFS (row hit first, then oldest), which is exactly the
+// shared oldest-hit-else-oldest helper; blacklistCount_ tracks the
+// number of set bits so fastPick() can take that path and otherwise
+// fall back to the materialized evaluation (the per-source bit is not
+// representable in the bank-mask view).
 namespace pccs::dram {
 
 BlissScheduler::BlissScheduler(const SchedulerParams &params)
@@ -25,6 +32,7 @@ BlissScheduler::tick(Cycles now)
     // Periodic forgiveness: every source gets a clean slate, so a
     // blacklisted source is deprioritized for at most one interval.
     blacklist_.fill(false);
+    blacklistCount_ = 0;
     lastSource_ = -1;
     streak_ = 0;
     nextClear_ = now + params_.blissClearInterval;
@@ -38,8 +46,11 @@ BlissScheduler::onService(const Request &req, Cycles now, unsigned bytes)
     PCCS_ASSERT(req.source < maxSources, "source id %u out of range",
                 req.source);
     if (static_cast<int>(req.source) == lastSource_) {
-        if (++streak_ >= params_.blissBlacklistThreshold)
+        if (++streak_ >= params_.blissBlacklistThreshold &&
+            !blacklist_[req.source]) {
             blacklist_[req.source] = true;
+            ++blacklistCount_;
+        }
     } else {
         lastSource_ = static_cast<int>(req.source);
         streak_ = 1;
@@ -73,6 +84,17 @@ BlissScheduler::pick(unsigned channel,
     return best;
 }
 
+int
+BlissScheduler::fastPick(const FastIssueView &view, unsigned channel,
+                         Cycles now)
+{
+    (void)channel;
+    (void)now;
+    if (blacklistCount_ != 0)
+        return kFastPickFallback;
+    return fastPickOldestHitElseOldest(view);
+}
+
 void
 registerBlissPolicy()
 {
@@ -86,6 +108,7 @@ registerBlissPolicy()
         .pickIsPure = true,
         .preservesRowHits = true,
         .needsTickEvents = true,
+        .fastPickEligible = true,
     });
 }
 

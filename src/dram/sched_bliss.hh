@@ -35,6 +35,9 @@ class BlissScheduler : public Scheduler
     void onService(const Request &req, Cycles now, unsigned bytes) override;
     int pick(unsigned channel, std::span<const QueueEntryView> entries,
              Cycles now) override;
+    bool fastPickEligible() const override { return true; }
+    int fastPick(const FastIssueView &view, unsigned channel,
+                 Cycles now) override;
 
     /** @return true if a source is currently blacklisted (for tests). */
     bool blacklisted(unsigned source) const { return blacklist_[source]; }
@@ -47,6 +50,8 @@ class BlissScheduler : public Scheduler
     unsigned streak_ = 0;
     /** One interference bit per source. */
     std::array<bool, maxSources> blacklist_{};
+    /** Number of set bits in blacklist_ (fast-pick degeneracy check). */
+    unsigned blacklistCount_ = 0;
     Cycles nextClear_;
 };
 

@@ -11,6 +11,16 @@
 // handles this by falling back to +1-cycle stepping whenever a wake
 // cycle yields no command (it never re-skips past a computed
 // issuability edge).
+//
+// Fast-pick audit: both policies are fast-pick eligible with no
+// fallback states. FCFS's window holds the `window` smallest-arrival
+// entries with earlier queue positions winning arrival ties — since
+// the queue walk is id order and arrival is non-decreasing in id,
+// that is exactly the first `window` slots of the arrival list, and
+// the winner is the first issuable among them. FR-FCFS's comparator
+// (row hit first, then arrival with first-in-walk-order tie-break) is
+// precisely the shared oldest-hit-else-oldest helper over the bank
+// masks (min arrival serial == min id == first in walk order).
 namespace pccs::dram {
 
 int
@@ -52,6 +62,23 @@ FcfsScheduler::pick(unsigned channel, std::span<const QueueEntryView> entries,
 }
 
 int
+FcfsScheduler::fastPick(const FastIssueView &view, unsigned channel,
+                        Cycles now)
+{
+    (void)channel;
+    (void)now;
+    // The first issuable slot among the `window` oldest (the arrival
+    // list is walked in id order == age order).
+    int n = 0;
+    for (int s = view.queue->head(); s >= 0 && n < window;
+         s = view.queue->next(s), ++n) {
+        if (view.slotIssuable(s))
+            return s;
+    }
+    return -1;
+}
+
+int
 FrFcfsScheduler::pick(unsigned channel,
                       std::span<const QueueEntryView> entries, Cycles now)
 {
@@ -76,6 +103,15 @@ FrFcfsScheduler::pick(unsigned channel,
     return best;
 }
 
+int
+FrFcfsScheduler::fastPick(const FastIssueView &view, unsigned channel,
+                          Cycles now)
+{
+    (void)channel;
+    (void)now;
+    return fastPickOldestHitElseOldest(view);
+}
+
 void
 registerFcfsPolicies()
 {
@@ -89,6 +125,7 @@ registerFcfsPolicies()
         .pickIsPure = true,
         .preservesRowHits = false,
         .needsTickEvents = false,
+        .fastPickEligible = true,
     });
     registerSchedulerPolicy({
         .name = "FR-FCFS",
@@ -100,6 +137,7 @@ registerFcfsPolicies()
         .pickIsPure = true,
         .preservesRowHits = true,
         .needsTickEvents = false,
+        .fastPickEligible = true,
     });
 }
 

@@ -8,6 +8,15 @@
 // CAS-issue cycles; both cores process every CAS on identical cycles,
 // so the masks advance in lockstep. tick() is the default no-op and
 // nextTickEvent() stays kNoEvent.
+//
+// Fast-pick audit: the comparator is a strict three-tier ladder keyed
+// only on the bank index, and within a tier it is exactly FR-FCFS, so
+// each tier maps onto a bank-filtered oldest-hit-else-oldest pass:
+// tier 0 (reserved banks holding their turn) picks the lowest bank
+// index with any issuable candidate — hit preferred within the bank —
+// tier 1 restricts the helper to reserved & ~turns, tier 2 to
+// ~reserved. MEDUSA preserves row hits, so a bank's candidates are
+// all hits or all non-hits and the per-bank heads cover every case.
 namespace pccs::dram {
 
 MedusaScheduler::MedusaScheduler(const SchedulerParams &params)
@@ -83,6 +92,29 @@ MedusaScheduler::pick(unsigned channel,
     return best;
 }
 
+int
+MedusaScheduler::fastPick(const FastIssueView &view, unsigned channel,
+                          Cycles now)
+{
+    (void)now;
+    const std::uint64_t reserved = params_.medusaReservedBankMask;
+    const std::uint64_t turns = channelMask(channel);
+
+    // Tier 0: lowest-indexed in-turn reserved bank with an issuable
+    // candidate; a hit in that bank beats its oldest non-hit.
+    const std::uint64_t in_turn =
+        (view.hitBanks() | view.otherBanks()) & turns;
+    if (in_turn) {
+        const unsigned b =
+            static_cast<unsigned>(std::countr_zero(in_turn));
+        const int s = view.oldestHitSlot(b);
+        return s >= 0 ? s : view.oldestOtherSlot(b);
+    }
+    // Tier 1: reserved banks out of turn; tier 2: everyone else.
+    const int s = fastPickOldestHitElseOldest(view, reserved & ~turns);
+    return s >= 0 ? s : fastPickOldestHitElseOldest(view, ~reserved);
+}
+
 void
 registerMedusaPolicy()
 {
@@ -96,6 +128,7 @@ registerMedusaPolicy()
         .pickIsPure = true,
         .preservesRowHits = true,
         .needsTickEvents = false,
+        .fastPickEligible = true,
     });
 }
 

@@ -152,6 +152,9 @@ registerParbsPolicy()
         .pickIsPure = false,
         .preservesRowHits = true,
         .needsTickEvents = false,
+        // Batch formation consumes the full queue view on every call;
+        // PARBS always takes the materialized evaluation.
+        .fastPickEligible = false,
     });
 }
 

@@ -168,6 +168,9 @@ registerSmsPolicy()
         .pickIsPure = false,
         .preservesRowHits = true,
         .needsTickEvents = false,
+        // pick() rebatches (mutates state) on every call and so needs
+        // the full materialized view on exactly the reference cycles.
+        .fastPickEligible = false,
     });
 }
 

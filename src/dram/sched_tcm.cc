@@ -143,6 +143,9 @@ registerTcmPolicy()
         .pickIsPure = true,
         .preservesRowHits = true,
         .needsTickEvents = true,
+        // Cluster/rank prioritization is per-source, not per-bank;
+        // TCM always takes the materialized evaluation.
+        .fastPickEligible = false,
     });
 }
 

@@ -22,6 +22,8 @@
 #ifndef PCCS_DRAM_SCHEDULER_HH
 #define PCCS_DRAM_SCHEDULER_HH
 
+#include <bit>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -30,6 +32,7 @@
 #include <vector>
 
 #include "dram/request.hh"
+#include "dram/request_queue.hh"
 
 namespace pccs::dram {
 
@@ -45,6 +48,115 @@ struct QueueEntryView
     /** True if the request's row is currently open in its bank. */
     bool rowHit = false;
 };
+
+/**
+ * The saturated-path alternative to a materialized QueueEntryView
+ * span: per-bank legality bitmasks over the queue's incrementally
+ * maintained candidate lists. The controller classifies each occupied
+ * bank once (all of a bank's read hits share one CAS-legality bound,
+ * all write hits another, all conflict PREs a third, all closed-bank
+ * ACTs a fourth), so a policy's fastPick() works on whole banks via
+ * countr_zero loops instead of walking entries.
+ *
+ * Mask semantics at the evaluation cycle `now`:
+ *  - hitReadMask / hitWriteMask: banks whose pending read / write
+ *    open-row hits can issue their CAS now;
+ *  - preMask: banks whose (unmasked) row-conflict PRE is legal now —
+ *    for row-hit-preserving policies a bank with pending hits never
+ *    appears here, so per bank the hit and non-hit candidate classes
+ *    are mutually exclusive;
+ *  - actMask: closed banks whose ACT is legal now (rank windows
+ *    included).
+ */
+struct FastIssueView
+{
+    const RequestQueue *queue = nullptr;
+    unsigned numBanks = 0;
+    std::uint64_t openRowMask = 0;
+    std::uint64_t hitReadMask = 0;
+    std::uint64_t hitWriteMask = 0;
+    std::uint64_t preMask = 0;
+    std::uint64_t actMask = 0;
+
+    /** Banks with an issuable CAS / an issuable PRE-or-ACT. */
+    std::uint64_t hitBanks() const { return hitReadMask | hitWriteMask; }
+    std::uint64_t otherBanks() const { return preMask | actMask; }
+
+    /**
+     * Oldest issuable open-row hit of bank `b` (min arrival serial of
+     * the issuable read/write hit-list heads), or -1.
+     */
+    int oldestHitSlot(unsigned b) const
+    {
+        const std::uint64_t bit = std::uint64_t{1} << b;
+        const int rd = (hitReadMask & bit) ? queue->hitHeadRead(b) : -1;
+        const int wr = (hitWriteMask & bit) ? queue->hitHeadWrite(b) : -1;
+        if (rd < 0)
+            return wr;
+        if (wr < 0)
+            return rd;
+        return queue->serial(rd) < queue->serial(wr) ? rd : wr;
+    }
+
+    /**
+     * Oldest non-hit candidate of bank `b` — valid for banks in
+     * otherBanks() under a row-hit-preserving policy (such a bank has
+     * no pending hits, so its FIFO head *is* the oldest PRE/ACT
+     * candidate).
+     */
+    int oldestOtherSlot(unsigned b) const { return queue->bankHead(b); }
+
+    /** Exact per-slot issuability (slot must be queued). */
+    bool slotIssuable(int s) const
+    {
+        const std::uint64_t bit = std::uint64_t{1} << queue->bank(s);
+        if (queue->isHit(s))
+            return (queue->isWrite(s) ? hitWriteMask : hitReadMask) &
+                   bit;
+        if (openRowMask & bit)
+            return (preMask & bit) != 0;
+        return (actMask & bit) != 0;
+    }
+};
+
+/**
+ * Oldest issuable row hit, falling back to the oldest issuable
+ * non-hit, over the banks selected by `filter` — the FR-FCFS decision
+ * (row hit first, then age; age == min arrival serial, which matches
+ * the materialized comparators' arrival-then-walk-order tie-break),
+ * shared by the eligible policies' fastPick() tiers.
+ * @return the chosen slot, or -1 when no filtered bank has a candidate.
+ */
+inline int
+fastPickOldestHitElseOldest(const FastIssueView &v,
+                            std::uint64_t filter = ~std::uint64_t{0})
+{
+    int best = -1;
+    std::uint64_t best_serial = 0;
+    for (std::uint64_t m = v.hitBanks() & filter; m; m &= m - 1) {
+        const unsigned b =
+            static_cast<unsigned>(std::countr_zero(m));
+        const int s = v.oldestHitSlot(b);
+        const std::uint64_t ser = v.queue->serial(s);
+        if (best < 0 || ser < best_serial) {
+            best = s;
+            best_serial = ser;
+        }
+    }
+    if (best >= 0)
+        return best;
+    for (std::uint64_t m = v.otherBanks() & filter; m; m &= m - 1) {
+        const unsigned b =
+            static_cast<unsigned>(std::countr_zero(m));
+        const int s = v.oldestOtherSlot(b);
+        const std::uint64_t ser = v.queue->serial(s);
+        if (best < 0 || ser < best_serial) {
+            best = s;
+            best_serial = ser;
+        }
+    }
+    return best;
+}
 
 /**
  * Abstract scheduling policy.
@@ -139,6 +251,37 @@ class Scheduler
                      std::span<const QueueEntryView> entries,
                      Cycles now) = 0;
 
+    /** fastPick() return value requesting the materialized slow path. */
+    static constexpr int kFastPickFallback = -2;
+
+    /**
+     * True when fastPick() implements this policy's decision exactly
+     * (possibly via kFastPickFallback escapes for states it cannot
+     * express over the bank masks). Requires pickIsPure(): the fast
+     * engine evaluates only on legality edges, which is only sound for
+     * policies whose skipped picks are pure no-ops.
+     */
+    virtual bool fastPickEligible() const { return false; }
+
+    /**
+     * Branch-light pick over the bank-granular FastIssueView instead
+     * of a materialized entry span. Must return exactly the slot the
+     * materialized pick() would have chosen (the equivalence fuzz in
+     * tests/test_dram_fastpath.cc enforces this per policy), -1 to
+     * idle, or kFastPickFallback to make the controller materialize
+     * the full entry list and call pick(). Only called when at least
+     * one candidate is issuable and fastPickEligible() is true.
+     *
+     * @return a queue slot index (not an entry index), -1, or
+     *         kFastPickFallback.
+     */
+    virtual int fastPick(const FastIssueView &view, unsigned channel,
+                         Cycles now)
+    {
+        (void)view; (void)channel; (void)now;
+        return kFastPickFallback;
+    }
+
     /** Maximum number of sources a policy tracks. */
     static constexpr unsigned maxSources = 64;
 };
@@ -198,6 +341,8 @@ struct PolicyInfo
     bool preservesRowHits = true;
     /** True when nextTickEvent() is ever != kNoEvent (ATLAS/TCM/BLISS). */
     bool needsTickEvents = false;
+    /** Scheduler::fastPickEligible() of instances of this policy. */
+    bool fastPickEligible = false;
 };
 
 /**

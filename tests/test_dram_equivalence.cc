@@ -221,6 +221,25 @@ const GoldenRow kGolden[] = {
      {1837u, 506u, 617u, 1726u, 4u, 149952u, 2345u, 204033u}},
     {"MEDUSA", 2.50,
      {7073u, 1370u, 3041u, 5402u, 4u, 540352u, 8457u, 3606726u}},
+    // scale 5.0: deep saturation (queues full, backpressure active) —
+    // the regime the bank-mask fast issue engine serves. Captured from
+    // the reference loop immediately before the fast engine landed.
+    {"FCFS", 5.00,
+     {6136u, 1141u, 2288u, 4989u, 4u, 465728u, 7272u, 3422702u}},
+    {"FR-FCFS", 5.00,
+     {7551u, 1422u, 3313u, 5660u, 4u, 574272u, 8976u, 3655994u}},
+    {"ATLAS", 5.00,
+     {7603u, 1431u, 3671u, 5363u, 4u, 578176u, 9039u, 3621300u}},
+    {"TCM", 5.00,
+     {7551u, 1422u, 3313u, 5660u, 4u, 574272u, 8976u, 3655994u}},
+    {"SMS", 5.00,
+     {7475u, 1397u, 3244u, 5628u, 4u, 567808u, 8874u, 3649405u}},
+    {"BLISS", 5.00,
+     {7605u, 1403u, 3375u, 5633u, 4u, 576512u, 9004u, 3642757u}},
+    {"PARBS", 5.00,
+     {7615u, 1425u, 3495u, 5545u, 4u, 578560u, 9039u, 3664481u}},
+    {"MEDUSA", 5.00,
+     {7112u, 1345u, 3132u, 5325u, 4u, 541248u, 8455u, 3646361u}},
 };
 
 class GoldenPinning : public ::testing::TestWithParam<DramRunMode>

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Differential fuzz for the saturated-path fast issue engine.
+ *
+ * Every configuration is run three ways — the per-cycle reference
+ * loop, the event-driven loop with the bank-mask fast path (the
+ * default), and the event-driven loop with PCCS_DRAM_FASTPATH=0
+ * semantics (setDramFastPathEnabled(false)) forcing the retained
+ * full-scan path — and all three must agree on every statistic,
+ * per-source counter, and the final pending-request census. The
+ * workloads are randomized per seed and deliberately hostile: mixed
+ * read/write traffic, tiny queues so enqueue backpressure is constant,
+ * write drains, refresh cadence, and scheduler quantum/shuffle/clear
+ * ticks at shortened intervals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "dram/run_mode.hh"
+#include "dram/system.hh"
+
+namespace pccs::dram {
+namespace {
+
+/** Restore the process-wide fast-path flag on scope exit. */
+class FastPathGuard
+{
+  public:
+    explicit FastPathGuard(bool on) : saved_(dramFastPathEnabled())
+    {
+        setDramFastPathEnabled(on);
+    }
+    ~FastPathGuard() { setDramFastPathEnabled(saved_); }
+
+  private:
+    bool saved_;
+};
+
+/**
+ * A randomized small-queue system: per-seed traffic mix over 2
+ * channels with 16 queue slots each, so saturation and queue-full
+ * retry paths are exercised from the first few hundred cycles.
+ */
+std::unique_ptr<DramSystem>
+buildFuzzSystem(std::string_view policy, std::uint64_t seed,
+                DramRunMode mode)
+{
+    Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
+    DramConfig cfg = table1Config();
+    cfg.channels = 2;
+    cfg.requestBufferEntries = 16 * cfg.channels;
+
+    // Shortened tick cadences so quantum/shuffle/blacklist-clear
+    // events land inside the short fuzz window.
+    SchedulerParams sp;
+    sp.quantum = 1500;
+    sp.starvationThreshold = 600;
+    sp.tcmShuffleInterval = 700;
+    sp.blissClearInterval = 900;
+    sp.blissBlacklistThreshold = 2;
+    sp.smsBatchCap = 8;
+    sp.seed = seed * 31 + 5;
+
+    auto sys = std::make_unique<DramSystem>(cfg, policy, sp, mode);
+    const unsigned gens = 2 + static_cast<unsigned>(rng.next() % 3);
+    for (unsigned s = 0; s < gens; ++s) {
+        TrafficParams p;
+        p.source = s;
+        p.demand = 4.0 + 28.0 * rng.uniform();
+        p.rowLocality = 0.3 + 0.65 * rng.uniform();
+        p.writeFraction = 0.5 * rng.uniform();
+        p.mlp = 8 + static_cast<unsigned>(rng.next() % 56);
+        p.seed = seed * 131 + s;
+        sys->addGenerator(p);
+    }
+    return sys;
+}
+
+void
+expectIdenticalStats(DramSystem &a, DramSystem &b, const char *label)
+{
+    SCOPED_TRACE(label);
+    const ControllerStats &sa = a.controller().stats();
+    const ControllerStats &sb = b.controller().stats();
+    EXPECT_EQ(sa.reads, sb.reads);
+    EXPECT_EQ(sa.writes, sb.writes);
+    EXPECT_EQ(sa.rowHits, sb.rowHits);
+    EXPECT_EQ(sa.rowMisses, sb.rowMisses);
+    EXPECT_EQ(sa.refreshes, sb.refreshes);
+    EXPECT_EQ(sa.bytesTransferred, sb.bytesTransferred);
+    EXPECT_EQ(sa.completed, sb.completed);
+    EXPECT_EQ(sa.totalLatency, sb.totalLatency);
+    for (unsigned s = 0; s < Scheduler::maxSources; ++s) {
+        EXPECT_EQ(sa.bytesPerSource[s], sb.bytesPerSource[s])
+            << "source " << s;
+        EXPECT_EQ(sa.completedPerSource[s], sb.completedPerSource[s])
+            << "source " << s;
+    }
+    EXPECT_EQ(a.now(), b.now());
+    EXPECT_EQ(a.controller().pendingRequests(),
+              b.controller().pendingRequests());
+}
+
+/**
+ * Segmented run: several short run() calls (instead of one long one)
+ * so mid-flight queue states are crossed by the outer loop boundary,
+ * plus a measurement reset partway to cover stats-window interplay.
+ */
+void
+runSegmented(DramSystem &sys)
+{
+    sys.run(700);
+    sys.run(300);
+    sys.resetMeasurement();
+    for (int i = 0; i < 5; ++i)
+        sys.run(1100);
+}
+
+class FastPathDifferential
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(FastPathDifferential, ThreeWayAgreement)
+{
+    const std::string policy = GetParam();
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+
+        auto ref =
+            buildFuzzSystem(policy, seed, DramRunMode::Reference);
+        runSegmented(*ref);
+
+        // The flag is sampled at controller construction, so the
+        // guard must wrap the build, not just the run.
+        std::unique_ptr<DramSystem> fast;
+        {
+            FastPathGuard on(true);
+            fast = buildFuzzSystem(policy, seed,
+                                   DramRunMode::EventDriven);
+        }
+        runSegmented(*fast);
+
+        std::unique_ptr<DramSystem> slow;
+        {
+            FastPathGuard off(false);
+            slow = buildFuzzSystem(policy, seed,
+                                   DramRunMode::EventDriven);
+        }
+        runSegmented(*slow);
+
+        expectIdenticalStats(*ref, *fast, "reference vs fastpath");
+        expectIdenticalStats(*ref, *slow, "reference vs full-scan");
+
+        // The scratch buffers are reserved to queue capacity up
+        // front; any regrowth under saturation is a regression.
+        EXPECT_EQ(ref->controller().scratchReallocations(), 0u);
+        EXPECT_EQ(fast->controller().scratchReallocations(), 0u);
+        EXPECT_EQ(slow->controller().scratchReallocations(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, FastPathDifferential,
+    ::testing::ValuesIn(schedulerNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+/** The env-var parse itself: only the literal "0" disables. */
+TEST(FastPathFlag, SetterRoundTrip)
+{
+    const bool saved = dramFastPathEnabled();
+    setDramFastPathEnabled(false);
+    EXPECT_FALSE(dramFastPathEnabled());
+    setDramFastPathEnabled(true);
+    EXPECT_TRUE(dramFastPathEnabled());
+    setDramFastPathEnabled(saved);
+}
+
+} // namespace
+} // namespace pccs::dram

@@ -70,6 +70,10 @@ TEST(SchedulerRegistry, DescriptorAgreesWithInstance)
         EXPECT_EQ(sched->preservesRowHits(), info.preservesRowHits);
         EXPECT_EQ(sched->nextTickEvent() != kNoEvent,
                   info.needsTickEvents);
+        EXPECT_EQ(sched->fastPickEligible(), info.fastPickEligible);
+        // A fast pick without a pure pick would let the fast engine
+        // skip state-mutating evaluations; forbid the combination.
+        EXPECT_TRUE(!info.fastPickEligible || info.pickIsPure);
     }
 }
 

@@ -564,7 +564,7 @@ cmdPolicies(const ArgMap &args)
         }
     }
     Table t({"policy", "aliases", "pure pick", "row-hit preserving",
-             "tick events"});
+             "tick events", "fast pick"});
     for (const auto &p : dram::schedulerPolicies()) {
         std::string aliases;
         for (const std::string &a : p.aliases) {
@@ -575,7 +575,8 @@ cmdPolicies(const ArgMap &args)
         t.addRow({p.name, aliases.empty() ? "-" : aliases,
                   p.pickIsPure ? "yes" : "no",
                   p.preservesRowHits ? "yes" : "no",
-                  p.needsTickEvents ? "yes" : "no"});
+                  p.needsTickEvents ? "yes" : "no",
+                  p.fastPickEligible ? "yes" : "no"});
     }
     std::printf("%s", t.str().c_str());
     return 0;
