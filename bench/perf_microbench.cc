@@ -9,13 +9,19 @@
  * Beyond the standard google-benchmark flags, `--json <path>` writes a
  * machine-readable snapshot ({benchmark, ns/op, items/s}) of every run
  * — CI stores it as the BENCH_dram.json artifact — and
- * `--min-cycles-per-sec <n>` exits nonzero unless the saturated
- * event-driven DRAM benchmark sustained at least `n` simulated
- * cycles/s (the CI perf-smoke floor for the fast issue engine).
+ * `--min-cycles-per-sec <n>` exits nonzero unless every saturated
+ * DRAM row that ran (the headline event-driven row plus each
+ * per-policy row) sustained at least `n` simulated cycles/s (the CI
+ * perf-smoke floor for the fast issue engine). The per-policy
+ * saturated rows are registered under their policy names
+ * (`BM_DramCyclesSaturatedPolicy/FR-FCFS`, ...); `--policies a,b` or
+ * the PCCS_POLICY_FILTER environment variable restricts which
+ * policies get rows, so CI floors can target policy subsets.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -283,20 +289,19 @@ BENCHMARK(BM_DramCyclesSaturated4EventDriven)
 
 /**
  * The same saturated workload once per registered policy (event-driven
- * mode), so the fast-pick engine's coverage is visible: the eligible
- * policies (FCFS, FR-FCFS, BLISS, MEDUSA) take the bank-mask issue
- * path, the full-view policies (ATLAS, TCM, SMS, PARBS) the
- * materialized one. The argument indexes the registry, so new
- * registrations are benchmarked automatically.
+ * mode), so the fast-pick engine's coverage is visible: every registry
+ * policy takes the mask-based issue path now, with the materialized
+ * scan held in reserve for fastPick fallback states (a starved ATLAS
+ * entry). Registered programmatically from main() so each row carries
+ * its policy name (`BM_DramCyclesSaturatedPolicy/FR-FCFS`) instead of
+ * a registry index, and so `--policies` can restrict the set.
  */
 void
-BM_DramCyclesSaturatedPolicy(benchmark::State &state)
+dramCyclesSaturatedPolicy(benchmark::State &state,
+                          const std::string &policy)
 {
-    const auto &policies = dram::schedulerPolicies();
-    const auto &info =
-        policies[static_cast<std::size_t>(state.range(0))];
-    state.SetLabel(info.name);
-    dram::DramSystem sys(dram::table1Config(), info.name,
+    constexpr Cycles kCycles = 20000;
+    dram::DramSystem sys(dram::table1Config(), policy,
                          dram::SchedulerParams{},
                          dram::DramRunMode::EventDriven);
     for (unsigned c = 0; c < 4; ++c) {
@@ -308,18 +313,10 @@ BM_DramCyclesSaturatedPolicy(benchmark::State &state)
     }
     sys.run(10000); // fill the queues
     for (auto _ : state)
-        sys.run(static_cast<Cycles>(state.range(1)));
-    state.SetItemsProcessed(state.iterations() * state.range(1));
+        sys.run(kCycles);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kCycles));
 }
-BENCHMARK(BM_DramCyclesSaturatedPolicy)
-    ->Apply([](benchmark::internal::Benchmark *b) {
-        const auto n = static_cast<long>(
-            dram::schedulerPolicies().size());
-        for (long i = 0; i < n; ++i)
-            b->Args({i, 20000});
-    })
-    ->ArgNames({"policy", "cycles"})
-    ->Unit(benchmark::kMillisecond);
 
 /**
  * Simulated-cycles-per-second of the three multi-MC run loops
@@ -331,12 +328,13 @@ BENCHMARK(BM_DramCyclesSaturatedPolicy)
  */
 void
 multiMcCycles(benchmark::State &state, dram::McRunMode mode,
-              bool saturated)
+              bool saturated, const std::string &policy = "FR-FCFS",
+              Cycles cycles = 0) // 0: take the count from range(0)
 {
     dram::DramConfig cfg = dram::table1Config();
     cfg.channels = 1;
     cfg.requestBufferEntries = 64;
-    dram::MultiMcSystem sys(cfg, 4, "FR-FCFS",
+    dram::MultiMcSystem sys(cfg, 4, policy,
                             dram::McMapping::RangePartitioned,
                             dram::SchedulerParams{}, mode);
     const unsigned sources = saturated ? 4 : 2;
@@ -351,9 +349,12 @@ multiMcCycles(benchmark::State &state, dram::McRunMode mode,
         sys.addGenerator(p);
     }
     sys.run(10000);
+    if (cycles == 0)
+        cycles = static_cast<Cycles>(state.range(0));
     for (auto _ : state)
-        sys.run(static_cast<Cycles>(state.range(0)));
-    state.SetItemsProcessed(state.iterations() * state.range(0));
+        sys.run(cycles);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(cycles));
 }
 
 void
@@ -414,6 +415,52 @@ BM_MultiMcCyclesSaturatedSharded(benchmark::State &state)
 BENCHMARK(BM_MultiMcCyclesSaturatedSharded)
     ->Arg(20000)
     ->Unit(benchmark::kMillisecond);
+
+/**
+ * The saturated multi-MC workload once per registered policy
+ * (event-driven mode — each MemoryController inherits the fast issue
+ * engine, so these rows show the per-source tier passes under the
+ * multi-controller loops). Registered programmatically from main()
+ * with policy-name row labels, same as the single-MC per-policy rows.
+ */
+void
+multiMcCyclesSaturatedPolicy(benchmark::State &state,
+                             const std::string &policy)
+{
+    multiMcCycles(state, dram::McRunMode::EventDriven, true, policy,
+                  20000);
+}
+
+/**
+ * Register the per-policy saturated rows, restricted to `filter` when
+ * non-empty (entries already validated against the registry). Called
+ * from main() after benchmark::Initialize so each row is named after
+ * its policy rather than a registry index.
+ */
+void
+registerPerPolicyBenchmarks(const std::vector<std::string> &filter)
+{
+    for (const auto &info : dram::schedulerPolicies()) {
+        if (!filter.empty() &&
+            std::find(filter.begin(), filter.end(), info.name) ==
+                filter.end()) {
+            continue;
+        }
+        const std::string name = info.name;
+        benchmark::RegisterBenchmark(
+            ("BM_DramCyclesSaturatedPolicy/" + name).c_str(),
+            [name](benchmark::State &st) {
+                dramCyclesSaturatedPolicy(st, name);
+            })
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(
+            ("BM_MultiMcCyclesSaturatedPolicy/" + name).c_str(),
+            [name](benchmark::State &st) {
+                multiMcCyclesSaturatedPolicy(st, name);
+            })
+            ->Unit(benchmark::kMillisecond);
+    }
+}
 
 void
 BM_SchedulerPick(benchmark::State &state)
@@ -533,34 +580,52 @@ class JsonSnapshotReporter : public benchmark::ConsoleReporter
     }
 
     /**
-     * Enforce a throughput floor on the saturated event-driven DRAM
-     * row (the fast issue engine's headline number; CI perf smoke).
-     * @return true when the row was found and met the floor.
+     * Enforce a throughput floor on every saturated single-MC DRAM
+     * row that ran: the headline event-driven row plus each
+     * per-policy row (CI perf smoke; with all eight policies
+     * fast-pick eligible the floor binds on the whole registry, and
+     * `--policies` narrows the checked set along with the run set).
+     * @return true when at least one such row ran and all met the
+     *         floor.
      */
     bool checkSaturatedFloor(double min_cycles_per_sec) const
     {
+        bool found = false;
+        bool ok = true;
+        const Row *worst = nullptr;
         for (const Row &row : rows_) {
             if (row.name.rfind("BM_DramCyclesSaturated4EventDriven",
-                               0) != 0) {
+                               0) != 0 &&
+                row.name.rfind("BM_DramCyclesSaturatedPolicy/", 0) !=
+                    0) {
                 continue;
             }
-            if (row.itemsPerSecond >= min_cycles_per_sec) {
-                std::printf("perf floor ok: %.0f >= %.0f cycles/s\n",
-                            row.itemsPerSecond, min_cycles_per_sec);
-                return true;
+            found = true;
+            if (!worst || row.itemsPerSecond < worst->itemsPerSecond)
+                worst = &row;
+            if (row.itemsPerSecond < min_cycles_per_sec) {
+                std::fprintf(stderr,
+                             "perf floor FAILED: %s ran %.0f "
+                             "cycles/s, floor %.0f\n",
+                             row.name.c_str(), row.itemsPerSecond,
+                             min_cycles_per_sec);
+                ok = false;
             }
+        }
+        if (!found) {
             std::fprintf(stderr,
-                         "perf floor FAILED: %s ran %.0f cycles/s, "
-                         "floor %.0f\n",
-                         row.name.c_str(), row.itemsPerSecond,
-                         min_cycles_per_sec);
+                         "perf floor FAILED: no saturated DRAM row "
+                         "ran (check --benchmark_filter / "
+                         "--policies)\n");
             return false;
         }
-        std::fprintf(stderr,
-                     "perf floor FAILED: "
-                     "BM_DramCyclesSaturated4EventDriven did not "
-                     "run (check --benchmark_filter)\n");
-        return false;
+        if (ok) {
+            std::printf("perf floor ok: worst row %s ran %.0f >= "
+                        "%.0f cycles/s\n",
+                        worst->name.c_str(), worst->itemsPerSecond,
+                        min_cycles_per_sec);
+        }
+        return ok;
     }
 
     /** Write the snapshot; fatal-free (a bench must not fail late). */
@@ -597,15 +662,53 @@ class JsonSnapshotReporter : public benchmark::ConsoleReporter
     std::vector<Row> rows_;
 };
 
+/**
+ * Parse a comma-separated policy list into canonical registry names.
+ * Unknown names are a fatal error (a typo in a CI floor should fail
+ * loudly, not silently benchmark nothing).
+ * @return false on an unknown policy name.
+ */
+bool
+parsePolicyFilter(const std::string &list,
+                  std::vector<std::string> &filter)
+{
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string token = list.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        if (!token.empty()) {
+            const dram::PolicyInfo *info =
+                dram::findSchedulerPolicy(token);
+            if (!info) {
+                std::fprintf(stderr,
+                             "unknown policy '%s' (valid: %s)\n",
+                             token.c_str(),
+                             dram::schedulerNameList().c_str());
+                return false;
+            }
+            filter.push_back(info->name);
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return true;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    // Peel off `--json <path>` / `--json=<path>` and
-    // `--min-cycles-per-sec <n>` before benchmark's own flag parsing
-    // (it rejects unknown flags).
+    // Peel off `--json <path>` / `--json=<path>`,
+    // `--min-cycles-per-sec <n>`, and `--policies <a,b>` before
+    // benchmark's own flag parsing (it rejects unknown flags).
     std::string json_path;
+    std::string policy_list;
+    if (const char *env = std::getenv("PCCS_POLICY_FILTER"))
+        policy_list = env;
     double min_cycles_per_sec = 0.0;
     std::vector<char *> args;
     for (int i = 0; i < argc; ++i) {
@@ -618,14 +721,22 @@ main(int argc, char **argv)
             min_cycles_per_sec = std::atof(argv[++i]);
         } else if (arg.rfind("--min-cycles-per-sec=", 0) == 0) {
             min_cycles_per_sec = std::atof(arg.c_str() + 21);
+        } else if (arg == "--policies" && i + 1 < argc) {
+            policy_list = argv[++i];
+        } else if (arg.rfind("--policies=", 0) == 0) {
+            policy_list = arg.substr(11);
         } else {
             args.push_back(argv[i]);
         }
     }
+    std::vector<std::string> policy_filter;
+    if (!parsePolicyFilter(policy_list, policy_filter))
+        return 1;
     int bench_argc = static_cast<int>(args.size());
     benchmark::Initialize(&bench_argc, args.data());
     if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
         return 1;
+    registerPerPolicyBenchmarks(policy_filter);
     JsonSnapshotReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);
     if (!json_path.empty())

@@ -19,8 +19,6 @@ MemoryController::MemoryController(const DramConfig &cfg,
     purePick_ = scheduler_->pickIsPure();
     fastEnabled_ = dramFastPathEnabled();
     fastEligible_ = scheduler_->fastPickEligible();
-    PCCS_ASSERT(!fastEligible_ || purePick_,
-                "fast-pick policies must have pure picks");
     channels_.reserve(cfg_.channels);
     queues_.reserve(cfg_.channels);
     for (unsigned c = 0; c < cfg_.channels; ++c) {
@@ -472,11 +470,15 @@ MemoryController::scheduleChannelFast(unsigned ch, Cycles now,
 
     int slot = -1;
     bool row_hit = false;
-    if (ready_hit + ready_other) {
+    // Impure policies (SMS/PARBS) mutate state inside pick() on
+    // no-issuable evaluations too (rebatch checks, RNG); their
+    // fastPick must run on exactly the cycles the lazy materialized
+    // path would call pick(), which is every evaluated cycle.
+    if (ready_hit + ready_other || !purePick_) {
         const int r = scheduler_->fastPick(v, ch, now);
         if (r == Scheduler::kFastPickFallback) {
-            // Policy state the masks cannot express (e.g. an active
-            // BLISS blacklist): materialize the full entry list.
+            // Policy state the masks cannot express (e.g. a starved
+            // ATLAS entry): materialize the full entry list.
             return scheduleChannelSlow(ch, now, wake);
         }
         slot = r;

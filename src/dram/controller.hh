@@ -135,8 +135,9 @@ class MemoryController : public MemoryPort
      * every evaluation; for side-effect-free policies (pickIsPure())
      * it additionally survives enqueues (tightened by the newcomer's
      * own bound) and command issues (advanced to the next legality
-     * bound), while SMS invalidates on both so its rebatching pick()
-     * runs on exactly the reference cycles. Off by default so the
+     * bound), while SMS and PARBS invalidate on both so their
+     * rebatching picks run on exactly the reference cycles. Off by
+     * default so the
      * reference mode stays the plain every-cycle-evaluates-everything
      * specification; bit-exact either way (skipped evaluations are
      * provably no-ops — see the audit notes in the sched_*.cc files).
@@ -212,16 +213,17 @@ class MemoryController : public MemoryPort
      * When `wake` is non-null (lazy scan), it receives a conservative
      * lower bound on the channel's next interesting cycle, computed as
      * a byproduct of the scheduler-view build — no second queue scan.
-     * Dispatches to the fast issue engine (bank-mask evaluation over
-     * the queue's candidate lists) when the policy is eligible and
-     * PCCS_DRAM_FASTPATH is on; the materialized full-scan path is
-     * retained both as the escape hatch and for the remaining
-     * policies.
+     * Dispatches to the fast issue engine (bank-mask and source-mask
+     * evaluation over the queue's candidate lists) when the policy is
+     * eligible and PCCS_DRAM_FASTPATH is on; the materialized
+     * full-scan path is retained both as the escape hatch (fastPick
+     * fallback states) and as the reference the engine is verified
+     * against.
      */
     bool scheduleChannel(unsigned ch, Cycles now, Cycles *wake = nullptr);
     /** The retained materialized evaluation (post-refresh-prologue). */
     bool scheduleChannelSlow(unsigned ch, Cycles now, Cycles *wake);
-    /** The bank-mask fast issue engine (post-refresh-prologue). */
+    /** The mask-based fast issue engine (post-refresh-prologue). */
     bool scheduleChannelFast(unsigned ch, Cycles now, Cycles *wake);
     /**
      * Issue the chosen command (CAS for a hit, else PRE/ACT) and apply

@@ -33,11 +33,29 @@
  * Invariant: a slot is on bank b's hit list iff it is queued, targets
  * bank b, and its row equals the bank's open row — the same predicate
  * the retained full-scan path evaluates per entry per cycle.
+ *
+ * The rank-tier engine (PR 10) adds a third, per-source layer so the
+ * source-ranked policies (ATLAS/TCM/SMS/PARBS/BLISS) can run their
+ * tier selection over masks too:
+ *
+ *  - per-source arrival FIFOs: every slot is threaded onto its
+ *    source's arrival-order list (head == the source's oldest queued
+ *    request, the batch anchor of SMS and the marked prefix of PARBS);
+ *  - per-(source, bank) occupancy counts backing one occupied-bank
+ *    mask per source, and per-(source, bank, direction) hit counts
+ *    backing one read-hit and one write-hit bank mask per source.
+ *    Intersecting a source's masks with the FastIssueView legality
+ *    masks answers "does source s have an issuable hit / non-hit?" in
+ *    a few uint64 ops, which is all a rank tier pass needs.
+ *
+ * All three layers are maintained on the same four events (enqueue,
+ * CAS dequeue, PRE, ACT); nothing is derived by scanning the queue.
  */
 
 #ifndef PCCS_DRAM_REQUEST_QUEUE_HH
 #define PCCS_DRAM_REQUEST_QUEUE_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <iterator>
@@ -48,6 +66,9 @@
 
 namespace pccs::dram {
 
+/** Source-id bound shared by the queue masks and Scheduler state. */
+inline constexpr unsigned kMaxQueueSources = 64;
+
 /** Arrival-ordered request buffer of one channel. */
 class RequestQueue
 {
@@ -56,11 +77,17 @@ class RequestQueue
         : slots_(capacity), next_(capacity, -1), prev_(capacity, -1),
           bankOf_(capacity, 0), rowOf_(capacity, 0),
           writeOf_(capacity, 0), serialOf_(capacity, 0),
-          inHit_(capacity, 0), bankNext_(capacity, -1),
-          bankPrev_(capacity, -1), hitNext_(capacity, -1),
-          hitPrev_(capacity, -1), banks_(banks)
+          inHit_(capacity, 0), srcOf_(capacity, 0),
+          bankNext_(capacity, -1), bankPrev_(capacity, -1),
+          hitNext_(capacity, -1), hitPrev_(capacity, -1),
+          srcNext_(capacity, -1), srcPrev_(capacity, -1), banks_(banks),
+          srcBankCount_(kMaxQueueSources * banks, 0),
+          srcHitCount_(kMaxQueueSources * banks * 2, 0),
+          numBanks_(banks)
     {
         PCCS_ASSERT(capacity > 0, "request queue needs capacity");
+        PCCS_ASSERT(capacity <= 0xFFFF,
+                    "per-source counts support <= 65535 slots");
         PCCS_ASSERT(banks > 0 && banks <= 64,
                     "per-bank lists support 1..64 banks");
         for (std::size_t i = 0; i + 1 < capacity; ++i)
@@ -102,6 +129,16 @@ class RequestQueue
         BankLists &bl = banks_[b];
         bankLink(bl, s);
         occupiedMask_ |= std::uint64_t{1} << b;
+
+        PCCS_ASSERT(req.source < kMaxQueueSources,
+                    "source id %u out of range", req.source);
+        const unsigned src = req.source;
+        srcOf_[s] = static_cast<std::uint8_t>(src);
+        srcLink(sources_[src], s);
+        activeSourceMask_ |= std::uint64_t{1} << src;
+        if (srcBankCount_[src * numBanks_ + b]++ == 0)
+            srcOccupied_[src] |= std::uint64_t{1} << b;
+
         if (row_hit)
             hitLink(bl, s);
         else
@@ -134,6 +171,14 @@ class RequestQueue
             occupiedMask_ &= ~(std::uint64_t{1} << b);
         if (inHit_[s])
             hitUnlink(bl, s);
+
+        const unsigned src = srcOf_[s];
+        SourceList &sl = sources_[src];
+        srcUnlink(sl, s);
+        if (sl.count == 0)
+            activeSourceMask_ &= ~(std::uint64_t{1} << src);
+        if (--srcBankCount_[src * numBanks_ + b] == 0)
+            srcOccupied_[src] &= ~(std::uint64_t{1} << b);
     }
 
     /**
@@ -143,10 +188,14 @@ class RequestQueue
     void clearHits(unsigned b)
     {
         BankLists &bl = banks_[b];
-        for (int s = bl.hitHead[0]; s >= 0; s = hitNext_[s])
+        for (int s = bl.hitHead[0]; s >= 0; s = hitNext_[s]) {
             inHit_[s] = 0;
-        for (int s = bl.hitHead[1]; s >= 0; s = hitNext_[s])
+            srcHitDrop(s);
+        }
+        for (int s = bl.hitHead[1]; s >= 0; s = hitNext_[s]) {
             inHit_[s] = 0;
+            srcHitDrop(s);
+        }
         bl.hitHead[0] = bl.hitHead[1] = -1;
         bl.hitTail[0] = bl.hitTail[1] = -1;
         bl.hitCount[0] = bl.hitCount[1] = 0;
@@ -197,6 +246,37 @@ class RequestQueue
     unsigned bankCount(unsigned b) const { return banks_[b].count; }
     /** Next slot of the same bank in arrival order, or -1. */
     int bankNext(int s) const { return bankNext_[s]; }
+
+    /** Source id of the request in slot `s`. */
+    unsigned source(int s) const { return srcOf_[s]; }
+
+    /** Sources with at least one queued request, one bit per source. */
+    std::uint64_t activeSourceMask() const { return activeSourceMask_; }
+
+    /** Oldest queued request of source `src` (-1 when none). */
+    int sourceHead(unsigned src) const { return sources_[src].head; }
+    /** Queued requests of source `src`. */
+    unsigned sourceCount(unsigned src) const
+    {
+        return sources_[src].count;
+    }
+    /** Next slot of the same source in arrival order, or -1. */
+    int sourceNext(int s) const { return srcNext_[s]; }
+
+    /** Banks where source `src` has at least one queued request. */
+    std::uint64_t sourceOccupiedMask(unsigned src) const
+    {
+        return srcOccupied_[src];
+    }
+    /** Banks where source `src` has a pending open-row read / write hit. */
+    std::uint64_t sourceHitReadMask(unsigned src) const
+    {
+        return srcHitRead_[src];
+    }
+    std::uint64_t sourceHitWriteMask(unsigned src) const
+    {
+        return srcHitWrite_[src];
+    }
 
     /** Oldest pending read / write hit of bank `b` (-1 when none). */
     int hitHeadRead(unsigned b) const { return banks_[b].hitHead[0]; }
@@ -256,6 +336,14 @@ class RequestQueue
         unsigned hitCount[2] = {0, 0};
     };
 
+    /** Intrusive arrival-order list anchors of one source. */
+    struct SourceList
+    {
+        int head = -1;
+        int tail = -1;
+        unsigned count = 0;
+    };
+
     void bankLink(BankLists &bl, int s)
     {
         bankNext_[s] = -1;
@@ -296,6 +384,7 @@ class RequestQueue
         ++bl.hitCount[rw];
         inHit_[s] = 1;
         hitMask_ |= std::uint64_t{1} << bankOf_[s];
+        srcHitAdd(s);
     }
 
     void hitUnlink(BankLists &bl, int s)
@@ -315,6 +404,58 @@ class RequestQueue
         inHit_[s] = 0;
         if (bl.hitCount[0] + bl.hitCount[1] == 0)
             hitMask_ &= ~(std::uint64_t{1} << bankOf_[s]);
+        srcHitDrop(s);
+    }
+
+    void srcLink(SourceList &sl, int s)
+    {
+        srcNext_[s] = -1;
+        srcPrev_[s] = sl.tail;
+        if (sl.tail >= 0)
+            srcNext_[sl.tail] = s;
+        else
+            sl.head = s;
+        sl.tail = s;
+        ++sl.count;
+    }
+
+    void srcUnlink(SourceList &sl, int s)
+    {
+        const int p = srcPrev_[s];
+        const int n = srcNext_[s];
+        if (p >= 0)
+            srcNext_[p] = n;
+        else
+            sl.head = n;
+        if (n >= 0)
+            srcPrev_[n] = p;
+        else
+            sl.tail = p;
+        --sl.count;
+    }
+
+    /** Slot `s` became a hit: count it for its (source, bank, rw). */
+    void srcHitAdd(int s)
+    {
+        const unsigned src = srcOf_[s];
+        const unsigned b = bankOf_[s];
+        const unsigned rw = writeOf_[s];
+        if (srcHitCount_[(src * numBanks_ + b) * 2 + rw]++ == 0) {
+            (rw ? srcHitWrite_ : srcHitRead_)[src] |=
+                std::uint64_t{1} << b;
+        }
+    }
+
+    /** Slot `s` stopped being a hit (CAS, PRE, or row change). */
+    void srcHitDrop(int s)
+    {
+        const unsigned src = srcOf_[s];
+        const unsigned b = bankOf_[s];
+        const unsigned rw = writeOf_[s];
+        if (--srcHitCount_[(src * numBanks_ + b) * 2 + rw] == 0) {
+            (rw ? srcHitWrite_ : srcHitRead_)[src] &=
+                ~(std::uint64_t{1} << b);
+        }
     }
 
     std::vector<Request> slots_;
@@ -327,15 +468,30 @@ class RequestQueue
     std::vector<std::uint8_t> writeOf_;
     std::vector<std::uint64_t> serialOf_;
     std::vector<std::uint8_t> inHit_;
+    std::vector<std::uint8_t> srcOf_;
     /** Per-bank arrival-order FIFO links, indexed by slot. */
     std::vector<int> bankNext_;
     std::vector<int> bankPrev_;
     /** Hit-list links (a slot is on at most one hit list). */
     std::vector<int> hitNext_;
     std::vector<int> hitPrev_;
+    /** Per-source arrival-order FIFO links, indexed by slot. */
+    std::vector<int> srcNext_;
+    std::vector<int> srcPrev_;
     std::vector<BankLists> banks_;
+    std::array<SourceList, kMaxQueueSources> sources_{};
+    /** Queued requests per (source, bank), row-major by source. */
+    std::vector<std::uint16_t> srcBankCount_;
+    /** Pending hits per (source, bank, rw), rw fastest-varying. */
+    std::vector<std::uint16_t> srcHitCount_;
+    /** Per-source bank masks derived from the counts above. */
+    std::array<std::uint64_t, kMaxQueueSources> srcOccupied_{};
+    std::array<std::uint64_t, kMaxQueueSources> srcHitRead_{};
+    std::array<std::uint64_t, kMaxQueueSources> srcHitWrite_{};
+    unsigned numBanks_ = 0;
     std::uint64_t occupiedMask_ = 0;
     std::uint64_t hitMask_ = 0;
+    std::uint64_t activeSourceMask_ = 0;
     int head_ = -1;
     int tail_ = -1;
     int freeHead_ = -1;

@@ -11,6 +11,16 @@
 // fold is the one time-triggered state change; it is exported through
 // nextTickEvent() so the event core wakes on the precise boundary
 // cycle.
+//
+// Fast-pick audit: with no starved entry the comparator ladder is
+// (least attained service, row hit, age) — a source tier followed by
+// the shared oldest-hit-else-oldest step, which the per-source masks
+// express exactly. The starvation bit is per *entry* and can promote
+// an arbitrary subset past the service ranking, so it is the one
+// documented fallback state; since the queue head has the globally
+// minimal arrival, "head not starved" proves no entry is starved, and
+// the test costs one subtraction. Under saturation queue residence is
+// far below the 20k-cycle default threshold, so the fallback is cold.
 namespace pccs::dram {
 
 AtlasScheduler::AtlasScheduler(const SchedulerParams &params)
@@ -81,6 +91,41 @@ AtlasScheduler::pick(unsigned channel,
     return best;
 }
 
+int
+AtlasScheduler::fastPick(const FastIssueView &view, unsigned channel,
+                         Cycles now)
+{
+    (void)channel;
+    // Starvation is per entry, not per source; once any entry crosses
+    // the threshold the ladder is led by a set the source masks
+    // cannot express. The queue head is the oldest entry overall, so
+    // an un-starved head proves an un-starved queue.
+    const RequestQueue &q = *view.queue;
+    if (now - q.slot(q.head()).arrival > params_.starvationThreshold)
+        return kFastPickFallback;
+
+    const std::uint64_t issuable = view.issuableSourceMask();
+    if (!issuable)
+        return -1;
+    // Top rank tier: issuable sources with the least attained service.
+    std::uint64_t tier = 0;
+    double tier_svc = 0.0;
+    for (std::uint64_t m = issuable; m; m &= m - 1) {
+        const unsigned src =
+            static_cast<unsigned>(std::countr_zero(m));
+        const double svc = totalService_[src] + quantumService_[src];
+        if (!tier || svc < tier_svc) {
+            tier = std::uint64_t{1} << src;
+            tier_svc = svc;
+        } else if (svc == tier_svc) {
+            tier |= std::uint64_t{1} << src;
+        }
+    }
+    if (tier == issuable)
+        return fastPickOldestHitElseOldest(view);
+    return fastPickOldestHitElseOldestOfSources(view, tier);
+}
+
 void
 registerAtlasPolicy()
 {
@@ -94,10 +139,8 @@ registerAtlasPolicy()
         .pickIsPure = true,
         .preservesRowHits = true,
         .needsTickEvents = true,
-        // Per-source rank ordering is not representable in the
-        // bank-mask fast view; ATLAS always takes the materialized
-        // evaluation.
-        .fastPickEligible = false,
+        .fastPickEligible = true,
+        .fastPickNote = "falls back while any entry is starved",
     });
 }
 

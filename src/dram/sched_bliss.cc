@@ -11,12 +11,14 @@
 // boundary cycle and the `nextClear_ = now + interval` rearm chain
 // advances identically in both modes.
 //
-// Fast-pick audit: with an empty blacklist the comparator degenerates
-// to FR-FCFS (row hit first, then oldest), which is exactly the
-// shared oldest-hit-else-oldest helper; blacklistCount_ tracks the
-// number of set bits so fastPick() can take that path and otherwise
-// fall back to the materialized evaluation (the per-source bit is not
-// representable in the bank-mask view).
+// Fast-pick audit: the comparator is a two-tier source split
+// (non-blacklisted first) with the FR-FCFS step inside each tier.
+// With an empty blacklist — or every issuable source on one side of
+// it — the split vanishes and the decision is the shared bank-level
+// oldest-hit-else-oldest helper; otherwise the clean tier wins and
+// the per-source masks restrict the same helper to its members. No
+// fallback states (PR 9 fell back whenever the blacklist was
+// non-empty, which under saturation was the common case).
 namespace pccs::dram {
 
 BlissScheduler::BlissScheduler(const SchedulerParams &params)
@@ -33,6 +35,7 @@ BlissScheduler::tick(Cycles now)
     // blacklisted source is deprioritized for at most one interval.
     blacklist_.fill(false);
     blacklistCount_ = 0;
+    blacklistMask_ = 0;
     lastSource_ = -1;
     streak_ = 0;
     nextClear_ = now + params_.blissClearInterval;
@@ -50,6 +53,7 @@ BlissScheduler::onService(const Request &req, Cycles now, unsigned bytes)
             !blacklist_[req.source]) {
             blacklist_[req.source] = true;
             ++blacklistCount_;
+            blacklistMask_ |= std::uint64_t{1} << req.source;
         }
     } else {
         lastSource_ = static_cast<int>(req.source);
@@ -90,9 +94,16 @@ BlissScheduler::fastPick(const FastIssueView &view, unsigned channel,
 {
     (void)channel;
     (void)now;
-    if (blacklistCount_ != 0)
-        return kFastPickFallback;
-    return fastPickOldestHitElseOldest(view);
+    if (blacklistCount_ == 0)
+        return fastPickOldestHitElseOldest(view);
+    const std::uint64_t issuable = view.issuableSourceMask();
+    const std::uint64_t clean = issuable & ~blacklistMask_;
+    // Tier 1: non-blacklisted sources; when every issuable source is
+    // on one side of the blacklist the tier split vanishes and the
+    // decision is plain FR-FCFS.
+    if (clean == issuable || clean == 0)
+        return fastPickOldestHitElseOldest(view);
+    return fastPickOldestHitElseOldestOfSources(view, clean);
 }
 
 void
@@ -109,6 +120,7 @@ registerBlissPolicy()
         .preservesRowHits = true,
         .needsTickEvents = true,
         .fastPickEligible = true,
+        .fastPickNote = {},
     });
 }
 

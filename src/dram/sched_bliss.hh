@@ -52,6 +52,8 @@ class BlissScheduler : public Scheduler
     std::array<bool, maxSources> blacklist_{};
     /** Number of set bits in blacklist_ (fast-pick degeneracy check). */
     unsigned blacklistCount_ = 0;
+    /** Bitmask mirror of blacklist_ (fast-pick tier filter). */
+    std::uint64_t blacklistMask_ = 0;
     Cycles nextClear_;
 };
 

@@ -126,6 +126,7 @@ registerFcfsPolicies()
         .preservesRowHits = false,
         .needsTickEvents = false,
         .fastPickEligible = true,
+        .fastPickNote = {},
     });
     registerSchedulerPolicy({
         .name = "FR-FCFS",
@@ -138,6 +139,7 @@ registerFcfsPolicies()
         .preservesRowHits = true,
         .needsTickEvents = false,
         .fastPickEligible = true,
+        .fastPickNote = {},
     });
 }
 

@@ -129,6 +129,7 @@ registerMedusaPolicy()
         .preservesRowHits = true,
         .needsTickEvents = false,
         .fastPickEligible = true,
+        .fastPickNote = {},
     });
 }
 

@@ -15,14 +15,23 @@
  *   4) oldest requests.
  * Batching bounds unfairness: no source can be deprioritized for
  * longer than one batch.
+ *
+ * Marked-set representation: at formation each source's marked
+ * requests are its oldest `take` queued ones — a prefix of its
+ * arrival order whose ids (assigned at enqueue, monotone) all lie
+ * below one per-source bound. Later enqueues get larger ids and stay
+ * unmarked, and services only shrink the prefix, so membership is the
+ * O(1) test `id < markedBelow[source]` for the batch's whole
+ * lifetime — no id set to hash into, and the same test serves the
+ * materialized comparator and the fast path's FIFO-prefix walks.
  */
 
 #ifndef PCCS_DRAM_SCHED_PARBS_HH
 #define PCCS_DRAM_SCHED_PARBS_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "dram/scheduler.hh"
@@ -40,11 +49,14 @@ class ParbsScheduler : public Scheduler
     void onService(const Request &req, Cycles now, unsigned bytes) override;
     int pick(unsigned channel, std::span<const QueueEntryView> entries,
              Cycles now) override;
+    bool fastPickEligible() const override { return true; }
+    int fastPick(const FastIssueView &view, unsigned channel,
+                 Cycles now) override;
 
     /** @return marked requests outstanding on a channel (for tests). */
     std::size_t markedCount(unsigned channel) const
     {
-        return channel < channels_.size() ? channels_[channel].marked.size()
+        return channel < channels_.size() ? channels_[channel].markedTotal
                                           : 0;
     }
 
@@ -52,13 +64,29 @@ class ParbsScheduler : public Scheduler
     /** Per-channel batch state (channels schedule independently). */
     struct ChannelState
     {
-        /** Request ids marked as members of the current batch. */
-        std::unordered_set<std::uint64_t> marked;
+        /** Marked membership bound: id < markedBelow[source]. */
+        std::array<std::uint64_t, maxSources> markedBelow{};
+        /** Outstanding (unserviced) marked requests per source. */
+        std::array<unsigned, maxSources> markedLeft{};
         /** Source rank for the current batch (lower = higher priority). */
         std::array<unsigned, maxSources> rank{};
+        /** Sources with markedLeft > 0, one bit per source. */
+        std::uint64_t markedSources = 0;
+        /** Outstanding marked requests on the whole channel. */
+        unsigned markedTotal = 0;
     };
 
     ChannelState &channelState(unsigned channel);
+
+    /**
+     * Shared tail of batch formation: record the per-source marked
+     * counts, rebuild the marked bookkeeping, and rank the sources
+     * shortest-job first. `take`/`oldest` come from either formation
+     * walk (entry span or per-source FIFOs — both arrival-ordered).
+     */
+    void finishBatch(ChannelState &st,
+                     const std::array<unsigned, maxSources> &take,
+                     const std::array<Cycles, maxSources> &oldest);
 
     SchedulerParams params_;
     std::vector<ChannelState> channels_;

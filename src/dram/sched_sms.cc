@@ -16,6 +16,17 @@
 // in-flight-batch path runs instead, which touches neither state nor
 // RNG when nothing is issuable. Hence the RNG stream and batch state
 // stay cycle-for-cycle identical across the two cores.
+//
+// Fast-pick audit: fastPick() is a line-for-line restatement of
+// pick() over the per-source FIFOs — the batch anchor is the FIFO
+// head (pick()'s strict-less oldest scan keeps the first of an
+// arrival tie, which in walk order is the head), the batch size is
+// the capped count of same-row entries along the FIFO, and serving is
+// the first issuable row match in FIFO order. It mutates the same
+// ChannelState and draws the same single RNG chance per reselection,
+// so the controller calls it on every evaluated cycle (impure-policy
+// contract) and the RNG stream stays aligned with the reference. No
+// fallback states.
 namespace pccs::dram {
 
 SmsScheduler::SmsScheduler(const SchedulerParams &params)
@@ -155,6 +166,106 @@ SmsScheduler::pick(unsigned channel,
     return idx;
 }
 
+int
+SmsScheduler::fastPick(const FastIssueView &view, unsigned channel,
+                       Cycles now)
+{
+    (void)now;
+    ChannelState &st = channelState(channel);
+    const RequestQueue &q = *view.queue;
+
+    // The quantities pick() derives from its full-queue batch
+    // recomputation all live on the per-source FIFOs: a source's head
+    // batch is anchored at its oldest request (the FIFO head), sized
+    // by counting same-row entries along the FIFO (capped), and
+    // served oldest-match-first (the first issuable row match in FIFO
+    // order).
+    auto serve_source = [&](unsigned src, std::uint32_t row) -> int {
+        for (int s = q.sourceHead(src); s >= 0; s = q.sourceNext(s)) {
+            if (q.row(s) == row && view.slotIssuable(s))
+                return s;
+        }
+        return -1;
+    };
+    auto batch_size = [&](unsigned src, std::uint32_t row) -> unsigned {
+        unsigned n = 0;
+        for (int s = q.sourceHead(src); s >= 0; s = q.sourceNext(s)) {
+            if (q.row(s) == row && ++n == params_.smsBatchCap)
+                break;
+        }
+        return n;
+    };
+
+    // Continue the in-flight batch when it still has visible requests.
+    if (st.currentSource >= 0 && st.remaining > 0) {
+        const unsigned cur = static_cast<unsigned>(st.currentSource);
+        const int h = q.sourceHead(cur);
+        if (h >= 0 && q.row(h) == st.batchRow) {
+            const int s = serve_source(cur, st.batchRow);
+            if (s >= 0) {
+                --st.remaining;
+                return s;
+            }
+            // Batch head blocked (its bank is activating/precharging):
+            // keep batch ownership, serve whatever else is ready.
+            return fastPickOldestIssuable(view);
+        }
+    }
+    st.currentSource = -1;
+    st.remaining = 0;
+
+    // Select a new batch among sources with pending requests.
+    const std::uint64_t active = q.activeSourceMask();
+    if (!active)
+        return -1;
+
+    unsigned chosen = 0;
+    unsigned chosen_size = 0;
+    if (rng_.chance(params_.smsShortestFirstProb)) {
+        // Shortest head batch first; ties by older anchor, then the
+        // lower source id (pick()'s min_element over ascending
+        // candidates keeps the first minimum).
+        int best = -1;
+        unsigned best_size = 0;
+        Cycles best_arrival = 0;
+        for (std::uint64_t m = active; m; m &= m - 1) {
+            const unsigned src =
+                static_cast<unsigned>(std::countr_zero(m));
+            const int h = q.sourceHead(src);
+            const unsigned size = batch_size(src, q.row(h));
+            const Cycles arrival = q.slot(h).arrival;
+            if (best < 0 || size < best_size ||
+                (size == best_size && arrival < best_arrival)) {
+                best = static_cast<int>(src);
+                best_size = size;
+                best_arrival = arrival;
+            }
+        }
+        chosen = static_cast<unsigned>(best);
+        chosen_size = best_size;
+    } else {
+        // Round-robin across sources, starting after the last pick.
+        for (unsigned off = 0; off < maxSources; ++off) {
+            const unsigned s = (st.rrNext + off) % maxSources;
+            if (active & (std::uint64_t{1} << s)) {
+                chosen = s;
+                break;
+            }
+        }
+        st.rrNext = chosen + 1;
+        chosen_size = batch_size(chosen, q.row(q.sourceHead(chosen)));
+    }
+
+    st.currentSource = static_cast<int>(chosen);
+    st.batchRow = q.row(q.sourceHead(chosen));
+    st.remaining = chosen_size;
+
+    const int s = serve_source(chosen, st.batchRow);
+    if (s >= 0)
+        --st.remaining;
+    return s;
+}
+
 void
 registerSmsPolicy()
 {
@@ -168,9 +279,8 @@ registerSmsPolicy()
         .pickIsPure = false,
         .preservesRowHits = true,
         .needsTickEvents = false,
-        // pick() rebatches (mutates state) on every call and so needs
-        // the full materialized view on exactly the reference cycles.
-        .fastPickEligible = false,
+        .fastPickEligible = true,
+        .fastPickNote = {},
     });
 }
 

@@ -13,6 +13,12 @@
 // event core wakes on exactly the reference cycles and the
 // `nextQuantum_/nextShuffle_ = now + interval` rearm chains advance
 // identically in both modes.
+//
+// Fast-pick audit: the comparator is two source tiers with the
+// FR-FCFS step inside each. The latency cluster is a set (no ranks
+// inside it), expressed as one bitmask rebuilt on recluster; the
+// bandwidth cluster is ranked by a permutation, so its winner is the
+// unique minimum-rank issuable source. No fallback states.
 namespace pccs::dram {
 
 TcmScheduler::TcmScheduler(const SchedulerParams &params)
@@ -23,6 +29,7 @@ TcmScheduler::TcmScheduler(const SchedulerParams &params)
     // Until the first quantum completes, treat everyone as
     // latency-sensitive (no information yet).
     latencyCluster_.fill(true);
+    latencyMask_ = ~std::uint64_t{0};
     for (unsigned s = 0; s < maxSources; ++s)
         rank_[s] = s;
 }
@@ -74,6 +81,12 @@ TcmScheduler::recluster()
         } else {
             break; // order is ascending; nothing further fits
         }
+    }
+
+    latencyMask_ = 0;
+    for (unsigned s = 0; s < maxSources; ++s) {
+        if (latencyCluster_[s])
+            latencyMask_ |= std::uint64_t{1} << s;
     }
 }
 
@@ -130,6 +143,42 @@ TcmScheduler::pick(unsigned channel,
     return best;
 }
 
+int
+TcmScheduler::fastPick(const FastIssueView &view, unsigned channel,
+                       Cycles now)
+{
+    (void)channel;
+    (void)now;
+    const std::uint64_t issuable = view.issuableSourceMask();
+    if (!issuable)
+        return -1;
+    // Tier 1: the latency-sensitive cluster. Ranks are not consulted
+    // inside it — the comparator falls straight through to row hit
+    // then age, which is the shared helper over the cluster members.
+    const std::uint64_t lat = issuable & latencyMask_;
+    if (lat) {
+        if (lat == issuable)
+            return fastPickOldestHitElseOldest(view);
+        return fastPickOldestHitElseOldestOfSources(view, lat);
+    }
+    // Tier 2: the bandwidth cluster under the shuffled ranking. The
+    // rank table is a permutation, so the minimum-rank issuable
+    // source is unique and the decision collapses to a single-source
+    // oldest-hit-else-oldest.
+    unsigned best_src = 0;
+    unsigned best_rank = ~0u;
+    for (std::uint64_t m = issuable; m; m &= m - 1) {
+        const unsigned src =
+            static_cast<unsigned>(std::countr_zero(m));
+        if (rank_[src] < best_rank) {
+            best_rank = rank_[src];
+            best_src = src;
+        }
+    }
+    return fastPickOldestHitElseOldestOfSources(
+        view, std::uint64_t{1} << best_src);
+}
+
 void
 registerTcmPolicy()
 {
@@ -143,9 +192,8 @@ registerTcmPolicy()
         .pickIsPure = true,
         .preservesRowHits = true,
         .needsTickEvents = true,
-        // Cluster/rank prioritization is per-source, not per-bank;
-        // TCM always takes the materialized evaluation.
-        .fastPickEligible = false,
+        .fastPickEligible = true,
+        .fastPickNote = {},
     });
 }
 

@@ -38,6 +38,9 @@ class TcmScheduler : public Scheduler
     void onService(const Request &req, Cycles now, unsigned bytes) override;
     int pick(unsigned channel, std::span<const QueueEntryView> entries,
              Cycles now) override;
+    bool fastPickEligible() const override { return true; }
+    int fastPick(const FastIssueView &view, unsigned channel,
+                 Cycles now) override;
 
     /** @return true if a source is in the latency-sensitive cluster. */
     bool inLatencyCluster(unsigned source) const
@@ -56,6 +59,8 @@ class TcmScheduler : public Scheduler
     std::array<double, maxSources> intensity_{};
     /** Cluster membership, recomputed each quantum. */
     std::array<bool, maxSources> latencyCluster_{};
+    /** Bitmask mirror of latencyCluster_ (fast-pick tier filter). */
+    std::uint64_t latencyMask_ = 0;
     /** Rank of each bandwidth-cluster source (lower = higher priority). */
     std::array<unsigned, maxSources> rank_{};
     Cycles nextQuantum_;

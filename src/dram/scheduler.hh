@@ -117,6 +117,78 @@ struct FastIssueView
             return (preMask & bit) != 0;
         return (actMask & bit) != 0;
     }
+
+    /**
+     * Source-tier algebra (rank-based policies). Valid only under a
+     * row-hit-preserving policy: preservation makes a bank's hit and
+     * non-hit candidate classes mutually exclusive, so a bank in
+     * preMask/actMask has *only* issuable non-hit entries and the
+     * per-source masks intersect cleanly with the legality masks.
+     */
+
+    /** Banks where source `src` has an issuable open-row hit. */
+    std::uint64_t sourceIssuableHitBanks(unsigned src) const
+    {
+        return (queue->sourceHitReadMask(src) & hitReadMask) |
+               (queue->sourceHitWriteMask(src) & hitWriteMask);
+    }
+
+    /** Banks where source `src` has an issuable PRE/ACT candidate. */
+    std::uint64_t sourceIssuableOtherBanks(unsigned src) const
+    {
+        return queue->sourceOccupiedMask(src) & (preMask | actMask);
+    }
+
+    /** True when source `src` has any issuable entry. */
+    bool sourceHasIssuable(unsigned src) const
+    {
+        return (sourceIssuableHitBanks(src) |
+                sourceIssuableOtherBanks(src)) != 0;
+    }
+
+    /** Sources with at least one issuable entry, one bit per source. */
+    std::uint64_t issuableSourceMask() const
+    {
+        std::uint64_t out = 0;
+        for (std::uint64_t m = queue->activeSourceMask(); m;
+             m &= m - 1) {
+            const unsigned src =
+                static_cast<unsigned>(std::countr_zero(m));
+            if (sourceHasIssuable(src))
+                out |= std::uint64_t{1} << src;
+        }
+        return out;
+    }
+
+    /**
+     * Oldest issuable open-row hit of source `src` (a walk of its
+     * arrival FIFO, guarded by the mask check), or -1.
+     */
+    int oldestIssuableHitOfSource(unsigned src) const
+    {
+        if (!sourceIssuableHitBanks(src))
+            return -1;
+        for (int s = queue->sourceHead(src); s >= 0;
+             s = queue->sourceNext(s)) {
+            if (queue->isHit(s) && slotIssuable(s))
+                return s;
+        }
+        return -1;
+    }
+
+    /** Oldest issuable entry (hit or not) of source `src`, or -1. */
+    int oldestIssuableOfSource(unsigned src) const
+    {
+        if (!(sourceIssuableHitBanks(src) |
+              sourceIssuableOtherBanks(src)))
+            return -1;
+        for (int s = queue->sourceHead(src); s >= 0;
+             s = queue->sourceNext(s)) {
+            if (slotIssuable(s))
+                return s;
+        }
+        return -1;
+    }
 };
 
 /**
@@ -146,6 +218,90 @@ fastPickOldestHitElseOldest(const FastIssueView &v,
     if (best >= 0)
         return best;
     for (std::uint64_t m = v.otherBanks() & filter; m; m &= m - 1) {
+        const unsigned b =
+            static_cast<unsigned>(std::countr_zero(m));
+        const int s = v.oldestOtherSlot(b);
+        const std::uint64_t ser = v.queue->serial(s);
+        if (best < 0 || ser < best_serial) {
+            best = s;
+            best_serial = ser;
+        }
+    }
+    return best;
+}
+
+/**
+ * The same oldest-hit-else-oldest decision restricted to a *source*
+ * tier: the oldest issuable hit of any source in `sources`, else the
+ * oldest issuable entry of any of them. This is the inner step of
+ * every rank-ordered policy (ATLAS rank tier, TCM cluster tier, BLISS
+ * blacklist tier, PARBS within-batch rank) once the tier's member set
+ * is known. Callers whose tier covers every issuable source should
+ * take fastPickOldestHitElseOldest() instead — the bank-level walk
+ * touches O(occupied banks) list heads, no per-source FIFOs.
+ * Requires a row-hit-preserving policy (see the source-tier algebra
+ * note on FastIssueView).
+ * @return the chosen slot, or -1 when no tier source has a candidate.
+ */
+inline int
+fastPickOldestHitElseOldestOfSources(const FastIssueView &v,
+                                     std::uint64_t sources)
+{
+    int best = -1;
+    std::uint64_t best_serial = 0;
+    for (std::uint64_t m = sources; m; m &= m - 1) {
+        const unsigned src =
+            static_cast<unsigned>(std::countr_zero(m));
+        const int s = v.oldestIssuableHitOfSource(src);
+        if (s < 0)
+            continue;
+        const std::uint64_t ser = v.queue->serial(s);
+        if (best < 0 || ser < best_serial) {
+            best = s;
+            best_serial = ser;
+        }
+    }
+    if (best >= 0)
+        return best;
+    for (std::uint64_t m = sources; m; m &= m - 1) {
+        const unsigned src =
+            static_cast<unsigned>(std::countr_zero(m));
+        const int s = v.oldestIssuableOfSource(src);
+        if (s < 0)
+            continue;
+        const std::uint64_t ser = v.queue->serial(s);
+        if (best < 0 || ser < best_serial) {
+            best = s;
+            best_serial = ser;
+        }
+    }
+    return best;
+}
+
+/**
+ * Oldest issuable entry regardless of hit status — SMS's
+ * work-conserving fallback when the in-flight batch owner cannot
+ * issue. Per issuable bank the oldest candidate is a list head (hit
+ * heads for CAS banks, the FIFO head for PRE/ACT banks under a
+ * preserving policy), so the global minimum is a min over heads.
+ * @return the chosen slot, or -1 when nothing is issuable.
+ */
+inline int
+fastPickOldestIssuable(const FastIssueView &v)
+{
+    int best = -1;
+    std::uint64_t best_serial = 0;
+    for (std::uint64_t m = v.hitBanks(); m; m &= m - 1) {
+        const unsigned b =
+            static_cast<unsigned>(std::countr_zero(m));
+        const int s = v.oldestHitSlot(b);
+        const std::uint64_t ser = v.queue->serial(s);
+        if (best < 0 || ser < best_serial) {
+            best = s;
+            best_serial = ser;
+        }
+    }
+    for (std::uint64_t m = v.otherBanks(); m; m &= m - 1) {
         const unsigned b =
             static_cast<unsigned>(std::countr_zero(m));
         const int s = v.oldestOtherSlot(b);
@@ -257,20 +413,28 @@ class Scheduler
     /**
      * True when fastPick() implements this policy's decision exactly
      * (possibly via kFastPickFallback escapes for states it cannot
-     * express over the bank masks). Requires pickIsPure(): the fast
-     * engine evaluates only on legality edges, which is only sound for
-     * policies whose skipped picks are pure no-ops.
+     * express over the masks). The fast engine evaluates a channel on
+     * exactly the cycles the lazy materialized path would: for
+     * pickIsPure() policies only when a candidate is issuable; for
+     * impure policies (SMS/PARBS) additionally on every post-change
+     * cycle, so their in-pick mutations land on the reference cycles.
      */
     virtual bool fastPickEligible() const { return false; }
 
     /**
-     * Branch-light pick over the bank-granular FastIssueView instead
-     * of a materialized entry span. Must return exactly the slot the
-     * materialized pick() would have chosen (the equivalence fuzz in
+     * Branch-light pick over the bank-granular FastIssueView (plus
+     * the per-source rank-tier masks) instead of a materialized entry
+     * span. Must return exactly the slot the materialized pick()
+     * would have chosen (the equivalence fuzz in
      * tests/test_dram_fastpath.cc enforces this per policy), -1 to
      * idle, or kFastPickFallback to make the controller materialize
-     * the full entry list and call pick(). Only called when at least
-     * one candidate is issuable and fastPickEligible() is true.
+     * the full entry list and call pick(). Called when at least one
+     * candidate is issuable — and, for pickIsPure() == false
+     * policies, on every evaluated cycle even with nothing issuable,
+     * mirroring pick()'s call schedule; such a policy must perform
+     * the same state mutations and RNG draws pick() would, and may
+     * only return kFastPickFallback *before* mutating anything (the
+     * fallback re-runs the decision through pick()).
      *
      * @return a queue slot index (not an entry index), -1, or
      *         kFastPickFallback.
@@ -283,7 +447,7 @@ class Scheduler
     }
 
     /** Maximum number of sources a policy tracks. */
-    static constexpr unsigned maxSources = 64;
+    static constexpr unsigned maxSources = kMaxQueueSources;
 };
 
 /** Tunable knobs of the fairness-aware policies. */
@@ -343,6 +507,12 @@ struct PolicyInfo
     bool needsTickEvents = false;
     /** Scheduler::fastPickEligible() of instances of this policy. */
     bool fastPickEligible = false;
+    /**
+     * Documented fastPick() fallback states ("" when the fast path is
+     * total): the conditions under which the policy materializes the
+     * full entry list via kFastPickFallback. Shown by `pccs policies`.
+     */
+    std::string fastPickNote;
 };
 
 /**

@@ -31,10 +31,25 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "dram/run_mode.hh"
 #include "dram/system.hh"
 
 namespace pccs::dram {
 namespace {
+
+/** Restore the process-wide fast-path flag on scope exit. */
+class FastPathGuard
+{
+  public:
+    explicit FastPathGuard(bool on) : saved_(dramFastPathEnabled())
+    {
+        setDramFastPathEnabled(on);
+    }
+    ~FastPathGuard() { setDramFastPathEnabled(saved_); }
+
+  private:
+    bool saved_;
+};
 
 /**
  * Registered policy names, restricted by PCCS_POLICY_FILTER
@@ -242,12 +257,27 @@ const GoldenRow kGolden[] = {
      {7112u, 1345u, 3132u, 5325u, 4u, 541248u, 8455u, 3646361u}},
 };
 
-class GoldenPinning : public ::testing::TestWithParam<DramRunMode>
+/**
+ * One golden-pinning configuration: a run mode plus the fast issue
+ * engine flag (sampled at controller construction). Reference mode
+ * never consults the engine, so only the event-driven rows fork on
+ * it: the mask-based fast path and the retained full-scan path must
+ * both land on the identical pre-refactor numbers.
+ */
+struct GoldenMode
+{
+    DramRunMode mode;
+    bool fastPath;
+    const char *name;
+};
+
+class GoldenPinning : public ::testing::TestWithParam<GoldenMode>
 {
 };
 
 TEST_P(GoldenPinning, MatchesPreRefactorStats)
 {
+    const GoldenMode &gm = GetParam();
     const std::vector<std::string> policies = testPolicies();
     auto selected = [&](const char *policy) {
         for (const std::string &p : policies)
@@ -258,7 +288,11 @@ TEST_P(GoldenPinning, MatchesPreRefactorStats)
     for (const GoldenRow &row : kGolden) {
         if (!selected(row.policy))
             continue;
-        auto sys = buildSystem(row.policy, 4, row.scale, 1, GetParam());
+        std::unique_ptr<DramSystem> sys;
+        {
+            FastPathGuard guard(gm.fastPath);
+            sys = buildSystem(row.policy, 4, row.scale, 1, gm.mode);
+        }
         runWindow(*sys);
         const ControllerStats &st = sys->controller().stats();
         SCOPED_TRACE(testing::Message()
@@ -274,14 +308,15 @@ TEST_P(GoldenPinning, MatchesPreRefactorStats)
     }
 }
 
-INSTANTIATE_TEST_SUITE_P(BothModes, GoldenPinning,
-                         ::testing::Values(DramRunMode::Reference,
-                                           DramRunMode::EventDriven),
-                         [](const auto &pinfo) {
-                             return pinfo.param == DramRunMode::Reference
-                                        ? "Reference"
-                                        : "EventDriven";
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, GoldenPinning,
+    ::testing::Values(
+        GoldenMode{DramRunMode::Reference, true, "Reference"},
+        GoldenMode{DramRunMode::EventDriven, true,
+                   "EventDrivenFastPath"},
+        GoldenMode{DramRunMode::EventDriven, false,
+                   "EventDrivenFullScan"}),
+    [](const auto &pinfo) { return std::string(pinfo.param.name); });
 
 TEST(DramEquivalence, CrossModeMatrix)
 {

@@ -11,7 +11,11 @@
  * workloads are randomized per seed and deliberately hostile: mixed
  * read/write traffic, tiny queues so enqueue backpressure is constant,
  * write drains, refresh cadence, and scheduler quantum/shuffle/clear
- * ticks at shortened intervals.
+ * ticks at shortened intervals. Source-skewed mixes target the
+ * per-source rank tiers: a hot source camping most of the queue
+ * (blacklist/batch-cap/starvation churn) and low-demand bursty
+ * sources whose arrival FIFOs drain empty between token-bucket
+ * bursts (activeSourceMask set/clear churn).
  */
 
 #include <gtest/gtest.h>
@@ -41,6 +45,27 @@ class FastPathGuard
     bool saved_;
 };
 
+/** Traffic shape of a fuzz configuration. */
+enum class TrafficSkew
+{
+    /** The original per-seed random mix (moderate per-source load). */
+    Mixed,
+    /**
+     * One source camps most of the queue while trickle sources dart
+     * in and out: stresses blacklist formation (BLISS), batch caps
+     * (PARBS/SMS), service-skew ranking (ATLAS/TCM), and the
+     * starvation fallback.
+     */
+    HotSource,
+    /**
+     * Every source is a low-demand burster: the 8-line token cap
+     * fills slowly, then flushes as one burst, so per-source arrival
+     * FIFOs oscillate between empty and full and the
+     * activeSourceMask/per-source occupancy masks churn constantly.
+     */
+    Bursts,
+};
+
 /**
  * A randomized small-queue system: per-seed traffic mix over 2
  * channels with 16 queue slots each, so saturation and queue-full
@@ -48,7 +73,7 @@ class FastPathGuard
  */
 std::unique_ptr<DramSystem>
 buildFuzzSystem(std::string_view policy, std::uint64_t seed,
-                DramRunMode mode)
+                DramRunMode mode, TrafficSkew skew = TrafficSkew::Mixed)
 {
     Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
     DramConfig cfg = table1Config();
@@ -67,16 +92,58 @@ buildFuzzSystem(std::string_view policy, std::uint64_t seed,
     sp.seed = seed * 31 + 5;
 
     auto sys = std::make_unique<DramSystem>(cfg, policy, sp, mode);
-    const unsigned gens = 2 + static_cast<unsigned>(rng.next() % 3);
-    for (unsigned s = 0; s < gens; ++s) {
-        TrafficParams p;
-        p.source = s;
-        p.demand = 4.0 + 28.0 * rng.uniform();
-        p.rowLocality = 0.3 + 0.65 * rng.uniform();
-        p.writeFraction = 0.5 * rng.uniform();
-        p.mlp = 8 + static_cast<unsigned>(rng.next() % 56);
-        p.seed = seed * 131 + s;
-        sys->addGenerator(p);
+    switch (skew) {
+    case TrafficSkew::Mixed: {
+        const unsigned gens = 2 + static_cast<unsigned>(rng.next() % 3);
+        for (unsigned s = 0; s < gens; ++s) {
+            TrafficParams p;
+            p.source = s;
+            p.demand = 4.0 + 28.0 * rng.uniform();
+            p.rowLocality = 0.3 + 0.65 * rng.uniform();
+            p.writeFraction = 0.5 * rng.uniform();
+            p.mlp = 8 + static_cast<unsigned>(rng.next() % 56);
+            p.seed = seed * 131 + s;
+            sys->addGenerator(p);
+        }
+        break;
+    }
+    case TrafficSkew::HotSource: {
+        TrafficParams hot;
+        hot.source = 0;
+        hot.demand = 45.0 + 15.0 * rng.uniform();
+        hot.rowLocality = 0.85 + 0.1 * rng.uniform();
+        hot.writeFraction = 0.3 * rng.uniform();
+        hot.mlp = 48 + static_cast<unsigned>(rng.next() % 16);
+        hot.seed = seed * 131;
+        sys->addGenerator(hot);
+        const unsigned trickles =
+            2 + static_cast<unsigned>(rng.next() % 2);
+        for (unsigned s = 1; s <= trickles; ++s) {
+            TrafficParams p;
+            p.source = s;
+            p.demand = 0.8 + 1.5 * rng.uniform();
+            p.rowLocality = 0.3 + 0.5 * rng.uniform();
+            p.writeFraction = 0.5 * rng.uniform();
+            p.mlp = 2 + static_cast<unsigned>(rng.next() % 3);
+            p.seed = seed * 131 + s;
+            sys->addGenerator(p);
+        }
+        break;
+    }
+    case TrafficSkew::Bursts: {
+        const unsigned gens = 3 + static_cast<unsigned>(rng.next() % 2);
+        for (unsigned s = 0; s < gens; ++s) {
+            TrafficParams p;
+            p.source = s;
+            p.demand = 1.5 + 2.5 * rng.uniform();
+            p.rowLocality = 0.3 + 0.65 * rng.uniform();
+            p.writeFraction = 0.5 * rng.uniform();
+            p.mlp = 8 + static_cast<unsigned>(rng.next() % 9);
+            p.seed = seed * 131 + s;
+            sys->addGenerator(p);
+        }
+        break;
+    }
     }
     return sys;
 }
@@ -121,6 +188,45 @@ runSegmented(DramSystem &sys)
         sys.run(1100);
 }
 
+/** One three-way differential run of a (policy, seed, skew) triple. */
+void
+threeWayCheck(const std::string &policy, std::uint64_t seed,
+              TrafficSkew skew)
+{
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    auto ref =
+        buildFuzzSystem(policy, seed, DramRunMode::Reference, skew);
+    runSegmented(*ref);
+
+    // The flag is sampled at controller construction, so the
+    // guard must wrap the build, not just the run.
+    std::unique_ptr<DramSystem> fast;
+    {
+        FastPathGuard on(true);
+        fast = buildFuzzSystem(policy, seed, DramRunMode::EventDriven,
+                               skew);
+    }
+    runSegmented(*fast);
+
+    std::unique_ptr<DramSystem> slow;
+    {
+        FastPathGuard off(false);
+        slow = buildFuzzSystem(policy, seed, DramRunMode::EventDriven,
+                               skew);
+    }
+    runSegmented(*slow);
+
+    expectIdenticalStats(*ref, *fast, "reference vs fastpath");
+    expectIdenticalStats(*ref, *slow, "reference vs full-scan");
+
+    // The scratch buffers are reserved to queue capacity up
+    // front; any regrowth under saturation is a regression.
+    EXPECT_EQ(ref->controller().scratchReallocations(), 0u);
+    EXPECT_EQ(fast->controller().scratchReallocations(), 0u);
+    EXPECT_EQ(slow->controller().scratchReallocations(), 0u);
+}
+
 class FastPathDifferential
     : public ::testing::TestWithParam<std::string>
 {
@@ -128,41 +234,22 @@ class FastPathDifferential
 
 TEST_P(FastPathDifferential, ThreeWayAgreement)
 {
-    const std::string policy = GetParam();
-    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
-        SCOPED_TRACE("seed " + std::to_string(seed));
+    for (std::uint64_t seed = 1; seed <= 4; ++seed)
+        threeWayCheck(GetParam(), seed, TrafficSkew::Mixed);
+}
 
-        auto ref =
-            buildFuzzSystem(policy, seed, DramRunMode::Reference);
-        runSegmented(*ref);
+TEST_P(FastPathDifferential, ThreeWayAgreementHotSource)
+{
+    SCOPED_TRACE("skew HotSource");
+    for (std::uint64_t seed = 1; seed <= 3; ++seed)
+        threeWayCheck(GetParam(), seed, TrafficSkew::HotSource);
+}
 
-        // The flag is sampled at controller construction, so the
-        // guard must wrap the build, not just the run.
-        std::unique_ptr<DramSystem> fast;
-        {
-            FastPathGuard on(true);
-            fast = buildFuzzSystem(policy, seed,
-                                   DramRunMode::EventDriven);
-        }
-        runSegmented(*fast);
-
-        std::unique_ptr<DramSystem> slow;
-        {
-            FastPathGuard off(false);
-            slow = buildFuzzSystem(policy, seed,
-                                   DramRunMode::EventDriven);
-        }
-        runSegmented(*slow);
-
-        expectIdenticalStats(*ref, *fast, "reference vs fastpath");
-        expectIdenticalStats(*ref, *slow, "reference vs full-scan");
-
-        // The scratch buffers are reserved to queue capacity up
-        // front; any regrowth under saturation is a regression.
-        EXPECT_EQ(ref->controller().scratchReallocations(), 0u);
-        EXPECT_EQ(fast->controller().scratchReallocations(), 0u);
-        EXPECT_EQ(slow->controller().scratchReallocations(), 0u);
-    }
+TEST_P(FastPathDifferential, ThreeWayAgreementBursts)
+{
+    SCOPED_TRACE("skew Bursts");
+    for (std::uint64_t seed = 1; seed <= 3; ++seed)
+        threeWayCheck(GetParam(), seed, TrafficSkew::Bursts);
 }
 
 INSTANTIATE_TEST_SUITE_P(

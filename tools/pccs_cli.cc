@@ -572,11 +572,15 @@ cmdPolicies(const ArgMap &args)
                 aliases += ",";
             aliases += a;
         }
+        // Fallback states (fastPickNote) ride in the fast-pick cell:
+        // "yes" means the mask path is total for the policy.
+        std::string fast = p.fastPickEligible ? "yes" : "no";
+        if (p.fastPickEligible && !p.fastPickNote.empty())
+            fast += " (" + p.fastPickNote + ")";
         t.addRow({p.name, aliases.empty() ? "-" : aliases,
                   p.pickIsPure ? "yes" : "no",
                   p.preservesRowHits ? "yes" : "no",
-                  p.needsTickEvents ? "yes" : "no",
-                  p.fastPickEligible ? "yes" : "no"});
+                  p.needsTickEvents ? "yes" : "no", fast});
     }
     std::printf("%s", t.str().c_str());
     return 0;
